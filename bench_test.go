@@ -1,0 +1,331 @@
+// Benchmarks mapping to the paper's tables and figures (see DESIGN.md's
+// per-experiment index). Each Benchmark* regenerates the measurement behind
+// one paper artifact; `go test -bench . -benchmem` prints them all, and
+// cmd/sledge-bench renders the full formatted tables.
+package sledge_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+
+	"sledge"
+	"sledge/internal/engine"
+	"sledge/internal/experiments"
+	"sledge/internal/loadgen"
+	"sledge/internal/nuclio"
+	"sledge/internal/sandbox"
+	"sledge/internal/sched"
+	"sledge/internal/workloads/apps"
+	"sledge/internal/workloads/polybench"
+)
+
+func TestMain(m *testing.M) {
+	// The Nuclio-baseline benchmarks re-execute this binary as their
+	// function worker process.
+	if nuclio.MaybeWorkerMain() {
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// ---- Figure 5 / Table 1: Wasm runtime configurations on PolyBench ----
+
+// BenchmarkFig5PolybenchConfigs measures a representative PolyBench kernel
+// (gemm) under every runtime configuration of Figure 5 plus the native
+// baseline. The relative ns/op across sub-benchmarks is the figure's
+// normalized-slowdown series.
+func BenchmarkFig5PolybenchConfigs(b *testing.B) {
+	k, _ := polybench.Get("gemm")
+	n := k.TestN * 2
+
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = k.Native(n)
+		}
+	})
+	for _, rc := range experiments.Fig5Classes {
+		cm, err := k.Compile(n, rc.Cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(rc.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := polybench.RunWasm(cm, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 6: ping with varying concurrency ----
+
+func BenchmarkFig6PingSledgeHTTP(b *testing.B) {
+	rt := sledge.New(sledge.Config{Workers: 2})
+	defer rt.Close()
+	registerBenchApp(b, rt, "ping")
+	url := serveBench(b, rt)
+
+	for _, conc := range []int{1, 16} {
+		b.Run(fmt.Sprintf("c%d", conc), func(b *testing.B) {
+			res, err := loadgen.Run(loadgen.Options{
+				URL: url + "/ping", Concurrency: conc, Requests: b.N,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.ThroughputRPS, "req/s")
+			b.ReportMetric(float64(res.Summary.P99.Microseconds()), "p99-µs")
+		})
+	}
+}
+
+func BenchmarkFig6PingNuclioHTTP(b *testing.B) {
+	nuc, err := nuclio.New(nuclio.Config{MaxWorkers: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := nuc.Invoke("ping", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figure 7: payload sweep ----
+
+func BenchmarkFig7PayloadEcho(b *testing.B) {
+	rt := sledge.New(sledge.Config{Workers: 2})
+	defer rt.Close()
+	registerBenchApp(b, rt, "echo")
+
+	for _, size := range []int{1 << 10, 100 << 10} {
+		payload := apps.EchoPayload(size)
+		b.Run(fmt.Sprintf("%dKB", size>>10), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				resp, err := rt.Invoke("echo", payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(resp) != size {
+					b.Fatalf("short echo: %d", len(resp))
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 8 / Table 2: real-world applications ----
+
+func BenchmarkFig8Apps(b *testing.B) {
+	rt := sledge.New(sledge.Config{Workers: 2})
+	defer rt.Close()
+	for _, name := range []string{"gps-ekf", "gocr", "cifar10", "resize", "lpd"} {
+		registerBenchApp(b, rt, name)
+		app, _ := apps.Get(name)
+		req := app.GenRequest()
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Invoke(name, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable2NativeVsSledge(b *testing.B) {
+	for _, name := range []string{"gps-ekf", "gocr", "cifar10"} {
+		app, _ := apps.Get(name)
+		req := app.GenRequest()
+		want := app.Native(req)
+		b.Run(name+"/native", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = app.Native(req)
+			}
+		})
+		cm, err := app.Compile(engine.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/sledge", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got, err := apps.RunWasm(cm, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					b.Fatal("wasm diverged from native")
+				}
+			}
+		})
+	}
+}
+
+// ---- Table 3: churn ----
+
+func BenchmarkTable3ChurnSandbox(b *testing.B) {
+	app, _ := apps.Get("gps-ekf")
+	cm, err := app.Compile(engine.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := app.GenRequest()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sb, err := sandbox.New(cm, req, sandbox.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sb.Fail(nil)
+	}
+}
+
+func BenchmarkTable3ChurnForkExec(b *testing.B) {
+	nuc, err := nuclio.New(nuclio.Config{MaxWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := nuc.SpawnNoop(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation benches ----
+
+// BenchmarkAblationDeque measures the work-stealing deque against the
+// mutex-protected global queue (§3.4's scalability argument).
+func BenchmarkAblationDeque(b *testing.B) {
+	b.Run("chase-lev-push-pop", func(b *testing.B) {
+		d := sched.NewDeque[int](1024)
+		v := 7
+		for i := 0; i < b.N; i++ {
+			d.PushBottom(&v)
+			d.PopBottom()
+		}
+	})
+	b.Run("chase-lev-push-steal", func(b *testing.B) {
+		d := sched.NewDeque[int](1024)
+		v := 7
+		for i := 0; i < b.N; i++ {
+			d.PushBottom(&v)
+			d.Steal()
+		}
+	})
+}
+
+// BenchmarkAblationStartupDecoupling contrasts per-request module
+// processing with Sledge's instantiate-only fast path.
+func BenchmarkAblationStartupDecoupling(b *testing.B) {
+	app, _ := apps.Get("gps-ekf")
+	cmShared, err := app.Compile(engine.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decoupled-instantiate-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sb, err := sandbox.New(cmShared, nil, sandbox.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sb.Fail(nil)
+		}
+	})
+	b.Run("coupled-compile-per-request", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cm, err := app.Compile(engine.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sb, err := sandbox.New(cm, nil, sandbox.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sb.Fail(nil)
+		}
+	})
+}
+
+// BenchmarkAblationBoundsStrategies isolates the §3.2 memory-safety
+// mechanisms on a load/store-heavy kernel.
+func BenchmarkAblationBoundsStrategies(b *testing.B) {
+	k, _ := polybench.Get("jacobi-2d")
+	n := k.TestN * 2
+	for _, bs := range []engine.BoundsStrategy{
+		engine.BoundsNone, engine.BoundsGuard, engine.BoundsSoftwareFused,
+		engine.BoundsSoftware, engine.BoundsMPX,
+	} {
+		cm, err := k.Compile(n, engine.Config{Bounds: bs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bs.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := polybench.RunWasm(cm, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- helpers ----
+
+func registerBenchApp(b *testing.B, rt *sledge.Runtime, name string) {
+	b.Helper()
+	app, ok := apps.Get(name)
+	if !ok {
+		b.Fatalf("app %s missing", name)
+	}
+	cm, err := app.Compile(rt.EngineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.RegisterCompiled(name, cm, "main", ""); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func serveBench(b *testing.B, rt *sledge.Runtime) string {
+	b.Helper()
+	ln, err := netListen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	go rt.Serve(ln)
+	return "http://" + ln.Addr().String()
+}
+
+func netListen() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+
+// BenchmarkAblationFusion isolates the optimized tier's superinstruction
+// peephole (index arithmetic, loop counters, addressed loads).
+func BenchmarkAblationFusion(b *testing.B) {
+	k, _ := polybench.Get("gemm")
+	n := k.TestN * 2
+	for _, cfg := range []struct {
+		name string
+		c    engine.Config
+	}{
+		{"fused", engine.Config{}},
+		{"no-fusion", engine.Config{NoFusion: true}},
+	} {
+		cm, err := k.Compile(n, cfg.c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := polybench.RunWasm(cm, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

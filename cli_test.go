@@ -1,0 +1,97 @@
+package sledge_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIToolchain builds the wccc and wasm-run commands and drives the
+// full toolchain from the shell: compile a WCC source to .wasm, then
+// execute it standalone with a request on stdin.
+func TestCLIToolchain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e skipped in -short mode")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		t.Helper()
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	wccc := build("wccc")
+	wasmRun := build("wasm-run")
+
+	src := filepath.Join(dir, "shout.wcc")
+	if err := os.WriteFile(src, []byte(`
+static u8 buf[256];
+
+export i32 main() {
+	i32 n = sys_read(buf, 256);
+	for (i32 i = 0; i < n; i = i + 1) {
+		if (buf[i] >= 97 && buf[i] <= 122) {
+			buf[i] = buf[i] - 32;
+		}
+	}
+	sys_write(buf, n);
+	return 0;
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compile with layout dump.
+	out, err := exec.Command(wccc, "-dump", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("wccc: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "exports: main") {
+		t.Errorf("wccc dump missing exports: %s", out)
+	}
+	wasmPath := filepath.Join(dir, "shout.wasm")
+	if _, err := os.Stat(wasmPath); err != nil {
+		t.Fatalf("wccc did not write %s: %v", wasmPath, err)
+	}
+
+	// Execute the binary under each bounds strategy.
+	for _, bounds := range []string{"guard", "software", "fused", "mpx"} {
+		cmd := exec.Command(wasmRun, "-bounds", bounds, wasmPath)
+		cmd.Stdin = strings.NewReader("hello cli")
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("wasm-run -bounds %s: %v\n%s", bounds, err, stderr.String())
+		}
+		if stdout.String() != "HELLO CLI" {
+			t.Errorf("bounds %s: output %q", bounds, stdout.String())
+		}
+	}
+
+	// The .wcc path compiles on the fly too.
+	cmd := exec.Command(wasmRun, src)
+	cmd.Stdin = strings.NewReader("x")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("wasm-run on .wcc: %v", err)
+	}
+	if stdout.String() != "X" {
+		t.Errorf("wcc direct run output %q", stdout.String())
+	}
+
+	// Broken input fails with a nonzero exit.
+	bad := filepath.Join(dir, "bad.wcc")
+	os.WriteFile(bad, []byte("export i32 main() { return x; }"), 0o644)
+	if err := exec.Command(wccc, bad).Run(); err == nil {
+		t.Error("wccc accepted invalid source")
+	}
+}

@@ -1,0 +1,75 @@
+// Command sledge runs the serverless runtime as a server: it loads a
+// JSON module configuration (or the built-in application suite), then
+// serves function invocations over HTTP.
+//
+// Usage:
+//
+//	sledge -listen :8080 -apps                 # serve the built-in suite
+//	sledge -listen :8080 -config modules.json  # serve configured modules
+//
+// Configuration format:
+//
+//	{
+//	  "modules": [
+//	    {"name": "hello", "path": "hello.wcc"},
+//	    {"name": "fn2", "path": "fn2.wasm", "entry": "main"}
+//	  ]
+//	}
+package main
+
+import (
+	"flag"
+	"log"
+	"runtime"
+	"time"
+
+	"sledge"
+	"sledge/internal/workloads/apps"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8080", "listen address")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker cores")
+		quantumMS  = flag.Int("quantum-ms", 5, "preemption quantum in milliseconds")
+		configPath = flag.String("config", "", "JSON module configuration file")
+		useApps    = flag.Bool("apps", false, "register the built-in application suite")
+	)
+	flag.Parse()
+
+	rt := sledge.New(sledge.Config{
+		Workers: *workers,
+		Quantum: time.Duration(*quantumMS) * time.Millisecond,
+		KV:      sledge.NewMapKV(),
+	})
+	defer rt.Close()
+
+	if *useApps {
+		for _, name := range apps.Names() {
+			app, _ := apps.Get(name)
+			cm, err := app.Compile(rt.EngineConfig())
+			if err != nil {
+				log.Fatalf("compile %s: %v", name, err)
+			}
+			if _, err := rt.RegisterCompiled(name, cm, "main", ""); err != nil {
+				log.Fatalf("register %s: %v", name, err)
+			}
+			log.Printf("registered built-in %s", name)
+		}
+	}
+	if *configPath != "" {
+		if err := rt.LoadModulesFile(*configPath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded modules from %s", *configPath)
+	}
+	if len(rt.Modules()) == 0 {
+		log.Fatal("no modules registered; pass -apps or -config")
+	}
+
+	log.Printf("sledge listening on %s with %d workers (%d modules)",
+		*listen, *workers, len(rt.Modules()))
+	if err := rt.ListenAndServe(*listen); err != nil {
+		log.Fatal(err)
+	}
+}

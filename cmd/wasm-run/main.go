@@ -1,0 +1,121 @@
+// Command wasm-run executes a single function from a WebAssembly binary (or
+// a WCC source file, compiled on the fly) in a standalone Sledge sandbox:
+// stdin becomes the request body, stdout receives the function's output.
+//
+// Usage:
+//
+//	echo hello | wasm-run fn.wasm
+//	wasm-run -entry kernel -arg 24 -bounds mpx kernel.wcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"sledge/internal/abi"
+	"sledge/internal/engine"
+	"sledge/internal/wcc"
+)
+
+func main() {
+	var (
+		entry  = flag.String("entry", "main", "exported function to invoke")
+		bounds = flag.String("bounds", "guard", "bounds strategy: guard, software, fused, mpx, none")
+		tier   = flag.String("tier", "optimized", "execution tier: optimized, naive")
+		args   = flag.String("arg", "", "comma-separated u64 arguments for the entry function")
+		heap   = flag.Int("heap", 0, "heap bytes for WCC compilation")
+		fuel   = flag.Int64("fuel", 0, "fuel limit (0 = unlimited)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wasm-run [flags] module.{wasm,wcc}")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin := data
+	if strings.HasSuffix(path, ".wcc") {
+		res, err := wcc.Compile(string(data), wcc.Options{HeapBytes: *heap})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bin = res.Binary
+	}
+
+	cfg := engine.Config{Bounds: parseBounds(*bounds), Tier: parseTier(*tier)}
+	cm, err := engine.CompileBinary(bin, abi.Registry(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var callArgs []uint64
+	if *args != "" {
+		for _, part := range strings.Split(*args, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(part), 0, 64)
+			if err != nil {
+				log.Fatalf("bad argument %q: %v", part, err)
+			}
+			callArgs = append(callArgs, v)
+		}
+	}
+
+	req, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := cm.Instantiate()
+	ctx := abi.NewContext(req)
+	ctx.KV = abi.NewMapKV()
+	inst.HostData = ctx
+
+	if err := inst.Start(*entry, callArgs...); err != nil {
+		log.Fatal(err)
+	}
+	st, err := inst.Run(*fuel)
+	if err != nil {
+		log.Fatalf("trap: %v", err)
+	}
+	if st != engine.StatusDone {
+		log.Fatalf("execution ended with status %s", st)
+	}
+	os.Stdout.Write(ctx.Response)
+	if v, err := inst.Result(); err == nil {
+		fmt.Fprintf(os.Stderr, "result: %d (0x%x), %d instructions retired\n", v, v, inst.InstrRetired)
+	}
+}
+
+func parseBounds(s string) engine.BoundsStrategy {
+	switch s {
+	case "guard":
+		return engine.BoundsGuard
+	case "software":
+		return engine.BoundsSoftware
+	case "fused":
+		return engine.BoundsSoftwareFused
+	case "mpx":
+		return engine.BoundsMPX
+	case "none":
+		return engine.BoundsNone
+	}
+	log.Fatalf("unknown bounds strategy %q", s)
+	return 0
+}
+
+func parseTier(s string) engine.Tier {
+	switch s {
+	case "optimized":
+		return engine.TierOptimized
+	case "naive":
+		return engine.TierNaive
+	}
+	log.Fatalf("unknown tier %q", s)
+	return 0
+}

@@ -1,0 +1,62 @@
+// Command wccc compiles WCC source files to WebAssembly binaries — the
+// reproduction's clang-to-Wasm step.
+//
+// Usage:
+//
+//	wccc -o fn.wasm fn.wcc
+//	wccc -heap 1048576 -dump fn.wcc     # print module layout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"sledge/internal/wcc"
+)
+
+func main() {
+	var (
+		out  = flag.String("o", "", "output .wasm path (default: input with .wasm extension)")
+		heap = flag.Int("heap", 0, "heap bytes reserved for alloc() (default 256 KiB)")
+		dump = flag.Bool("dump", false, "print static array layout and exports")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wccc [-o out.wasm] [-heap bytes] [-dump] input.wcc")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := wcc.Compile(string(src), wcc.Options{HeapBytes: *heap})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dump {
+		fmt.Printf("exports: %s\n", strings.Join(res.Exports, ", "))
+		fmt.Printf("heap base: %d\n", res.HeapBase)
+		names := make([]string, 0, len(res.Arrays))
+		for name := range res.Arrays {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			info := res.Arrays[name]
+			fmt.Printf("array %-16s offset=%-8d bytes=%d\n", name, info.Offset, info.Bytes)
+		}
+	}
+	target := *out
+	if target == "" {
+		target = strings.TrimSuffix(in, ".wcc") + ".wasm"
+	}
+	if err := os.WriteFile(target, res.Binary, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", target, len(res.Binary))
+}

@@ -1,0 +1,39 @@
+package sledge_test
+
+import (
+	"fmt"
+	"log"
+
+	"sledge"
+)
+
+// Example deploys a WCC function and invokes it — the library's minimal
+// end-to-end path: source → Wasm → AoT module → per-request sandbox.
+func Example() {
+	rt := sledge.New(sledge.Config{Workers: 1})
+	defer rt.Close()
+
+	const src = `
+static u8 buf[64];
+
+export i32 main() {
+	i32 n = sys_read(buf, 64);
+	i32 sum = 0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		sum = sum + buf[i];
+	}
+	buf[0] = sum % 256;
+	sys_write(buf, 1);
+	return 0;
+}
+`
+	if _, err := rt.RegisterWCC("bytesum", src, sledge.WCCOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := rt.Invoke("bytesum", []byte{1, 2, 3, 4, 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(resp[0])
+	// Output: 15
+}

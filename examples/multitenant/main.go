@@ -1,0 +1,89 @@
+// Multitenant: the temporal-isolation demonstration behind §3.4 — a hostile
+// CPU-bound tenant shares one worker core with a latency-sensitive tenant.
+// With the paper's preemptive round-robin quantum, the short tenant's
+// latency stays bounded; with cooperative scheduling it is serialized
+// behind the hog (head-of-line blocking).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sledge"
+)
+
+const hogSrc = `
+static u8 out[1];
+
+export i32 main() {
+	i32 acc = 0;
+	for (i32 i = 0; i < 20000000; i = i + 1) {
+		acc = acc + i;
+	}
+	out[0] = 104; // 'h'
+	sys_write(out, 1);
+	return 0;
+}
+`
+
+const shortSrc = `
+static u8 out[1];
+
+export i32 main() {
+	out[0] = 115; // 's'
+	sys_write(out, 1);
+	return 0;
+}
+`
+
+func run(policy sledge.SchedPolicy, label string) {
+	rt := sledge.New(sledge.Config{
+		Workers: 1,
+		Quantum: sledge.DefaultQuantum,
+		Policy:  policy,
+	})
+	defer rt.Close()
+	if _, err := rt.RegisterWCC("hog", hogSrc, sledge.WCCOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rt.RegisterWCC("short", shortSrc, sledge.WCCOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The hostile tenant grabs the core...
+	hogDone := make(chan struct{})
+	go func() {
+		defer close(hogDone)
+		if _, err := rt.Invoke("hog", nil); err != nil {
+			log.Printf("hog: %v", err)
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+
+	// ...and the latency-sensitive tenant sends three requests meanwhile.
+	var worst time.Duration
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		if _, err := rt.Invoke("short", nil); err != nil {
+			log.Fatal(err)
+		}
+		if d := time.Since(t0); d > worst {
+			worst = d
+		}
+	}
+	<-hogDone
+	st := rt.Stats()
+	fmt.Printf("%-22s worst short-tenant latency: %10v (preemptions: %d)\n",
+		label, worst.Round(100*time.Microsecond), st.Preemptions)
+}
+
+func main() {
+	fmt.Println("one worker core, one CPU-hog tenant, one latency-sensitive tenant")
+	fmt.Println()
+	run(sledge.PolicyPreemptiveRR, "preemptive-rr (5ms):")
+	run(sledge.PolicyCooperative, "cooperative:")
+	fmt.Println()
+	fmt.Println("preemptive round-robin bounds the short tenant's latency to a few")
+	fmt.Println("quanta; cooperative scheduling serializes it behind the hog.")
+}

@@ -1,0 +1,64 @@
+// Quickstart: start a Sledge runtime, deploy a function written in WCC,
+// and invoke it — first in-process, then over HTTP like an edge client.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+
+	"sledge"
+)
+
+// The function: reverse the request body. WCC is the reproduction's C-like
+// kernel language; sys_read/sys_write are the serverless ABI's stdin/stdout.
+const reverseSrc = `
+static u8 buf[4096];
+static u8 out[4096];
+
+export i32 main() {
+	i32 n = sys_read(buf, 4096);
+	for (i32 i = 0; i < n; i = i + 1) {
+		out[i] = buf[n - 1 - i];
+	}
+	sys_write(out, n);
+	return 0;
+}
+`
+
+func main() {
+	// One process, two worker cores, 5 ms preemption quantum.
+	rt := sledge.New(sledge.Config{Workers: 2})
+	defer rt.Close()
+
+	// Registration is the expensive step: WCC -> Wasm -> AoT lowering.
+	if _, err := rt.RegisterWCC("reverse", reverseSrc, sledge.WCCOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Direct invocation: a sandbox is instantiated per request (µs-scale).
+	resp, err := rt.Invoke("reverse", []byte("hello, edge"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in-process: %q -> %q\n", "hello, edge", resp)
+
+	// The same function over HTTP, as IoT clients would reach it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go rt.Serve(ln)
+
+	httpResp, err := http.Post("http://"+ln.Addr().String()+"/reverse",
+		"application/octet-stream", bytes.NewReader([]byte("serverless")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	fmt.Printf("over HTTP:  %q -> %q (status %d)\n", "serverless", body, httpResp.StatusCode)
+}

@@ -1,0 +1,3 @@
+module sledge
+
+go 1.22

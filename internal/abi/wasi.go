@@ -1,0 +1,231 @@
+package abi
+
+// WASI support. The paper lists WebAssembly System Interface support as
+// roadmap work ("WASI support is in our roadmap but is out of scope of this
+// paper", §3.5); this file implements the minimal wasi_snapshot_preview1
+// surface a clang/wasi-sdk "hello world"-class module needs, mapped onto
+// the same per-sandbox Context the sledge ABI uses:
+//
+//	fd_read(0, ...)   consumes the request body
+//	fd_write(1|2, ..) appends to the response body
+//	proc_exit         ends execution with an exit code
+//	clock_time_get    the Context clock
+//	random_get        the Context's deterministic generator
+//	args/environ      empty
+//
+// Modules using either import namespace (or both) can be registered with
+// the runtime unchanged.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"sledge/internal/engine"
+	"sledge/internal/wasm"
+)
+
+// WASI errno values used here.
+const (
+	wasiErrnoSuccess = 0
+	wasiErrnoBadf    = 8  // EBADF
+	wasiErrnoInval   = 28 // EINVAL
+)
+
+// ErrProcExit carries the module's proc_exit code through the trap path.
+type ErrProcExit struct {
+	Code uint32
+}
+
+// Error implements error.
+func (e *ErrProcExit) Error() string {
+	return fmt.Sprintf("wasi: proc_exit(%d)", e.Code)
+}
+
+// IsCleanExit reports whether err is a WASI proc_exit(0), which callers
+// should treat as successful completion.
+func IsCleanExit(err error) bool {
+	var pe *ErrProcExit
+	return errors.As(err, &pe) && pe.Code == 0
+}
+
+// WASIRegistry returns a host registry containing both the sledge ABI and
+// the wasi_snapshot_preview1 module.
+func WASIRegistry() engine.HostRegistry {
+	reg := Registry()
+	reg["wasi_snapshot_preview1"] = map[string]engine.HostDef{
+		"fd_read": {
+			Type: sig([]wasm.ValType{i32, i32, i32, i32}, []wasm.ValType{i32}),
+			Func: wasiFDRead,
+		},
+		"fd_write": {
+			Type: sig([]wasm.ValType{i32, i32, i32, i32}, []wasm.ValType{i32}),
+			Func: wasiFDWrite,
+		},
+		"fd_close": {
+			Type: sig([]wasm.ValType{i32}, []wasm.ValType{i32}),
+			Func: func(_ *engine.Instance, _ []uint64) (uint64, error) {
+				return wasiErrnoSuccess, nil
+			},
+		},
+		"proc_exit": {
+			Type: sig([]wasm.ValType{i32}, nil),
+			Func: func(_ *engine.Instance, args []uint64) (uint64, error) {
+				return 0, &ErrProcExit{Code: uint32(args[0])}
+			},
+		},
+		"clock_time_get": {
+			Type: sig([]wasm.ValType{i32, i64, i32}, []wasm.ValType{i32}),
+			Func: wasiClockTimeGet,
+		},
+		"random_get": {
+			Type: sig([]wasm.ValType{i32, i32}, []wasm.ValType{i32}),
+			Func: wasiRandomGet,
+		},
+		"args_sizes_get": {
+			Type: sig([]wasm.ValType{i32, i32}, []wasm.ValType{i32}),
+			Func: wasiZeroSizes,
+		},
+		"args_get": {
+			Type: sig([]wasm.ValType{i32, i32}, []wasm.ValType{i32}),
+			Func: func(_ *engine.Instance, _ []uint64) (uint64, error) {
+				return wasiErrnoSuccess, nil
+			},
+		},
+		"environ_sizes_get": {
+			Type: sig([]wasm.ValType{i32, i32}, []wasm.ValType{i32}),
+			Func: wasiZeroSizes,
+		},
+		"environ_get": {
+			Type: sig([]wasm.ValType{i32, i32}, []wasm.ValType{i32}),
+			Func: func(_ *engine.Instance, _ []uint64) (uint64, error) {
+				return wasiErrnoSuccess, nil
+			},
+		},
+	}
+	return reg
+}
+
+// iovec walks a WASI iovec array: ptr points at count {buf, len} pairs.
+func eachIOVec(inst *engine.Instance, ptr, count uint32, fn func(buf []byte) (int, bool)) (uint32, error) {
+	total := uint32(0)
+	for i := uint32(0); i < count; i++ {
+		ent, err := inst.MemRange(ptr+i*8, 8)
+		if err != nil {
+			return 0, err
+		}
+		bufPtr := binary.LittleEndian.Uint32(ent)
+		bufLen := binary.LittleEndian.Uint32(ent[4:])
+		if bufLen == 0 {
+			continue
+		}
+		buf, err := inst.MemRange(bufPtr, bufLen)
+		if err != nil {
+			return 0, err
+		}
+		n, done := fn(buf)
+		total += uint32(n)
+		if done {
+			break
+		}
+	}
+	return total, nil
+}
+
+func wasiFDRead(inst *engine.Instance, args []uint64) (uint64, error) {
+	c, err := ctxOf(inst)
+	if err != nil {
+		return 0, err
+	}
+	fd := uint32(args[0])
+	if fd != 0 {
+		return wasiErrnoBadf, nil
+	}
+	total, err := eachIOVec(inst, uint32(args[1]), uint32(args[2]), func(buf []byte) (int, bool) {
+		n := copy(buf, c.Request[c.readPos:])
+		c.readPos += n
+		return n, n < len(buf)
+	})
+	if err != nil {
+		return 0, err
+	}
+	out, err := inst.MemRange(uint32(args[3]), 4)
+	if err != nil {
+		return 0, err
+	}
+	binary.LittleEndian.PutUint32(out, total)
+	return wasiErrnoSuccess, nil
+}
+
+func wasiFDWrite(inst *engine.Instance, args []uint64) (uint64, error) {
+	c, err := ctxOf(inst)
+	if err != nil {
+		return 0, err
+	}
+	fd := uint32(args[0])
+	if fd != 1 && fd != 2 {
+		return wasiErrnoBadf, nil
+	}
+	total, err := eachIOVec(inst, uint32(args[1]), uint32(args[2]), func(buf []byte) (int, bool) {
+		c.Response = append(c.Response, buf...)
+		return len(buf), false
+	})
+	if err != nil {
+		return 0, err
+	}
+	out, err := inst.MemRange(uint32(args[3]), 4)
+	if err != nil {
+		return 0, err
+	}
+	binary.LittleEndian.PutUint32(out, total)
+	return wasiErrnoSuccess, nil
+}
+
+func wasiClockTimeGet(inst *engine.Instance, args []uint64) (uint64, error) {
+	c, err := ctxOf(inst)
+	if err != nil {
+		return 0, err
+	}
+	now := time.Now
+	if c.Now != nil {
+		now = c.Now
+	}
+	out, err := inst.MemRange(uint32(args[2]), 8)
+	if err != nil {
+		return 0, err
+	}
+	binary.LittleEndian.PutUint64(out, uint64(now().UnixNano()))
+	return wasiErrnoSuccess, nil
+}
+
+func wasiRandomGet(inst *engine.Instance, args []uint64) (uint64, error) {
+	c, err := ctxOf(inst)
+	if err != nil {
+		return 0, err
+	}
+	buf, err := inst.MemRange(uint32(args[0]), uint32(args[1]))
+	if err != nil {
+		return 0, err
+	}
+	for i := range buf {
+		x := c.randState
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		c.randState = x
+		buf[i] = byte(x)
+	}
+	return wasiErrnoSuccess, nil
+}
+
+func wasiZeroSizes(inst *engine.Instance, args []uint64) (uint64, error) {
+	for _, p := range args[:2] {
+		out, err := inst.MemRange(uint32(p), 4)
+		if err != nil {
+			return 0, err
+		}
+		binary.LittleEndian.PutUint32(out, 0)
+	}
+	return wasiErrnoSuccess, nil
+}

@@ -1,0 +1,189 @@
+package abi
+
+import (
+	"errors"
+	"testing"
+
+	"sledge/internal/engine"
+	"sledge/internal/wasm"
+)
+
+// wasiEchoModule builds, by hand, the module a wasi-sdk toolchain would
+// emit for an echo program: read stdin via fd_read, write it to stdout via
+// fd_write, then proc_exit(0).
+func wasiEchoModule() *wasm.Module {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{
+		{Params: []wasm.ValType{wasm.ValI32, wasm.ValI32, wasm.ValI32, wasm.ValI32},
+			Results: []wasm.ValType{wasm.ValI32}}, // fd_read / fd_write
+		{Params: []wasm.ValType{wasm.ValI32}},  // proc_exit
+		{Results: []wasm.ValType{wasm.ValI32}}, // main
+	}
+	m.Imports = []wasm.Import{
+		{Module: "wasi_snapshot_preview1", Name: "fd_read", Kind: wasm.ExternFunc, TypeIdx: 0},
+		{Module: "wasi_snapshot_preview1", Name: "fd_write", Kind: wasm.ExternFunc, TypeIdx: 0},
+		{Module: "wasi_snapshot_preview1", Name: "proc_exit", Kind: wasm.ExternFunc, TypeIdx: 1},
+	}
+	m.Memories = []wasm.Limits{{Min: 2, Max: 2, HasMax: true}}
+	// Layout: iovec at 8 {buf=1024, len=4096}; nread at 16; nwritten at 20.
+	body := []wasm.Instr{
+		// iov.buf = 1024
+		{Op: wasm.OpI32Const, Imm: 8},
+		{Op: wasm.OpI32Const, Imm: 1024},
+		{Op: wasm.OpI32Store, Imm2: 2},
+		// iov.len = 4096
+		{Op: wasm.OpI32Const, Imm: 12},
+		{Op: wasm.OpI32Const, Imm: 4096},
+		{Op: wasm.OpI32Store, Imm2: 2},
+		// fd_read(0, &iov, 1, &nread)
+		{Op: wasm.OpI32Const, Imm: 0},
+		{Op: wasm.OpI32Const, Imm: 8},
+		{Op: wasm.OpI32Const, Imm: 1},
+		{Op: wasm.OpI32Const, Imm: 16},
+		{Op: wasm.OpCall, Imm: 0},
+		{Op: wasm.OpDrop},
+		// iov.len = nread
+		{Op: wasm.OpI32Const, Imm: 12},
+		{Op: wasm.OpI32Const, Imm: 16},
+		{Op: wasm.OpI32Load, Imm2: 2},
+		{Op: wasm.OpI32Store, Imm2: 2},
+		// fd_write(1, &iov, 1, &nwritten)
+		{Op: wasm.OpI32Const, Imm: 1},
+		{Op: wasm.OpI32Const, Imm: 8},
+		{Op: wasm.OpI32Const, Imm: 1},
+		{Op: wasm.OpI32Const, Imm: 20},
+		{Op: wasm.OpCall, Imm: 1},
+		{Op: wasm.OpDrop},
+		// proc_exit(0)
+		{Op: wasm.OpI32Const, Imm: 0},
+		{Op: wasm.OpCall, Imm: 2},
+		// not reached
+		{Op: wasm.OpI32Const, Imm: 0},
+	}
+	m.Funcs = []wasm.Func{{TypeIdx: 2, Body: body, Name: "main"}}
+	m.Exports = []wasm.Export{{Name: "main", Kind: wasm.ExternFunc, Index: 3}}
+	return m
+}
+
+func TestWASIEchoEndToEnd(t *testing.T) {
+	cm, err := engine.Compile(wasiEchoModule(), WASIRegistry(), engine.Config{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	inst := cm.Instantiate()
+	ctx := NewContext([]byte("wasi says hello"))
+	inst.HostData = ctx
+	_, err = inst.Invoke("main")
+	if !IsCleanExit(err) {
+		t.Fatalf("want clean proc_exit, got %v", err)
+	}
+	if string(ctx.Response) != "wasi says hello" {
+		t.Errorf("Response = %q", ctx.Response)
+	}
+}
+
+func TestWASIProcExitNonZero(t *testing.T) {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{
+		{Params: []wasm.ValType{wasm.ValI32}},
+		{Results: []wasm.ValType{wasm.ValI32}},
+	}
+	m.Imports = []wasm.Import{
+		{Module: "wasi_snapshot_preview1", Name: "proc_exit", Kind: wasm.ExternFunc, TypeIdx: 0},
+	}
+	m.Funcs = []wasm.Func{{TypeIdx: 1, Body: []wasm.Instr{
+		{Op: wasm.OpI32Const, Imm: 7},
+		{Op: wasm.OpCall, Imm: 0},
+		{Op: wasm.OpI32Const, Imm: 0},
+	}, Name: "main"}}
+	m.Exports = []wasm.Export{{Name: "main", Kind: wasm.ExternFunc, Index: 1}}
+	cm, err := engine.Compile(m, WASIRegistry(), engine.Config{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	inst := cm.Instantiate()
+	inst.HostData = NewContext(nil)
+	_, err = inst.Invoke("main")
+	if IsCleanExit(err) {
+		t.Fatal("proc_exit(7) reported as clean")
+	}
+	var pe *ErrProcExit
+	if !errors.As(err, &pe) || pe.Code != 7 {
+		t.Errorf("want proc_exit(7), got %v", err)
+	}
+}
+
+func TestWASIHostFunctions(t *testing.T) {
+	m := wasm.NewModule()
+	m.Memories = []wasm.Limits{{Min: 1}}
+	cm, err := engine.Compile(m, nil, engine.Config{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	inst := cm.Instantiate()
+	ctx := NewContext([]byte("abc"))
+	inst.HostData = ctx
+	reg := WASIRegistry()["wasi_snapshot_preview1"]
+
+	call := func(name string, args ...uint64) uint64 {
+		t.Helper()
+		v, err := reg[name].Func(inst, args)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return v
+	}
+
+	// Bad fds.
+	if v := call("fd_read", 3, 0, 0, 64); v != wasiErrnoBadf {
+		t.Errorf("fd_read(3) errno = %d", v)
+	}
+	if v := call("fd_write", 0, 0, 0, 64); v != wasiErrnoBadf {
+		t.Errorf("fd_write(0) errno = %d", v)
+	}
+	// fd_close always succeeds.
+	if v := call("fd_close", 1); v != wasiErrnoSuccess {
+		t.Errorf("fd_close errno = %d", v)
+	}
+	// Scatter read across two iovecs.
+	mem := inst.Memory()
+	putU32 := func(off int, v uint32) {
+		mem[off] = byte(v)
+		mem[off+1] = byte(v >> 8)
+		mem[off+2] = byte(v >> 16)
+		mem[off+3] = byte(v >> 24)
+	}
+	putU32(8, 100)  // iov0.buf
+	putU32(12, 2)   // iov0.len
+	putU32(16, 200) // iov1.buf
+	putU32(20, 8)   // iov1.len
+	if v := call("fd_read", 0, 8, 2, 64); v != wasiErrnoSuccess {
+		t.Fatalf("fd_read errno = %d", v)
+	}
+	if got := string(mem[100:102]) + string(mem[200:201]); got != "abc" {
+		t.Errorf("scattered read = %q", got)
+	}
+	// random_get fills deterministically.
+	ctx.SetRandSeed(9)
+	if v := call("random_get", 300, 4); v != wasiErrnoSuccess {
+		t.Fatal("random_get failed")
+	}
+	if mem[300] == 0 && mem[301] == 0 && mem[302] == 0 && mem[303] == 0 {
+		t.Error("random_get produced all zeros")
+	}
+	// clock_time_get writes nanoseconds.
+	if v := call("clock_time_get", 0, 0, 320); v != wasiErrnoSuccess {
+		t.Fatal("clock_time_get failed")
+	}
+	// args/environ are empty.
+	if v := call("args_sizes_get", 400, 404); v != wasiErrnoSuccess {
+		t.Fatal("args_sizes_get failed")
+	}
+	if mem[400] != 0 || mem[404] != 0 {
+		t.Error("args_sizes_get wrote nonzero sizes")
+	}
+	// OOB iovec pointers are host errors (trap material).
+	if _, err := reg["fd_write"].Func(inst, []uint64{1, 1 << 20, 1, 64}); err == nil {
+		t.Error("fd_write with OOB iovec accepted")
+	}
+}

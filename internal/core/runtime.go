@@ -1,0 +1,327 @@
+// Package core is the Sledge serverless runtime (the paper's primary
+// contribution): a single-process, multi-tenant runtime that accepts HTTP
+// requests on a listener, instantiates a light-weight Wasm sandbox per
+// request, distributes sandboxes to worker cores over a lock-free
+// work-stealing deque, and schedules them preemptively for temporal
+// isolation (§3.3–§3.5, §4).
+//
+// Module registration performs the heavyweight compile/link/load once; each
+// request then pays only sandbox instantiation (µs-scale), reproducing the
+// paper's decoupled function startup.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sledge/internal/abi"
+	"sledge/internal/engine"
+	"sledge/internal/httpd"
+	"sledge/internal/sandbox"
+	"sledge/internal/sched"
+	"sledge/internal/wcc"
+)
+
+// Module is a registered function: an AoT-compiled module plus invocation
+// metadata. Modules are immutable after registration and shared by all
+// sandboxes.
+type Module struct {
+	Name   string
+	Entry  string
+	Tenant string
+	cm     *engine.CompiledModule
+
+	invocations atomic.Uint64
+	failures    atomic.Uint64
+	totalNanos  atomic.Int64
+}
+
+// ModuleStats is a per-function accounting snapshot.
+type ModuleStats struct {
+	Invocations uint64        `json:"invocations"`
+	Failures    uint64        `json:"failures"`
+	MeanLatency time.Duration `json:"mean_latency_ns"`
+}
+
+// Stats returns the module's accounting snapshot.
+func (m *Module) Stats() ModuleStats {
+	st := ModuleStats{
+		Invocations: m.invocations.Load(),
+		Failures:    m.failures.Load(),
+	}
+	if st.Invocations > 0 {
+		st.MeanLatency = time.Duration(m.totalNanos.Load() / int64(st.Invocations))
+	}
+	return st
+}
+
+// Compiled exposes the underlying compiled module (for experiments that
+// need direct instantiation).
+func (m *Module) Compiled() *engine.CompiledModule { return m.cm }
+
+// Config configures the runtime.
+type Config struct {
+	// Workers is the number of worker cores (the paper uses 15 workers +
+	// 1 listener on a 16-core machine). Default: 1.
+	Workers int
+	// Quantum is the scheduling time slice. Default 5 ms.
+	Quantum time.Duration
+	// Policy and Distribution select scheduler behaviour (ablations).
+	Policy       sched.Policy
+	Distribution sched.Distribution
+	// Engine is the sandboxing configuration; the default uses the
+	// optimized tier with guard-based memory safety, like the paper's
+	// production configuration.
+	Engine engine.Config
+	// KV is the storage backend exposed to functions; nil disables it.
+	KV abi.KVStore
+	// RequestTimeout bounds one invocation end-to-end. Default 30 s.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Runtime is a running Sledge instance.
+type Runtime struct {
+	cfg  Config
+	pool *sched.Pool
+
+	mu       sync.RWMutex
+	registry map[string]*Module
+
+	server *httpd.Server
+	lnMu   sync.Mutex
+	ln     net.Listener
+}
+
+// New starts a runtime with an empty module registry.
+func New(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{
+		cfg:      cfg,
+		registry: make(map[string]*Module),
+	}
+	rt.pool = sched.NewPool(sched.Config{
+		Workers:      cfg.Workers,
+		Quantum:      cfg.Quantum,
+		Policy:       cfg.Policy,
+		Distribution: cfg.Distribution,
+	})
+	rt.server = &httpd.Server{Handler: rt.handle}
+	return rt
+}
+
+// ErrNoModule reports an unknown function name.
+var ErrNoModule = errors.New("core: no such module")
+
+// ErrDuplicateModule reports a name collision at registration.
+var ErrDuplicateModule = errors.New("core: module already registered")
+
+// RegisterWCC compiles WCC source and registers it under name. This is the
+// expensive path, run once at deployment.
+func (rt *Runtime) RegisterWCC(name, source string, opts wcc.Options) (*Module, error) {
+	res, err := wcc.Compile(source, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: register %s: %w", name, err)
+	}
+	cm, err := engine.CompileBinary(res.Binary, abi.WASIRegistry(), rt.cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("core: register %s: %w", name, err)
+	}
+	return rt.RegisterCompiled(name, cm, "main", "")
+}
+
+// RegisterWasm registers a wasm binary under name. Modules may import the
+// sledge ABI, the math module, and/or wasi_snapshot_preview1.
+func (rt *Runtime) RegisterWasm(name string, bin []byte, entry string) (*Module, error) {
+	cm, err := engine.CompileBinary(bin, abi.WASIRegistry(), rt.cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("core: register %s: %w", name, err)
+	}
+	return rt.RegisterCompiled(name, cm, entry, "")
+}
+
+// RegisterCompiled registers an already-compiled module.
+func (rt *Runtime) RegisterCompiled(name string, cm *engine.CompiledModule, entry, tenant string) (*Module, error) {
+	if entry == "" {
+		entry = "main"
+	}
+	m := &Module{Name: name, Entry: entry, Tenant: tenant, cm: cm}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, dup := rt.registry[name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateModule, name)
+	}
+	rt.registry[name] = m
+	return m, nil
+}
+
+// Lookup returns the module registered under name.
+func (rt *Runtime) Lookup(name string) (*Module, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	m, ok := rt.registry[name]
+	return m, ok
+}
+
+// Modules lists registered module names.
+func (rt *Runtime) Modules() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]string, 0, len(rt.registry))
+	for name := range rt.registry {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Invoke executes one request against the named function, bypassing HTTP.
+// It blocks until the sandbox completes and returns the response body.
+func (rt *Runtime) Invoke(name string, req []byte) ([]byte, error) {
+	m, ok := rt.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoModule, name)
+	}
+	sb, err := sandbox.New(m.cm, req, sandbox.Options{
+		Entry:  m.Entry,
+		KV:     rt.cfg.KV,
+		Tenant: m.Tenant,
+	})
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	sb.OnComplete = func(*sandbox.Sandbox) { close(done) }
+	if err := rt.pool.Submit(sb); err != nil {
+		return nil, err
+	}
+	select {
+	case <-done:
+	case <-time.After(rt.cfg.RequestTimeout):
+		m.failures.Add(1)
+		return nil, fmt.Errorf("core: %s: request timed out after %v", name, rt.cfg.RequestTimeout)
+	}
+	m.invocations.Add(1)
+	m.totalNanos.Add(int64(sb.Latency()))
+	if sb.State() == sandbox.StateTrapped {
+		m.failures.Add(1)
+		return nil, fmt.Errorf("core: %s: %w", name, sb.Err)
+	}
+	return sb.Response(), nil
+}
+
+// handle is the listener-core request path: demultiplex by URL, instantiate
+// a sandbox, push it to the work-distribution deque, and reply with the
+// function's stdout.
+func (rt *Runtime) handle(req *httpd.Request) httpd.Response {
+	name := strings.TrimPrefix(req.Path, "/")
+	if i := strings.IndexByte(name, '?'); i >= 0 {
+		name = name[:i]
+	}
+	if name == "__stats" {
+		return rt.statsResponse()
+	}
+	body, err := rt.Invoke(name, req.Body)
+	switch {
+	case errors.Is(err, ErrNoModule):
+		return httpd.Response{Status: 404, Body: []byte(err.Error() + "\n")}
+	case err != nil:
+		return httpd.Response{Status: 500, Body: []byte(err.Error() + "\n")}
+	}
+	return httpd.Response{Status: 200, Body: body}
+}
+
+// statsResponse serves GET /__stats: scheduler counters and the module
+// registry as JSON, for operators and the experiment harness.
+func (rt *Runtime) statsResponse() httpd.Response {
+	st := rt.pool.Stats()
+	perModule := make(map[string]ModuleStats)
+	rt.mu.RLock()
+	for name, m := range rt.registry {
+		perModule[name] = m.Stats()
+	}
+	rt.mu.RUnlock()
+	payload := struct {
+		Modules     []string               `json:"modules"`
+		PerModule   map[string]ModuleStats `json:"per_module"`
+		Submitted   uint64                 `json:"submitted"`
+		Completed   uint64                 `json:"completed"`
+		Trapped     uint64                 `json:"trapped"`
+		Preemptions uint64                 `json:"preemptions"`
+		Steals      uint64                 `json:"steals"`
+		Blocked     uint64                 `json:"blocked"`
+		Inflight    int                    `json:"inflight"`
+	}{
+		Modules:     rt.Modules(),
+		PerModule:   perModule,
+		Submitted:   st.Submitted,
+		Completed:   st.Completed,
+		Trapped:     st.Trapped,
+		Preemptions: st.Preemptions,
+		Steals:      st.Steals,
+		Blocked:     st.Blocked,
+		Inflight:    rt.pool.Inflight(),
+	}
+	body, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return httpd.Response{Status: 500, Body: []byte(err.Error())}
+	}
+	return httpd.Response{Status: 200, ContentType: "application/json", Body: body}
+}
+
+// Serve runs the HTTP listener until Close.
+func (rt *Runtime) Serve(ln net.Listener) error {
+	rt.lnMu.Lock()
+	rt.ln = ln
+	rt.lnMu.Unlock()
+	return rt.server.Serve(ln)
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (rt *Runtime) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return rt.Serve(ln)
+}
+
+// Addr returns the bound listener address, if serving.
+func (rt *Runtime) Addr() net.Addr {
+	rt.lnMu.Lock()
+	defer rt.lnMu.Unlock()
+	if rt.ln == nil {
+		return nil
+	}
+	return rt.ln.Addr()
+}
+
+// Stats exposes scheduler counters.
+func (rt *Runtime) Stats() sched.Stats { return rt.pool.Stats() }
+
+// Pool exposes the scheduler for experiments.
+func (rt *Runtime) Pool() *sched.Pool { return rt.pool }
+
+// Close shuts down the listener and the worker pool.
+func (rt *Runtime) Close() error {
+	var err error
+	if rt.server != nil {
+		err = rt.server.Close()
+	}
+	rt.pool.Stop()
+	return err
+}
+
+// EngineConfig returns the engine configuration modules are compiled with.
+func (rt *Runtime) EngineConfig() engine.Config { return rt.cfg.Engine }

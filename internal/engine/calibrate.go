@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"sledge/internal/wasm"
+)
+
+var (
+	calibrateOnce sync.Once
+	fuelRate      int64
+)
+
+// CalibrateFuelRate measures the optimized tier's interpretation throughput
+// in instructions per millisecond. The scheduler multiplies this by its
+// quantum to convert the paper's time-slice (5 ms) into deterministic fuel.
+// The result is cached for the process lifetime.
+func CalibrateFuelRate() int64 {
+	calibrateOnce.Do(func() {
+		fuelRate = measureFuelRate()
+	})
+	return fuelRate
+}
+
+func measureFuelRate() int64 {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{{
+		Params:  []wasm.ValType{wasm.ValI32},
+		Results: []wasm.ValType{wasm.ValI32},
+	}}
+	m.Funcs = []wasm.Func{{
+		TypeIdx: 0,
+		Locals:  []wasm.ValType{wasm.ValI32},
+		Name:    "spin",
+		Body: []wasm.Instr{
+			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)},
+			{Op: wasm.OpLoop, Imm: uint64(wasm.BlockTypeEmpty)},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Eqz},
+			{Op: wasm.OpBrIf, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpLocalSet, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpI32Sub},
+			{Op: wasm.OpLocalSet, Imm: 0},
+			{Op: wasm.OpBr, Imm: 0},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpLocalGet, Imm: 1},
+		},
+	}}
+	m.Exports = []wasm.Export{{Name: "spin", Kind: wasm.ExternFunc, Index: 0}}
+	cm, err := Compile(m, nil, Config{})
+	if err != nil {
+		return 50_000 // conservative fallback: 50M instr/s
+	}
+	const iters = 200_000
+	in := cm.Instantiate()
+	start := time.Now()
+	if _, err := in.Invoke("spin", iters); err != nil {
+		return 50_000
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 50_000
+	}
+	perMS := int64(float64(in.InstrRetired) / (float64(elapsed) / float64(time.Millisecond)))
+	if perMS < 1000 {
+		perMS = 1000
+	}
+	return perMS
+}

@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"sledge/internal/wasm"
+)
+
+// TestNumericOpcodeConformance sweeps every numeric, comparison, and
+// conversion opcode in the instruction set and cross-checks the optimized
+// tier's inline dispatch against the naive tier's table-driven
+// applyNumericOp over a grid of edge-case operands. The two implementations
+// are independent code paths, so agreement (including trap-for-trap) is a
+// real conformance signal.
+func TestNumericOpcodeConformance(t *testing.T) {
+	operands := []uint64{
+		0, 1, 2, 31, 32, 63, 64, 0xFF,
+		uint64(uint32(1) << 31),                // i32 min / high bit
+		0xFFFFFFFF,                             // i32 -1
+		uint64(1) << 63,                        // i64 min
+		^uint64(0),                             // i64 -1
+		math.Float64bits(0),                    // +0.0
+		math.Float64bits(math.Copysign(0, -1)), // -0.0
+		math.Float64bits(1.5),
+		math.Float64bits(-2.25),
+		math.Float64bits(1e300),
+		math.Float64bits(math.NaN()),
+		math.Float64bits(math.Inf(1)),
+		math.Float64bits(math.Inf(-1)),
+		uint64(math.Float32bits(3.5)),
+		uint64(math.Float32bits(float32(math.NaN()))),
+		uint64(math.Float32bits(float32(math.Inf(-1)))),
+	}
+
+	maskFor := func(vt wasm.ValType) uint64 {
+		if vt == wasm.ValI32 || vt == wasm.ValF32 {
+			return 0xFFFFFFFF
+		}
+		return ^uint64(0)
+	}
+	isNaNBits := func(vt wasm.ValType, bits uint64) bool {
+		switch vt {
+		case wasm.ValF32:
+			return math.IsNaN(float64(math.Float32frombits(uint32(bits))))
+		case wasm.ValF64:
+			return math.IsNaN(math.Float64frombits(bits))
+		}
+		return false
+	}
+
+	checked := 0
+	for b := 0; b < 256; b++ {
+		op := wasm.Opcode(b)
+		in, out, ok := wasm.NumericSig(op)
+		if !ok {
+			continue
+		}
+		// Build a module exporting exactly this operation.
+		m := wasm.NewModule()
+		m.Types = []wasm.FuncType{{Params: in, Results: []wasm.ValType{out}}}
+		body := make([]wasm.Instr, 0, len(in)+1)
+		for i := range in {
+			body = append(body, wasm.Instr{Op: wasm.OpLocalGet, Imm: uint64(i)})
+		}
+		body = append(body, wasm.Instr{Op: op})
+		m.Funcs = []wasm.Func{{TypeIdx: 0, Body: body, Name: "op"}}
+		m.Exports = []wasm.Export{{Name: "op", Kind: wasm.ExternFunc, Index: 0}}
+		cm := mustCompile(t, m, Config{NoFusion: true})
+
+		runCase := func(args []uint64) {
+			t.Helper()
+			// Reference: the naive tier's shared numeric evaluator.
+			ref := make([]uint64, len(args))
+			copy(ref, args)
+			_, refTrap := applyNumericOp(op, ref, len(ref))
+
+			inst := cm.Instantiate()
+			got, err := inst.Invoke("op", args...)
+			if refTrap != 0 {
+				if err == nil {
+					t.Errorf("%s(%x): reference traps (%v), VM returned %#x", op, args, refTrap, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Errorf("%s(%x): VM trapped (%v), reference returned %#x", op, args, err, ref[0])
+				return
+			}
+			want := ref[0]
+			if isNaNBits(out, want) && isNaNBits(out, got) {
+				return // NaN payloads may differ
+			}
+			if got != want {
+				t.Errorf("%s(%x) = %#x, want %#x", op, args, got, want)
+			}
+		}
+
+		switch len(in) {
+		case 1:
+			for _, a := range operands {
+				runCase([]uint64{a & maskFor(in[0])})
+				checked++
+			}
+		case 2:
+			for _, a := range operands {
+				for _, c := range operands {
+					runCase([]uint64{a & maskFor(in[0]), c & maskFor(in[1])})
+					checked++
+				}
+			}
+		}
+	}
+	if checked < 5000 {
+		t.Errorf("conformance sweep only covered %d cases", checked)
+	}
+	t.Logf("conformance sweep: %d op/operand cases", checked)
+}
+
+// TestMemoryOpcodeConformance cross-checks every load/store opcode in the
+// optimized tier against the naive tier's independent naiveMemAccess over
+// aligned, unaligned, and boundary addresses.
+func TestMemoryOpcodeConformance(t *testing.T) {
+	pattern := make([]byte, wasm.PageSize)
+	for i := range pattern {
+		pattern[i] = byte(i*31 + 7)
+	}
+	addrs := []uint64{0, 1, 3, 8, 127, 1024, wasm.PageSize - 16}
+	value := uint64(0xDEADBEEFCAFEF00D)
+
+	checked := 0
+	for b := 0; b < 256; b++ {
+		op := wasm.Opcode(b)
+		vt, width, store, ok := wasm.MemOpShape(op)
+		if !ok {
+			continue
+		}
+		m := wasm.NewModule()
+		m.Memories = []wasm.Limits{{Min: 1}}
+		if store {
+			m.Types = []wasm.FuncType{{Params: []wasm.ValType{wasm.ValI32, vt}}}
+			m.Funcs = []wasm.Func{{TypeIdx: 0, Body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpLocalGet, Imm: 1},
+				{Op: op},
+			}, Name: "op"}}
+		} else {
+			m.Types = []wasm.FuncType{{Params: []wasm.ValType{wasm.ValI32}, Results: []wasm.ValType{vt}}}
+			m.Funcs = []wasm.Func{{TypeIdx: 0, Body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: op},
+			}, Name: "op"}}
+		}
+		m.Exports = []wasm.Export{{Name: "op", Kind: wasm.ExternFunc, Index: 0}}
+		cm := mustCompile(t, m, Config{NoFusion: true})
+
+		for _, addr := range addrs {
+			if addr+uint64(width) > wasm.PageSize {
+				continue
+			}
+			// Reference via naiveMemAccess on a private copy.
+			refMem := append([]byte(nil), pattern...)
+			var refStack []uint64
+			if store {
+				refStack = []uint64{addr, value}
+			} else {
+				refStack = []uint64{addr}
+			}
+			refStack, refErr := naiveMemAccess(refMem, op, 0, refStack)
+			if refErr != nil {
+				t.Fatalf("%s: reference error: %v", op, refErr)
+			}
+
+			inst := cm.Instantiate()
+			copy(inst.Memory(), pattern)
+			var got uint64
+			var err error
+			if store {
+				_, err = inst.Invoke("op", addr, value)
+			} else {
+				got, err = inst.Invoke("op", addr)
+			}
+			if err != nil {
+				t.Fatalf("%s(%d): %v", op, addr, err)
+			}
+			if store {
+				if string(inst.Memory()) != string(refMem) {
+					t.Errorf("%s(%d): memory diverged from reference", op, addr)
+				}
+			} else if got != refStack[0] {
+				t.Errorf("%s(%d) = %#x, want %#x", op, addr, got, refStack[0])
+			}
+			checked++
+		}
+	}
+	t.Logf("memory conformance sweep: %d op/address cases", checked)
+	if checked < 100 {
+		t.Errorf("sweep only covered %d cases", checked)
+	}
+}

@@ -1,0 +1,1094 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sledge/internal/wasm"
+)
+
+// buildModule assembles a single-memory module from function definitions.
+type fnDef struct {
+	name    string
+	params  []wasm.ValType
+	results []wasm.ValType
+	locals  []wasm.ValType
+	body    []wasm.Instr
+}
+
+func buildModule(t *testing.T, memPages uint32, fns ...fnDef) *wasm.Module {
+	t.Helper()
+	m := wasm.NewModule()
+	if memPages > 0 {
+		m.Memories = []wasm.Limits{{Min: memPages, Max: memPages * 4, HasMax: true}}
+	}
+	for i, fd := range fns {
+		m.Types = append(m.Types, wasm.FuncType{Params: fd.params, Results: fd.results})
+		m.Funcs = append(m.Funcs, wasm.Func{
+			TypeIdx: uint32(i), Locals: fd.locals, Body: fd.body, Name: fd.name,
+		})
+		m.Exports = append(m.Exports, wasm.Export{Name: fd.name, Kind: wasm.ExternFunc, Index: uint32(i)})
+	}
+	return m
+}
+
+func mustCompile(t *testing.T, m *wasm.Module, cfg Config) *CompiledModule {
+	t.Helper()
+	cm, err := Compile(m, nil, cfg)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return cm
+}
+
+func invoke(t *testing.T, cm *CompiledModule, name string, args ...uint64) uint64 {
+	t.Helper()
+	in := cm.Instantiate()
+	v, err := in.Invoke(name, args...)
+	if err != nil {
+		t.Fatalf("Invoke(%s): %v", name, err)
+	}
+	return v
+}
+
+var allConfigs = []Config{
+	{Bounds: BoundsGuard, Tier: TierOptimized},
+	{Bounds: BoundsSoftware, Tier: TierOptimized},
+	{Bounds: BoundsSoftwareFused, Tier: TierOptimized},
+	{Bounds: BoundsMPX, Tier: TierOptimized},
+	{Bounds: BoundsNone, Tier: TierOptimized},
+	{Bounds: BoundsGuard, Tier: TierNaive},
+	{Bounds: BoundsSoftware, Tier: TierNaive},
+	{Bounds: BoundsSoftwareFused, Tier: TierNaive},
+	{Bounds: BoundsMPX, Tier: TierNaive},
+}
+
+func TestAddFunction(t *testing.T) {
+	m := buildModule(t, 0, fnDef{
+		name:   "add",
+		params: []wasm.ValType{wasm.ValI32, wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+		body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpI32Add},
+		},
+	})
+	for _, cfg := range allConfigs {
+		cm := mustCompile(t, m, cfg)
+		if got := invoke(t, cm, "add", 2, 40); got != 42 {
+			t.Errorf("%s/%s: add(2,40) = %d", cfg.Tier, cfg.Bounds, got)
+		}
+		// i32 wraparound stays within 32 bits.
+		if got := invoke(t, cm, "add", math.MaxUint32, 1); got != 0 {
+			t.Errorf("%s/%s: add wrap = %d, want 0", cfg.Tier, cfg.Bounds, got)
+		}
+	}
+}
+
+// sumLoop sums 1..n with a loop, exercising block/loop/br_if/locals.
+func sumLoopDef() fnDef {
+	return fnDef{
+		name:   "sum",
+		params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+		locals: []wasm.ValType{wasm.ValI32}, // acc
+		body: []wasm.Instr{
+			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)},
+			{Op: wasm.OpLoop, Imm: uint64(wasm.BlockTypeEmpty)},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Eqz},
+			{Op: wasm.OpBrIf, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpLocalSet, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpI32Sub},
+			{Op: wasm.OpLocalSet, Imm: 0},
+			{Op: wasm.OpBr, Imm: 0},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpLocalGet, Imm: 1},
+		},
+	}
+}
+
+func TestSumLoop(t *testing.T) {
+	m := buildModule(t, 0, sumLoopDef())
+	for _, cfg := range allConfigs {
+		cm := mustCompile(t, m, cfg)
+		if got := invoke(t, cm, "sum", 100); got != 5050 {
+			t.Errorf("%s/%s: sum(100) = %d, want 5050", cfg.Tier, cfg.Bounds, got)
+		}
+		if got := invoke(t, cm, "sum", 0); got != 0 {
+			t.Errorf("%s/%s: sum(0) = %d, want 0", cfg.Tier, cfg.Bounds, got)
+		}
+	}
+}
+
+func fibDef() fnDef {
+	// fib(n) = n < 2 ? n : fib(n-1) + fib(n-2), recursive calls.
+	return fnDef{
+		name:   "fib",
+		params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+		body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 2},
+			{Op: wasm.OpI32LtS},
+			{Op: wasm.OpIf, Imm: uint64(wasm.ValI32)},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpElse},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpI32Sub},
+			{Op: wasm.OpCall, Imm: 0},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 2},
+			{Op: wasm.OpI32Sub},
+			{Op: wasm.OpCall, Imm: 0},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpEnd},
+		},
+	}
+}
+
+func TestRecursiveFib(t *testing.T) {
+	m := buildModule(t, 0, fibDef())
+	want := []uint64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for _, cfg := range allConfigs {
+		cm := mustCompile(t, m, cfg)
+		for n, w := range want {
+			if got := invoke(t, cm, "fib", uint64(n)); got != w {
+				t.Errorf("%s/%s: fib(%d) = %d, want %d", cfg.Tier, cfg.Bounds, n, got, w)
+			}
+		}
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	// store64(addr, v); load64(addr) plus narrow loads with sign extension.
+	m := buildModule(t, 1,
+		fnDef{
+			name:   "store64",
+			params: []wasm.ValType{wasm.ValI32, wasm.ValI64},
+			body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpLocalGet, Imm: 1},
+				{Op: wasm.OpI64Store, Imm2: 3},
+			},
+		},
+		fnDef{
+			name:   "load64",
+			params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI64},
+			body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpI64Load, Imm2: 3},
+			},
+		},
+		fnDef{
+			name:   "load8s",
+			params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+			body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpI32Load8S},
+			},
+		},
+		fnDef{
+			name:   "load16u",
+			params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+			body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpI32Load16U},
+			},
+		},
+	)
+	for _, cfg := range allConfigs {
+		cm := mustCompile(t, m, cfg)
+		in := cm.Instantiate()
+		if err := in.Start("store64", 16, 0xDEADBEEFCAFEF00D); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if st, err := in.Run(0); err != nil || st != StatusDone {
+			t.Fatalf("%s/%s: store: %v %v", cfg.Tier, cfg.Bounds, st, err)
+		}
+		in2 := cm.Instantiate()
+		v, err := in2.Invoke("load64", 16)
+		if err != nil {
+			t.Fatalf("load64: %v", err)
+		}
+		if v != 0 {
+			t.Errorf("%s/%s: instances share memory: got %#x", cfg.Tier, cfg.Bounds, v)
+		}
+		// Instances are one-shot; use a fresh one and poke memory directly.
+		in3 := cm.Instantiate()
+		copy(in3.Memory()[32:], []byte{0x80, 0xFF})
+		v8, err := in3.Invoke("load8s", 32)
+		if err != nil {
+			t.Fatalf("load8s: %v", err)
+		}
+		if int32(v8) != -128 {
+			t.Errorf("%s/%s: load8s = %d, want -128", cfg.Tier, cfg.Bounds, int32(v8))
+		}
+	}
+}
+
+func TestOutOfBoundsTraps(t *testing.T) {
+	m := buildModule(t, 1, fnDef{
+		name:   "peek",
+		params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+		body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Load},
+		},
+	}, fnDef{
+		name:   "poke",
+		params: []wasm.ValType{wasm.ValI32},
+		body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 7},
+			{Op: wasm.OpI32Store},
+		},
+	})
+	for _, cfg := range allConfigs {
+		if cfg.Bounds == BoundsNone {
+			continue
+		}
+		cm := mustCompile(t, m, cfg)
+		for _, addr := range []uint64{wasm.PageSize, wasm.PageSize - 3, math.MaxUint32} {
+			in := cm.Instantiate()
+			_, err := in.Invoke("peek", addr)
+			var trap *Trap
+			if !errors.As(err, &trap) || trap.Code != TrapMemOutOfBounds {
+				t.Errorf("%s/%s: peek(%d): want OOB trap, got %v", cfg.Tier, cfg.Bounds, addr, err)
+			}
+			in = cm.Instantiate()
+			_, err = in.Invoke("poke", addr)
+			if !errors.As(err, &trap) || trap.Code != TrapMemOutOfBounds {
+				t.Errorf("%s/%s: poke(%d): want OOB trap, got %v", cfg.Tier, cfg.Bounds, addr, err)
+			}
+		}
+		// In-bounds access at the very edge must succeed.
+		in := cm.Instantiate()
+		if _, err := in.Invoke("peek", wasm.PageSize-4); err != nil {
+			t.Errorf("%s/%s: edge peek failed: %v", cfg.Tier, cfg.Bounds, err)
+		}
+	}
+}
+
+func TestNumericTraps(t *testing.T) {
+	m := buildModule(t, 0,
+		fnDef{
+			name:   "div",
+			params: []wasm.ValType{wasm.ValI32, wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+			body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpLocalGet, Imm: 1},
+				{Op: wasm.OpI32DivS},
+			},
+		},
+		fnDef{
+			name:   "trunc",
+			params: []wasm.ValType{wasm.ValF64}, results: []wasm.ValType{wasm.ValI32},
+			body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpI32TruncF64S},
+			},
+		},
+		fnDef{
+			name: "boom",
+			body: []wasm.Instr{{Op: wasm.OpUnreachable}},
+		},
+	)
+	for _, cfg := range allConfigs[:1] {
+		cm := mustCompile(t, m, cfg)
+		cases := []struct {
+			name string
+			args []uint64
+			code TrapCode
+		}{
+			{"div", []uint64{1, 0}, TrapDivByZero},
+			{"div", []uint64{uint64(uint32(1 << 31)), uint64(uint32(0xFFFFFFFF))}, TrapIntOverflow},
+			{"trunc", []uint64{math.Float64bits(math.NaN())}, TrapInvalidConversion},
+			{"trunc", []uint64{math.Float64bits(1e20)}, TrapIntOverflow},
+			{"boom", nil, TrapUnreachable},
+		}
+		for _, c := range cases {
+			in := cm.Instantiate()
+			_, err := in.Invoke(c.name, c.args...)
+			var trap *Trap
+			if !errors.As(err, &trap) || trap.Code != c.code {
+				t.Errorf("%s(%v): want %s, got %v", c.name, c.args, c.code, err)
+			}
+		}
+		// Valid cases do not trap.
+		if got := invoke(t, cm, "div", uint64(uint32(0xFFFFFFF8)), uint64(uint32(0xFFFFFFFE))); got != 4 {
+			t.Errorf("div(-8,-2) = %d, want 4", got)
+		}
+		if got := invoke(t, cm, "trunc", math.Float64bits(-3.9)); int32(got) != -3 {
+			t.Errorf("trunc(-3.9) = %d, want -3", int32(got))
+		}
+	}
+}
+
+func TestFuelPreemptionAndResume(t *testing.T) {
+	m := buildModule(t, 0, sumLoopDef())
+	cm := mustCompile(t, m, Config{})
+	in := cm.Instantiate()
+	if err := in.Start("sum", 10000); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	yields := 0
+	for {
+		st, err := in.Run(1000)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if st == StatusDone {
+			break
+		}
+		if st != StatusYielded {
+			t.Fatalf("unexpected status %s", st)
+		}
+		yields++
+		if yields > 1000 {
+			t.Fatal("did not finish")
+		}
+	}
+	if yields < 10 {
+		t.Errorf("expected many yields with tiny quantum, got %d", yields)
+	}
+	v, err := in.Result()
+	if err != nil || v != 50005000 {
+		t.Errorf("Result = %d, %v; want 50005000", v, err)
+	}
+	if in.InstrRetired == 0 {
+		t.Error("InstrRetired not accounted")
+	}
+}
+
+func TestHostCalls(t *testing.T) {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{
+		{Params: []wasm.ValType{wasm.ValI32, wasm.ValI32}, Results: []wasm.ValType{wasm.ValI32}},
+	}
+	m.Imports = []wasm.Import{{Module: "env", Name: "hadd", Kind: wasm.ExternFunc, TypeIdx: 0}}
+	m.Funcs = []wasm.Func{{TypeIdx: 0, Body: []wasm.Instr{
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpLocalGet, Imm: 1},
+		{Op: wasm.OpCall, Imm: 0}, // the import
+	}, Name: "wrap"}}
+	m.Exports = []wasm.Export{{Name: "wrap", Kind: wasm.ExternFunc, Index: 1}}
+
+	hostErr := errors.New("synthetic host failure")
+	mkHost := func(fn HostFunc) HostRegistry {
+		return HostRegistry{"env": {"hadd": {Func: fn, Type: m.Types[0]}}}
+	}
+
+	t.Run("value", func(t *testing.T) {
+		cm, err := Compile(m, mkHost(func(_ *Instance, args []uint64) (uint64, error) {
+			return args[0] + args[1], nil
+		}), Config{})
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		if got := invoke(t, cm, "wrap", 30, 12); got != 42 {
+			t.Errorf("wrap = %d", got)
+		}
+	})
+	t.Run("error becomes trap", func(t *testing.T) {
+		cm, err := Compile(m, mkHost(func(_ *Instance, _ []uint64) (uint64, error) {
+			return 0, hostErr
+		}), Config{})
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		in := cm.Instantiate()
+		_, err = in.Invoke("wrap", 1, 2)
+		var trap *Trap
+		if !errors.As(err, &trap) || trap.Code != TrapHostError || !errors.Is(err, hostErr) {
+			t.Errorf("want wrapped host error trap, got %v", err)
+		}
+	})
+	t.Run("block and resume", func(t *testing.T) {
+		cm, err := Compile(m, mkHost(func(_ *Instance, _ []uint64) (uint64, error) {
+			return 0, ErrHostBlock
+		}), Config{})
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		in := cm.Instantiate()
+		if err := in.Start("wrap", 1, 2); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		st, err := in.Run(0)
+		if err != nil || st != StatusBlocked {
+			t.Fatalf("Run = %s, %v; want blocked", st, err)
+		}
+		if err := in.ResumeHost(99); err != nil {
+			t.Fatalf("ResumeHost: %v", err)
+		}
+		st, err = in.Run(0)
+		if err != nil || st != StatusDone {
+			t.Fatalf("Run after resume = %s, %v", st, err)
+		}
+		if v, _ := in.Result(); v != 99 {
+			t.Errorf("Result = %d, want 99", v)
+		}
+	})
+	t.Run("missing import", func(t *testing.T) {
+		_, err := Compile(m, nil, Config{})
+		if !errors.Is(err, ErrImport) {
+			t.Errorf("want ErrImport, got %v", err)
+		}
+	})
+	t.Run("signature mismatch", func(t *testing.T) {
+		bad := HostRegistry{"env": {"hadd": {
+			Func: func(_ *Instance, _ []uint64) (uint64, error) { return 0, nil },
+			Type: wasm.FuncType{Params: []wasm.ValType{wasm.ValI64}},
+		}}}
+		_, err := Compile(m, bad, Config{})
+		if !errors.Is(err, ErrImport) {
+			t.Errorf("want ErrImport, got %v", err)
+		}
+	})
+}
+
+func TestCallIndirectCFI(t *testing.T) {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{
+		{Results: []wasm.ValType{wasm.ValI32}},                                      // () -> i32
+		{Params: []wasm.ValType{wasm.ValI32}, Results: []wasm.ValType{wasm.ValI32}}, // (i32) -> i32
+	}
+	m.Funcs = []wasm.Func{
+		{TypeIdx: 0, Body: []wasm.Instr{{Op: wasm.OpI32Const, Imm: 7}}, Name: "seven"},
+		{TypeIdx: 1, Body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpI32Add},
+		}, Name: "inc"},
+		{TypeIdx: 1, Body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpCallIndirect, Imm: 0}, // expects type 0
+		}, Name: "dispatch"},
+	}
+	m.Tables = []wasm.Limits{{Min: 4, Max: 4, HasMax: true}}
+	m.Elems = []wasm.ElemSegment{{
+		Offset: wasm.Instr{Op: wasm.OpI32Const, Imm: 0}, FuncIndices: []uint32{0, 1},
+	}}
+	m.Exports = []wasm.Export{{Name: "dispatch", Kind: wasm.ExternFunc, Index: 2}}
+
+	for _, tier := range []Tier{TierOptimized, TierNaive} {
+		cm := mustCompile(t, m, Config{Tier: tier})
+		// Slot 0 has matching type () -> i32.
+		if got := invoke(t, cm, "dispatch", 0); got != 7 {
+			t.Errorf("%s: dispatch(0) = %d, want 7", tier, got)
+		}
+		cases := []struct {
+			slot uint64
+			code TrapCode
+		}{
+			{1, TrapIndirectCallType}, // wrong signature
+			{2, TrapIndirectCallNull}, // uninitialized element
+			{9, TrapIndirectCallOOB},  // beyond table
+		}
+		for _, c := range cases {
+			in := cm.Instantiate()
+			_, err := in.Invoke("dispatch", c.slot)
+			var trap *Trap
+			if !errors.As(err, &trap) || trap.Code != c.code {
+				t.Errorf("%s: dispatch(%d): want %s, got %v", tier, c.slot, c.code, err)
+			}
+		}
+	}
+}
+
+func TestStackOverflowTrap(t *testing.T) {
+	m := buildModule(t, 0, fnDef{
+		name: "spin",
+		body: []wasm.Instr{{Op: wasm.OpCall, Imm: 0}},
+	})
+	for _, tier := range []Tier{TierOptimized, TierNaive} {
+		cm := mustCompile(t, m, Config{Tier: tier, MaxCallDepth: 64})
+		in := cm.Instantiate()
+		_, err := in.Invoke("spin")
+		var trap *Trap
+		if !errors.As(err, &trap) || trap.Code != TrapStackOverflow {
+			t.Errorf("%s: want stack overflow, got %v", tier, err)
+		}
+	}
+}
+
+func TestMemoryGrow(t *testing.T) {
+	m := buildModule(t, 1, fnDef{
+		name:    "grow",
+		params:  []wasm.ValType{wasm.ValI32},
+		results: []wasm.ValType{wasm.ValI32},
+		body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpMemoryGrow},
+		},
+	}, fnDef{
+		name:    "size",
+		results: []wasm.ValType{wasm.ValI32},
+		body:    []wasm.Instr{{Op: wasm.OpMemorySize}},
+	})
+	cm := mustCompile(t, m, Config{})
+	in := cm.Instantiate()
+	if got, _ := in.Invoke("grow", 2); got != 1 {
+		t.Errorf("grow(2) = %d, want old size 1", got)
+	}
+	if got := len(in.Memory()); got != 3*wasm.PageSize {
+		t.Errorf("memory size = %d, want 3 pages", got)
+	}
+	// Beyond the declared max (4 pages) fails with -1.
+	in2 := cm.Instantiate()
+	if got, _ := in2.Invoke("grow", 100); int32(got) != -1 {
+		t.Errorf("grow(100) = %d, want -1", int32(got))
+	}
+	in3 := cm.Instantiate()
+	if got, _ := in3.Invoke("size"); got != 1 {
+		t.Errorf("size = %d, want 1", got)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	m := buildModule(t, 0, fnDef{
+		name:    "bump",
+		results: []wasm.ValType{wasm.ValI64},
+		body: []wasm.Instr{
+			{Op: wasm.OpGlobalGet, Imm: 0},
+			{Op: wasm.OpI64Const, Imm: 5},
+			{Op: wasm.OpI64Add},
+			{Op: wasm.OpGlobalSet, Imm: 0},
+			{Op: wasm.OpGlobalGet, Imm: 0},
+		},
+	})
+	m.Globals = []wasm.Global{{
+		Type: wasm.GlobalType{Type: wasm.ValI64, Mutable: true},
+		Init: wasm.Instr{Op: wasm.OpI64Const, Imm: 100},
+	}}
+	for _, tier := range []Tier{TierOptimized, TierNaive} {
+		cm := mustCompile(t, m, Config{Tier: tier})
+		in := cm.Instantiate()
+		if got, err := in.Invoke("bump"); err != nil || got != 105 {
+			t.Errorf("%s: bump = %d, %v; want 105", tier, got, err)
+		}
+		// Fresh instance gets a fresh global.
+		in2 := cm.Instantiate()
+		if got, _ := in2.Invoke("bump"); got != 105 {
+			t.Errorf("%s: globals leaked across instances: %d", tier, got)
+		}
+		if v, err := in2.GlobalValue(0); err != nil || v != 105 {
+			t.Errorf("%s: GlobalValue = %d, %v", tier, v, err)
+		}
+	}
+}
+
+func TestBrTableDispatch(t *testing.T) {
+	// A switch: 0 -> 10, 1 -> 20, default -> 99.
+	m := buildModule(t, 0, fnDef{
+		name:   "sw",
+		params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+		body: []wasm.Instr{
+			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)}, // 2: default
+			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)}, // 1
+			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)}, // 0
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpBrTable, Labels: []uint32{0, 1}, Imm: 2},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpI32Const, Imm: 10},
+			{Op: wasm.OpReturn},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpI32Const, Imm: 20},
+			{Op: wasm.OpReturn},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpI32Const, Imm: 99},
+		},
+	})
+	want := map[uint64]uint64{0: 10, 1: 20, 2: 99, 100: 99}
+	for _, tier := range []Tier{TierOptimized, TierNaive} {
+		cm := mustCompile(t, m, Config{Tier: tier})
+		for arg, w := range want {
+			if got := invoke(t, cm, "sw", arg); got != w {
+				t.Errorf("%s: sw(%d) = %d, want %d", tier, arg, got, w)
+			}
+		}
+	}
+}
+
+func TestStartFunction(t *testing.T) {
+	// start writes a magic value into memory; main reads it.
+	m := buildModule(t, 1,
+		fnDef{name: "init", body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Imm: 8},
+			{Op: wasm.OpI32Const, Imm: 4242},
+			{Op: wasm.OpI32Store},
+		}},
+		fnDef{name: "main", results: []wasm.ValType{wasm.ValI32}, body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Imm: 8},
+			{Op: wasm.OpI32Load},
+		}},
+	)
+	m.Start = 0
+	cm := mustCompile(t, m, Config{})
+	if got := invoke(t, cm, "main"); got != 4242 {
+		t.Errorf("main = %d, want 4242 (start function must run)", got)
+	}
+}
+
+func TestDataSegmentsAndSharedTableIsolation(t *testing.T) {
+	m := buildModule(t, 1, fnDef{
+		name: "first", results: []wasm.ValType{wasm.ValI32},
+		body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Imm: 100},
+			{Op: wasm.OpI32Load8U},
+		},
+	})
+	m.Data = []wasm.DataSegment{{
+		Offset: wasm.Instr{Op: wasm.OpI32Const, Imm: 100}, Bytes: []byte{55},
+	}}
+	cm := mustCompile(t, m, Config{})
+	in1 := cm.Instantiate()
+	if got, _ := in1.Invoke("first"); got != 55 {
+		t.Errorf("data segment not applied: %d", got)
+	}
+	in1.Memory()[100] = 77
+	in2 := cm.Instantiate()
+	if got, _ := in2.Invoke("first"); got != 55 {
+		t.Errorf("instance mutation leaked into fresh instance: %d", got)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	m := buildModule(t, 0, sumLoopDef())
+	cm := mustCompile(t, m, Config{})
+	in := cm.Instantiate()
+	if _, err := in.Invoke("nope"); !errors.Is(err, ErrNoExport) {
+		t.Errorf("want ErrNoExport, got %v", err)
+	}
+	in = cm.Instantiate()
+	if err := in.Start("sum"); err == nil {
+		t.Error("Start with wrong arity accepted")
+	}
+	in = cm.Instantiate()
+	if _, err := in.Result(); !errors.Is(err, ErrNotDone) {
+		t.Errorf("want ErrNotDone, got %v", err)
+	}
+	if err := in.Start("sum", 3); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := in.Start("sum", 3); !errors.Is(err, ErrAlreadyStarted) {
+		t.Errorf("want ErrAlreadyStarted, got %v", err)
+	}
+}
+
+func TestTeardown(t *testing.T) {
+	m := buildModule(t, 4, sumLoopDef())
+	cm := mustCompile(t, m, Config{})
+	in := cm.Instantiate()
+	if _, err := in.Invoke("sum", 5); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	in.Teardown()
+	if in.Memory() != nil {
+		t.Error("memory retained after teardown")
+	}
+}
+
+func TestSelectAndDrop(t *testing.T) {
+	m := buildModule(t, 0, fnDef{
+		name:   "pick",
+		params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValF64},
+		body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpDrop},
+			{Op: wasm.OpF64Const, Imm: math.Float64bits(1.5)},
+			{Op: wasm.OpF64Const, Imm: math.Float64bits(-2.5)},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpSelect},
+		},
+	})
+	for _, tier := range []Tier{TierOptimized, TierNaive} {
+		cm := mustCompile(t, m, Config{Tier: tier})
+		if got := invoke(t, cm, "pick", 1); math.Float64frombits(got) != 1.5 {
+			t.Errorf("%s: pick(1) = %v", tier, math.Float64frombits(got))
+		}
+		if got := invoke(t, cm, "pick", 0); math.Float64frombits(got) != -2.5 {
+			t.Errorf("%s: pick(0) = %v", tier, math.Float64frombits(got))
+		}
+	}
+}
+
+func TestTierEquivalence(t *testing.T) {
+	// The same module must produce identical results under both tiers and
+	// every bounds strategy: sum, fib, and a memory-walking checksum.
+	m := buildModule(t, 1, sumLoopDef(), fibDef(), fnDef{
+		name:   "checksum",
+		params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI64},
+		locals: []wasm.ValType{wasm.ValI32, wasm.ValI64},
+		body: []wasm.Instr{
+			// for i := 0; i < n; i++ { mem[i*8] = i; acc += mem[i*8] * 3 }
+			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)},
+			{Op: wasm.OpLoop, Imm: uint64(wasm.BlockTypeEmpty)},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32GeU},
+			{Op: wasm.OpBrIf, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpI32Const, Imm: 8},
+			{Op: wasm.OpI32Mul},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpI64ExtendI32U},
+			{Op: wasm.OpI64Store, Imm2: 3},
+			{Op: wasm.OpLocalGet, Imm: 2},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpI32Const, Imm: 8},
+			{Op: wasm.OpI32Mul},
+			{Op: wasm.OpI64Load, Imm2: 3},
+			{Op: wasm.OpI64Const, Imm: 3},
+			{Op: wasm.OpI64Mul},
+			{Op: wasm.OpI64Add},
+			{Op: wasm.OpLocalSet, Imm: 2},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpLocalSet, Imm: 1},
+			{Op: wasm.OpBr, Imm: 0},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpLocalGet, Imm: 2},
+		},
+	})
+	ref := mustCompile(t, m, Config{})
+	refSum := invoke(t, ref, "sum", 200)
+	refFib := invoke(t, ref, "fib", 12)
+	refCk := invoke(t, ref, "checksum", 500)
+	for _, cfg := range allConfigs {
+		cm := mustCompile(t, m, cfg)
+		if got := invoke(t, cm, "sum", 200); got != refSum {
+			t.Errorf("%s/%s: sum diverged: %d vs %d", cfg.Tier, cfg.Bounds, got, refSum)
+		}
+		if got := invoke(t, cm, "fib", 12); got != refFib {
+			t.Errorf("%s/%s: fib diverged: %d vs %d", cfg.Tier, cfg.Bounds, got, refFib)
+		}
+		if got := invoke(t, cm, "checksum", 500); got != refCk {
+			t.Errorf("%s/%s: checksum diverged: %d vs %d", cfg.Tier, cfg.Bounds, got, refCk)
+		}
+	}
+}
+
+func TestCallOverheadNopsPreserveSemantics(t *testing.T) {
+	m := buildModule(t, 0, fibDef())
+	cm := mustCompile(t, m, Config{CallOverheadNops: 8})
+	if got := invoke(t, cm, "fib", 10); got != 55 {
+		t.Errorf("fib with call overhead = %d, want 55", got)
+	}
+	plain := mustCompile(t, m, Config{})
+	if cm.Stats().Instructions <= plain.Stats().Instructions {
+		t.Error("call overhead nops were not emitted")
+	}
+}
+
+func TestFusionShrinksCodeAndPreservesResults(t *testing.T) {
+	m := buildModule(t, 1, fnDef{
+		name:   "walk",
+		params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+		locals: []wasm.ValType{wasm.ValI32, wasm.ValI32}, // i, acc
+		body: []wasm.Instr{
+			// for i := 0; i < n; i++ { mem[i*4] += i; acc += mem[i*4] }
+			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)},
+			{Op: wasm.OpLoop, Imm: uint64(wasm.BlockTypeEmpty)},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32GeU},
+			{Op: wasm.OpBrIf, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpI32Const, Imm: 4},
+			{Op: wasm.OpI32Mul},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpI32Const, Imm: 4},
+			{Op: wasm.OpI32Mul},
+			{Op: wasm.OpI32Load, Imm2: 2},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpI32Store, Imm2: 2},
+			{Op: wasm.OpLocalGet, Imm: 2},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpI32Const, Imm: 4},
+			{Op: wasm.OpI32Mul},
+			{Op: wasm.OpI32Load, Imm2: 2},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpLocalSet, Imm: 2},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpLocalSet, Imm: 1},
+			{Op: wasm.OpBr, Imm: 0},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpLocalGet, Imm: 2},
+		},
+	})
+	fused := mustCompile(t, m, Config{})
+	plain := mustCompile(t, m, Config{NoFusion: true})
+	if fused.Stats().Instructions >= plain.Stats().Instructions {
+		t.Errorf("fusion did not shrink code: %d vs %d",
+			fused.Stats().Instructions, plain.Stats().Instructions)
+	}
+	for _, n := range []uint64{0, 1, 7, 100} {
+		a := invoke(t, fused, "walk", n)
+		b := invoke(t, plain, "walk", n)
+		if a != b {
+			t.Errorf("walk(%d): fused %d != plain %d", n, a, b)
+		}
+	}
+	// Fused execution retires fewer instructions for the same work.
+	i1 := fused.Instantiate()
+	if _, err := i1.Invoke("walk", 64); err != nil {
+		t.Fatal(err)
+	}
+	i2 := plain.Instantiate()
+	if _, err := i2.Invoke("walk", 64); err != nil {
+		t.Fatal(err)
+	}
+	if i1.InstrRetired >= i2.InstrRetired {
+		t.Errorf("fused retired %d >= plain %d", i1.InstrRetired, i2.InstrRetired)
+	}
+}
+
+func TestCompileBinaryErrors(t *testing.T) {
+	if _, err := CompileBinary([]byte("garbage"), nil, Config{}); err == nil {
+		t.Error("garbage binary accepted")
+	}
+	// A structurally valid but semantically invalid module fails too.
+	m := buildModule(t, 0, fnDef{
+		name: "bad",
+		body: []wasm.Instr{{Op: wasm.OpLocalGet, Imm: 9}},
+	})
+	bin, err := wasm.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileBinary(bin, nil, Config{}); err == nil {
+		t.Error("invalid module accepted")
+	}
+	// Valid module records its source size.
+	good := buildModule(t, 0, sumLoopDef())
+	bin, err = wasm.Encode(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := CompileBinary(bin, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.SourceSize() != len(bin) {
+		t.Errorf("SourceSize = %d, want %d", cm.SourceSize(), len(bin))
+	}
+	if len(cm.Exports()) != 1 {
+		t.Errorf("Exports = %v", cm.Exports())
+	}
+}
+
+func TestCompileRejectsNonFuncImports(t *testing.T) {
+	m := wasm.NewModule()
+	m.Imports = []wasm.Import{{
+		Module: "env", Name: "m", Kind: wasm.ExternMemory,
+		Memory: wasm.Limits{Min: 1},
+	}}
+	if _, err := Compile(m, nil, Config{}); !errors.Is(err, ErrImport) {
+		t.Errorf("memory import: %v", err)
+	}
+}
+
+func TestMemoryGrowUpdatesMPXBounds(t *testing.T) {
+	// After growing, accesses into the new region must pass MPX checks and
+	// accesses beyond must still trap.
+	m := buildModule(t, 1, fnDef{
+		name:    "growpoke",
+		params:  []wasm.ValType{wasm.ValI32},
+		results: []wasm.ValType{wasm.ValI32},
+		body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpMemoryGrow},
+			{Op: wasm.OpDrop},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 42},
+			{Op: wasm.OpI32Store},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Load},
+		},
+	})
+	cm := mustCompile(t, m, Config{Bounds: BoundsMPX})
+	// Address in the grown page.
+	in := cm.Instantiate()
+	v, err := in.Invoke("growpoke", uint64(wasm.PageSize+100))
+	if err != nil || v != 42 {
+		t.Errorf("store in grown page: %d, %v", v, err)
+	}
+	// Address beyond the grown memory still traps.
+	in = cm.Instantiate()
+	if _, err := in.Invoke("growpoke", uint64(2*wasm.PageSize)); err == nil {
+		t.Error("store beyond grown memory accepted")
+	}
+}
+
+func TestRunBeforeStart(t *testing.T) {
+	m := buildModule(t, 0, sumLoopDef())
+	cm := mustCompile(t, m, Config{})
+	in := cm.Instantiate()
+	if _, err := in.Run(0); err == nil {
+		t.Error("Run before Start accepted")
+	}
+	if err := in.ResumeHost(0); err == nil {
+		t.Error("ResumeHost while not blocked accepted")
+	}
+	if _, err := in.MemRange(1<<30, 8); err == nil {
+		t.Error("MemRange OOB accepted")
+	}
+}
+
+func TestEngineMemoryCap(t *testing.T) {
+	m := buildModule(t, 4, sumLoopDef()) // module wants 4 pages min
+	if _, err := Compile(m, nil, Config{MaxMemoryPages: 2}); err == nil {
+		t.Error("module exceeding engine memory cap accepted")
+	}
+}
+
+func TestF32AndConversionOps(t *testing.T) {
+	f32bits := func(f float32) uint64 { return uint64(math.Float32bits(f)) }
+	m := buildModule(t, 0,
+		fnDef{
+			name:   "f32arith",
+			params: []wasm.ValType{wasm.ValF32, wasm.ValF32}, results: []wasm.ValType{wasm.ValF32},
+			body: []wasm.Instr{
+				// (a+b) * (a-b) / b + sqrt(a)
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpLocalGet, Imm: 1},
+				{Op: wasm.OpF32Add},
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpLocalGet, Imm: 1},
+				{Op: wasm.OpF32Sub},
+				{Op: wasm.OpF32Mul},
+				{Op: wasm.OpLocalGet, Imm: 1},
+				{Op: wasm.OpF32Div},
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpF32Sqrt},
+				{Op: wasm.OpF32Add},
+			},
+		},
+		fnDef{
+			name:   "f32minmax",
+			params: []wasm.ValType{wasm.ValF32, wasm.ValF32}, results: []wasm.ValType{wasm.ValF32},
+			body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpLocalGet, Imm: 1},
+				{Op: wasm.OpF32Min},
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpLocalGet, Imm: 1},
+				{Op: wasm.OpF32Max},
+				{Op: wasm.OpF32Copysign},
+			},
+		},
+		fnDef{
+			name:   "extend8",
+			params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+			body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpI32Extend8S},
+			},
+		},
+		fnDef{
+			name:   "reinterp",
+			params: []wasm.ValType{wasm.ValF64}, results: []wasm.ValType{wasm.ValI64},
+			body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpI64ReinterpretF64},
+			},
+		},
+		fnDef{
+			name:   "demote",
+			params: []wasm.ValType{wasm.ValF64}, results: []wasm.ValType{wasm.ValF32},
+			body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpF32DemoteF64},
+			},
+		},
+		fnDef{
+			name:   "convu",
+			params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValF64},
+			body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpF64ConvertI32U},
+			},
+		},
+	)
+	for _, tier := range []Tier{TierOptimized, TierNaive} {
+		cm := mustCompile(t, m, Config{Tier: tier})
+		a, b := float32(9), float32(2)
+		want := (a+b)*(a-b)/b + float32(math.Sqrt(float64(a)))
+		if got := invoke(t, cm, "f32arith", f32bits(a), f32bits(b)); math.Float32frombits(uint32(got)) != want {
+			t.Errorf("%s: f32arith = %v, want %v", tier, math.Float32frombits(uint32(got)), want)
+		}
+		// copysign(min(-3,2), max(-3,2)) = copysign(-3, 2) = 3
+		if got := invoke(t, cm, "f32minmax", f32bits(-3), f32bits(2)); math.Float32frombits(uint32(got)) != 3 {
+			t.Errorf("%s: f32minmax = %v", tier, math.Float32frombits(uint32(got)))
+		}
+		if got := invoke(t, cm, "extend8", 0x80); int32(got) != -128 {
+			t.Errorf("%s: extend8(0x80) = %d", tier, int32(got))
+		}
+		if got := invoke(t, cm, "extend8", 0x7F); int32(got) != 127 {
+			t.Errorf("%s: extend8(0x7F) = %d", tier, int32(got))
+		}
+		pi := math.Float64bits(math.Pi)
+		if got := invoke(t, cm, "reinterp", pi); got != pi {
+			t.Errorf("%s: reinterpret changed bits", tier)
+		}
+		if got := invoke(t, cm, "demote", math.Float64bits(1.5)); math.Float32frombits(uint32(got)) != 1.5 {
+			t.Errorf("%s: demote = %v", tier, math.Float32frombits(uint32(got)))
+		}
+		// Unsigned conversion of a high-bit value.
+		if got := invoke(t, cm, "convu", 0xFFFFFFFF); math.Float64frombits(got) != 4294967295.0 {
+			t.Errorf("%s: convu = %v", tier, math.Float64frombits(got))
+		}
+	}
+}
+
+func TestFloatRoundingOps(t *testing.T) {
+	m := buildModule(t, 0, fnDef{
+		name:   "rounders",
+		params: []wasm.ValType{wasm.ValF64}, results: []wasm.ValType{wasm.ValF64},
+		body: []wasm.Instr{
+			// ceil(x) * 1000 + floor(x) * 100 + trunc(x) * 10 + nearest(x)
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpF64Ceil},
+			{Op: wasm.OpF64Const, Imm: math.Float64bits(1000)},
+			{Op: wasm.OpF64Mul},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpF64Floor},
+			{Op: wasm.OpF64Const, Imm: math.Float64bits(100)},
+			{Op: wasm.OpF64Mul},
+			{Op: wasm.OpF64Add},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpF64Trunc},
+			{Op: wasm.OpF64Const, Imm: math.Float64bits(10)},
+			{Op: wasm.OpF64Mul},
+			{Op: wasm.OpF64Add},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpF64Nearest},
+			{Op: wasm.OpF64Add},
+		},
+	})
+	cm := mustCompile(t, m, Config{})
+	cases := map[float64]float64{
+		2.5:  3000 + 200 + 20 + 2,  // nearest(2.5) = 2 (round to even)
+		-1.5: -1000 - 200 - 10 - 2, // ceil=-1 floor=-2 trunc=-1 nearest=-2
+	}
+	for in, want := range cases {
+		got := math.Float64frombits(invoke(t, cm, "rounders", math.Float64bits(in)))
+		if got != want {
+			t.Errorf("rounders(%v) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package engine_test
+
+import (
+	"testing"
+
+	"sledge/internal/abi"
+	"sledge/internal/engine"
+	"sledge/internal/wasm"
+	"sledge/internal/wcc"
+)
+
+// TestMutatedModulesExecuteSafely is the sandbox-integrity fuzz: single-bit
+// mutations of a real module that still pass validation must execute
+// without panicking the host — either completing, trapping, or running out
+// of fuel, but never corrupting or crashing the embedder.
+func TestMutatedModulesExecuteSafely(t *testing.T) {
+	src := `
+static u8 buf[64];
+
+export i32 main() {
+	i32 acc = 0;
+	for (i32 i = 0; i < 64; i = i + 1) {
+		buf[i] = i * 7;
+		acc = acc + buf[i];
+	}
+	return acc;
+}
+`
+	res, err := wcc.Compile(src, wcc.Options{})
+	if err != nil {
+		t.Fatalf("wcc: %v", err)
+	}
+	bin := res.Binary
+	host := abi.Registry()
+
+	executed, trapped := 0, 0
+	for off := 8; off < len(bin); off++ {
+		for _, delta := range []byte{0x01, 0x10} {
+			mut := append([]byte(nil), bin...)
+			mut[off] ^= delta
+
+			m, err := wasm.Decode(mut)
+			if err != nil {
+				continue
+			}
+			if err := wasm.Validate(m); err != nil {
+				continue
+			}
+			cm, err := engine.Compile(m, host, engine.Config{})
+			if err != nil {
+				continue
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("offset %d delta %#x: host panic: %v", off, delta, r)
+					}
+				}()
+				inst := cm.Instantiate()
+				inst.HostData = abi.NewContext(nil)
+				if err := inst.Start("main"); err != nil {
+					return
+				}
+				// Bounded fuel: a mutated loop may spin forever.
+				st, err := inst.Run(2_000_000)
+				switch st {
+				case engine.StatusDone:
+					executed++
+				case engine.StatusTrapped:
+					trapped++
+					_ = err
+				case engine.StatusYielded, engine.StatusBlocked:
+					// Ran out of fuel or blocked: also contained.
+				}
+			}()
+		}
+	}
+	t.Logf("mutants executed to completion: %d, trapped: %d", executed, trapped)
+	if executed == 0 {
+		t.Log("no mutant completed (fine; most mutations break validation)")
+	}
+}

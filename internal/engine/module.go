@@ -1,0 +1,367 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"sledge/internal/wasm"
+)
+
+// Internal opcodes. Values below 0x100 reuse the wasm.Opcode encoding for
+// numeric, comparison, conversion, parametric, and memory-access
+// instructions; control flow and variable access are lowered to the
+// pre-resolved forms below.
+const (
+	iUnreachable uint16 = 0x100 + iota
+	iNop
+	// iBr: a = target pc, b = operand height kept below the moved results,
+	// imm = result arity.
+	iBr
+	iBrIf    // like iBr, pops an i32 condition first, branches when != 0
+	iBrIfNot // like iBrIf, branches when == 0 (lowered `if`)
+	iBrTable // a = index into the function's brTables
+	iReturn  // imm = result arity
+	// iCall: a = defined-function index.
+	iCall
+	// iCallHost: a = host-binding index, b = result arity.
+	iCallHost
+	// iCallIndirect: a = canonical type id, b = param count, imm = result arity.
+	iCallIndirect
+	iConst     // imm = raw value bits
+	iLocalGet  // a = local slot
+	iLocalSet  // a = local slot
+	iLocalTee  // a = local slot
+	iGlobalGet // a = global index
+	iGlobalSet // a = global index
+	iDrop
+	iSelect
+	// iBoundsCheck: a = access width, b = operand depth of the address
+	// (1 for loads, 2 for stores), imm = static offset.
+	iBoundsCheck
+	// iMPXCheck: same layout as iBoundsCheck, simulating MPX bounds
+	// registers (bounds-table loads + two compares + scratch store).
+	iMPXCheck
+	iMemorySize
+	iMemoryGrow
+
+	// Fused superinstructions (TierOptimized peephole; see compile.go).
+	iI32AddLC // push local[a] + imm
+	iI32MulLC // push local[a] * imm
+	iI32AddSL // top += local[a]
+	iI32MulSL // top *= local[a]
+	iI32AddSC // top += imm
+	iF64AddSL // top += local[a] (f64)
+	iF64MulSL // top *= local[a] (f64)
+	iIncLocal // local[a] += imm (i32)
+	iI32LoadL // push mem[local[a] + imm] (i32)
+	iF64LoadL // push mem[local[a] + imm] (f64)
+)
+
+// cinstr is one lowered instruction.
+type cinstr struct {
+	op  uint16
+	a   int32
+	b   int32
+	imm uint64
+}
+
+// brTarget is one resolved br_table entry.
+type brTarget struct {
+	pc     int32
+	height int32
+	arity  int32
+}
+
+// compiledFunc is a lowered function body plus execution metadata.
+type compiledFunc struct {
+	name       string
+	typeIdx    uint32
+	nParams    int
+	nLocals    int // includes params
+	numResults int
+	maxStack   int          // max operand-stack height beyond locals
+	code       []cinstr     // TierOptimized
+	naiveBody  []wasm.Instr // TierNaive
+	brTables   [][]brTarget
+}
+
+type hostBinding struct {
+	module, name string
+	fn           HostFunc
+	ft           wasm.FuncType
+}
+
+type dataSeg struct {
+	offset uint32
+	bytes  []byte
+}
+
+type tableEntry struct {
+	// funcIdx is an index into the module function index space
+	// (imports first); -1 marks an uninitialized element.
+	funcIdx int32
+	// canonType is the canonicalized type id used for CFI checks.
+	canonType int32
+}
+
+// CompiledModule is the output of Compile: the analog of aWsm's AoT-compiled
+// shared object. It is immutable and safely shared by any number of
+// concurrently executing Instances.
+type CompiledModule struct {
+	cfg         Config
+	types       []wasm.FuncType
+	canonTypes  []int32 // canonical id per type index
+	funcs       []compiledFunc
+	hostFuncs   []hostBinding
+	numImports  int
+	globalInit  []uint64
+	globalTypes []wasm.GlobalType
+	table       []tableEntry
+	memLimits   wasm.Limits
+	maxPages    uint32
+	dataSegs    []dataSeg
+	exports     map[string]uint32 // name -> function index space index
+	startIdx    int64
+	// explicitChecks selects fused in-handler software bounds checks.
+	explicitChecks bool
+	sourceSize     int
+	lowerStats     LowerStats
+}
+
+// LowerStats reports work done during compilation, used by the memory
+// footprint and churn experiments.
+type LowerStats struct {
+	// Instructions is the total lowered instruction count.
+	Instructions int
+	// Funcs is the number of defined functions.
+	Funcs int
+	// ObjectBytes approximates the compiled object size in bytes.
+	ObjectBytes int
+}
+
+// Config returns the configuration the module was compiled with.
+func (cm *CompiledModule) Config() Config { return cm.cfg }
+
+// Stats returns compilation statistics.
+func (cm *CompiledModule) Stats() LowerStats { return cm.lowerStats }
+
+// SourceSize returns the size in bytes of the wasm binary this module was
+// compiled from (0 when compiled from an in-memory module).
+func (cm *CompiledModule) SourceSize() int { return cm.sourceSize }
+
+// MinMemoryBytes returns the initial linear memory size.
+func (cm *CompiledModule) MinMemoryBytes() int {
+	return int(cm.memLimits.Min) * wasm.PageSize
+}
+
+// Exports returns the names of exported functions.
+func (cm *CompiledModule) Exports() []string {
+	out := make([]string, 0, len(cm.exports))
+	for name := range cm.exports {
+		out = append(out, name)
+	}
+	return out
+}
+
+// ErrImport reports an unresolvable or unsupported import.
+var ErrImport = errors.New("engine: unresolvable import")
+
+// HostFunc implements a host (runtime) function callable from the sandbox.
+// args holds the raw operand values; the return value is used only when the
+// declared signature has a result. Returning ErrHostBlock parks the sandbox
+// until the pending I/O completes (see Instance.ResumeHost).
+type HostFunc func(inst *Instance, args []uint64) (uint64, error)
+
+// ErrHostBlock is returned by host functions that started asynchronous I/O:
+// the instance leaves Run with StatusBlocked and must be resumed with
+// ResumeHost once a completion is available.
+var ErrHostBlock = errors.New("engine: host function blocked on async I/O")
+
+// HostDef declares one host function with its wasm-visible signature.
+type HostDef struct {
+	Func HostFunc
+	Type wasm.FuncType
+}
+
+// HostRegistry maps import module/name pairs to host definitions.
+type HostRegistry map[string]map[string]HostDef
+
+// Compile validates m and lowers it into a CompiledModule, resolving
+// function imports against host. This is the expensive per-module step
+// (aWsm compilation + dlopen in the paper); instantiation afterwards is
+// microsecond-scale.
+func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, error) {
+	cfg = cfg.withDefaults()
+	if err := wasm.Validate(m); err != nil {
+		return nil, err
+	}
+
+	cm := &CompiledModule{
+		cfg:            cfg,
+		types:          m.Types,
+		exports:        make(map[string]uint32),
+		startIdx:       m.Start,
+		maxPages:       cfg.MaxMemoryPages,
+		explicitChecks: cfg.Bounds == BoundsSoftwareFused,
+	}
+
+	// Canonicalize type indices so call_indirect CFI compares structural
+	// signatures, not raw indices.
+	cm.canonTypes = make([]int32, len(m.Types))
+	for i, t := range m.Types {
+		cm.canonTypes[i] = int32(i)
+		for j := 0; j < i; j++ {
+			if m.Types[j].Equal(t) {
+				cm.canonTypes[i] = int32(j)
+				break
+			}
+		}
+	}
+
+	// Resolve imports. Only function imports are supported by the engine;
+	// the serverless ABI never imports tables, memories, or globals.
+	for _, imp := range m.Imports {
+		switch imp.Kind {
+		case wasm.ExternFunc:
+			mod, ok := host[imp.Module]
+			var def HostDef
+			if ok {
+				def, ok = mod[imp.Name]
+			}
+			if !ok {
+				return nil, fmt.Errorf("%w: %s.%s", ErrImport, imp.Module, imp.Name)
+			}
+			if !def.Type.Equal(m.Types[imp.TypeIdx]) {
+				return nil, fmt.Errorf("%w: %s.%s: signature %s, host provides %s",
+					ErrImport, imp.Module, imp.Name, m.Types[imp.TypeIdx], def.Type)
+			}
+			cm.hostFuncs = append(cm.hostFuncs, hostBinding{
+				module: imp.Module, name: imp.Name, fn: def.Func, ft: def.Type,
+			})
+		default:
+			return nil, fmt.Errorf("%w: %s.%s: %s imports are not supported",
+				ErrImport, imp.Module, imp.Name, imp.Kind)
+		}
+	}
+	cm.numImports = len(cm.hostFuncs)
+
+	// Globals: evaluate constant initializers once.
+	cm.globalInit = make([]uint64, len(m.Globals))
+	cm.globalTypes = make([]wasm.GlobalType, len(m.Globals))
+	for i, g := range m.Globals {
+		cm.globalTypes[i] = g.Type
+		cm.globalInit[i] = g.Init.Imm
+	}
+
+	if len(m.Memories) > 0 {
+		cm.memLimits = m.Memories[0]
+		if cm.memLimits.HasMax && cm.memLimits.Max < cm.maxPages {
+			cm.maxPages = cm.memLimits.Max
+		}
+		if cm.memLimits.Min > cm.maxPages {
+			return nil, fmt.Errorf("engine: module min memory %d pages exceeds engine cap %d",
+				cm.memLimits.Min, cm.maxPages)
+		}
+	}
+
+	// Data segments, pre-resolved for single-pass instantiation.
+	for i, seg := range m.Data {
+		off := uint32(seg.Offset.Imm)
+		if uint64(off)+uint64(len(seg.Bytes)) > uint64(cm.memLimits.Min)*wasm.PageSize {
+			return nil, fmt.Errorf("engine: data segment %d out of bounds", i)
+		}
+		cm.dataSegs = append(cm.dataSegs, dataSeg{offset: off, bytes: seg.Bytes})
+	}
+
+	// Table: MVP tables are immutable after element initialization, so one
+	// shared table serves all instances.
+	if len(m.Tables) > 0 {
+		cm.table = make([]tableEntry, m.Tables[0].Min)
+		for i := range cm.table {
+			cm.table[i] = tableEntry{funcIdx: -1, canonType: -1}
+		}
+	}
+	for i, seg := range m.Elems {
+		off := int(uint32(seg.Offset.Imm))
+		if off+len(seg.FuncIndices) > len(cm.table) {
+			return nil, fmt.Errorf("engine: element segment %d out of bounds", i)
+		}
+		for j, fi := range seg.FuncIndices {
+			ft, err := m.FuncTypeAt(fi)
+			if err != nil {
+				return nil, err
+			}
+			canon := int32(-1)
+			for ti, t := range m.Types {
+				if t.Equal(ft) {
+					canon = cm.canonTypes[ti]
+					break
+				}
+			}
+			cm.table[off+j] = tableEntry{funcIdx: int32(fi), canonType: canon}
+		}
+	}
+
+	// Lower function bodies.
+	cm.funcs = make([]compiledFunc, len(m.Funcs))
+	for i := range m.Funcs {
+		f := &m.Funcs[i]
+		ft := m.Types[f.TypeIdx]
+		cf := compiledFunc{
+			name:       f.Name,
+			typeIdx:    f.TypeIdx,
+			nParams:    len(ft.Params),
+			nLocals:    len(ft.Params) + len(f.Locals),
+			numResults: len(ft.Results),
+		}
+		if cfg.Tier == TierNaive {
+			cf.naiveBody = f.Body
+		} else {
+			if err := lowerFunc(m, f, cfg, cm, &cf); err != nil {
+				return nil, fmt.Errorf("engine: lower func %d (%s): %w", i, f.Name, err)
+			}
+			cm.lowerStats.Instructions += len(cf.code)
+		}
+		cm.funcs[i] = cf
+	}
+	cm.lowerStats.Funcs = len(cm.funcs)
+	cm.lowerStats.ObjectBytes = cm.objectBytes()
+
+	for _, exp := range m.Exports {
+		if exp.Kind == wasm.ExternFunc {
+			cm.exports[exp.Name] = exp.Index
+		}
+	}
+	return cm, nil
+}
+
+// CompileBinary decodes, validates, and compiles a wasm binary.
+func CompileBinary(bin []byte, host HostRegistry, cfg Config) (*CompiledModule, error) {
+	m, err := wasm.Decode(bin)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := Compile(m, host, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cm.sourceSize = len(bin)
+	return cm, nil
+}
+
+// objectBytes approximates the in-memory size of the compiled object.
+func (cm *CompiledModule) objectBytes() int {
+	n := 0
+	for i := range cm.funcs {
+		n += len(cm.funcs[i].code) * 24
+		n += len(cm.funcs[i].naiveBody) * 32
+		for _, bt := range cm.funcs[i].brTables {
+			n += len(bt) * 12
+		}
+	}
+	n += len(cm.table)*8 + len(cm.globalInit)*8
+	for _, seg := range cm.dataSegs {
+		n += len(seg.bytes)
+	}
+	return n
+}

@@ -1,0 +1,448 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"sledge/internal/wasm"
+)
+
+// The naive tier interprets the structured instruction stream directly,
+// resolving branch targets by scanning for matching `end` markers at run
+// time and recursing for calls — the classic fast-compile/slow-code profile
+// of single-pass baseline compilers. It is used only by the Fig. 5/Table 1
+// comparator configurations; the Sledge runtime always uses TierOptimized.
+
+var errNaiveFuel = errors.New("engine: naive tier instruction budget exhausted")
+
+type naiveInterp struct {
+	in      *Instance
+	budget  int64
+	spin    int    // extra per-op work (Config.PerInstrNops)
+	scratch uint64 // sink for the simulated extra work
+}
+
+func (in *Instance) runNaive(fuel int64) (st Status, err error) {
+	fn := in.frames[0].fn
+	locals := make([]uint64, fn.nLocals)
+	copy(locals, in.stack[:fn.nLocals])
+	budget := fuel
+	if fuel <= 0 {
+		budget = int64(1) << 62
+	}
+	ni := &naiveInterp{in: in, budget: budget, spin: in.mod.cfg.PerInstrNops}
+
+	defer func() {
+		if r := recover(); r != nil {
+			rte, ok := r.(runtime.Error)
+			if !ok {
+				panic(r)
+			}
+			in.trap = &Trap{Code: TrapMemOutOfBounds, Detail: rte.Error()}
+			in.status = StatusTrapped
+			st, err = StatusTrapped, in.trap
+		}
+	}()
+
+	results, callErr := ni.call(fn, locals, 0)
+	in.InstrRetired += uint64(budget - ni.budget)
+	if callErr != nil {
+		var trap *Trap
+		if errors.As(callErr, &trap) {
+			in.trap = trap
+		} else if errors.Is(callErr, errNaiveFuel) {
+			in.trap = newTrap(TrapFuelExhausted)
+		} else {
+			in.trap = &Trap{Code: TrapHostError, Wrapped: callErr}
+		}
+		in.status = StatusTrapped
+		return StatusTrapped, in.trap
+	}
+	copy(in.stack, results)
+	in.sp = len(results)
+	in.status = StatusDone
+	return StatusDone, nil
+}
+
+type nctrl struct {
+	op     wasm.Opcode // OpBlock, OpLoop, OpIf (then/else both run under OpIf)
+	start  int         // instruction index of the opening instruction
+	height int
+	arity  int
+}
+
+//go:noinline
+func naiveBoundsCheck(memLen uint64, base uint32, off uint64, width uint64) bool {
+	return uint64(base)+off+width <= memLen
+}
+
+// call interprets one function activation.
+func (ni *naiveInterp) call(fn *compiledFunc, locals []uint64, depth int) ([]uint64, error) {
+	if depth >= ni.in.mod.cfg.MaxCallDepth {
+		return nil, newTrap(TrapStackOverflow)
+	}
+	in := ni.in
+	mod := in.mod
+	body := fn.naiveBody
+	stack := make([]uint64, 0, 32)
+	var ctrls []nctrl
+	checkMode := mod.cfg.Bounds
+	pc := 0
+
+	// skipTo advances pc past the end of `frames` enclosing frames
+	// (frames >= 1), starting the scan at from.
+	skipToEnd := func(from, frames int) (int, error) {
+		d := 0
+		for j := from; j < len(body); j++ {
+			switch body[j].Op {
+			case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+				d++
+			case wasm.OpEnd:
+				if d > 0 {
+					d--
+					continue
+				}
+				frames--
+				if frames == 0 {
+					return j + 1, nil
+				}
+			}
+		}
+		return 0, fmt.Errorf("engine: naive: unterminated block")
+	}
+
+	// branchTo performs a br to the given label.
+	branchTo := func(label int) (bool, error) {
+		if label == len(ctrls) {
+			// Branch to the function frame: return.
+			return true, nil
+		}
+		target := ctrls[len(ctrls)-1-label]
+		if target.op == wasm.OpLoop {
+			ctrls = ctrls[:len(ctrls)-label]
+			stack = stack[:target.height]
+			pc = target.start + 1
+			return false, nil
+		}
+		arity := target.arity
+		vals := stack[len(stack)-arity:]
+		newPC, err := skipToEnd(pc, label+1)
+		if err != nil {
+			return false, err
+		}
+		copy(stack[target.height:], vals)
+		stack = stack[:target.height+arity]
+		ctrls = ctrls[:len(ctrls)-1-label]
+		pc = newPC
+		return false, nil
+	}
+
+	for {
+		if pc >= len(body) {
+			// Natural function end.
+			return stack[len(stack)-fn.numResults:], nil
+		}
+		if ni.budget <= 0 {
+			return nil, errNaiveFuel
+		}
+		ni.budget--
+		// Simulated low-quality single-pass codegen: extra bookkeeping
+		// per executed operation (register spills/reloads).
+		for j := 0; j < ni.spin; j++ {
+			ni.scratch ^= uint64(pc) + ni.scratch<<1
+		}
+		ins := &body[pc]
+		pc++
+
+		switch ins.Op {
+		case wasm.OpNop:
+		case wasm.OpUnreachable:
+			return nil, newTrap(TrapUnreachable)
+		case wasm.OpBlock:
+			ctrls = append(ctrls, nctrl{op: wasm.OpBlock, start: pc - 1,
+				height: len(stack), arity: blockArity(byte(ins.Imm))})
+		case wasm.OpLoop:
+			ctrls = append(ctrls, nctrl{op: wasm.OpLoop, start: pc - 1,
+				height: len(stack), arity: blockArity(byte(ins.Imm))})
+		case wasm.OpIf:
+			cond := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cond != 0 {
+				ctrls = append(ctrls, nctrl{op: wasm.OpIf, start: pc - 1,
+					height: len(stack), arity: blockArity(byte(ins.Imm))})
+				continue
+			}
+			// Scan for the matching else or end.
+			d := 0
+			found := false
+			for j := pc; j < len(body); j++ {
+				switch body[j].Op {
+				case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+					d++
+				case wasm.OpElse:
+					if d == 0 {
+						ctrls = append(ctrls, nctrl{op: wasm.OpIf, start: pc - 1,
+							height: len(stack), arity: blockArity(byte(ins.Imm))})
+						pc = j + 1
+						found = true
+					}
+				case wasm.OpEnd:
+					if d > 0 {
+						d--
+					} else {
+						pc = j + 1 // no else: skip the whole if
+						found = true
+					}
+				}
+				if found {
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("engine: naive: unterminated if")
+			}
+		case wasm.OpElse:
+			// Falling into else means the then-branch finished: skip to end.
+			newPC, err := skipToEnd(pc, 1)
+			if err != nil {
+				return nil, err
+			}
+			pc = newPC
+			ctrls = ctrls[:len(ctrls)-1]
+		case wasm.OpEnd:
+			ctrls = ctrls[:len(ctrls)-1]
+		case wasm.OpBr:
+			ret, err := branchTo(int(ins.Imm))
+			if err != nil {
+				return nil, err
+			}
+			if ret {
+				return stack[len(stack)-fn.numResults:], nil
+			}
+		case wasm.OpBrIf:
+			cond := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cond != 0 {
+				ret, err := branchTo(int(ins.Imm))
+				if err != nil {
+					return nil, err
+				}
+				if ret {
+					return stack[len(stack)-fn.numResults:], nil
+				}
+			}
+		case wasm.OpBrTable:
+			idx := int(uint32(stack[len(stack)-1]))
+			stack = stack[:len(stack)-1]
+			label := int(ins.Imm)
+			if idx < len(ins.Labels) {
+				label = int(ins.Labels[idx])
+			}
+			ret, err := branchTo(label)
+			if err != nil {
+				return nil, err
+			}
+			if ret {
+				return stack[len(stack)-fn.numResults:], nil
+			}
+		case wasm.OpReturn:
+			return stack[len(stack)-fn.numResults:], nil
+
+		case wasm.OpCall:
+			res, err := ni.invokeIndex(uint32(ins.Imm), &stack, depth)
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, res...)
+		case wasm.OpCallIndirect:
+			idx := uint64(uint32(stack[len(stack)-1]))
+			stack = stack[:len(stack)-1]
+			if idx >= uint64(len(in.table)) {
+				return nil, newTrap(TrapIndirectCallOOB)
+			}
+			ent := in.table[idx]
+			if ent.funcIdx < 0 {
+				return nil, newTrap(TrapIndirectCallNull)
+			}
+			if ent.canonType != mod.canonTypes[ins.Imm] {
+				return nil, newTrap(TrapIndirectCallType)
+			}
+			res, err := ni.invokeIndex(uint32(ent.funcIdx), &stack, depth)
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, res...)
+
+		case wasm.OpDrop:
+			stack = stack[:len(stack)-1]
+		case wasm.OpSelect:
+			c := stack[len(stack)-1]
+			if c == 0 {
+				stack[len(stack)-3] = stack[len(stack)-2]
+			}
+			stack = stack[:len(stack)-2]
+		case wasm.OpLocalGet:
+			stack = append(stack, locals[ins.Imm])
+		case wasm.OpLocalSet:
+			locals[ins.Imm] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case wasm.OpLocalTee:
+			locals[ins.Imm] = stack[len(stack)-1]
+		case wasm.OpGlobalGet:
+			stack = append(stack, in.globals[ins.Imm])
+		case wasm.OpGlobalSet:
+			in.globals[ins.Imm] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+
+		case wasm.OpMemorySize:
+			stack = append(stack, uint64(uint32(len(in.mem)/wasm.PageSize)))
+		case wasm.OpMemoryGrow:
+			delta := uint32(stack[len(stack)-1])
+			stack[len(stack)-1] = uint64(uint32(in.growMemory(delta)))
+
+		case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
+			stack = append(stack, ins.Imm)
+
+		default:
+			if _, width, store, ok := wasm.MemOpShape(ins.Op); ok {
+				addrDepth := 1
+				if store {
+					addrDepth = 2
+				}
+				base := uint32(stack[len(stack)-addrDepth])
+				memLen := uint64(len(in.mem))
+				switch checkMode {
+				case BoundsSoftware:
+					// Unfused single-pass codegen: the check is an
+					// out-of-line sequence that recomputes the address.
+					if !naiveBoundsCheck(memLen, base, ins.Imm, uint64(width)) {
+						return nil, newTrap(TrapMemOutOfBounds)
+					}
+				case BoundsSoftwareFused:
+					if uint64(base)+ins.Imm+uint64(width) > memLen {
+						return nil, newTrap(TrapMemOutOfBounds)
+					}
+				case BoundsMPX:
+					a := uint64(base) + ins.Imm
+					lo, hi := in.mpxBounds[0], in.mpxBounds[1]
+					in.mpxScratch = a
+					if a < lo || a+uint64(width) > hi {
+						return nil, newTrap(TrapMemOutOfBounds)
+					}
+				}
+				var err error
+				stack, err = naiveMemAccess(in.mem, ins.Op, ins.Imm, stack)
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
+			sp := len(stack)
+			nsp, code := applyNumericOp(ins.Op, stack, sp)
+			if code != 0 {
+				return nil, newTrap(code)
+			}
+			stack = stack[:nsp]
+		}
+	}
+}
+
+// invokeIndex calls a function in the module index space, popping its
+// parameters from the caller's stack.
+func (ni *naiveInterp) invokeIndex(idx uint32, stack *[]uint64, depth int) ([]uint64, error) {
+	in := ni.in
+	nImp := in.mod.numImports
+	if int(idx) < nImp {
+		hb := &in.mod.hostFuncs[idx]
+		n := len(hb.ft.Params)
+		s := *stack
+		args := s[len(s)-n:]
+		val, err := hb.fn(in, args)
+		*stack = s[:len(s)-n]
+		if err != nil {
+			if errors.Is(err, ErrHostBlock) {
+				return nil, &Trap{Code: TrapHostError, Detail: "async host I/O unsupported in naive tier", Wrapped: err}
+			}
+			return nil, &Trap{Code: TrapHostError, Detail: hb.module + "." + hb.name, Wrapped: err}
+		}
+		if len(hb.ft.Results) > 0 {
+			return []uint64{val}, nil
+		}
+		return nil, nil
+	}
+	fn := &in.mod.funcs[int(idx)-nImp]
+	s := *stack
+	locals := make([]uint64, fn.nLocals)
+	copy(locals, s[len(s)-fn.nParams:])
+	*stack = s[:len(s)-fn.nParams]
+	return ni.call(fn, locals, depth+1)
+}
+
+// naiveMemAccess performs the load/store after any strategy check; the
+// backing array's implicit bound still protects the host for the
+// guard/none strategies (faults convert to traps via recover).
+func naiveMemAccess(mem []byte, op wasm.Opcode, off uint64, stack []uint64) ([]uint64, error) {
+	switch op {
+	case wasm.OpI32Load, wasm.OpF32Load:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = uint64(binary.LittleEndian.Uint32(mem[a:]))
+	case wasm.OpI64Load, wasm.OpF64Load:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = binary.LittleEndian.Uint64(mem[a:])
+	case wasm.OpI32Load8S:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = uint64(uint32(int32(int8(mem[a]))))
+	case wasm.OpI32Load8U:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = uint64(mem[a])
+	case wasm.OpI32Load16S:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = uint64(uint32(int32(int16(binary.LittleEndian.Uint16(mem[a:])))))
+	case wasm.OpI32Load16U:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = uint64(binary.LittleEndian.Uint16(mem[a:]))
+	case wasm.OpI64Load8S:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = uint64(int64(int8(mem[a])))
+	case wasm.OpI64Load8U:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = uint64(mem[a])
+	case wasm.OpI64Load16S:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = uint64(int64(int16(binary.LittleEndian.Uint16(mem[a:]))))
+	case wasm.OpI64Load16U:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = uint64(binary.LittleEndian.Uint16(mem[a:]))
+	case wasm.OpI64Load32S:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = uint64(int64(int32(binary.LittleEndian.Uint32(mem[a:]))))
+	case wasm.OpI64Load32U:
+		a := uint64(uint32(stack[len(stack)-1])) + off
+		stack[len(stack)-1] = uint64(binary.LittleEndian.Uint32(mem[a:]))
+	case wasm.OpI32Store, wasm.OpF32Store:
+		a := uint64(uint32(stack[len(stack)-2])) + off
+		binary.LittleEndian.PutUint32(mem[a:], uint32(stack[len(stack)-1]))
+		stack = stack[:len(stack)-2]
+	case wasm.OpI64Store, wasm.OpF64Store:
+		a := uint64(uint32(stack[len(stack)-2])) + off
+		binary.LittleEndian.PutUint64(mem[a:], stack[len(stack)-1])
+		stack = stack[:len(stack)-2]
+	case wasm.OpI32Store8, wasm.OpI64Store8:
+		a := uint64(uint32(stack[len(stack)-2])) + off
+		mem[a] = byte(stack[len(stack)-1])
+		stack = stack[:len(stack)-2]
+	case wasm.OpI32Store16, wasm.OpI64Store16:
+		a := uint64(uint32(stack[len(stack)-2])) + off
+		binary.LittleEndian.PutUint16(mem[a:], uint16(stack[len(stack)-1]))
+		stack = stack[:len(stack)-2]
+	case wasm.OpI64Store32:
+		a := uint64(uint32(stack[len(stack)-2])) + off
+		binary.LittleEndian.PutUint32(mem[a:], uint32(stack[len(stack)-1]))
+		stack = stack[:len(stack)-2]
+	default:
+		return stack, newTrap(TrapUnreachable)
+	}
+	return stack, nil
+}

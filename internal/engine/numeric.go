@@ -1,0 +1,428 @@
+package engine
+
+import (
+	"math"
+	"math/bits"
+
+	"sledge/internal/wasm"
+)
+
+// applyNumericOp executes a pure numeric, comparison, or conversion
+// instruction against the operand stack and returns the new stack pointer.
+// A nonzero TrapCode reports a numeric trap. It is used by the naive tier;
+// the optimized tier inlines these operations in its dispatch loop.
+func applyNumericOp(op wasm.Opcode, stack []uint64, sp int) (int, TrapCode) {
+	switch op {
+	case wasm.OpI32Eqz:
+		stack[sp-1] = b2u(uint32(stack[sp-1]) == 0)
+	case wasm.OpI32Eq:
+		stack[sp-2] = b2u(uint32(stack[sp-2]) == uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32Ne:
+		stack[sp-2] = b2u(uint32(stack[sp-2]) != uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32LtS:
+		stack[sp-2] = b2u(int32(stack[sp-2]) < int32(stack[sp-1]))
+		sp--
+	case wasm.OpI32LtU:
+		stack[sp-2] = b2u(uint32(stack[sp-2]) < uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32GtS:
+		stack[sp-2] = b2u(int32(stack[sp-2]) > int32(stack[sp-1]))
+		sp--
+	case wasm.OpI32GtU:
+		stack[sp-2] = b2u(uint32(stack[sp-2]) > uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32LeS:
+		stack[sp-2] = b2u(int32(stack[sp-2]) <= int32(stack[sp-1]))
+		sp--
+	case wasm.OpI32LeU:
+		stack[sp-2] = b2u(uint32(stack[sp-2]) <= uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32GeS:
+		stack[sp-2] = b2u(int32(stack[sp-2]) >= int32(stack[sp-1]))
+		sp--
+	case wasm.OpI32GeU:
+		stack[sp-2] = b2u(uint32(stack[sp-2]) >= uint32(stack[sp-1]))
+		sp--
+
+	case wasm.OpI64Eqz:
+		stack[sp-1] = b2u(stack[sp-1] == 0)
+	case wasm.OpI64Eq:
+		stack[sp-2] = b2u(stack[sp-2] == stack[sp-1])
+		sp--
+	case wasm.OpI64Ne:
+		stack[sp-2] = b2u(stack[sp-2] != stack[sp-1])
+		sp--
+	case wasm.OpI64LtS:
+		stack[sp-2] = b2u(int64(stack[sp-2]) < int64(stack[sp-1]))
+		sp--
+	case wasm.OpI64LtU:
+		stack[sp-2] = b2u(stack[sp-2] < stack[sp-1])
+		sp--
+	case wasm.OpI64GtS:
+		stack[sp-2] = b2u(int64(stack[sp-2]) > int64(stack[sp-1]))
+		sp--
+	case wasm.OpI64GtU:
+		stack[sp-2] = b2u(stack[sp-2] > stack[sp-1])
+		sp--
+	case wasm.OpI64LeS:
+		stack[sp-2] = b2u(int64(stack[sp-2]) <= int64(stack[sp-1]))
+		sp--
+	case wasm.OpI64LeU:
+		stack[sp-2] = b2u(stack[sp-2] <= stack[sp-1])
+		sp--
+	case wasm.OpI64GeS:
+		stack[sp-2] = b2u(int64(stack[sp-2]) >= int64(stack[sp-1]))
+		sp--
+	case wasm.OpI64GeU:
+		stack[sp-2] = b2u(stack[sp-2] >= stack[sp-1])
+		sp--
+
+	case wasm.OpF32Eq:
+		stack[sp-2] = b2u(f32(stack[sp-2]) == f32(stack[sp-1]))
+		sp--
+	case wasm.OpF32Ne:
+		stack[sp-2] = b2u(f32(stack[sp-2]) != f32(stack[sp-1]))
+		sp--
+	case wasm.OpF32Lt:
+		stack[sp-2] = b2u(f32(stack[sp-2]) < f32(stack[sp-1]))
+		sp--
+	case wasm.OpF32Gt:
+		stack[sp-2] = b2u(f32(stack[sp-2]) > f32(stack[sp-1]))
+		sp--
+	case wasm.OpF32Le:
+		stack[sp-2] = b2u(f32(stack[sp-2]) <= f32(stack[sp-1]))
+		sp--
+	case wasm.OpF32Ge:
+		stack[sp-2] = b2u(f32(stack[sp-2]) >= f32(stack[sp-1]))
+		sp--
+	case wasm.OpF64Eq:
+		stack[sp-2] = b2u(f64(stack[sp-2]) == f64(stack[sp-1]))
+		sp--
+	case wasm.OpF64Ne:
+		stack[sp-2] = b2u(f64(stack[sp-2]) != f64(stack[sp-1]))
+		sp--
+	case wasm.OpF64Lt:
+		stack[sp-2] = b2u(f64(stack[sp-2]) < f64(stack[sp-1]))
+		sp--
+	case wasm.OpF64Gt:
+		stack[sp-2] = b2u(f64(stack[sp-2]) > f64(stack[sp-1]))
+		sp--
+	case wasm.OpF64Le:
+		stack[sp-2] = b2u(f64(stack[sp-2]) <= f64(stack[sp-1]))
+		sp--
+	case wasm.OpF64Ge:
+		stack[sp-2] = b2u(f64(stack[sp-2]) >= f64(stack[sp-1]))
+		sp--
+
+	case wasm.OpI32Clz:
+		stack[sp-1] = uint64(bits.LeadingZeros32(uint32(stack[sp-1])))
+	case wasm.OpI32Ctz:
+		stack[sp-1] = uint64(bits.TrailingZeros32(uint32(stack[sp-1])))
+	case wasm.OpI32Popcnt:
+		stack[sp-1] = uint64(bits.OnesCount32(uint32(stack[sp-1])))
+	case wasm.OpI32Add:
+		stack[sp-2] = uint64(uint32(stack[sp-2]) + uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32Sub:
+		stack[sp-2] = uint64(uint32(stack[sp-2]) - uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32Mul:
+		stack[sp-2] = uint64(uint32(stack[sp-2]) * uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32DivS:
+		x, y := int32(stack[sp-2]), int32(stack[sp-1])
+		if y == 0 {
+			return sp, TrapDivByZero
+		}
+		if x == math.MinInt32 && y == -1 {
+			return sp, TrapIntOverflow
+		}
+		stack[sp-2] = uint64(uint32(x / y))
+		sp--
+	case wasm.OpI32DivU:
+		if uint32(stack[sp-1]) == 0 {
+			return sp, TrapDivByZero
+		}
+		stack[sp-2] = uint64(uint32(stack[sp-2]) / uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32RemS:
+		x, y := int32(stack[sp-2]), int32(stack[sp-1])
+		if y == 0 {
+			return sp, TrapDivByZero
+		}
+		if x == math.MinInt32 && y == -1 {
+			stack[sp-2] = 0
+		} else {
+			stack[sp-2] = uint64(uint32(x % y))
+		}
+		sp--
+	case wasm.OpI32RemU:
+		if uint32(stack[sp-1]) == 0 {
+			return sp, TrapDivByZero
+		}
+		stack[sp-2] = uint64(uint32(stack[sp-2]) % uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32And:
+		stack[sp-2] = uint64(uint32(stack[sp-2]) & uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32Or:
+		stack[sp-2] = uint64(uint32(stack[sp-2]) | uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32Xor:
+		stack[sp-2] = uint64(uint32(stack[sp-2]) ^ uint32(stack[sp-1]))
+		sp--
+	case wasm.OpI32Shl:
+		stack[sp-2] = uint64(uint32(stack[sp-2]) << (uint32(stack[sp-1]) & 31))
+		sp--
+	case wasm.OpI32ShrS:
+		stack[sp-2] = uint64(uint32(int32(stack[sp-2]) >> (uint32(stack[sp-1]) & 31)))
+		sp--
+	case wasm.OpI32ShrU:
+		stack[sp-2] = uint64(uint32(stack[sp-2]) >> (uint32(stack[sp-1]) & 31))
+		sp--
+	case wasm.OpI32Rotl:
+		stack[sp-2] = uint64(bits.RotateLeft32(uint32(stack[sp-2]), int(uint32(stack[sp-1])&31)))
+		sp--
+	case wasm.OpI32Rotr:
+		stack[sp-2] = uint64(bits.RotateLeft32(uint32(stack[sp-2]), -int(uint32(stack[sp-1])&31)))
+		sp--
+
+	case wasm.OpI64Clz:
+		stack[sp-1] = uint64(bits.LeadingZeros64(stack[sp-1]))
+	case wasm.OpI64Ctz:
+		stack[sp-1] = uint64(bits.TrailingZeros64(stack[sp-1]))
+	case wasm.OpI64Popcnt:
+		stack[sp-1] = uint64(bits.OnesCount64(stack[sp-1]))
+	case wasm.OpI64Add:
+		stack[sp-2] += stack[sp-1]
+		sp--
+	case wasm.OpI64Sub:
+		stack[sp-2] -= stack[sp-1]
+		sp--
+	case wasm.OpI64Mul:
+		stack[sp-2] *= stack[sp-1]
+		sp--
+	case wasm.OpI64DivS:
+		x, y := int64(stack[sp-2]), int64(stack[sp-1])
+		if y == 0 {
+			return sp, TrapDivByZero
+		}
+		if x == math.MinInt64 && y == -1 {
+			return sp, TrapIntOverflow
+		}
+		stack[sp-2] = uint64(x / y)
+		sp--
+	case wasm.OpI64DivU:
+		if stack[sp-1] == 0 {
+			return sp, TrapDivByZero
+		}
+		stack[sp-2] /= stack[sp-1]
+		sp--
+	case wasm.OpI64RemS:
+		x, y := int64(stack[sp-2]), int64(stack[sp-1])
+		if y == 0 {
+			return sp, TrapDivByZero
+		}
+		if x == math.MinInt64 && y == -1 {
+			stack[sp-2] = 0
+		} else {
+			stack[sp-2] = uint64(x % y)
+		}
+		sp--
+	case wasm.OpI64RemU:
+		if stack[sp-1] == 0 {
+			return sp, TrapDivByZero
+		}
+		stack[sp-2] %= stack[sp-1]
+		sp--
+	case wasm.OpI64And:
+		stack[sp-2] &= stack[sp-1]
+		sp--
+	case wasm.OpI64Or:
+		stack[sp-2] |= stack[sp-1]
+		sp--
+	case wasm.OpI64Xor:
+		stack[sp-2] ^= stack[sp-1]
+		sp--
+	case wasm.OpI64Shl:
+		stack[sp-2] <<= stack[sp-1] & 63
+		sp--
+	case wasm.OpI64ShrS:
+		stack[sp-2] = uint64(int64(stack[sp-2]) >> (stack[sp-1] & 63))
+		sp--
+	case wasm.OpI64ShrU:
+		stack[sp-2] >>= stack[sp-1] & 63
+		sp--
+	case wasm.OpI64Rotl:
+		stack[sp-2] = bits.RotateLeft64(stack[sp-2], int(stack[sp-1]&63))
+		sp--
+	case wasm.OpI64Rotr:
+		stack[sp-2] = bits.RotateLeft64(stack[sp-2], -int(stack[sp-1]&63))
+		sp--
+
+	case wasm.OpF32Abs:
+		stack[sp-1] = uint64(uint32(stack[sp-1]) &^ 0x80000000)
+	case wasm.OpF32Neg:
+		stack[sp-1] = uint64(uint32(stack[sp-1]) ^ 0x80000000)
+	case wasm.OpF32Ceil:
+		stack[sp-1] = u32f(float32(math.Ceil(float64(f32(stack[sp-1])))))
+	case wasm.OpF32Floor:
+		stack[sp-1] = u32f(float32(math.Floor(float64(f32(stack[sp-1])))))
+	case wasm.OpF32Trunc:
+		stack[sp-1] = u32f(float32(math.Trunc(float64(f32(stack[sp-1])))))
+	case wasm.OpF32Nearest:
+		stack[sp-1] = u32f(float32(math.RoundToEven(float64(f32(stack[sp-1])))))
+	case wasm.OpF32Sqrt:
+		stack[sp-1] = u32f(float32(math.Sqrt(float64(f32(stack[sp-1])))))
+	case wasm.OpF32Add:
+		stack[sp-2] = u32f(f32(stack[sp-2]) + f32(stack[sp-1]))
+		sp--
+	case wasm.OpF32Sub:
+		stack[sp-2] = u32f(f32(stack[sp-2]) - f32(stack[sp-1]))
+		sp--
+	case wasm.OpF32Mul:
+		stack[sp-2] = u32f(f32(stack[sp-2]) * f32(stack[sp-1]))
+		sp--
+	case wasm.OpF32Div:
+		stack[sp-2] = u32f(f32(stack[sp-2]) / f32(stack[sp-1]))
+		sp--
+	case wasm.OpF32Min:
+		stack[sp-2] = u32f(float32(math.Min(float64(f32(stack[sp-2])), float64(f32(stack[sp-1])))))
+		sp--
+	case wasm.OpF32Max:
+		stack[sp-2] = u32f(float32(math.Max(float64(f32(stack[sp-2])), float64(f32(stack[sp-1])))))
+		sp--
+	case wasm.OpF32Copysign:
+		stack[sp-2] = u32f(float32(math.Copysign(float64(f32(stack[sp-2])), float64(f32(stack[sp-1])))))
+		sp--
+
+	case wasm.OpF64Abs:
+		stack[sp-1] &= 0x7FFFFFFFFFFFFFFF
+	case wasm.OpF64Neg:
+		stack[sp-1] ^= 0x8000000000000000
+	case wasm.OpF64Ceil:
+		stack[sp-1] = uf64(math.Ceil(f64(stack[sp-1])))
+	case wasm.OpF64Floor:
+		stack[sp-1] = uf64(math.Floor(f64(stack[sp-1])))
+	case wasm.OpF64Trunc:
+		stack[sp-1] = uf64(math.Trunc(f64(stack[sp-1])))
+	case wasm.OpF64Nearest:
+		stack[sp-1] = uf64(math.RoundToEven(f64(stack[sp-1])))
+	case wasm.OpF64Sqrt:
+		stack[sp-1] = uf64(math.Sqrt(f64(stack[sp-1])))
+	case wasm.OpF64Add:
+		stack[sp-2] = uf64(f64(stack[sp-2]) + f64(stack[sp-1]))
+		sp--
+	case wasm.OpF64Sub:
+		stack[sp-2] = uf64(f64(stack[sp-2]) - f64(stack[sp-1]))
+		sp--
+	case wasm.OpF64Mul:
+		stack[sp-2] = uf64(f64(stack[sp-2]) * f64(stack[sp-1]))
+		sp--
+	case wasm.OpF64Div:
+		stack[sp-2] = uf64(f64(stack[sp-2]) / f64(stack[sp-1]))
+		sp--
+	case wasm.OpF64Min:
+		stack[sp-2] = uf64(math.Min(f64(stack[sp-2]), f64(stack[sp-1])))
+		sp--
+	case wasm.OpF64Max:
+		stack[sp-2] = uf64(math.Max(f64(stack[sp-2]), f64(stack[sp-1])))
+		sp--
+	case wasm.OpF64Copysign:
+		stack[sp-2] = uf64(math.Copysign(f64(stack[sp-2]), f64(stack[sp-1])))
+		sp--
+
+	case wasm.OpI32WrapI64:
+		stack[sp-1] = uint64(uint32(stack[sp-1]))
+	case wasm.OpI32TruncF32S:
+		v, code := truncS32(float64(f32(stack[sp-1])))
+		if code != 0 {
+			return sp, code
+		}
+		stack[sp-1] = v
+	case wasm.OpI32TruncF32U:
+		v, code := truncU32(float64(f32(stack[sp-1])))
+		if code != 0 {
+			return sp, code
+		}
+		stack[sp-1] = v
+	case wasm.OpI32TruncF64S:
+		v, code := truncS32(f64(stack[sp-1]))
+		if code != 0 {
+			return sp, code
+		}
+		stack[sp-1] = v
+	case wasm.OpI32TruncF64U:
+		v, code := truncU32(f64(stack[sp-1]))
+		if code != 0 {
+			return sp, code
+		}
+		stack[sp-1] = v
+	case wasm.OpI64ExtendI32S:
+		stack[sp-1] = uint64(int64(int32(stack[sp-1])))
+	case wasm.OpI64ExtendI32U:
+		stack[sp-1] = uint64(uint32(stack[sp-1]))
+	case wasm.OpI64TruncF32S:
+		v, code := truncS64(float64(f32(stack[sp-1])))
+		if code != 0 {
+			return sp, code
+		}
+		stack[sp-1] = v
+	case wasm.OpI64TruncF32U:
+		v, code := truncU64(float64(f32(stack[sp-1])))
+		if code != 0 {
+			return sp, code
+		}
+		stack[sp-1] = v
+	case wasm.OpI64TruncF64S:
+		v, code := truncS64(f64(stack[sp-1]))
+		if code != 0 {
+			return sp, code
+		}
+		stack[sp-1] = v
+	case wasm.OpI64TruncF64U:
+		v, code := truncU64(f64(stack[sp-1]))
+		if code != 0 {
+			return sp, code
+		}
+		stack[sp-1] = v
+	case wasm.OpF32ConvertI32S:
+		stack[sp-1] = u32f(float32(int32(stack[sp-1])))
+	case wasm.OpF32ConvertI32U:
+		stack[sp-1] = u32f(float32(uint32(stack[sp-1])))
+	case wasm.OpF32ConvertI64S:
+		stack[sp-1] = u32f(float32(int64(stack[sp-1])))
+	case wasm.OpF32ConvertI64U:
+		stack[sp-1] = u32f(float32(stack[sp-1]))
+	case wasm.OpF32DemoteF64:
+		stack[sp-1] = u32f(float32(f64(stack[sp-1])))
+	case wasm.OpF64ConvertI32S:
+		stack[sp-1] = uf64(float64(int32(stack[sp-1])))
+	case wasm.OpF64ConvertI32U:
+		stack[sp-1] = uf64(float64(uint32(stack[sp-1])))
+	case wasm.OpF64ConvertI64S:
+		stack[sp-1] = uf64(float64(int64(stack[sp-1])))
+	case wasm.OpF64ConvertI64U:
+		stack[sp-1] = uf64(float64(stack[sp-1]))
+	case wasm.OpF64PromoteF32:
+		stack[sp-1] = uf64(float64(f32(stack[sp-1])))
+	case wasm.OpI32ReinterpretF32, wasm.OpF32ReinterpretI32,
+		wasm.OpI64ReinterpretF64, wasm.OpF64ReinterpretI64:
+		// bit-identical in the raw representation
+	case wasm.OpI32Extend8S:
+		stack[sp-1] = uint64(uint32(int32(int8(stack[sp-1]))))
+	case wasm.OpI32Extend16S:
+		stack[sp-1] = uint64(uint32(int32(int16(stack[sp-1]))))
+	case wasm.OpI64Extend8S:
+		stack[sp-1] = uint64(int64(int8(stack[sp-1])))
+	case wasm.OpI64Extend16S:
+		stack[sp-1] = uint64(int64(int16(stack[sp-1])))
+	case wasm.OpI64Extend32S:
+		stack[sp-1] = uint64(int64(int32(stack[sp-1])))
+	default:
+		return sp, TrapUnreachable
+	}
+	return sp, 0
+}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"sledge/internal/wasm"
+)
+
+// binOpModule builds one exported two-argument function per listed opcode.
+func binOpModule(t *testing.T, params wasm.ValType, result wasm.ValType, ops map[string]wasm.Opcode) *CompiledModule {
+	t.Helper()
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{{
+		Params:  []wasm.ValType{params, params},
+		Results: []wasm.ValType{result},
+	}}
+	idx := uint32(0)
+	for name, op := range ops {
+		m.Funcs = append(m.Funcs, wasm.Func{TypeIdx: 0, Body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: op},
+		}, Name: name})
+		m.Exports = append(m.Exports, wasm.Export{Name: name, Kind: wasm.ExternFunc, Index: idx})
+		idx++
+	}
+	return mustCompile(t, m, Config{})
+}
+
+// TestI32SemanticsProperty cross-checks i32 arithmetic against Go int32
+// semantics on random operands, for both tiers.
+func TestI32SemanticsProperty(t *testing.T) {
+	refs := map[string]struct {
+		op wasm.Opcode
+		fn func(a, b uint32) (uint32, bool) // ok=false means trap expected
+	}{
+		"add":   {wasm.OpI32Add, func(a, b uint32) (uint32, bool) { return a + b, true }},
+		"sub":   {wasm.OpI32Sub, func(a, b uint32) (uint32, bool) { return a - b, true }},
+		"mul":   {wasm.OpI32Mul, func(a, b uint32) (uint32, bool) { return a * b, true }},
+		"and":   {wasm.OpI32And, func(a, b uint32) (uint32, bool) { return a & b, true }},
+		"xor":   {wasm.OpI32Xor, func(a, b uint32) (uint32, bool) { return a ^ b, true }},
+		"shl":   {wasm.OpI32Shl, func(a, b uint32) (uint32, bool) { return a << (b & 31), true }},
+		"shr_s": {wasm.OpI32ShrS, func(a, b uint32) (uint32, bool) { return uint32(int32(a) >> (b & 31)), true }},
+		"shr_u": {wasm.OpI32ShrU, func(a, b uint32) (uint32, bool) { return a >> (b & 31), true }},
+		"rotl":  {wasm.OpI32Rotl, func(a, b uint32) (uint32, bool) { return bits.RotateLeft32(a, int(b&31)), true }},
+		"div_s": {wasm.OpI32DivS, func(a, b uint32) (uint32, bool) {
+			x, y := int32(a), int32(b)
+			if y == 0 || (x == math.MinInt32 && y == -1) {
+				return 0, false
+			}
+			return uint32(x / y), true
+		}},
+		"rem_u": {wasm.OpI32RemU, func(a, b uint32) (uint32, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		}},
+		"lt_u": {wasm.OpI32LtU, func(a, b uint32) (uint32, bool) {
+			if a < b {
+				return 1, true
+			}
+			return 0, true
+		}},
+	}
+	ops := make(map[string]wasm.Opcode, len(refs))
+	for name, r := range refs {
+		ops[name] = r.op
+	}
+	for _, tier := range []Tier{TierOptimized, TierNaive} {
+		m := wasm.NewModule()
+		m.Types = []wasm.FuncType{{
+			Params:  []wasm.ValType{wasm.ValI32, wasm.ValI32},
+			Results: []wasm.ValType{wasm.ValI32},
+		}}
+		idx := uint32(0)
+		names := make([]string, 0, len(ops))
+		for name, op := range ops {
+			m.Funcs = append(m.Funcs, wasm.Func{TypeIdx: 0, Body: []wasm.Instr{
+				{Op: wasm.OpLocalGet, Imm: 0},
+				{Op: wasm.OpLocalGet, Imm: 1},
+				{Op: op},
+			}, Name: name})
+			m.Exports = append(m.Exports, wasm.Export{Name: name, Kind: wasm.ExternFunc, Index: idx})
+			idx++
+			names = append(names, name)
+		}
+		cm := mustCompile(t, m, Config{Tier: tier})
+		check := func(a, b uint32) bool {
+			for _, name := range names {
+				ref := refs[name]
+				want, ok := ref.fn(a, b)
+				inst := cm.Instantiate()
+				got, err := inst.Invoke(name, uint64(a), uint64(b))
+				if !ok {
+					if err == nil {
+						t.Logf("%s/%s(%d,%d): expected trap, got %d", tier, name, a, b, got)
+						return false
+					}
+					continue
+				}
+				if err != nil || uint32(got) != want || got>>32 != 0 {
+					t.Logf("%s/%s(%d,%d) = %#x, %v; want %#x", tier, name, a, b, got, err, want)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", tier, err)
+		}
+	}
+}
+
+// TestF64SemanticsProperty cross-checks f64 arithmetic bit-for-bit against
+// Go float64 (both are IEEE 754 binary64).
+func TestF64SemanticsProperty(t *testing.T) {
+	refs := map[string]struct {
+		op wasm.Opcode
+		fn func(a, b float64) float64
+	}{
+		"add": {wasm.OpF64Add, func(a, b float64) float64 { return a + b }},
+		"sub": {wasm.OpF64Sub, func(a, b float64) float64 { return a - b }},
+		"mul": {wasm.OpF64Mul, func(a, b float64) float64 { return a * b }},
+		"div": {wasm.OpF64Div, func(a, b float64) float64 { return a / b }},
+		"min": {wasm.OpF64Min, math.Min},
+		"max": {wasm.OpF64Max, math.Max},
+	}
+	ops := make(map[string]wasm.Opcode, len(refs))
+	for name, r := range refs {
+		ops[name] = r.op
+	}
+	cm := binOpModule(t, wasm.ValF64, wasm.ValF64, ops)
+	check := func(a, b float64) bool {
+		for name, ref := range refs {
+			inst := cm.Instantiate()
+			got, err := inst.Invoke(name, math.Float64bits(a), math.Float64bits(b))
+			if err != nil {
+				t.Logf("%s: %v", name, err)
+				return false
+			}
+			want := math.Float64bits(ref.fn(a, b))
+			// NaN payloads may differ; compare NaN-ness then bits.
+			if math.IsNaN(ref.fn(a, b)) {
+				if !math.IsNaN(math.Float64frombits(got)) {
+					t.Logf("%s(%v,%v): want NaN, got %v", name, a, b, math.Float64frombits(got))
+					return false
+				}
+				continue
+			}
+			if got != want {
+				t.Logf("%s(%v,%v) = %v, want %v", name, a, b,
+					math.Float64frombits(got), ref.fn(a, b))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTruncationProperty checks float->int truncation against the spec's
+// trapping semantics on random inputs including edge magnitudes.
+func TestTruncationProperty(t *testing.T) {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{{
+		Params:  []wasm.ValType{wasm.ValF64},
+		Results: []wasm.ValType{wasm.ValI32},
+	}}
+	m.Funcs = []wasm.Func{{TypeIdx: 0, Body: []wasm.Instr{
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpI32TruncF64S},
+	}, Name: "trunc_s"}}
+	m.Exports = []wasm.Export{{Name: "trunc_s", Kind: wasm.ExternFunc, Index: 0}}
+	cm := mustCompile(t, m, Config{})
+
+	check := func(f float64) bool {
+		inst := cm.Instantiate()
+		got, err := inst.Invoke("trunc_s", math.Float64bits(f))
+		tr := math.Trunc(f)
+		expectTrap := math.IsNaN(f) || tr < math.MinInt32 || tr > math.MaxInt32
+		if expectTrap {
+			return err != nil
+		}
+		return err == nil && int32(got) == int32(tr)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// Deterministic edges.
+	edges := []float64{0, -0.9999, 2147483647.0, 2147483647.9, -2147483648.0,
+		-2147483648.5, -2147483649.0, 2147483648.0, math.Inf(1), math.Inf(-1)}
+	for _, f := range edges {
+		if !check(f) {
+			t.Errorf("edge %v failed", f)
+		}
+	}
+}
+
+// TestLocalsGlobalsFuzz runs a function mixing locals and globals over
+// random inputs and checks the algebraic result.
+func TestLocalsGlobalsFuzz(t *testing.T) {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{{
+		Params:  []wasm.ValType{wasm.ValI64, wasm.ValI64},
+		Results: []wasm.ValType{wasm.ValI64},
+	}}
+	m.Globals = []wasm.Global{{
+		Type: wasm.GlobalType{Type: wasm.ValI64, Mutable: true},
+		Init: wasm.Instr{Op: wasm.OpI64Const, Imm: 5},
+	}}
+	// g = g + a; return g*2 - b
+	m.Funcs = []wasm.Func{{TypeIdx: 0, Body: []wasm.Instr{
+		{Op: wasm.OpGlobalGet, Imm: 0},
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpI64Add},
+		{Op: wasm.OpGlobalSet, Imm: 0},
+		{Op: wasm.OpGlobalGet, Imm: 0},
+		{Op: wasm.OpI64Const, Imm: 2},
+		{Op: wasm.OpI64Mul},
+		{Op: wasm.OpLocalGet, Imm: 1},
+		{Op: wasm.OpI64Sub},
+	}, Name: "f"}}
+	m.Exports = []wasm.Export{{Name: "f", Kind: wasm.ExternFunc, Index: 0}}
+	cm := mustCompile(t, m, Config{})
+	check := func(a, b uint64) bool {
+		inst := cm.Instantiate()
+		got, err := inst.Invoke("f", a, b)
+		want := (5+a)*2 - b
+		return err == nil && got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package engine
+
+import "fmt"
+
+// TrapCode classifies a sandbox violation.
+type TrapCode int
+
+// Trap codes.
+const (
+	TrapUnreachable TrapCode = iota + 1
+	TrapMemOutOfBounds
+	TrapDivByZero
+	TrapIntOverflow
+	TrapInvalidConversion
+	TrapIndirectCallNull
+	TrapIndirectCallType
+	TrapIndirectCallOOB
+	TrapStackOverflow
+	TrapFuelExhausted // only surfaced by RunBounded when no scheduler resumes
+	TrapHostError
+)
+
+// String returns the spec-style trap name.
+func (c TrapCode) String() string {
+	switch c {
+	case TrapUnreachable:
+		return "unreachable executed"
+	case TrapMemOutOfBounds:
+		return "out of bounds memory access"
+	case TrapDivByZero:
+		return "integer divide by zero"
+	case TrapIntOverflow:
+		return "integer overflow"
+	case TrapInvalidConversion:
+		return "invalid conversion to integer"
+	case TrapIndirectCallNull:
+		return "uninitialized table element"
+	case TrapIndirectCallType:
+		return "indirect call type mismatch"
+	case TrapIndirectCallOOB:
+		return "undefined table element"
+	case TrapStackOverflow:
+		return "call stack exhausted"
+	case TrapFuelExhausted:
+		return "fuel exhausted"
+	case TrapHostError:
+		return "host function error"
+	}
+	return fmt.Sprintf("trap(%d)", int(c))
+}
+
+// Trap is a sandbox violation: the Wasm security model converted a fault in
+// untrusted code into a contained, reportable error instead of corrupting
+// the host.
+type Trap struct {
+	Code TrapCode
+	// Detail carries optional context (e.g. the faulting host function).
+	Detail string
+	// Wrapped is the underlying host error for TrapHostError.
+	Wrapped error
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	if t.Detail != "" {
+		return fmt.Sprintf("wasm trap: %s (%s)", t.Code, t.Detail)
+	}
+	return "wasm trap: " + t.Code.String()
+}
+
+// Unwrap exposes the host error, if any.
+func (t *Trap) Unwrap() error { return t.Wrapped }
+
+func newTrap(code TrapCode) *Trap { return &Trap{Code: code} }

@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"sledge/internal/abi"
+	"sledge/internal/core"
+	"sledge/internal/engine"
+	"sledge/internal/nuclio"
+	"sledge/internal/sandbox"
+	"sledge/internal/sched"
+	"sledge/internal/stats"
+	"sledge/internal/wcc"
+	"sledge/internal/workloads/apps"
+)
+
+// spinSource is a CPU-bound tenant whose runtime scales with the request
+// size, used to create interference.
+const spinSource = `
+static u8 out[1];
+
+export i32 main() {
+	i32 n = sys_req_len();
+	i32 acc = 0;
+	for (i32 i = 0; i < n * 1000; i = i + 1) {
+		acc = acc + i;
+	}
+	out[0] = 100 + (acc & 1);
+	sys_write(out, 1);
+	return 0;
+}
+`
+
+func compileSpin(cfg engine.Config) (*engine.CompiledModule, error) {
+	res, err := wcc.Compile(spinSource, wcc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return engine.CompileBinary(res.Binary, abi.Registry(), cfg)
+}
+
+// RunAblationQuantum sweeps the preemption quantum and measures a
+// latency-sensitive tenant's response time while a CPU-hog tenant runs —
+// the design choice behind §3.4's temporal isolation.
+func RunAblationQuantum(o Options) ([]*Table, error) {
+	quanta := []struct {
+		label string
+		cfg   sched.Config
+	}{
+		{"1ms", sched.Config{Quantum: time.Millisecond}},
+		{"5ms (paper)", sched.Config{Quantum: 5 * time.Millisecond}},
+		{"20ms", sched.Config{Quantum: 20 * time.Millisecond}},
+		{"100ms", sched.Config{Quantum: 100 * time.Millisecond}},
+		{"cooperative", sched.Config{Policy: sched.PolicyCooperative}},
+	}
+	hogSize, shorts := 30000, 15
+	if o.Quick {
+		hogSize, shorts = 5000, 4
+	}
+	cm, err := compileSpin(engine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		ID:      "ablation-quantum",
+		Title:   "Quantum sweep: short-tenant latency under a CPU-hog tenant (1 worker)",
+		Headers: []string{"quantum", "short mean", "short p99", "hog total", "preemptions"},
+		Notes: []string{
+			"small quanta bound the short tenant's latency; cooperative scheduling serializes it behind the hog (head-of-line blocking)",
+		},
+	}
+	for _, q := range quanta {
+		cfg := q.cfg
+		cfg.Workers = 1
+		pool := sched.NewPool(cfg)
+
+		var wg sync.WaitGroup
+		hog, err := sandbox.New(cm, make([]byte, hogSize), sandbox.Options{Tenant: "hog"})
+		if err != nil {
+			pool.Stop()
+			return nil, err
+		}
+		wg.Add(1)
+		hogStart := time.Now()
+		var hogDur time.Duration
+		hog.OnComplete = func(*sandbox.Sandbox) { hogDur = time.Since(hogStart); wg.Done() }
+		if err := pool.Submit(hog); err != nil {
+			pool.Stop()
+			return nil, err
+		}
+		time.Sleep(2 * time.Millisecond)
+
+		lats := make([]time.Duration, 0, shorts)
+		for i := 0; i < shorts; i++ {
+			short, err := sandbox.New(cm, make([]byte, 1), sandbox.Options{Tenant: "short"})
+			if err != nil {
+				pool.Stop()
+				return nil, err
+			}
+			ch := make(chan time.Duration, 1)
+			start := time.Now()
+			short.OnComplete = func(*sandbox.Sandbox) { ch <- time.Since(start) }
+			if err := pool.Submit(short); err != nil {
+				pool.Stop()
+				return nil, err
+			}
+			lats = append(lats, <-ch)
+		}
+		wg.Wait()
+		st := pool.Stats()
+		pool.Stop()
+		s := stats.Summarize(lats)
+		tbl.Rows = append(tbl.Rows, []string{
+			q.label, s.Mean.String(), s.P99.String(), hogDur.String(), fmt.Sprint(st.Preemptions),
+		})
+		o.logf("ablation-quantum: %s short mean=%v", q.label, s.Mean)
+	}
+	return []*Table{tbl}, nil
+}
+
+// RunAblationDistribution compares the work-distribution structures from
+// §3.4: the lock-free deque vs a mutex global queue vs static assignment.
+func RunAblationDistribution(o Options) ([]*Table, error) {
+	n, workers := 600, 4
+	if o.Quick {
+		n, workers = 60, 2
+	}
+	cm, err := compileSpin(engine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		ID:      "ablation-dist",
+		Title:   fmt.Sprintf("Work distribution: %d short requests on %d workers", n, workers),
+		Headers: []string{"mechanism", "total time", "req/s", "steals"},
+		Notes: []string{
+			"static assignment is not work-conserving: a backlog behind one worker cannot be drained by idle peers",
+		},
+	}
+	for _, dist := range []sched.Distribution{sched.DistWorkStealing, sched.DistGlobalLock, sched.DistStatic} {
+		pool := sched.NewPool(sched.Config{Workers: workers, Distribution: dist})
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			size := 1
+			if i%10 == 0 {
+				size = 200 // occasional heavier request to skew queues
+			}
+			sb, err := sandbox.New(cm, make([]byte, size), sandbox.Options{})
+			if err != nil {
+				pool.Stop()
+				return nil, err
+			}
+			wg.Add(1)
+			sb.OnComplete = func(*sandbox.Sandbox) { wg.Done() }
+			if err := pool.Submit(sb); err != nil {
+				pool.Stop()
+				return nil, err
+			}
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		st := pool.Stats()
+		pool.Stop()
+		tbl.Rows = append(tbl.Rows, []string{
+			dist.String(), elapsed.String(),
+			fmt.Sprintf("%.0f", float64(n)/elapsed.Seconds()),
+			fmt.Sprint(st.Steals),
+		})
+		o.logf("ablation-dist: %s %v", dist, elapsed)
+	}
+	return []*Table{tbl}, nil
+}
+
+// RunAblationBounds re-runs two applications under every bounds strategy —
+// the end-to-end cost of each §3.2 memory-safety mechanism.
+func RunAblationBounds(o Options) ([]*Table, error) {
+	iters := 50
+	if o.Quick {
+		iters = 5
+	}
+	strategies := []engine.BoundsStrategy{
+		engine.BoundsNone, engine.BoundsGuard, engine.BoundsSoftwareFused,
+		engine.BoundsSoftware, engine.BoundsMPX,
+	}
+	tbl := &Table{
+		ID:      "ablation-bounds",
+		Title:   "Bounds-check strategies on application latency (mean)",
+		Headers: append([]string{"application"}, strategyNames(strategies)...),
+	}
+	for _, name := range []string{"gocr", "cifar10"} {
+		app, _ := apps.Get(name)
+		req := app.GenRequest()
+		want := app.Native(req)
+		row := []string{name}
+		for _, bs := range strategies {
+			cm, err := app.Compile(engine.Config{Bounds: bs})
+			if err != nil {
+				return nil, err
+			}
+			// Warm the allocator and caches before timing.
+			for i := 0; i < 3; i++ {
+				if _, err := apps.RunWasm(cm, req); err != nil {
+					return nil, err
+				}
+			}
+			lats := make([]time.Duration, 0, iters)
+			for i := 0; i < iters; i++ {
+				t0 := time.Now()
+				got, err := apps.RunWasm(cm, req)
+				lats = append(lats, time.Since(t0))
+				if err != nil {
+					return nil, err
+				}
+				if !bytes.Equal(got, want) {
+					return nil, fmt.Errorf("ablation-bounds: %s/%s diverged", name, bs)
+				}
+			}
+			row = append(row, stats.Summarize(lats).Mean.String())
+		}
+		tbl.Rows = append(tbl.Rows, row)
+		o.logf("ablation-bounds: %s done", name)
+	}
+	return []*Table{tbl}, nil
+}
+
+func strategyNames(ss []engine.BoundsStrategy) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// RunAblationStartup quantifies the paper's decoupling of linking/loading
+// from instantiation: per-request cost when the module is re-processed each
+// time vs instantiated from the preloaded module.
+func RunAblationStartup(o Options) ([]*Table, error) {
+	iters := 300
+	if o.Quick {
+		iters = 30
+	}
+	app, _ := apps.Get("gps-ekf")
+	res, err := wcc.Compile(app.Source, wcc.Options{HeapBytes: app.HeapBytes, Data: app.Data})
+	if err != nil {
+		return nil, err
+	}
+	host := abi.Registry()
+
+	// Coupled: decode + validate + lower per request (cold path).
+	coupled := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		cm, err := engine.CompileBinary(res.Binary, host, engine.Config{})
+		if err != nil {
+			return nil, err
+		}
+		sb, err := sandbox.New(cm, nil, sandbox.Options{})
+		if err != nil {
+			return nil, err
+		}
+		sb.Fail(nil)
+		coupled = append(coupled, time.Since(t0))
+	}
+
+	// Decoupled: compile once, instantiate per request (the Sledge design).
+	cm, err := engine.CompileBinary(res.Binary, host, engine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	decoupled := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		sb, err := sandbox.New(cm, nil, sandbox.Options{})
+		if err != nil {
+			return nil, err
+		}
+		sb.Fail(nil)
+		decoupled = append(decoupled, time.Since(t0))
+	}
+
+	cs := stats.Summarize(coupled)
+	ds := stats.Summarize(decoupled)
+	tbl := &Table{
+		ID:      "ablation-startup",
+		Title:   "Decoupled linking/loading vs per-request module processing (GPS-EKF)",
+		Headers: []string{"design", "avg", "p99"},
+		Rows: [][]string{
+			{"coupled (process module per request)", cs.Mean.String(), cs.P99.String()},
+			{"decoupled (Sledge: instantiate only)", ds.Mean.String(), ds.P99.String()},
+		},
+		Notes: []string{
+			fmt.Sprintf("decoupling makes startup %.0fx cheaper", float64(cs.Mean)/float64(ds.Mean)),
+		},
+	}
+	return []*Table{tbl}, nil
+}
+
+// RunAblationWarm strengthens the baseline with warm (pre-forked, reused)
+// worker processes that skip fork+exec and pay only pipe IPC. On this
+// reproduction the warm-native path wins on sequential mean latency —
+// an honest consequence of the interpreter substitution (the paper's Wasm
+// ran at ~1.1x native; ours is interpreter-scale). The cold-vs-warm gap
+// itself, and the fact that Sledge sits within the warm baseline's order
+// of magnitude while providing in-process multi-tenant isolation, are the
+// reproducible observations.
+func RunAblationWarm(o Options) ([]*Table, error) {
+	iters := 400
+	if o.Quick {
+		iters = 40
+	}
+	rt := core.New(core.Config{Workers: 1})
+	defer rt.Close()
+	for _, name := range []string{"ping", "gps-ekf"} {
+		app, _ := apps.Get(name)
+		cm, err := app.Compile(rt.EngineConfig())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := rt.RegisterCompiled(name, cm, "main", ""); err != nil {
+			return nil, err
+		}
+	}
+	cold, err := nuclio.New(nuclio.Config{MaxWorkers: 1})
+	if err != nil {
+		return nil, err
+	}
+	warm, err := nuclio.NewWarmPool(1)
+	if err != nil {
+		return nil, err
+	}
+	defer warm.Close()
+
+	tbl := &Table{
+		ID:      "ablation-warm",
+		Title:   "Baseline hardening: Sledge vs cold-spawn vs warm process workers (mean latency)",
+		Headers: []string{"function", "sledge sandbox", "warm process", "cold fork+exec"},
+		Notes: []string{
+			"warm workers run native code and skip fork+exec; they beat the interpreted sandbox on raw latency — with the paper's near-native Wasm codegen the comparison flips (see EXPERIMENTS.md)",
+		},
+	}
+	for _, name := range []string{"ping", "gps-ekf"} {
+		app, _ := apps.Get(name)
+		req := app.GenRequest()
+
+		measure := func(fn func() error, n int) (time.Duration, error) {
+			// warm-up
+			for i := 0; i < 3; i++ {
+				if err := fn(); err != nil {
+					return 0, err
+				}
+			}
+			t0 := time.Now()
+			for i := 0; i < n; i++ {
+				if err := fn(); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(t0) / time.Duration(n), nil
+		}
+		sl, err := measure(func() error { _, err := rt.Invoke(name, req); return err }, iters)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-warm sledge %s: %w", name, err)
+		}
+		wm, err := measure(func() error { _, err := warm.Invoke(name, req); return err }, iters)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-warm warm %s: %w", name, err)
+		}
+		coldIters := iters / 10
+		if coldIters < 5 {
+			coldIters = 5
+		}
+		cd, err := measure(func() error { _, err := cold.Invoke(name, req); return err }, coldIters)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-warm cold %s: %w", name, err)
+		}
+		tbl.Rows = append(tbl.Rows, []string{name, sl.String(), wm.String(), cd.String()})
+		o.logf("ablation-warm: %s sledge=%v warm=%v cold=%v", name, sl, wm, cd)
+	}
+	return []*Table{tbl}, nil
+}

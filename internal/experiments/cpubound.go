@@ -1,0 +1,56 @@
+package experiments
+
+import "sledge/internal/workloads/apps"
+
+// RunCPUBound reproduces the experiment the paper describes in §5.2 text
+// ("we additionally run experiments with CPU-bound functions of various
+// computation times. As functions become increasingly CPU-bound, the
+// performance of Sledge gets closer to Nuclio"): a tunable spin function is
+// swept across iteration counts and the Sledge/Nuclio throughput ratio is
+// reported per point.
+func RunCPUBound(o Options) ([]*Table, error) {
+	type sweep struct {
+		label string
+		iters uint32
+	}
+	points := []sweep{
+		{"1k iters", 1_000},
+		{"10k iters", 10_000},
+		{"100k iters", 100_000},
+		{"1M iters", 1_000_000},
+		{"10M iters", 10_000_000},
+	}
+	conc, nSledge, nNuclio := 50, 400, 150
+	if o.Quick {
+		points = points[:3]
+		conc, nSledge, nNuclio = 4, 20, 8
+	}
+	sp, err := startServers(o, []string{"spin"})
+	if err != nil {
+		return nil, err
+	}
+	defer sp.close()
+
+	tbl := &Table{
+		ID:      "cpubound",
+		Title:   "CPU-bound function sweep: Sledge advantage vs computation time (§5.2 text)",
+		Headers: append([]string{"computation"}, pointHeaders[1:]...),
+		Notes: []string{
+			"as the function becomes compute-bound, the Sledge/baseline throughput ratio falls toward and below 1 (Wasm overhead dominates per-request savings)",
+		},
+	}
+	for _, pt := range points {
+		n := nSledge
+		// Long spins need fewer requests to measure.
+		if pt.iters >= 1_000_000 {
+			n = nSledge / 10
+		}
+		p, err := sp.measure("spin", conc, n, nNuclio, apps.SpinRequest(pt.iters))
+		if err != nil {
+			return nil, err
+		}
+		tbl.Rows = append(tbl.Rows, pointRow(pt.label, p))
+		o.logf("cpubound: %s ratio=%.2f", pt.label, p.sledgeRPS/p.nuclioRPS)
+	}
+	return []*Table{tbl}, nil
+}

@@ -1,0 +1,255 @@
+// Package httpd is a minimal HTTP/1.1 server substrate for the Sledge
+// listener core: request-line and header parsing, Content-Length bodies,
+// keep-alive connections, and plain responses. The paper's runtime speaks
+// raw HTTP over TCP sockets from a dedicated listener core; this package is
+// that layer, kept deliberately small and allocation-light.
+package httpd
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Request is one parsed HTTP request.
+type Request struct {
+	Method string
+	Path   string
+	Proto  string
+	Header map[string]string
+	Body   []byte
+	// Close reports that the client requested connection close.
+	Close bool
+}
+
+// Response is the handler's reply.
+type Response struct {
+	// Status is the HTTP status code; 0 means 200.
+	Status int
+	// ContentType defaults to application/octet-stream.
+	ContentType string
+	Body        []byte
+}
+
+// Handler processes one request. Handlers may block; each connection is
+// served sequentially in order.
+type Handler func(*Request) Response
+
+// ErrMalformedRequest reports an unparseable request.
+var ErrMalformedRequest = errors.New("httpd: malformed request")
+
+// MaxBodyBytes bounds request bodies (default 8 MiB).
+const MaxBodyBytes = 8 << 20
+
+// MaxHeaderBytes bounds each header line.
+const MaxHeaderBytes = 64 << 10
+
+// Server serves HTTP over a listener.
+type Server struct {
+	Handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   atomic.Bool
+
+	// Accepted counts accepted connections; Served counts requests.
+	Accepted atomic.Uint64
+	Served   atomic.Uint64
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.Accepted.Add(1)
+		s.track(conn, true)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.track(conn, false)
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) track(c net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+// Close stops accepting and closes active connections.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 16<<10)
+	bw := bufio.NewWriterSize(conn, 16<<10)
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				writeResponse(bw, Response{Status: 400, Body: []byte(err.Error() + "\n")}, true)
+				bw.Flush()
+			}
+			return
+		}
+		s.Served.Add(1)
+		resp := s.Handler(req)
+		if err := writeResponse(bw, resp, req.Close); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if req.Close {
+			return
+		}
+	}
+}
+
+// ReadRequest parses one request from the stream.
+func ReadRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: bad request line %q", ErrMalformedRequest, line)
+	}
+	req := &Request{
+		Method: parts[0],
+		Path:   parts[1],
+		Proto:  parts[2],
+		Header: make(map[string]string, 8),
+	}
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			break
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("%w: bad header %q", ErrMalformedRequest, line)
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:colon]))
+		val := strings.TrimSpace(line[colon+1:])
+		req.Header[key] = val
+	}
+	if strings.EqualFold(req.Header["connection"], "close") {
+		req.Close = true
+	}
+	if req.Proto == "HTTP/1.0" && !strings.EqualFold(req.Header["connection"], "keep-alive") {
+		req.Close = true
+	}
+	if cl, ok := req.Header["content-length"]; ok {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: bad content-length %q", ErrMalformedRequest, cl)
+		}
+		if n > MaxBodyBytes {
+			return nil, fmt.Errorf("%w: body of %d bytes exceeds limit", ErrMalformedRequest, n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("%w: truncated body", ErrMalformedRequest)
+		}
+		req.Body = body
+	}
+	return req, nil
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		chunk, isPrefix, err := br.ReadLine()
+		if err != nil {
+			return "", err
+		}
+		sb.Write(chunk)
+		if sb.Len() > MaxHeaderBytes {
+			return "", fmt.Errorf("%w: header line too long", ErrMalformedRequest)
+		}
+		if !isPrefix {
+			return sb.String(), nil
+		}
+	}
+}
+
+var statusText = map[int]string{
+	200: "OK",
+	400: "Bad Request",
+	404: "Not Found",
+	500: "Internal Server Error",
+	503: "Service Unavailable",
+}
+
+func writeResponse(w *bufio.Writer, resp Response, close bool) error {
+	status := resp.Status
+	if status == 0 {
+		status = 200
+	}
+	text, ok := statusText[status]
+	if !ok {
+		text = "Status"
+	}
+	ct := resp.ContentType
+	if ct == "" {
+		ct = "application/octet-stream"
+	}
+	if _, err := fmt.Fprintf(w, "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n",
+		status, text, ct, len(resp.Body)); err != nil {
+		return err
+	}
+	if close {
+		if _, err := io.WriteString(w, "Connection: close\r\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\r\n"); err != nil {
+		return err
+	}
+	_, err := w.Write(resp.Body)
+	return err
+}

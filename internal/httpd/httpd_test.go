@@ -1,0 +1,218 @@
+package httpd
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestReadRequestBasic(t *testing.T) {
+	raw := "POST /fn HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello"
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	if req.Method != "POST" || req.Path != "/fn" || req.Proto != "HTTP/1.1" {
+		t.Errorf("parsed %+v", req)
+	}
+	if string(req.Body) != "hello" {
+		t.Errorf("body %q", req.Body)
+	}
+	if req.Close {
+		t.Error("keep-alive request marked close")
+	}
+}
+
+func TestReadRequestConnectionClose(t *testing.T) {
+	raw := "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	if !req.Close {
+		t.Error("Connection: close not honored")
+	}
+}
+
+func TestReadRequestHTTP10DefaultsClose(t *testing.T) {
+	raw := "GET / HTTP/1.0\r\n\r\n"
+	req, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	if !req.Close {
+		t.Error("HTTP/1.0 should default to close")
+	}
+}
+
+func TestReadRequestMalformed(t *testing.T) {
+	cases := []string{
+		"GARBAGE\r\n\r\n",
+		"GET /\r\n\r\n",
+		"GET / HTTP/1.1\r\nNoColonHeader\r\n\r\n",
+		"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+		"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+		fmt.Sprintf("POST / HTTP/1.1\r\nContent-Length: %d\r\n\r\n", MaxBodyBytes+1),
+	}
+	for _, raw := range cases {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(raw))); !errors.Is(err, ErrMalformedRequest) {
+			t.Errorf("ReadRequest(%q) err = %v, want ErrMalformedRequest", raw[:20], err)
+		}
+	}
+}
+
+func TestReadRequestTruncatedBody(t *testing.T) {
+	raw := "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(raw))); !errors.Is(err, ErrMalformedRequest) {
+		t.Errorf("truncated body err = %v", err)
+	}
+}
+
+// startServer runs a Server on a loopback listener.
+func startServer(t *testing.T, h Handler) (addr string, s *Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s = &Server{Handler: h}
+	go func() {
+		if err := s.Serve(ln); err != nil {
+			t.Logf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() { s.Close() })
+	return ln.Addr().String(), s
+}
+
+func TestServerWithStdlibClient(t *testing.T) {
+	addr, s := startServer(t, func(req *Request) Response {
+		return Response{Body: append([]byte("echo:"), req.Body...)}
+	})
+	resp, err := http.Post("http://"+addr+"/x", "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || string(body) != "echo:payload" {
+		t.Errorf("status %d body %q", resp.StatusCode, body)
+	}
+	if s.Served.Load() != 1 {
+		t.Errorf("Served = %d", s.Served.Load())
+	}
+}
+
+func TestServerKeepAlivePipelinedSequential(t *testing.T) {
+	addr, s := startServer(t, func(req *Request) Response {
+		return Response{Body: []byte(req.Path)}
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for i := 0; i < 5; i++ {
+		path := fmt.Sprintf("/req%d", i)
+		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: a\r\n\r\n", path)
+		status, body := readResponse(t, br)
+		if status != 200 || string(body) != path {
+			t.Fatalf("request %d: status %d body %q", i, status, body)
+		}
+	}
+	if got := s.Accepted.Load(); got != 1 {
+		t.Errorf("Accepted = %d, want 1 (keep-alive)", got)
+	}
+	if got := s.Served.Load(); got != 5 {
+		t.Errorf("Served = %d, want 5", got)
+	}
+}
+
+func TestServerStatusCodes(t *testing.T) {
+	addr, _ := startServer(t, func(req *Request) Response {
+		if req.Path == "/missing" {
+			return Response{Status: 404, Body: []byte("nope")}
+		}
+		return Response{Status: 500}
+	})
+	resp, err := http.Get("http://" + addr + "/missing")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerMalformedGets400(t *testing.T) {
+	addr, _ := startServer(t, func(req *Request) Response { return Response{} })
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "NONSENSE\r\n\r\n")
+	br := bufio.NewReader(conn)
+	status, _ := readResponse(t, br)
+	if status != 400 {
+		t.Errorf("status = %d, want 400", status)
+	}
+}
+
+func readResponse(t *testing.T, br *bufio.Reader) (int, []byte) {
+	t.Helper()
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read status line: %v", err)
+	}
+	var status int
+	if _, err := fmt.Sscanf(line, "HTTP/1.1 %d", &status); err != nil {
+		t.Fatalf("bad status line %q", line)
+	}
+	contentLen := -1
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read header: %v", err)
+		}
+		h = strings.TrimRight(h, "\r\n")
+		if h == "" {
+			break
+		}
+		if strings.HasPrefix(strings.ToLower(h), "content-length:") {
+			fmt.Sscanf(h[15:], "%d", &contentLen)
+		}
+	}
+	if contentLen < 0 {
+		t.Fatal("no content-length")
+	}
+	body := make([]byte, contentLen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return status, body
+}
+
+func TestLargeBodyRoundTrip(t *testing.T) {
+	addr, _ := startServer(t, func(req *Request) Response {
+		return Response{Body: req.Body}
+	})
+	payload := bytes.Repeat([]byte("x"), 1<<20)
+	resp, err := http.Post("http://"+addr+"/big", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(body, payload) {
+		t.Errorf("1 MiB body mangled: got %d bytes", len(body))
+	}
+}

@@ -1,0 +1,144 @@
+// Package loadgen is the closed-loop HTTP load generator used by the
+// serverless experiments — the reproduction's Apache Bench: C concurrent
+// connections issue N total POST requests and the harness reports
+// throughput plus mean/median/p99 latency, the quantities in the paper's
+// Figures 6–8.
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sledge/internal/stats"
+)
+
+// Options configures one load run.
+type Options struct {
+	// URL is the target, e.g. "http://127.0.0.1:8080/ping".
+	URL string
+	// Concurrency is the number of concurrent connections (ab -c).
+	Concurrency int
+	// Requests is the total request count (ab -n).
+	Requests int
+	// Body is the request payload; BodyFn overrides it per request.
+	Body   []byte
+	BodyFn func(i int) []byte
+	// Timeout bounds each request. Default 30 s.
+	Timeout time.Duration
+	// Validate, if set, checks each response body.
+	Validate func(body []byte) error
+}
+
+// Result reports one load run.
+type Result struct {
+	Latencies []time.Duration
+	Summary   stats.Summary
+	Elapsed   time.Duration
+	Errors    int
+	// ThroughputRPS is completed requests per second of wall time.
+	ThroughputRPS float64
+	// BytesIn totals response body bytes.
+	BytesIn int64
+}
+
+// Run executes the load. It uses a shared keep-alive transport with one
+// idle connection per concurrent worker, like ab's connection reuse.
+func Run(opts Options) (Result, error) {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 1
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	transport := &http.Transport{
+		MaxIdleConns:        opts.Concurrency,
+		MaxIdleConnsPerHost: opts.Concurrency,
+		IdleConnTimeout:     time.Minute,
+		DisableCompression:  true,
+	}
+	client := &http.Client{Transport: transport, Timeout: opts.Timeout}
+	defer transport.CloseIdleConnections()
+
+	var (
+		next     atomic.Int64
+		errs     atomic.Int64
+		bytesIn  atomic.Int64
+		latMu    sync.Mutex
+		all      = make([]time.Duration, 0, opts.Requests)
+		wg       sync.WaitGroup
+		firstErr atomic.Pointer[error]
+	)
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, opts.Requests/opts.Concurrency+1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Requests {
+					break
+				}
+				body := opts.Body
+				if opts.BodyFn != nil {
+					body = opts.BodyFn(i)
+				}
+				t0 := time.Now()
+				resp, err := client.Post(opts.URL, "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					e := fmt.Errorf("request %d: %w", i, err)
+					firstErr.CompareAndSwap(nil, &e)
+					continue
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					e := fmt.Errorf("request %d: status %d: %v", i, resp.StatusCode, err)
+					firstErr.CompareAndSwap(nil, &e)
+					continue
+				}
+				if opts.Validate != nil {
+					if verr := opts.Validate(data); verr != nil {
+						errs.Add(1)
+						e := fmt.Errorf("request %d: %w", i, verr)
+						firstErr.CompareAndSwap(nil, &e)
+						continue
+					}
+				}
+				bytesIn.Add(int64(len(data)))
+				local = append(local, lat)
+			}
+			latMu.Lock()
+			all = append(all, local...)
+			latMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Latencies: all,
+		Summary:   stats.Summarize(all),
+		Elapsed:   elapsed,
+		Errors:    int(errs.Load()),
+		BytesIn:   bytesIn.Load(),
+	}
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
+	}
+	if ep := firstErr.Load(); ep != nil && len(all) == 0 {
+		return res, *ep
+	}
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunBasic(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		w.Write(body)
+	}))
+	defer srv.Close()
+
+	res, err := Run(Options{
+		URL:         srv.URL,
+		Concurrency: 4,
+		Requests:    100,
+		Body:        []byte("ping"),
+		Validate: func(b []byte) error {
+			if string(b) != "ping" {
+				return fmt.Errorf("bad echo %q", b)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if served.Load() != 100 {
+		t.Errorf("server saw %d requests", served.Load())
+	}
+	if res.Errors != 0 || res.Summary.Count != 100 {
+		t.Errorf("result %+v", res.Summary)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Error("no throughput computed")
+	}
+	if res.BytesIn != 400 {
+		t.Errorf("BytesIn = %d", res.BytesIn)
+	}
+}
+
+func TestRunPerRequestBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Write(body)
+	}))
+	defer srv.Close()
+	res, err := Run(Options{
+		URL:      srv.URL,
+		Requests: 10,
+		BodyFn:   func(i int) []byte { return []byte{byte(i)} },
+	})
+	if err != nil || res.Summary.Count != 10 {
+		t.Fatalf("Run: %v %+v", err, res.Summary)
+	}
+}
+
+func TestRunCountsServerErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	res, err := Run(Options{URL: srv.URL, Requests: 5, Timeout: 2 * time.Second})
+	if err == nil {
+		t.Error("expected error when every request fails")
+	}
+	if res.Errors != 5 {
+		t.Errorf("Errors = %d", res.Errors)
+	}
+}
+
+func TestRunUnreachable(t *testing.T) {
+	res, err := Run(Options{URL: "http://127.0.0.1:1/none", Requests: 2, Timeout: time.Second})
+	if err == nil {
+		t.Error("expected connection error")
+	}
+	if res.Errors != 2 {
+		t.Errorf("Errors = %d", res.Errors)
+	}
+}

@@ -1,0 +1,200 @@
+package nuclio
+
+// Warm-worker mode. The paper's Nuclio keeps the function-processor
+// container persistent and forks per invocation; commercial platforms also
+// reuse "warm" workers. This file adds that stronger baseline variant: a
+// pool of persistent worker processes speaking a length-prefixed framed
+// protocol over their stdin/stdout pipes. Warm invocations skip fork+exec
+// but still pay pipe IPC and kernel scheduling — the overheads the paper
+// argues remain in any process-model design.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"sledge/internal/workloads/apps"
+)
+
+const warmEnv = "SLEDGE_NUCLIO_WARM"
+
+// maybeWarmWorkerMain services framed requests until stdin closes.
+// Frame format (little-endian): u32 name length, name bytes, u32 body
+// length, body bytes; reply: u32 body length, body bytes.
+func maybeWarmWorkerMain() bool {
+	if os.Getenv(warmEnv) == "" {
+		return false
+	}
+	in := bufio.NewReaderSize(os.Stdin, 1<<20)
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	for {
+		name, err := readFrame(in)
+		if err != nil {
+			if err == io.EOF {
+				os.Exit(0)
+			}
+			fmt.Fprintf(os.Stderr, "warm worker: %v\n", err)
+			os.Exit(2)
+		}
+		req, err := readFrame(in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warm worker: %v\n", err)
+			os.Exit(2)
+		}
+		app, ok := apps.Get(string(name))
+		var resp []byte
+		if ok {
+			resp = app.Native(req)
+		}
+		if err := writeFrame(out, resp); err != nil {
+			os.Exit(2)
+		}
+		if err := out.Flush(); err != nil {
+			os.Exit(2)
+		}
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > 64<<20 {
+		return nil, fmt.Errorf("frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// warmWorker is one persistent worker process.
+type warmWorker struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	out   *bufio.Reader
+}
+
+// WarmPool manages persistent worker processes.
+type WarmPool struct {
+	mu      sync.Mutex
+	exe     string
+	idle    []*warmWorker
+	size    int
+	started int
+	closed  bool
+}
+
+// NewWarmPool creates a pool of up to size persistent workers, spawned
+// lazily on first use.
+func NewWarmPool(size int) (*WarmPool, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("nuclio: %w", err)
+	}
+	if size <= 0 {
+		size = 4
+	}
+	return &WarmPool{exe: exe, size: size}, nil
+}
+
+func (p *WarmPool) acquire() (*warmWorker, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("nuclio: warm pool closed")
+	}
+	if n := len(p.idle); n > 0 {
+		w := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		return w, nil
+	}
+	cmd := exec.Command(p.exe)
+	cmd.Env = append(os.Environ(), warmEnv+"=1")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("nuclio: warm spawn: %w", err)
+	}
+	p.started++
+	return &warmWorker{cmd: cmd, stdin: stdin, out: bufio.NewReaderSize(stdout, 1<<20)}, nil
+}
+
+func (p *WarmPool) release(w *warmWorker, healthy bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !healthy || p.closed || len(p.idle) >= p.size {
+		w.stdin.Close()
+		_ = w.cmd.Wait()
+		return
+	}
+	p.idle = append(p.idle, w)
+}
+
+// Invoke runs one request on a warm worker (spawning one only if none is
+// idle).
+func (p *WarmPool) Invoke(name string, req []byte) ([]byte, error) {
+	w, err := p.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(w.stdin, []byte(name)); err != nil {
+		p.release(w, false)
+		return nil, fmt.Errorf("nuclio: warm IPC: %w", err)
+	}
+	if err := writeFrame(w.stdin, req); err != nil {
+		p.release(w, false)
+		return nil, fmt.Errorf("nuclio: warm IPC: %w", err)
+	}
+	resp, err := readFrame(w.out)
+	if err != nil {
+		p.release(w, false)
+		return nil, fmt.Errorf("nuclio: warm IPC: %w", err)
+	}
+	p.release(w, true)
+	return resp, nil
+}
+
+// Started reports how many worker processes were ever spawned.
+func (p *WarmPool) Started() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.started
+}
+
+// Close terminates all idle workers.
+func (p *WarmPool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, w := range idle {
+		w.stdin.Close()
+		_ = w.cmd.Wait()
+	}
+}

@@ -1,0 +1,250 @@
+// Package sandbox implements the Sledge function sandbox lifecycle (§3.2,
+// §4 of the paper): a sandbox is one instantiation of an AoT-compiled module
+// bound to one request, with its own linear memory and execution context.
+//
+// Creation is deliberately minimal — module linking/loading happened at
+// registry load time — so sandbox startup is microsecond-scale, which is
+// what the paper's churn experiment (Table 3) measures.
+package sandbox
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sledge/internal/abi"
+	"sledge/internal/engine"
+)
+
+// State is the sandbox lifecycle state.
+type State int32
+
+// Lifecycle states.
+const (
+	StateRunnable State = iota + 1
+	StateRunning
+	StateBlocked
+	StateComplete
+	StateTrapped
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateComplete:
+		return "complete"
+	case StateTrapped:
+		return "trapped"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+var idCounter atomic.Uint64
+
+// Sandbox is one in-flight function invocation.
+type Sandbox struct {
+	// ID is unique per process.
+	ID uint64
+	// Module is the registered function name, for accounting.
+	Module string
+	// Tenant identifies the owning tenant for multi-tenant accounting.
+	Tenant string
+
+	inst *engine.Instance
+	ctx  *abi.Context
+
+	state atomic.Int32
+
+	// Err records the trap or start failure for completed sandboxes.
+	Err error
+
+	// OnComplete, if set, runs on the worker when the sandbox finishes
+	// (successfully or trapped). It must not block.
+	OnComplete func(*Sandbox)
+
+	// pending is the in-flight async host operation while blocked.
+	pending *abi.Pending
+
+	exitCode int32
+
+	// Accounting timestamps.
+	CreatedAt  time.Time
+	FirstRunAt time.Time
+	DoneAt     time.Time
+
+	// Preemptions counts involuntary context switches.
+	Preemptions uint64
+}
+
+// Options configures sandbox creation.
+type Options struct {
+	// Entry is the exported function to run; defaults to "main".
+	Entry string
+	// KV is the storage backend exposed through the ABI.
+	KV abi.KVStore
+	// RandSeed seeds the sandbox's deterministic sledge.rand.
+	RandSeed uint32
+	// Tenant labels the sandbox for multi-tenant accounting.
+	Tenant string
+}
+
+// New instantiates a sandbox for one request. This is the fast path: linear
+// memory allocation plus context setup only.
+func New(cm *engine.CompiledModule, req []byte, opts Options) (*Sandbox, error) {
+	entry := opts.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	inst := cm.Instantiate()
+	ctx := abi.NewContext(req)
+	ctx.KV = opts.KV
+	if opts.RandSeed != 0 {
+		ctx.SetRandSeed(opts.RandSeed)
+	}
+	inst.HostData = ctx
+	sb := &Sandbox{
+		ID:        idCounter.Add(1),
+		Module:    entry,
+		Tenant:    opts.Tenant,
+		inst:      inst,
+		ctx:       ctx,
+		CreatedAt: time.Now(),
+	}
+	if err := inst.Start(entry); err != nil {
+		return nil, fmt.Errorf("sandbox: %w", err)
+	}
+	sb.state.Store(int32(StateRunnable))
+	return sb, nil
+}
+
+// State returns the current lifecycle state.
+func (sb *Sandbox) State() State { return State(sb.state.Load()) }
+
+// Response returns the accumulated response body.
+func (sb *Sandbox) Response() []byte { return sb.ctx.Response }
+
+// ExitCode returns the entry function's return value after completion.
+func (sb *Sandbox) ExitCode() (int32, error) {
+	if sb.State() != StateComplete {
+		return 0, engine.ErrNotDone
+	}
+	return sb.exitCode, nil
+}
+
+// InstrRetired reports executed instruction count, for accounting.
+func (sb *Sandbox) InstrRetired() uint64 { return sb.inst.InstrRetired }
+
+// ErrNotRunnable reports a RunQuantum call in the wrong state.
+var ErrNotRunnable = errors.New("sandbox: not runnable")
+
+// RunQuantum resumes the sandbox for at most fuel instructions (fuel <= 0
+// runs unpreempted). It returns the resulting state. On completion or trap
+// the OnComplete callback fires exactly once.
+func (sb *Sandbox) RunQuantum(fuel int64) State {
+	if State(sb.state.Load()) != StateRunnable {
+		return sb.State()
+	}
+	if sb.FirstRunAt.IsZero() {
+		sb.FirstRunAt = time.Now()
+	}
+	sb.state.Store(int32(StateRunning))
+	st, err := sb.inst.Run(fuel)
+	switch st {
+	case engine.StatusDone:
+		if v, rerr := sb.inst.Result(); rerr == nil {
+			sb.exitCode = int32(uint32(v))
+		}
+		sb.DoneAt = time.Now()
+		sb.state.Store(int32(StateComplete))
+		sb.complete()
+	case engine.StatusYielded:
+		sb.Preemptions++
+		sb.state.Store(int32(StateRunnable))
+	case engine.StatusBlocked:
+		sb.pending = sb.ctx.TakePending()
+		if sb.pending == nil {
+			// Host blocked without registering a completion: fail
+			// closed rather than leaking the sandbox.
+			sb.Err = errors.New("sandbox: blocked host call without pending completion")
+			sb.DoneAt = time.Now()
+			sb.state.Store(int32(StateTrapped))
+			sb.complete()
+			return sb.State()
+		}
+		sb.state.Store(int32(StateBlocked))
+	case engine.StatusTrapped:
+		if abi.IsCleanExit(err) {
+			// WASI proc_exit(0) is a successful completion.
+			sb.DoneAt = time.Now()
+			sb.state.Store(int32(StateComplete))
+			sb.complete()
+			break
+		}
+		sb.Err = err
+		sb.DoneAt = time.Now()
+		sb.state.Store(int32(StateTrapped))
+		sb.complete()
+	}
+	return sb.State()
+}
+
+func (sb *Sandbox) complete() {
+	if sb.OnComplete != nil {
+		sb.OnComplete(sb)
+	}
+	// Eager teardown: the paper tears down sandbox memories on the worker
+	// as soon as execution finishes.
+	sb.inst.Teardown()
+}
+
+// PendingReadyAt reports when the blocked sandbox's I/O completes.
+func (sb *Sandbox) PendingReadyAt() (time.Time, bool) {
+	if sb.pending == nil {
+		return time.Time{}, false
+	}
+	return sb.pending.ReadyAt, true
+}
+
+// CompletePending finishes the blocked I/O (invoking its deferred effect)
+// and makes the sandbox runnable again. The worker's event loop calls this
+// once ReadyAt has passed.
+func (sb *Sandbox) CompletePending() error {
+	if State(sb.state.Load()) != StateBlocked || sb.pending == nil {
+		return errors.New("sandbox: no pending I/O")
+	}
+	val := sb.pending.Complete()
+	sb.pending = nil
+	if err := sb.inst.ResumeHost(val); err != nil {
+		return err
+	}
+	sb.state.Store(int32(StateRunnable))
+	return nil
+}
+
+// Latency returns the end-to-end sandbox latency (creation to completion).
+func (sb *Sandbox) Latency() time.Duration {
+	if sb.DoneAt.IsZero() {
+		return 0
+	}
+	return sb.DoneAt.Sub(sb.CreatedAt)
+}
+
+// Fail force-completes the sandbox with an error (used by the scheduler
+// when a blocked completion cannot be delivered). The OnComplete callback
+// still fires so waiters are released.
+func (sb *Sandbox) Fail(err error) {
+	if s := State(sb.state.Load()); s == StateComplete || s == StateTrapped {
+		return
+	}
+	sb.Err = err
+	sb.DoneAt = time.Now()
+	sb.state.Store(int32(StateTrapped))
+	sb.complete()
+}

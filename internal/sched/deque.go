@@ -1,0 +1,111 @@
+// Package sched implements the Sledge serverless-first scheduler (§3.4,
+// §4): a lock-free Chase–Lev work-stealing deque distributes new sandboxes
+// to worker cores (work distribution), and each worker runs a local,
+// preemptive round-robin queue with a configurable quantum (temporal
+// isolation). Blocked sandboxes park on the worker's event loop and wake on
+// I/O completion — the reproduction of the paper's libuv integration.
+package sched
+
+import "sync/atomic"
+
+// Deque is a lock-free Chase–Lev work-stealing deque (Chase & Lev, SPAA'05;
+// memory-order treatment after Lê et al., PPoPP'13). A single owner pushes
+// and pops at the bottom; any number of thieves steal from the top. The
+// Sledge listener is the owner; worker cores are the thieves.
+type Deque[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	array  atomic.Pointer[ring[T]]
+}
+
+type ring[T any] struct {
+	mask int64
+	buf  []atomic.Pointer[T]
+}
+
+func newRing[T any](size int64) *ring[T] {
+	return &ring[T]{mask: size - 1, buf: make([]atomic.Pointer[T], size)}
+}
+
+// NewDeque returns an empty deque with the given initial capacity
+// (rounded up to a power of two, minimum 8).
+func NewDeque[T any](capacity int) *Deque[T] {
+	size := int64(8)
+	for size < int64(capacity) {
+		size *= 2
+	}
+	d := &Deque[T]{}
+	d.array.Store(newRing[T](size))
+	return d
+}
+
+// PushBottom adds x at the bottom. Only the owner may call it.
+func (d *Deque[T]) PushBottom(x *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t >= int64(len(a.buf)) {
+		a = d.grow(a, t, b)
+	}
+	a.buf[b&a.mask].Store(x)
+	d.bottom.Store(b + 1)
+}
+
+func (d *Deque[T]) grow(old *ring[T], t, b int64) *ring[T] {
+	bigger := newRing[T](int64(len(old.buf)) * 2)
+	for i := t; i < b; i++ {
+		bigger.buf[i&bigger.mask].Store(old.buf[i&old.mask].Load())
+	}
+	d.array.Store(bigger)
+	return bigger
+}
+
+// PopBottom removes the most recently pushed element. Only the owner may
+// call it.
+func (d *Deque[T]) PopBottom() (*T, bool) {
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore.
+		d.bottom.Store(t)
+		return nil, false
+	}
+	x := a.buf[b&a.mask].Load()
+	if t == b {
+		// Last element: race against thieves for it.
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(t + 1)
+		if !won {
+			return nil, false
+		}
+	}
+	return x, true
+}
+
+// Steal removes the oldest element. Safe from any goroutine. A false return
+// means the deque was empty or the steal lost a race; callers typically
+// retry on their next idle iteration.
+func (d *Deque[T]) Steal() (*T, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	a := d.array.Load()
+	x := a.buf[t&a.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, false
+	}
+	return x, true
+}
+
+// Size reports the approximate number of queued elements.
+func (d *Deque[T]) Size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,494 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sledge/internal/engine"
+	"sledge/internal/sandbox"
+)
+
+// Distribution selects the work-distribution mechanism (the paper's §3.4
+// decoupling; the non-default modes exist for the ablation benchmarks).
+type Distribution int
+
+// Work-distribution modes.
+const (
+	// DistWorkStealing is the paper's design: a global lock-free
+	// Chase–Lev deque fed by the listener and stolen from by workers.
+	DistWorkStealing Distribution = iota + 1
+	// DistGlobalLock uses a mutex-protected global FIFO: work-conserving
+	// but contended (the paper's "global queue is not scalable" strawman).
+	DistGlobalLock
+	// DistStatic assigns requests round-robin to per-worker inboxes with
+	// no stealing: scalable but not work-conserving.
+	DistStatic
+)
+
+// String returns the mode name.
+func (d Distribution) String() string {
+	switch d {
+	case DistWorkStealing:
+		return "work-stealing"
+	case DistGlobalLock:
+		return "global-lock"
+	case DistStatic:
+		return "static"
+	}
+	return fmt.Sprintf("dist(%d)", int(d))
+}
+
+// Policy selects the per-worker scheduling policy.
+type Policy int
+
+// Scheduling policies.
+const (
+	// PolicyPreemptiveRR is the paper's design: round-robin with an
+	// involuntary preemption quantum.
+	PolicyPreemptiveRR Policy = iota + 1
+	// PolicyCooperative runs each sandbox until it completes or blocks —
+	// the head-of-line-blocking strawman of §3.4.
+	PolicyCooperative
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyPreemptiveRR:
+		return "preemptive-rr"
+	case PolicyCooperative:
+		return "cooperative"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config configures a worker pool.
+type Config struct {
+	// Workers is the number of worker cores. Default 1.
+	Workers int
+	// Quantum is the preemption time slice (paper default: 5 ms).
+	Quantum time.Duration
+	// FuelPerMS converts the quantum to instructions; 0 calibrates.
+	FuelPerMS int64
+	// Policy selects preemptive vs cooperative scheduling.
+	Policy Policy
+	// Distribution selects the work-distribution mechanism.
+	Distribution Distribution
+	// IdlePoll bounds how long an idle worker sleeps before rechecking
+	// its event loop. Default 500µs.
+	IdlePoll time.Duration
+	// MaxLocalRunq bounds how many sandboxes a worker admits into its
+	// local round-robin queue before it stops pulling new requests.
+	// Default 64.
+	MaxLocalRunq int
+}
+
+// DefaultQuantum mirrors the paper's 5 ms time slice.
+const DefaultQuantum = 5 * time.Millisecond
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Quantum == 0 {
+		c.Quantum = DefaultQuantum
+	}
+	if c.Policy == 0 {
+		c.Policy = PolicyPreemptiveRR
+	}
+	if c.Distribution == 0 {
+		c.Distribution = DistWorkStealing
+	}
+	if c.IdlePoll == 0 {
+		c.IdlePoll = 500 * time.Microsecond
+	}
+	if c.MaxLocalRunq == 0 {
+		c.MaxLocalRunq = 64
+	}
+	return c
+}
+
+// Stats are cumulative pool counters.
+type Stats struct {
+	Submitted   uint64
+	Completed   uint64
+	Trapped     uint64
+	Preemptions uint64
+	Steals      uint64
+	Blocked     uint64
+}
+
+// Pool is the Sledge worker pool: N worker goroutines (the paper's pinned
+// worker cores), a work-distribution structure, and per-worker run queues
+// and event loops.
+type Pool struct {
+	cfg         Config
+	fuelQuantum int64
+
+	global   *Deque[sandbox.Sandbox]
+	submitCh chan *sandbox.Sandbox
+
+	lockQ struct {
+		mu sync.Mutex
+		q  []*sandbox.Sandbox
+	}
+
+	workers []*worker
+	nextInb atomic.Uint64
+
+	wake     chan struct{}
+	stopCh   chan struct{}
+	stopped  atomic.Bool
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+
+	submitted   atomic.Uint64
+	completed   atomic.Uint64
+	trapped     atomic.Uint64
+	preemptions atomic.Uint64
+	steals      atomic.Uint64
+	blocked     atomic.Uint64
+}
+
+type worker struct {
+	id   int
+	pool *Pool
+	runq []*sandbox.Sandbox
+
+	inbox struct {
+		mu sync.Mutex
+		q  []*sandbox.Sandbox
+	}
+	blockedQ []*sandbox.Sandbox
+}
+
+// NewPool starts the worker pool.
+func NewPool(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:      cfg,
+		global:   NewDeque[sandbox.Sandbox](256),
+		submitCh: make(chan *sandbox.Sandbox, 1024),
+		wake:     make(chan struct{}, cfg.Workers),
+		stopCh:   make(chan struct{}),
+	}
+	if cfg.Policy == PolicyPreemptiveRR {
+		rate := cfg.FuelPerMS
+		if rate == 0 {
+			rate = engine.CalibrateFuelRate()
+		}
+		p.fuelQuantum = int64(float64(rate) * cfg.Quantum.Seconds() * 1000)
+		if p.fuelQuantum < 1000 {
+			p.fuelQuantum = 1000
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{id: i, pool: p}
+		p.workers = append(p.workers, w)
+	}
+	if cfg.Distribution == DistWorkStealing {
+		p.wg.Add(1)
+		go p.dispatch()
+	}
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go w.loop()
+	}
+	return p
+}
+
+// ErrStopped reports a Submit after Stop.
+var ErrStopped = errors.New("sched: pool stopped")
+
+// Submit hands a sandbox to the pool. The sandbox's OnComplete callback
+// fires on a worker when it finishes.
+func (p *Pool) Submit(sb *sandbox.Sandbox) error {
+	if p.stopped.Load() {
+		return ErrStopped
+	}
+	p.submitted.Add(1)
+	p.inflight.Add(1)
+	switch p.cfg.Distribution {
+	case DistWorkStealing:
+		select {
+		case p.submitCh <- sb:
+		case <-p.stopCh:
+			p.inflight.Add(-1)
+			return ErrStopped
+		}
+	case DistGlobalLock:
+		p.lockQ.mu.Lock()
+		p.lockQ.q = append(p.lockQ.q, sb)
+		p.lockQ.mu.Unlock()
+		p.wakeOne()
+	case DistStatic:
+		w := p.workers[p.nextInb.Add(1)%uint64(len(p.workers))]
+		w.inbox.mu.Lock()
+		w.inbox.q = append(w.inbox.q, sb)
+		w.inbox.mu.Unlock()
+		p.wakeOne()
+	}
+	return nil
+}
+
+// dispatch is the deque owner: it funnels submissions from any goroutine
+// into single-owner PushBottom calls (the paper's listener core role).
+func (p *Pool) dispatch() {
+	defer p.wg.Done()
+	for {
+		select {
+		case sb := <-p.submitCh:
+			p.global.PushBottom(sb)
+			p.wakeOne()
+		case <-p.stopCh:
+			return
+		}
+	}
+}
+
+func (p *Pool) wakeOne() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Submitted:   p.submitted.Load(),
+		Completed:   p.completed.Load(),
+		Trapped:     p.trapped.Load(),
+		Preemptions: p.preemptions.Load(),
+		Steals:      p.steals.Load(),
+		Blocked:     p.blocked.Load(),
+	}
+}
+
+// Inflight reports sandboxes submitted but not yet finished.
+func (p *Pool) Inflight() int { return int(p.inflight.Load()) }
+
+// FuelQuantum reports the per-slice fuel (0 in cooperative mode).
+func (p *Pool) FuelQuantum() int64 { return p.fuelQuantum }
+
+// Quiesce waits until no sandboxes are in flight or the timeout passes.
+func (p *Pool) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if p.inflight.Load() == 0 {
+			return true
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return p.inflight.Load() == 0
+}
+
+// Stop shuts the pool down. In-flight sandboxes finish their current
+// quantum; queued sandboxes are failed so waiters are released.
+func (p *Pool) Stop() {
+	if !p.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(p.stopCh)
+	p.wg.Wait()
+	// Fail anything left queued.
+	for {
+		sb, ok := p.global.Steal()
+		if !ok {
+			break
+		}
+		p.finish(sb, true)
+	}
+	for {
+		select {
+		case sb := <-p.submitCh:
+			p.finish(sb, true)
+			continue
+		default:
+		}
+		break
+	}
+	p.lockQ.mu.Lock()
+	q := p.lockQ.q
+	p.lockQ.q = nil
+	p.lockQ.mu.Unlock()
+	for _, sb := range q {
+		p.finish(sb, true)
+	}
+	for _, w := range p.workers {
+		w.inbox.mu.Lock()
+		iq := w.inbox.q
+		w.inbox.q = nil
+		w.inbox.mu.Unlock()
+		for _, sb := range iq {
+			p.finish(sb, true)
+		}
+		for _, sb := range w.blockedQ {
+			p.finish(sb, true)
+		}
+		for _, sb := range w.runq {
+			p.finish(sb, true)
+		}
+	}
+}
+
+func (p *Pool) finish(sb *sandbox.Sandbox, failed bool) {
+	if failed {
+		sb.Fail(ErrStopped)
+		p.trapped.Add(1)
+	}
+	p.inflight.Add(-1)
+}
+
+// ---- worker ----
+
+func (w *worker) loop() {
+	p := w.pool
+	defer p.wg.Done()
+	for {
+		if p.stopped.Load() {
+			// Abandon local work so shutdown is bounded even when a
+			// sandbox would never finish (cooperative CPU hogs).
+			for _, sb := range w.runq {
+				p.finish(sb, true)
+			}
+			w.runq = nil
+			for _, sb := range w.blockedQ {
+				p.finish(sb, true)
+			}
+			w.blockedQ = nil
+			return
+		}
+		w.drainEventLoop()
+		w.admit()
+		sb := w.next()
+		if sb == nil {
+			w.idleWait()
+			continue
+		}
+		prevPre := sb.Preemptions
+		st := sb.RunQuantum(p.fuelQuantum)
+		switch st {
+		case sandbox.StateRunnable:
+			p.preemptions.Add(sb.Preemptions - prevPre)
+			w.runq = append(w.runq, sb)
+		case sandbox.StateBlocked:
+			p.blocked.Add(1)
+			w.blockedQ = append(w.blockedQ, sb)
+		case sandbox.StateComplete:
+			p.completed.Add(1)
+			p.inflight.Add(-1)
+		case sandbox.StateTrapped:
+			p.trapped.Add(1)
+			p.inflight.Add(-1)
+		}
+	}
+}
+
+// admit pulls new requests from the distribution structure into the local
+// round-robin queue. The paper integrates request dequeueing into the
+// scheduling loop so newly arrived short functions immediately share the
+// core with long-running sandboxes (temporal isolation across admission).
+func (w *worker) admit() {
+	p := w.pool
+	if len(w.runq) >= p.cfg.MaxLocalRunq {
+		return
+	}
+	switch p.cfg.Distribution {
+	case DistWorkStealing:
+		if sb, ok := p.global.Steal(); ok {
+			p.steals.Add(1)
+			w.runq = append(w.runq, sb)
+		}
+	case DistGlobalLock:
+		p.lockQ.mu.Lock()
+		if len(p.lockQ.q) > 0 {
+			sb := p.lockQ.q[0]
+			copy(p.lockQ.q, p.lockQ.q[1:])
+			p.lockQ.q = p.lockQ.q[:len(p.lockQ.q)-1]
+			p.lockQ.mu.Unlock()
+			w.runq = append(w.runq, sb)
+			return
+		}
+		p.lockQ.mu.Unlock()
+	case DistStatic:
+		w.inbox.mu.Lock()
+		if len(w.inbox.q) > 0 {
+			sb := w.inbox.q[0]
+			copy(w.inbox.q, w.inbox.q[1:])
+			w.inbox.q = w.inbox.q[:len(w.inbox.q)-1]
+			w.inbox.mu.Unlock()
+			w.runq = append(w.runq, sb)
+			return
+		}
+		w.inbox.mu.Unlock()
+	}
+}
+
+// next pops the local run queue in round-robin order.
+func (w *worker) next() *sandbox.Sandbox {
+	if len(w.runq) > 0 {
+		sb := w.runq[0]
+		copy(w.runq, w.runq[1:])
+		w.runq = w.runq[:len(w.runq)-1]
+		return sb
+	}
+	return nil
+}
+
+// drainEventLoop completes blocked I/O whose deadline passed and requeues
+// the sandboxes — the per-worker analog of the paper's libuv loop, checked
+// before scheduling (the scheduler "checks for pending I/O before
+// scheduling the function sandboxes from the runqueue").
+func (w *worker) drainEventLoop() {
+	if len(w.blockedQ) == 0 {
+		return
+	}
+	now := time.Now()
+	kept := w.blockedQ[:0]
+	for _, sb := range w.blockedQ {
+		at, ok := sb.PendingReadyAt()
+		if !ok || at.After(now) {
+			kept = append(kept, sb)
+			continue
+		}
+		if err := sb.CompletePending(); err != nil {
+			sb.Fail(err)
+			w.pool.trapped.Add(1)
+			w.pool.inflight.Add(-1)
+			continue
+		}
+		w.runq = append(w.runq, sb)
+	}
+	w.blockedQ = kept
+}
+
+// idleWait parks the worker until new work may be available: a wake token,
+// the next blocked-I/O deadline, or the poll interval.
+func (w *worker) idleWait() {
+	p := w.pool
+	wait := p.cfg.IdlePoll
+	if len(w.blockedQ) > 0 {
+		now := time.Now()
+		for _, sb := range w.blockedQ {
+			if at, ok := sb.PendingReadyAt(); ok {
+				if d := at.Sub(now); d < wait {
+					wait = d
+				}
+			}
+		}
+		if wait < 0 {
+			return
+		}
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-p.wake:
+	case <-timer.C:
+	case <-p.stopCh:
+	}
+}

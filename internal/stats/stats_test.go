@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	durs := make([]time.Duration, 100)
+	for i := range durs {
+		durs[i] = time.Duration(i+1) * time.Millisecond
+	}
+	s := Summarize(durs)
+	if s.Count != 100 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Errorf("P99 = %v", s.P99)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	durs := []time.Duration{3, 1, 2}
+	Summarize(durs)
+	if durs[0] != 3 || durs[1] != 1 || durs[2] != 2 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if m := Mean(xs); m != 7.0/3.0 {
+		t.Errorf("Mean = %v", m)
+	}
+	if g := GeoMean(xs); math.Abs(g-2.0) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", g)
+	}
+	if GeoMean([]float64{1, 0, 2}) != 0 {
+		t.Error("GeoMean with non-positive should be 0")
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-input helpers should return 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if sd := StdDev(xs); math.Abs(sd-2.0) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0.01, 10}, {0.5, 30}, {0.99, 50}, {1.0, 50}}
+	for _, c := range cases {
+		if got := Percentile(xs, c.q); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []int16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		q := float64(qRaw) / 255.0
+		p := Percentile(xs, q)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return p >= sorted[0] && p <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMeanLeqMeanProperty(t *testing.T) {
+	// AM-GM inequality on positive inputs.
+	f := func(raw []uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			xs = append(xs, float64(v)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

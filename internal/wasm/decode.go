@@ -1,0 +1,675 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary-format constants.
+var (
+	magic   = []byte{0x00, 0x61, 0x73, 0x6D} // "\0asm"
+	version = []byte{0x01, 0x00, 0x00, 0x00}
+)
+
+// ErrBadModule reports a malformed module binary.
+var ErrBadModule = errors.New("wasm: malformed module")
+
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.pos }
+
+func (r *reader) readByte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrUnexpectedEOF
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) readBytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, ErrUnexpectedEOF
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) readU32() (uint32, error) {
+	v, n, err := ReadULEB128(r.buf[r.pos:], 32)
+	if err != nil {
+		return 0, err
+	}
+	r.pos += n
+	return uint32(v), nil
+}
+
+func (r *reader) readS32() (int32, error) {
+	v, n, err := ReadSLEB128(r.buf[r.pos:], 32)
+	if err != nil {
+		return 0, err
+	}
+	r.pos += n
+	return int32(v), nil
+}
+
+func (r *reader) readS33BlockType() (byte, error) {
+	// MVP block types are a single byte; multi-value block types (s33 type
+	// indices) are not supported by this subset.
+	b, err := r.readByte()
+	if err != nil {
+		return 0, err
+	}
+	if b != BlockTypeEmpty && !ValType(b).Valid() {
+		return 0, fmt.Errorf("%w: unsupported block type 0x%02x", ErrBadModule, b)
+	}
+	return b, nil
+}
+
+func (r *reader) readS64() (int64, error) {
+	v, n, err := ReadSLEB128(r.buf[r.pos:], 64)
+	if err != nil {
+		return 0, err
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) readName() (string, error) {
+	n, err := r.readU32()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.readBytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) readValType() (ValType, error) {
+	b, err := r.readByte()
+	if err != nil {
+		return 0, err
+	}
+	v := ValType(b)
+	if !v.Valid() {
+		return 0, fmt.Errorf("%w: invalid value type 0x%02x", ErrBadModule, b)
+	}
+	return v, nil
+}
+
+func (r *reader) readLimits() (Limits, error) {
+	flag, err := r.readByte()
+	if err != nil {
+		return Limits{}, err
+	}
+	var l Limits
+	switch flag {
+	case 0x00:
+		l.Min, err = r.readU32()
+	case 0x01:
+		l.HasMax = true
+		if l.Min, err = r.readU32(); err == nil {
+			l.Max, err = r.readU32()
+		}
+	default:
+		return Limits{}, fmt.Errorf("%w: invalid limits flag 0x%02x", ErrBadModule, flag)
+	}
+	return l, err
+}
+
+// Decode parses a WebAssembly binary module. The result is structurally
+// sound but not yet validated; call Validate for full type checking.
+func Decode(b []byte) (*Module, error) {
+	r := &reader{buf: b}
+	hdr, err := r.readBytes(8)
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header", ErrBadModule)
+	}
+	if string(hdr[:4]) != string(magic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadModule)
+	}
+	if string(hdr[4:]) != string(version) {
+		return nil, fmt.Errorf("%w: unsupported version", ErrBadModule)
+	}
+
+	m := NewModule()
+	lastSection := byte(0)
+	var funcTypeIndices []uint32
+	for r.remaining() > 0 {
+		id, err := r.readByte()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.readU32()
+		if err != nil {
+			return nil, err
+		}
+		body, err := r.readBytes(int(size))
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated section %d", ErrBadModule, id)
+		}
+		if id != SectionCustom {
+			if id <= lastSection {
+				return nil, fmt.Errorf("%w: section %d out of order", ErrBadModule, id)
+			}
+			lastSection = id
+		}
+		sr := &reader{buf: body}
+		switch id {
+		case SectionCustom:
+			name, err := sr.readName()
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad custom section name", ErrBadModule)
+			}
+			m.Customs = append(m.Customs, CustomSection{Name: name, Bytes: append([]byte(nil), sr.buf[sr.pos:]...)})
+		case SectionType:
+			err = decodeTypeSection(sr, m)
+		case SectionImport:
+			err = decodeImportSection(sr, m)
+		case SectionFunction:
+			funcTypeIndices, err = decodeFunctionSection(sr)
+		case SectionTable:
+			err = decodeTableSection(sr, m)
+		case SectionMemory:
+			err = decodeMemorySection(sr, m)
+		case SectionGlobal:
+			err = decodeGlobalSection(sr, m)
+		case SectionExport:
+			err = decodeExportSection(sr, m)
+		case SectionStart:
+			var idx uint32
+			idx, err = sr.readU32()
+			m.Start = int64(idx)
+		case SectionElement:
+			err = decodeElementSection(sr, m)
+		case SectionCode:
+			err = decodeCodeSection(sr, m, funcTypeIndices)
+		case SectionData:
+			err = decodeDataSection(sr, m)
+		default:
+			return nil, fmt.Errorf("%w: unknown section id %d", ErrBadModule, id)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("section %d: %w", id, err)
+		}
+		if id != SectionCustom && sr.remaining() != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes in section %d", ErrBadModule, sr.remaining(), id)
+		}
+	}
+	if len(funcTypeIndices) != len(m.Funcs) {
+		return nil, fmt.Errorf("%w: function section declares %d funcs, code section has %d",
+			ErrBadModule, len(funcTypeIndices), len(m.Funcs))
+	}
+	return m, nil
+}
+
+func decodeTypeSection(r *reader, m *Module) error {
+	n, err := r.readU32()
+	if err != nil {
+		return err
+	}
+	m.Types = make([]FuncType, 0, n)
+	for i := uint32(0); i < n; i++ {
+		form, err := r.readByte()
+		if err != nil {
+			return err
+		}
+		if form != 0x60 {
+			return fmt.Errorf("%w: bad functype form 0x%02x", ErrBadModule, form)
+		}
+		var ft FuncType
+		np, err := r.readU32()
+		if err != nil {
+			return err
+		}
+		if np > 0 {
+			ft.Params = make([]ValType, np)
+		}
+		for j := range ft.Params {
+			if ft.Params[j], err = r.readValType(); err != nil {
+				return err
+			}
+		}
+		nr, err := r.readU32()
+		if err != nil {
+			return err
+		}
+		if nr > 1 {
+			return fmt.Errorf("%w: multi-value results not supported", ErrBadModule)
+		}
+		if nr > 0 {
+			ft.Results = make([]ValType, nr)
+		}
+		for j := range ft.Results {
+			if ft.Results[j], err = r.readValType(); err != nil {
+				return err
+			}
+		}
+		m.Types = append(m.Types, ft)
+	}
+	return nil
+}
+
+func decodeImportSection(r *reader, m *Module) error {
+	n, err := r.readU32()
+	if err != nil {
+		return err
+	}
+	m.Imports = make([]Import, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var imp Import
+		if imp.Module, err = r.readName(); err != nil {
+			return err
+		}
+		if imp.Name, err = r.readName(); err != nil {
+			return err
+		}
+		kind, err := r.readByte()
+		if err != nil {
+			return err
+		}
+		imp.Kind = ExternKind(kind)
+		switch imp.Kind {
+		case ExternFunc:
+			imp.TypeIdx, err = r.readU32()
+		case ExternTable:
+			var elemType byte
+			if elemType, err = r.readByte(); err == nil {
+				if elemType != 0x70 {
+					return fmt.Errorf("%w: bad table elem type", ErrBadModule)
+				}
+				imp.Table, err = r.readLimits()
+			}
+		case ExternMemory:
+			imp.Memory, err = r.readLimits()
+		case ExternGlobal:
+			var vt ValType
+			if vt, err = r.readValType(); err == nil {
+				var mut byte
+				if mut, err = r.readByte(); err == nil {
+					imp.Global = GlobalType{Type: vt, Mutable: mut == 1}
+				}
+			}
+		default:
+			return fmt.Errorf("%w: bad import kind 0x%02x", ErrBadModule, kind)
+		}
+		if err != nil {
+			return err
+		}
+		m.Imports = append(m.Imports, imp)
+	}
+	return nil
+}
+
+func decodeFunctionSection(r *reader) ([]uint32, error) {
+	n, err := r.readU32()
+	if err != nil {
+		return nil, err
+	}
+	indices := make([]uint32, n)
+	for i := range indices {
+		if indices[i], err = r.readU32(); err != nil {
+			return nil, err
+		}
+	}
+	return indices, nil
+}
+
+func decodeTableSection(r *reader, m *Module) error {
+	n, err := r.readU32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		elemType, err := r.readByte()
+		if err != nil {
+			return err
+		}
+		if elemType != 0x70 {
+			return fmt.Errorf("%w: bad table elem type 0x%02x", ErrBadModule, elemType)
+		}
+		l, err := r.readLimits()
+		if err != nil {
+			return err
+		}
+		m.Tables = append(m.Tables, l)
+	}
+	return nil
+}
+
+func decodeMemorySection(r *reader, m *Module) error {
+	n, err := r.readU32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		l, err := r.readLimits()
+		if err != nil {
+			return err
+		}
+		m.Memories = append(m.Memories, l)
+	}
+	return nil
+}
+
+func decodeConstExpr(r *reader) (Instr, error) {
+	in, err := decodeInstr(r)
+	if err != nil {
+		return Instr{}, err
+	}
+	switch in.Op {
+	case OpI32Const, OpI64Const, OpF32Const, OpF64Const, OpGlobalGet:
+	default:
+		return Instr{}, fmt.Errorf("%w: non-constant initializer %s", ErrBadModule, in.Op)
+	}
+	end, err := r.readByte()
+	if err != nil {
+		return Instr{}, err
+	}
+	if Opcode(end) != OpEnd {
+		return Instr{}, fmt.Errorf("%w: initializer not terminated by end", ErrBadModule)
+	}
+	return in, nil
+}
+
+func decodeGlobalSection(r *reader, m *Module) error {
+	n, err := r.readU32()
+	if err != nil {
+		return err
+	}
+	m.Globals = make([]Global, 0, n)
+	for i := uint32(0); i < n; i++ {
+		vt, err := r.readValType()
+		if err != nil {
+			return err
+		}
+		mut, err := r.readByte()
+		if err != nil {
+			return err
+		}
+		init, err := decodeConstExpr(r)
+		if err != nil {
+			return err
+		}
+		m.Globals = append(m.Globals, Global{
+			Type: GlobalType{Type: vt, Mutable: mut == 1},
+			Init: init,
+		})
+	}
+	return nil
+}
+
+func decodeExportSection(r *reader, m *Module) error {
+	n, err := r.readU32()
+	if err != nil {
+		return err
+	}
+	m.Exports = make([]Export, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var exp Export
+		if exp.Name, err = r.readName(); err != nil {
+			return err
+		}
+		kind, err := r.readByte()
+		if err != nil {
+			return err
+		}
+		exp.Kind = ExternKind(kind)
+		if exp.Kind > ExternGlobal {
+			return fmt.Errorf("%w: bad export kind 0x%02x", ErrBadModule, kind)
+		}
+		if exp.Index, err = r.readU32(); err != nil {
+			return err
+		}
+		m.Exports = append(m.Exports, exp)
+	}
+	return nil
+}
+
+func decodeElementSection(r *reader, m *Module) error {
+	n, err := r.readU32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		tableIdx, err := r.readU32()
+		if err != nil {
+			return err
+		}
+		if tableIdx != 0 {
+			return fmt.Errorf("%w: element segment table index must be 0", ErrBadModule)
+		}
+		off, err := decodeConstExpr(r)
+		if err != nil {
+			return err
+		}
+		cnt, err := r.readU32()
+		if err != nil {
+			return err
+		}
+		seg := ElemSegment{Offset: off, FuncIndices: make([]uint32, cnt)}
+		for j := range seg.FuncIndices {
+			if seg.FuncIndices[j], err = r.readU32(); err != nil {
+				return err
+			}
+		}
+		m.Elems = append(m.Elems, seg)
+	}
+	return nil
+}
+
+func decodeCodeSection(r *reader, m *Module, typeIndices []uint32) error {
+	n, err := r.readU32()
+	if err != nil {
+		return err
+	}
+	if int(n) != len(typeIndices) {
+		return fmt.Errorf("%w: code count %d != function count %d", ErrBadModule, n, len(typeIndices))
+	}
+	m.Funcs = make([]Func, 0, n)
+	for i := uint32(0); i < n; i++ {
+		size, err := r.readU32()
+		if err != nil {
+			return err
+		}
+		body, err := r.readBytes(int(size))
+		if err != nil {
+			return err
+		}
+		br := &reader{buf: body}
+		fn := Func{TypeIdx: typeIndices[i]}
+		nLocalDecls, err := br.readU32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < nLocalDecls; j++ {
+			cnt, err := br.readU32()
+			if err != nil {
+				return err
+			}
+			vt, err := br.readValType()
+			if err != nil {
+				return err
+			}
+			if uint64(len(fn.Locals))+uint64(cnt) > 1<<20 {
+				return fmt.Errorf("%w: too many locals", ErrBadModule)
+			}
+			for k := uint32(0); k < cnt; k++ {
+				fn.Locals = append(fn.Locals, vt)
+			}
+		}
+		fn.Body, err = decodeExpr(br)
+		if err != nil {
+			return fmt.Errorf("func %d: %w", i, err)
+		}
+		if br.remaining() != 0 {
+			return fmt.Errorf("%w: func %d has %d trailing bytes", ErrBadModule, i, br.remaining())
+		}
+		m.Funcs = append(m.Funcs, fn)
+	}
+	return nil
+}
+
+func decodeDataSection(r *reader, m *Module) error {
+	n, err := r.readU32()
+	if err != nil {
+		return err
+	}
+	m.Data = make([]DataSegment, 0, n)
+	for i := uint32(0); i < n; i++ {
+		memIdx, err := r.readU32()
+		if err != nil {
+			return err
+		}
+		if memIdx != 0 {
+			return fmt.Errorf("%w: data segment memory index must be 0", ErrBadModule)
+		}
+		off, err := decodeConstExpr(r)
+		if err != nil {
+			return err
+		}
+		sz, err := r.readU32()
+		if err != nil {
+			return err
+		}
+		bytes, err := r.readBytes(int(sz))
+		if err != nil {
+			return err
+		}
+		m.Data = append(m.Data, DataSegment{Offset: off, Bytes: append([]byte(nil), bytes...)})
+	}
+	return nil
+}
+
+// decodeExpr decodes instructions until (and consuming) the matching final
+// `end` of the expression. Nested blocks keep their own `end` instructions
+// in the stream; the outermost `end` is not included in the result.
+func decodeExpr(r *reader) ([]Instr, error) {
+	var out []Instr
+	depth := 0
+	for {
+		in, err := decodeInstr(r)
+		if err != nil {
+			return nil, err
+		}
+		switch in.Op {
+		case OpBlock, OpLoop, OpIf:
+			depth++
+		case OpEnd:
+			if depth == 0 {
+				return out, nil
+			}
+			depth--
+		}
+		out = append(out, in)
+	}
+}
+
+func decodeInstr(r *reader) (Instr, error) {
+	b, err := r.readByte()
+	if err != nil {
+		return Instr{}, err
+	}
+	op := Opcode(b)
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("%w: unknown opcode 0x%02x", ErrBadModule, b)
+	}
+	in := Instr{Op: op}
+	switch op.Imm() {
+	case ImmNone:
+	case ImmBlockType:
+		bt, err := r.readS33BlockType()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = uint64(bt)
+	case ImmLabel, ImmFunc, ImmLocal, ImmGlobal:
+		v, err := r.readU32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = uint64(v)
+	case ImmBrTable:
+		n, err := r.readU32()
+		if err != nil {
+			return Instr{}, err
+		}
+		if n > 0 {
+			in.Labels = make([]uint32, n)
+		}
+		for i := range in.Labels {
+			if in.Labels[i], err = r.readU32(); err != nil {
+				return Instr{}, err
+			}
+		}
+		def, err := r.readU32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = uint64(def)
+	case ImmCallInd:
+		typeIdx, err := r.readU32()
+		if err != nil {
+			return Instr{}, err
+		}
+		tbl, err := r.readByte()
+		if err != nil {
+			return Instr{}, err
+		}
+		if tbl != 0 {
+			return Instr{}, fmt.Errorf("%w: call_indirect table index must be 0", ErrBadModule)
+		}
+		in.Imm = uint64(typeIdx)
+	case ImmMem:
+		align, err := r.readU32()
+		if err != nil {
+			return Instr{}, err
+		}
+		offset, err := r.readU32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = uint64(offset)
+		in.Imm2 = uint64(align)
+	case ImmMemIdx:
+		idx, err := r.readByte()
+		if err != nil {
+			return Instr{}, err
+		}
+		if idx != 0 {
+			return Instr{}, fmt.Errorf("%w: memory index must be 0", ErrBadModule)
+		}
+	case ImmI32:
+		v, err := r.readS32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = uint64(uint32(v))
+	case ImmI64:
+		v, err := r.readS64()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = uint64(v)
+	case ImmF32:
+		bs, err := r.readBytes(4)
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = uint64(binary.LittleEndian.Uint32(bs))
+	case ImmF64:
+		bs, err := r.readBytes(8)
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = binary.LittleEndian.Uint64(bs)
+	}
+	return in, nil
+}

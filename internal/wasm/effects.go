@@ -1,0 +1,22 @@
+package wasm
+
+// NumericSig returns the operand types and result type of a pure numeric,
+// comparison, or conversion instruction. ok is false for any other opcode.
+func NumericSig(op Opcode) (in []ValType, out ValType, ok bool) {
+	s, found := numericSigs[op]
+	if !found {
+		return nil, 0, false
+	}
+	return s.in, s.out, true
+}
+
+// MemOpShape returns the value type, access width in bytes, and whether the
+// instruction is a store, for linear-memory access instructions. ok is false
+// for any other opcode.
+func MemOpShape(op Opcode) (val ValType, width uint32, store bool, ok bool) {
+	s, found := memOpShape(op)
+	if !found {
+		return 0, 0, false, false
+	}
+	return s.val, s.width, s.store, true
+}

@@ -1,0 +1,276 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode serializes a module to the WebAssembly binary format. The output of
+// Encode round-trips through Decode.
+func Encode(m *Module) ([]byte, error) {
+	out := make([]byte, 0, 4096)
+	out = append(out, magic...)
+	out = append(out, version...)
+
+	appendSection := func(id byte, body []byte) {
+		if len(body) == 0 {
+			return
+		}
+		out = append(out, id)
+		out = AppendULEB128(out, uint64(len(body)))
+		out = append(out, body...)
+	}
+
+	if len(m.Types) > 0 {
+		var b []byte
+		b = AppendULEB128(b, uint64(len(m.Types)))
+		for _, t := range m.Types {
+			b = append(b, 0x60)
+			b = AppendULEB128(b, uint64(len(t.Params)))
+			for _, p := range t.Params {
+				b = append(b, byte(p))
+			}
+			b = AppendULEB128(b, uint64(len(t.Results)))
+			for _, r := range t.Results {
+				b = append(b, byte(r))
+			}
+		}
+		appendSection(SectionType, b)
+	}
+
+	if len(m.Imports) > 0 {
+		var b []byte
+		b = AppendULEB128(b, uint64(len(m.Imports)))
+		for _, imp := range m.Imports {
+			b = appendName(b, imp.Module)
+			b = appendName(b, imp.Name)
+			b = append(b, byte(imp.Kind))
+			switch imp.Kind {
+			case ExternFunc:
+				b = AppendULEB128(b, uint64(imp.TypeIdx))
+			case ExternTable:
+				b = append(b, 0x70)
+				b = appendLimits(b, imp.Table)
+			case ExternMemory:
+				b = appendLimits(b, imp.Memory)
+			case ExternGlobal:
+				b = append(b, byte(imp.Global.Type), boolByte(imp.Global.Mutable))
+			default:
+				return nil, fmt.Errorf("wasm: encode: bad import kind %v", imp.Kind)
+			}
+		}
+		appendSection(SectionImport, b)
+	}
+
+	if len(m.Funcs) > 0 {
+		var b []byte
+		b = AppendULEB128(b, uint64(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			b = AppendULEB128(b, uint64(f.TypeIdx))
+		}
+		appendSection(SectionFunction, b)
+	}
+
+	if len(m.Tables) > 0 {
+		var b []byte
+		b = AppendULEB128(b, uint64(len(m.Tables)))
+		for _, t := range m.Tables {
+			b = append(b, 0x70)
+			b = appendLimits(b, t)
+		}
+		appendSection(SectionTable, b)
+	}
+
+	if len(m.Memories) > 0 {
+		var b []byte
+		b = AppendULEB128(b, uint64(len(m.Memories)))
+		for _, mem := range m.Memories {
+			b = appendLimits(b, mem)
+		}
+		appendSection(SectionMemory, b)
+	}
+
+	if len(m.Globals) > 0 {
+		var b []byte
+		b = AppendULEB128(b, uint64(len(m.Globals)))
+		for _, g := range m.Globals {
+			b = append(b, byte(g.Type.Type), boolByte(g.Type.Mutable))
+			var err error
+			b, err = appendInstr(b, g.Init)
+			if err != nil {
+				return nil, err
+			}
+			b = append(b, byte(OpEnd))
+		}
+		appendSection(SectionGlobal, b)
+	}
+
+	if len(m.Exports) > 0 {
+		var b []byte
+		b = AppendULEB128(b, uint64(len(m.Exports)))
+		for _, e := range m.Exports {
+			b = appendName(b, e.Name)
+			b = append(b, byte(e.Kind))
+			b = AppendULEB128(b, uint64(e.Index))
+		}
+		appendSection(SectionExport, b)
+	}
+
+	if m.Start >= 0 {
+		var b []byte
+		b = AppendULEB128(b, uint64(m.Start))
+		appendSection(SectionStart, b)
+	}
+
+	if len(m.Elems) > 0 {
+		var b []byte
+		b = AppendULEB128(b, uint64(len(m.Elems)))
+		for _, seg := range m.Elems {
+			b = AppendULEB128(b, 0) // table index
+			var err error
+			b, err = appendInstr(b, seg.Offset)
+			if err != nil {
+				return nil, err
+			}
+			b = append(b, byte(OpEnd))
+			b = AppendULEB128(b, uint64(len(seg.FuncIndices)))
+			for _, fi := range seg.FuncIndices {
+				b = AppendULEB128(b, uint64(fi))
+			}
+		}
+		appendSection(SectionElement, b)
+	}
+
+	if len(m.Funcs) > 0 {
+		var b []byte
+		b = AppendULEB128(b, uint64(len(m.Funcs)))
+		for i, f := range m.Funcs {
+			body, err := encodeFuncBody(f)
+			if err != nil {
+				return nil, fmt.Errorf("wasm: encode func %d: %w", i, err)
+			}
+			b = AppendULEB128(b, uint64(len(body)))
+			b = append(b, body...)
+		}
+		appendSection(SectionCode, b)
+	}
+
+	if len(m.Data) > 0 {
+		var b []byte
+		b = AppendULEB128(b, uint64(len(m.Data)))
+		for _, seg := range m.Data {
+			b = AppendULEB128(b, 0) // memory index
+			var err error
+			b, err = appendInstr(b, seg.Offset)
+			if err != nil {
+				return nil, err
+			}
+			b = append(b, byte(OpEnd))
+			b = AppendULEB128(b, uint64(len(seg.Bytes)))
+			b = append(b, seg.Bytes...)
+		}
+		appendSection(SectionData, b)
+	}
+
+	for _, c := range m.Customs {
+		var b []byte
+		b = appendName(b, c.Name)
+		b = append(b, c.Bytes...)
+		appendSection(SectionCustom, b)
+	}
+
+	return out, nil
+}
+
+func appendName(b []byte, s string) []byte {
+	b = AppendULEB128(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendLimits(b []byte, l Limits) []byte {
+	if l.HasMax {
+		b = append(b, 0x01)
+		b = AppendULEB128(b, uint64(l.Min))
+		return AppendULEB128(b, uint64(l.Max))
+	}
+	b = append(b, 0x00)
+	return AppendULEB128(b, uint64(l.Min))
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func encodeFuncBody(f Func) ([]byte, error) {
+	var b []byte
+	// Run-length encode locals.
+	type run struct {
+		cnt uint32
+		vt  ValType
+	}
+	var runs []run
+	for _, vt := range f.Locals {
+		if len(runs) > 0 && runs[len(runs)-1].vt == vt {
+			runs[len(runs)-1].cnt++
+		} else {
+			runs = append(runs, run{1, vt})
+		}
+	}
+	b = AppendULEB128(b, uint64(len(runs)))
+	for _, r := range runs {
+		b = AppendULEB128(b, uint64(r.cnt))
+		b = append(b, byte(r.vt))
+	}
+	for _, in := range f.Body {
+		var err error
+		b, err = appendInstr(b, in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return append(b, byte(OpEnd)), nil
+}
+
+func appendInstr(b []byte, in Instr) ([]byte, error) {
+	if !in.Op.Valid() {
+		return nil, fmt.Errorf("wasm: encode: invalid opcode 0x%02x", byte(in.Op))
+	}
+	b = append(b, byte(in.Op))
+	switch in.Op.Imm() {
+	case ImmNone:
+	case ImmBlockType:
+		b = append(b, byte(in.Imm))
+	case ImmLabel, ImmFunc, ImmLocal, ImmGlobal:
+		b = AppendULEB128(b, in.Imm)
+	case ImmBrTable:
+		b = AppendULEB128(b, uint64(len(in.Labels)))
+		for _, l := range in.Labels {
+			b = AppendULEB128(b, uint64(l))
+		}
+		b = AppendULEB128(b, in.Imm)
+	case ImmCallInd:
+		b = AppendULEB128(b, in.Imm)
+		b = append(b, 0x00)
+	case ImmMem:
+		b = AppendULEB128(b, in.Imm2) // align
+		b = AppendULEB128(b, in.Imm)  // offset
+	case ImmMemIdx:
+		b = append(b, 0x00)
+	case ImmI32:
+		b = AppendSLEB128(b, int64(int32(uint32(in.Imm))))
+	case ImmI64:
+		b = AppendSLEB128(b, int64(in.Imm))
+	case ImmF32:
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], uint32(in.Imm))
+		b = append(b, tmp[:]...)
+	case ImmF64:
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], in.Imm)
+		b = append(b, tmp[:]...)
+	}
+	return b, nil
+}

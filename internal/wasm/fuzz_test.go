@@ -1,0 +1,81 @@
+package wasm
+
+import (
+	"testing"
+)
+
+// TestDecodeNeverPanics feeds systematically corrupted binaries to the
+// decoder (and, when decoding succeeds, to the validator): truncations at
+// every length and single-byte mutations at every offset. Malformed input
+// must produce errors, never panics.
+func TestDecodeNeverPanics(t *testing.T) {
+	bin, err := Encode(testModule())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	exercise := func(b []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input % x...: %v", b[:min(24, len(b))], r)
+			}
+		}()
+		m, err := Decode(b)
+		if err == nil {
+			_ = Validate(m) // must not panic either
+		}
+	}
+
+	// All truncations.
+	for n := 0; n <= len(bin); n++ {
+		exercise(bin[:n])
+	}
+	// Single-byte mutations at every offset, a few values each.
+	for off := 0; off < len(bin); off++ {
+		for _, delta := range []byte{1, 0x3F, 0x80, 0xFF} {
+			mut := append([]byte(nil), bin...)
+			mut[off] ^= delta
+			exercise(mut)
+		}
+	}
+	// Pseudo-random garbage.
+	seed := uint64(99)
+	for trial := 0; trial < 200; trial++ {
+		n := int(seed % 64)
+		buf := make([]byte, n)
+		for i := range buf {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			buf[i] = byte(seed)
+		}
+		exercise(buf)
+	}
+}
+
+// TestDecodeMutatedStillSafe goes one step deeper: if a mutated module
+// decodes AND validates, it must also be executable-safe structurally
+// (re-encode without panicking).
+func TestDecodeMutatedStillSafe(t *testing.T) {
+	bin, err := Encode(testModule())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	survivors := 0
+	for off := 8; off < len(bin); off++ { // skip the header
+		mut := append([]byte(nil), bin...)
+		mut[off] ^= 0x01
+		m, err := Decode(mut)
+		if err != nil {
+			continue
+		}
+		if err := Validate(m); err != nil {
+			continue
+		}
+		survivors++
+		if _, err := Encode(m); err != nil {
+			t.Errorf("offset %d: survivor failed to re-encode: %v", off, err)
+		}
+	}
+	t.Logf("%d of %d single-bit mutations still validate", survivors, len(bin)-8)
+}

@@ -1,0 +1,94 @@
+package wasm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LEB128 variable-length integer encoding, as used throughout the Wasm
+// binary format (https://webassembly.github.io/spec/core/binary/values.html).
+
+var (
+	// ErrLEBOverflow reports a LEB128 value that does not fit its target width.
+	ErrLEBOverflow = errors.New("wasm: leb128 value overflows target width")
+	// ErrUnexpectedEOF reports a truncated byte stream.
+	ErrUnexpectedEOF = errors.New("wasm: unexpected end of section or stream")
+)
+
+// AppendULEB128 appends v to buf in unsigned LEB128 form.
+func AppendULEB128(buf []byte, v uint64) []byte {
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			b |= 0x80
+		}
+		buf = append(buf, b)
+		if v == 0 {
+			return buf
+		}
+	}
+}
+
+// AppendSLEB128 appends v to buf in signed LEB128 form.
+func AppendSLEB128(buf []byte, v int64) []byte {
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		signBit := b&0x40 != 0
+		if (v == 0 && !signBit) || (v == -1 && signBit) {
+			buf = append(buf, b)
+			return buf
+		}
+		buf = append(buf, b|0x80)
+	}
+}
+
+// ReadULEB128 decodes an unsigned LEB128 value of at most maxBits bits from
+// buf, returning the value and the number of bytes consumed.
+func ReadULEB128(buf []byte, maxBits uint) (uint64, int, error) {
+	var (
+		result uint64
+		shift  uint
+	)
+	for i := 0; i < len(buf); i++ {
+		b := buf[i]
+		if shift >= maxBits {
+			return 0, 0, fmt.Errorf("%w: u%d", ErrLEBOverflow, maxBits)
+		}
+		if rem := maxBits - shift; rem < 7 && b&0x7f>>rem != 0 {
+			return 0, 0, fmt.Errorf("%w: u%d", ErrLEBOverflow, maxBits)
+		}
+		result |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return result, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, ErrUnexpectedEOF
+}
+
+// ReadSLEB128 decodes a signed LEB128 value of at most maxBits bits from buf,
+// returning the value and the number of bytes consumed.
+func ReadSLEB128(buf []byte, maxBits uint) (int64, int, error) {
+	var (
+		result int64
+		shift  uint
+	)
+	maxBytes := int(maxBits+6) / 7
+	for i := 0; i < len(buf); i++ {
+		if i >= maxBytes {
+			return 0, 0, fmt.Errorf("%w: more than %d bytes for s%d", ErrLEBOverflow, maxBytes, maxBits)
+		}
+		b := buf[i]
+		result |= int64(b&0x7f) << shift
+		shift += 7
+		if b&0x80 == 0 {
+			if shift < 64 && b&0x40 != 0 {
+				result |= -1 << shift
+			}
+			return result, i + 1, nil
+		}
+	}
+	return 0, 0, ErrUnexpectedEOF
+}

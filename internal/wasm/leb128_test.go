@@ -1,0 +1,106 @@
+package wasm
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestULEB128RoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 255, 624485, math.MaxUint32, math.MaxUint64}
+	for _, v := range cases {
+		buf := AppendULEB128(nil, v)
+		got, n, err := ReadULEB128(buf, 64)
+		if err != nil {
+			t.Fatalf("ReadULEB128(%d): %v", v, err)
+		}
+		if got != v || n != len(buf) {
+			t.Errorf("roundtrip %d: got %d (consumed %d of %d)", v, got, n, len(buf))
+		}
+	}
+}
+
+func TestULEB128RoundTripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		buf := AppendULEB128(nil, v)
+		got, n, err := ReadULEB128(buf, 64)
+		return err == nil && got == v && n == len(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSLEB128RoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		buf := AppendSLEB128(nil, v)
+		got, n, err := ReadSLEB128(buf, 64)
+		return err == nil && got == v && n == len(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSLEB128RoundTrip32Property(t *testing.T) {
+	f := func(v int32) bool {
+		buf := AppendSLEB128(nil, int64(v))
+		got, n, err := ReadSLEB128(buf, 32)
+		return err == nil && int32(got) == v && n == len(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSLEB128KnownEncodings(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{-1, []byte{0x7f}},
+		{63, []byte{0x3f}},
+		{64, []byte{0xc0, 0x00}},
+		{-64, []byte{0x40}},
+		{-65, []byte{0xbf, 0x7f}},
+		{-624485, []byte{0x9b, 0xf1, 0x59}},
+	}
+	for _, c := range cases {
+		got := AppendSLEB128(nil, c.v)
+		if string(got) != string(c.want) {
+			t.Errorf("AppendSLEB128(%d) = % x, want % x", c.v, got, c.want)
+		}
+	}
+}
+
+func TestULEB128Overflow(t *testing.T) {
+	// 2^32 does not fit in u32.
+	buf := AppendULEB128(nil, 1<<32)
+	if _, _, err := ReadULEB128(buf, 32); !errors.Is(err, ErrLEBOverflow) {
+		t.Errorf("expected overflow for 2^32 as u32, got %v", err)
+	}
+	// Max u32 fits exactly.
+	buf = AppendULEB128(nil, math.MaxUint32)
+	v, _, err := ReadULEB128(buf, 32)
+	if err != nil || v != math.MaxUint32 {
+		t.Errorf("MaxUint32 as u32: got %d, %v", v, err)
+	}
+	// Too many continuation bytes.
+	if _, _, err := ReadULEB128([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x01}, 32); !errors.Is(err, ErrLEBOverflow) {
+		t.Errorf("expected overflow for 6-byte u32, got %v", err)
+	}
+}
+
+func TestLEB128Truncated(t *testing.T) {
+	if _, _, err := ReadULEB128([]byte{0x80}, 32); !errors.Is(err, ErrUnexpectedEOF) {
+		t.Errorf("ULEB truncated: got %v", err)
+	}
+	if _, _, err := ReadSLEB128([]byte{0x80, 0x80}, 64); !errors.Is(err, ErrUnexpectedEOF) {
+		t.Errorf("SLEB truncated: got %v", err)
+	}
+	if _, _, err := ReadULEB128(nil, 32); !errors.Is(err, ErrUnexpectedEOF) {
+		t.Errorf("ULEB empty: got %v", err)
+	}
+}

@@ -1,0 +1,212 @@
+package wasm
+
+import "fmt"
+
+// Instr is a single decoded instruction with its immediates.
+//
+// The immediate encoding per ImmKind:
+//
+//	ImmBlockType: Imm = block type byte (a ValType or BlockTypeEmpty)
+//	ImmLabel:     Imm = label index
+//	ImmBrTable:   Labels = targets, Imm = default label
+//	ImmFunc:      Imm = function index
+//	ImmCallInd:   Imm = type index
+//	ImmLocal:     Imm = local index
+//	ImmGlobal:    Imm = global index
+//	ImmMem:       Imm = offset, Imm2 = align (log2)
+//	ImmI32:       Imm = sign-extended value bits (as uint64)
+//	ImmI64:       Imm = value bits
+//	ImmF32:       Imm = IEEE754 bits in low 32 bits
+//	ImmF64:       Imm = IEEE754 bits
+type Instr struct {
+	Op     Opcode
+	Imm    uint64
+	Imm2   uint64
+	Labels []uint32 // br_table targets only
+}
+
+// String renders the instruction in a wat-like form.
+func (in Instr) String() string {
+	switch in.Op.Imm() {
+	case ImmNone, ImmMemIdx:
+		return in.Op.String()
+	case ImmBrTable:
+		return fmt.Sprintf("%s %v %d", in.Op, in.Labels, in.Imm)
+	case ImmMem:
+		return fmt.Sprintf("%s offset=%d align=%d", in.Op, in.Imm, in.Imm2)
+	case ImmI32:
+		return fmt.Sprintf("%s %d", in.Op, int32(in.Imm))
+	case ImmI64:
+		return fmt.Sprintf("%s %d", in.Op, int64(in.Imm))
+	default:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	}
+}
+
+// Import is a single import entry.
+type Import struct {
+	Module string
+	Name   string
+	Kind   ExternKind
+	// Type index for ExternFunc imports.
+	TypeIdx uint32
+	// Table limits for ExternTable imports.
+	Table Limits
+	// Memory limits for ExternMemory imports.
+	Memory Limits
+	// Global type for ExternGlobal imports.
+	Global GlobalType
+}
+
+// Export is a single export entry.
+type Export struct {
+	Name  string
+	Kind  ExternKind
+	Index uint32
+}
+
+// Func is a function defined in the module (not imported).
+type Func struct {
+	TypeIdx uint32
+	// Locals lists the declared (non-parameter) locals in order, one entry
+	// per local after run-length expansion.
+	Locals []ValType
+	Body   []Instr
+	// Name is an optional debug name (from the custom "name" section or
+	// assigned by a producer); it is not part of the binary format contract.
+	Name string
+}
+
+// Global is a module-defined global variable.
+type Global struct {
+	Type GlobalType
+	// Init is the constant initializer expression (single const or
+	// global.get instruction, per the MVP constant-expression grammar).
+	Init Instr
+}
+
+// ElemSegment is an active element segment initializing the table.
+type ElemSegment struct {
+	// Offset is the constant offset expression.
+	Offset Instr
+	// FuncIndices are the function indices placed at the offset.
+	FuncIndices []uint32
+}
+
+// DataSegment is an active data segment initializing linear memory.
+type DataSegment struct {
+	Offset Instr
+	Bytes  []byte
+}
+
+// CustomSection preserves a custom section verbatim.
+type CustomSection struct {
+	Name  string
+	Bytes []byte
+}
+
+// Module is the decoded in-memory representation of a WebAssembly module.
+type Module struct {
+	Types   []FuncType
+	Imports []Import
+	// Funcs are the module-defined functions. Function index space =
+	// imported funcs first, then these.
+	Funcs    []Func
+	Tables   []Limits
+	Memories []Limits
+	Globals  []Global
+	Exports  []Export
+	// Start is the optional start function index; -1 when absent.
+	Start   int64
+	Elems   []ElemSegment
+	Data    []DataSegment
+	Customs []CustomSection
+}
+
+// NewModule returns an empty module with no start function.
+func NewModule() *Module {
+	return &Module{Start: -1}
+}
+
+// NumImportedFuncs counts imported functions (they precede defined functions
+// in the function index space).
+func (m *Module) NumImportedFuncs() int {
+	n := 0
+	for _, imp := range m.Imports {
+		if imp.Kind == ExternFunc {
+			n++
+		}
+	}
+	return n
+}
+
+// NumImportedGlobals counts imported globals.
+func (m *Module) NumImportedGlobals() int {
+	n := 0
+	for _, imp := range m.Imports {
+		if imp.Kind == ExternGlobal {
+			n++
+		}
+	}
+	return n
+}
+
+// FuncTypeAt resolves the signature of the function at index idx in the
+// function index space (imports first).
+func (m *Module) FuncTypeAt(idx uint32) (FuncType, error) {
+	var typeIdx uint32
+	found := false
+	n := uint32(0)
+	for _, imp := range m.Imports {
+		if imp.Kind != ExternFunc {
+			continue
+		}
+		if n == idx {
+			typeIdx = imp.TypeIdx
+			found = true
+			break
+		}
+		n++
+	}
+	if !found {
+		defIdx := idx - n
+		if int(defIdx) >= len(m.Funcs) {
+			return FuncType{}, fmt.Errorf("wasm: function index %d out of range", idx)
+		}
+		typeIdx = m.Funcs[defIdx].TypeIdx
+	}
+	if int(typeIdx) >= len(m.Types) {
+		return FuncType{}, fmt.Errorf("wasm: type index %d out of range", typeIdx)
+	}
+	return m.Types[typeIdx], nil
+}
+
+// ExportedFunc returns the function index exported under name.
+func (m *Module) ExportedFunc(name string) (uint32, bool) {
+	for _, exp := range m.Exports {
+		if exp.Kind == ExternFunc && exp.Name == name {
+			return exp.Index, true
+		}
+	}
+	return 0, false
+}
+
+// GlobalTypeAt resolves the type of the global at index idx in the global
+// index space (imports first).
+func (m *Module) GlobalTypeAt(idx uint32) (GlobalType, error) {
+	n := uint32(0)
+	for _, imp := range m.Imports {
+		if imp.Kind != ExternGlobal {
+			continue
+		}
+		if n == idx {
+			return imp.Global, nil
+		}
+		n++
+	}
+	defIdx := idx - n
+	if int(defIdx) >= len(m.Globals) {
+		return GlobalType{}, fmt.Errorf("wasm: global index %d out of range", idx)
+	}
+	return m.Globals[defIdx].Type, nil
+}

@@ -1,0 +1,231 @@
+package wasm
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// testModule builds a representative module exercising every section.
+func testModule() *Module {
+	m := NewModule()
+	m.Types = []FuncType{
+		{Params: nil, Results: nil},
+		{Params: []ValType{ValI32, ValI32}, Results: []ValType{ValI32}},
+		{Params: []ValType{ValF64}, Results: []ValType{ValF64}},
+	}
+	m.Imports = []Import{
+		{Module: "env", Name: "host_add", Kind: ExternFunc, TypeIdx: 1},
+		{Module: "env", Name: "ext_global", Kind: ExternGlobal, Global: GlobalType{Type: ValI32}},
+	}
+	m.Funcs = []Func{
+		{
+			TypeIdx: 1,
+			Locals:  []ValType{ValI32, ValI32, ValF64},
+			Body: []Instr{
+				{Op: OpLocalGet, Imm: 0},
+				{Op: OpLocalGet, Imm: 1},
+				{Op: OpI32Add},
+			},
+			Name: "add",
+		},
+		{
+			TypeIdx: 2,
+			Body: []Instr{
+				{Op: OpBlock, Imm: uint64(ValF64)},
+				{Op: OpLocalGet, Imm: 0},
+				{Op: OpF64Const, Imm: math.Float64bits(2.5)},
+				{Op: OpF64Mul},
+				{Op: OpEnd},
+			},
+			Name: "scale",
+		},
+		{
+			TypeIdx: 0,
+			Body: []Instr{
+				{Op: OpLoop, Imm: uint64(BlockTypeEmpty)},
+				{Op: OpI32Const, Imm: 0},
+				{Op: OpBrIf, Imm: 0},
+				{Op: OpEnd},
+				{Op: OpI32Const, Imm: 7},
+				{Op: OpI32Const, Imm: 3},
+				{Op: OpBrTable, Labels: []uint32{0, 0}, Imm: 0},
+			},
+		},
+	}
+	m.Tables = []Limits{{Min: 4, Max: 4, HasMax: true}}
+	m.Memories = []Limits{{Min: 1, Max: 16, HasMax: true}}
+	m.Globals = []Global{
+		{Type: GlobalType{Type: ValI32, Mutable: true}, Init: Instr{Op: OpI32Const, Imm: 42}},
+		{Type: GlobalType{Type: ValF64}, Init: Instr{Op: OpF64Const, Imm: math.Float64bits(math.Pi)}},
+	}
+	m.Exports = []Export{
+		{Name: "add", Kind: ExternFunc, Index: 1},
+		{Name: "memory", Kind: ExternMemory, Index: 0},
+	}
+	m.Elems = []ElemSegment{
+		{Offset: Instr{Op: OpI32Const, Imm: 0}, FuncIndices: []uint32{1, 2}},
+	}
+	m.Data = []DataSegment{
+		{Offset: Instr{Op: OpI32Const, Imm: 16}, Bytes: []byte("hello sledge")},
+	}
+	return m
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := testModule()
+	bin, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bin)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// Names are not carried through the binary format.
+	for i := range got.Funcs {
+		got.Funcs[i].Name = m.Funcs[i].Name
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("module did not roundtrip:\n in: %+v\nout: %+v", m, got)
+	}
+}
+
+func TestRoundTripValidates(t *testing.T) {
+	m := testModule()
+	if err := Validate(m); err != nil {
+		t.Fatalf("Validate(original): %v", err)
+	}
+	bin, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bin)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := Validate(got); err != nil {
+		t.Errorf("Validate(decoded): %v", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte{0x00, 0x61, 0x73}},
+		{"bad magic", []byte{1, 2, 3, 4, 1, 0, 0, 0}},
+		{"bad version", []byte{0x00, 0x61, 0x73, 0x6D, 9, 0, 0, 0}},
+		{"truncated section", []byte{0x00, 0x61, 0x73, 0x6D, 1, 0, 0, 0, 1, 0x20}},
+		{"unknown section", []byte{0x00, 0x61, 0x73, 0x6D, 1, 0, 0, 0, 13, 0}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Decode(c.in); err == nil {
+				t.Errorf("Decode accepted %q", c.name)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsOutOfOrderSections(t *testing.T) {
+	// Memory section (5) followed by table section (4).
+	bin := []byte{0x00, 0x61, 0x73, 0x6D, 1, 0, 0, 0}
+	bin = append(bin, SectionMemory, 3, 1, 0x00, 1)
+	bin = append(bin, SectionTable, 4, 1, 0x70, 0x00, 0)
+	if _, err := Decode(bin); !errors.Is(err, ErrBadModule) {
+		t.Errorf("expected ErrBadModule for out-of-order sections, got %v", err)
+	}
+}
+
+func TestDecodeRejectsTrailingSectionBytes(t *testing.T) {
+	// A memory section whose declared size exceeds its content.
+	bin := []byte{0x00, 0x61, 0x73, 0x6D, 1, 0, 0, 0}
+	bin = append(bin, SectionMemory, 4, 1, 0x00, 1, 0xAA)
+	if _, err := Decode(bin); !errors.Is(err, ErrBadModule) {
+		t.Errorf("expected ErrBadModule for trailing bytes, got %v", err)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpI32Add}, "i32.add"},
+		{Instr{Op: OpI32Const, Imm: uint64(uint32(0xFFFFFFFF))}, "i32.const -1"},
+		{Instr{Op: OpI64Const, Imm: uint64(12345)}, "i64.const 12345"},
+		{Instr{Op: OpI32Load, Imm: 8, Imm2: 2}, "i32.load offset=8 align=2"},
+		{Instr{Op: OpBrTable, Labels: []uint32{1, 2}, Imm: 0}, "br_table [1 2] 0"},
+		{Instr{Op: OpCall, Imm: 3}, "call 3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestFuncTypeString(t *testing.T) {
+	ft := FuncType{Params: []ValType{ValI32, ValF64}, Results: []ValType{ValI64}}
+	if got, want := ft.String(), "(i32, f64) -> (i64)"; got != want {
+		t.Errorf("FuncType.String() = %q, want %q", got, want)
+	}
+}
+
+func TestFuncTypeEqual(t *testing.T) {
+	a := FuncType{Params: []ValType{ValI32}, Results: []ValType{ValI32}}
+	b := FuncType{Params: []ValType{ValI32}, Results: []ValType{ValI32}}
+	c := FuncType{Params: []ValType{ValI64}, Results: []ValType{ValI32}}
+	d := FuncType{Params: []ValType{ValI32}}
+	if !a.Equal(b) {
+		t.Error("identical signatures not equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("distinct signatures reported equal")
+	}
+}
+
+func TestModuleIndexSpaces(t *testing.T) {
+	m := testModule()
+	if got := m.NumImportedFuncs(); got != 1 {
+		t.Errorf("NumImportedFuncs = %d, want 1", got)
+	}
+	if got := m.NumImportedGlobals(); got != 1 {
+		t.Errorf("NumImportedGlobals = %d, want 1", got)
+	}
+	// Index 0 is the import (type 1), index 1 is "add" (type 1),
+	// index 2 is "scale" (type 2).
+	ft, err := m.FuncTypeAt(0)
+	if err != nil || !ft.Equal(m.Types[1]) {
+		t.Errorf("FuncTypeAt(0) = %v, %v", ft, err)
+	}
+	ft, err = m.FuncTypeAt(2)
+	if err != nil || !ft.Equal(m.Types[2]) {
+		t.Errorf("FuncTypeAt(2) = %v, %v", ft, err)
+	}
+	if _, err := m.FuncTypeAt(99); err == nil {
+		t.Error("FuncTypeAt(99) should fail")
+	}
+	gt, err := m.GlobalTypeAt(0)
+	if err != nil || gt.Type != ValI32 || gt.Mutable {
+		t.Errorf("GlobalTypeAt(0) = %v, %v", gt, err)
+	}
+	gt, err = m.GlobalTypeAt(1)
+	if err != nil || gt.Type != ValI32 || !gt.Mutable {
+		t.Errorf("GlobalTypeAt(1) = %v, %v", gt, err)
+	}
+	if _, err := m.GlobalTypeAt(9); err == nil {
+		t.Error("GlobalTypeAt(9) should fail")
+	}
+	idx, ok := m.ExportedFunc("add")
+	if !ok || idx != 1 {
+		t.Errorf("ExportedFunc(add) = %d, %v", idx, ok)
+	}
+	if _, ok := m.ExportedFunc("missing"); ok {
+		t.Error("ExportedFunc(missing) should not be found")
+	}
+}

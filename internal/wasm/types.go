@@ -1,0 +1,151 @@
+// Package wasm implements the WebAssembly MVP binary format: an in-memory
+// module model, a binary decoder, a binary encoder, and a full validator.
+//
+// It is the foundation of the Sledge reproduction: the WCC workload compiler
+// emits modules through the encoder, and the execution engine consumes
+// decoded, validated modules.
+package wasm
+
+import "fmt"
+
+// ValType is a WebAssembly value type.
+type ValType byte
+
+// Value types, using their binary encodings.
+const (
+	ValI32 ValType = 0x7F
+	ValI64 ValType = 0x7E
+	ValF32 ValType = 0x7D
+	ValF64 ValType = 0x7C
+)
+
+// Valid reports whether v is a known value type.
+func (v ValType) Valid() bool {
+	switch v {
+	case ValI32, ValI64, ValF32, ValF64:
+		return true
+	}
+	return false
+}
+
+// String returns the textual name of the value type.
+func (v ValType) String() string {
+	switch v {
+	case ValI32:
+		return "i32"
+	case ValI64:
+		return "i64"
+	case ValF32:
+		return "f32"
+	case ValF64:
+		return "f64"
+	}
+	return fmt.Sprintf("valtype(0x%02x)", byte(v))
+}
+
+// BlockTypeEmpty is the block type byte for a block with no result value.
+const BlockTypeEmpty byte = 0x40
+
+// FuncType is a function signature.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType
+}
+
+// Equal reports whether two signatures are identical.
+func (t FuncType) Equal(o FuncType) bool {
+	if len(t.Params) != len(o.Params) || len(t.Results) != len(o.Results) {
+		return false
+	}
+	for i, p := range t.Params {
+		if o.Params[i] != p {
+			return false
+		}
+	}
+	for i, r := range t.Results {
+		if o.Results[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the signature as "(i32, f64) -> (i32)".
+func (t FuncType) String() string {
+	s := "("
+	for i, p := range t.Params {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	s += ") -> ("
+	for i, r := range t.Results {
+		if i > 0 {
+			s += ", "
+		}
+		s += r.String()
+	}
+	return s + ")"
+}
+
+// Limits describes memory or table size limits in units of pages or elements.
+type Limits struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+}
+
+// GlobalType describes a global variable's type and mutability.
+type GlobalType struct {
+	Type    ValType
+	Mutable bool
+}
+
+// PageSize is the WebAssembly linear memory page size in bytes.
+const PageSize = 64 * 1024
+
+// MaxPages is the maximum number of linear memory pages (4 GiB / 64 KiB).
+const MaxPages = 1 << 16
+
+// ExternKind identifies the kind of an import or export.
+type ExternKind byte
+
+// Import/export kinds, using their binary encodings.
+const (
+	ExternFunc   ExternKind = 0x00
+	ExternTable  ExternKind = 0x01
+	ExternMemory ExternKind = 0x02
+	ExternGlobal ExternKind = 0x03
+)
+
+// String returns the textual name of the extern kind.
+func (k ExternKind) String() string {
+	switch k {
+	case ExternFunc:
+		return "func"
+	case ExternTable:
+		return "table"
+	case ExternMemory:
+		return "memory"
+	case ExternGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("externkind(0x%02x)", byte(k))
+}
+
+// Section IDs in the binary format.
+const (
+	SectionCustom   byte = 0
+	SectionType     byte = 1
+	SectionImport   byte = 2
+	SectionFunction byte = 3
+	SectionTable    byte = 4
+	SectionMemory   byte = 5
+	SectionGlobal   byte = 6
+	SectionExport   byte = 7
+	SectionStart    byte = 8
+	SectionElement  byte = 9
+	SectionCode     byte = 10
+	SectionData     byte = 11
+)

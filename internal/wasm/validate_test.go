@@ -1,0 +1,348 @@
+package wasm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// simpleModule returns a minimal valid module with one function of the given
+// signature and body.
+func simpleModule(params, results []ValType, locals []ValType, body []Instr) *Module {
+	m := NewModule()
+	m.Types = []FuncType{{Params: params, Results: results}}
+	m.Funcs = []Func{{TypeIdx: 0, Locals: locals, Body: body}}
+	m.Memories = []Limits{{Min: 1}}
+	return m
+}
+
+func TestValidateAcceptsWellTyped(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Module
+	}{
+		{
+			"add",
+			simpleModule([]ValType{ValI32, ValI32}, []ValType{ValI32}, nil, []Instr{
+				{Op: OpLocalGet, Imm: 0},
+				{Op: OpLocalGet, Imm: 1},
+				{Op: OpI32Add},
+			}),
+		},
+		{
+			"loop with branch",
+			simpleModule([]ValType{ValI32}, []ValType{ValI32}, []ValType{ValI32}, []Instr{
+				{Op: OpBlock, Imm: uint64(BlockTypeEmpty)},
+				{Op: OpLoop, Imm: uint64(BlockTypeEmpty)},
+				{Op: OpLocalGet, Imm: 0},
+				{Op: OpI32Eqz},
+				{Op: OpBrIf, Imm: 1},
+				{Op: OpLocalGet, Imm: 1},
+				{Op: OpLocalGet, Imm: 0},
+				{Op: OpI32Add},
+				{Op: OpLocalSet, Imm: 1},
+				{Op: OpLocalGet, Imm: 0},
+				{Op: OpI32Const, Imm: 1},
+				{Op: OpI32Sub},
+				{Op: OpLocalSet, Imm: 0},
+				{Op: OpBr, Imm: 0},
+				{Op: OpEnd},
+				{Op: OpEnd},
+				{Op: OpLocalGet, Imm: 1},
+			}),
+		},
+		{
+			"if else with result",
+			simpleModule([]ValType{ValI32}, []ValType{ValI32}, nil, []Instr{
+				{Op: OpLocalGet, Imm: 0},
+				{Op: OpIf, Imm: uint64(ValI32)},
+				{Op: OpI32Const, Imm: 1},
+				{Op: OpElse},
+				{Op: OpI32Const, Imm: 2},
+				{Op: OpEnd},
+			}),
+		},
+		{
+			"unreachable then anything",
+			simpleModule(nil, []ValType{ValI32}, nil, []Instr{
+				{Op: OpUnreachable},
+				{Op: OpF64Add}, // polymorphic stack in dead code
+				{Op: OpDrop},
+			}),
+		},
+		{
+			"memory ops",
+			simpleModule([]ValType{ValI32}, []ValType{ValI32}, nil, []Instr{
+				{Op: OpLocalGet, Imm: 0},
+				{Op: OpLocalGet, Imm: 0},
+				{Op: OpI32Load, Imm: 0, Imm2: 2},
+				{Op: OpI32Store, Imm: 4, Imm2: 2},
+				{Op: OpMemorySize},
+			}),
+		},
+		{
+			"select",
+			simpleModule([]ValType{ValI32}, []ValType{ValF64}, nil, []Instr{
+				{Op: OpF64Const, Imm: 0},
+				{Op: OpF64Const, Imm: 1},
+				{Op: OpLocalGet, Imm: 0},
+				{Op: OpSelect},
+			}),
+		},
+		{
+			"early return",
+			simpleModule(nil, []ValType{ValI32}, nil, []Instr{
+				{Op: OpI32Const, Imm: 3},
+				{Op: OpReturn},
+			}),
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := Validate(c.m); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsIllTyped(t *testing.T) {
+	cases := []struct {
+		name    string
+		m       *Module
+		errPart string
+	}{
+		{
+			"type mismatch add",
+			simpleModule(nil, []ValType{ValI32}, nil, []Instr{
+				{Op: OpI32Const, Imm: 1},
+				{Op: OpF64Const, Imm: 0},
+				{Op: OpI32Add},
+			}),
+			"type mismatch",
+		},
+		{
+			"stack underflow",
+			simpleModule(nil, []ValType{ValI32}, nil, []Instr{
+				{Op: OpI32Add},
+			}),
+			"underflow",
+		},
+		{
+			"leftover values",
+			simpleModule(nil, nil, nil, []Instr{
+				{Op: OpI32Const, Imm: 1},
+			}),
+			"extra values",
+		},
+		{
+			"bad local index",
+			simpleModule(nil, nil, nil, []Instr{
+				{Op: OpLocalGet, Imm: 5},
+				{Op: OpDrop},
+			}),
+			"local index",
+		},
+		{
+			"branch label out of range",
+			simpleModule(nil, nil, nil, []Instr{
+				{Op: OpBr, Imm: 9},
+			}),
+			"label 9 out of range",
+		},
+		{
+			"if without else but result",
+			simpleModule(nil, []ValType{ValI32}, nil, []Instr{
+				{Op: OpI32Const, Imm: 1},
+				{Op: OpIf, Imm: uint64(ValI32)},
+				{Op: OpI32Const, Imm: 1},
+				{Op: OpEnd},
+			}),
+			"requires else",
+		},
+		{
+			"select type mismatch",
+			simpleModule(nil, []ValType{ValI32}, nil, []Instr{
+				{Op: OpI32Const, Imm: 0},
+				{Op: OpF64Const, Imm: 0},
+				{Op: OpI32Const, Imm: 1},
+				{Op: OpSelect},
+			}),
+			"select operand types differ",
+		},
+		{
+			"global.set immutable",
+			func() *Module {
+				m := simpleModule(nil, nil, nil, []Instr{
+					{Op: OpI32Const, Imm: 1},
+					{Op: OpGlobalSet, Imm: 0},
+				})
+				m.Globals = []Global{{Type: GlobalType{Type: ValI32}, Init: Instr{Op: OpI32Const}}}
+				return m
+			}(),
+			"immutable",
+		},
+		{
+			"alignment too large",
+			simpleModule(nil, nil, nil, []Instr{
+				{Op: OpI32Const, Imm: 0},
+				{Op: OpI32Load, Imm: 0, Imm2: 4},
+				{Op: OpDrop},
+			}),
+			"alignment",
+		},
+		{
+			"call bad index",
+			simpleModule(nil, nil, nil, []Instr{
+				{Op: OpCall, Imm: 7},
+			}),
+			"out of range",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Validate(c.m)
+			if err == nil {
+				t.Fatal("Validate accepted an ill-typed module")
+			}
+			if !errors.Is(err, ErrInvalidModule) {
+				t.Errorf("error not wrapped in ErrInvalidModule: %v", err)
+			}
+			if !strings.Contains(err.Error(), c.errPart) {
+				t.Errorf("error %q does not mention %q", err, c.errPart)
+			}
+		})
+	}
+}
+
+func TestValidateModuleLevelErrors(t *testing.T) {
+	t.Run("two memories", func(t *testing.T) {
+		m := NewModule()
+		m.Memories = []Limits{{Min: 1}, {Min: 1}}
+		if err := Validate(m); err == nil {
+			t.Error("accepted two memories")
+		}
+	})
+	t.Run("memory min too large", func(t *testing.T) {
+		m := NewModule()
+		m.Memories = []Limits{{Min: MaxPages + 1}}
+		if err := Validate(m); err == nil {
+			t.Error("accepted oversized memory")
+		}
+	})
+	t.Run("limits max below min", func(t *testing.T) {
+		m := NewModule()
+		m.Memories = []Limits{{Min: 4, Max: 2, HasMax: true}}
+		if err := Validate(m); err == nil {
+			t.Error("accepted max < min")
+		}
+	})
+	t.Run("duplicate export", func(t *testing.T) {
+		m := simpleModule(nil, nil, nil, nil)
+		m.Exports = []Export{
+			{Name: "f", Kind: ExternFunc, Index: 0},
+			{Name: "f", Kind: ExternFunc, Index: 0},
+		}
+		if err := Validate(m); err == nil {
+			t.Error("accepted duplicate export")
+		}
+	})
+	t.Run("export index out of range", func(t *testing.T) {
+		m := simpleModule(nil, nil, nil, nil)
+		m.Exports = []Export{{Name: "f", Kind: ExternFunc, Index: 5}}
+		if err := Validate(m); err == nil {
+			t.Error("accepted bad export index")
+		}
+	})
+	t.Run("start wrong signature", func(t *testing.T) {
+		m := simpleModule([]ValType{ValI32}, nil, nil, []Instr{})
+		m.Start = 0
+		if err := Validate(m); err == nil {
+			t.Error("accepted start function with params")
+		}
+	})
+	t.Run("elem without table", func(t *testing.T) {
+		m := simpleModule(nil, nil, nil, nil)
+		m.Elems = []ElemSegment{{Offset: Instr{Op: OpI32Const}, FuncIndices: []uint32{0}}}
+		if err := Validate(m); err == nil {
+			t.Error("accepted element segment without table")
+		}
+	})
+	t.Run("elem func out of range", func(t *testing.T) {
+		m := simpleModule(nil, nil, nil, nil)
+		m.Tables = []Limits{{Min: 2}}
+		m.Elems = []ElemSegment{{Offset: Instr{Op: OpI32Const}, FuncIndices: []uint32{9}}}
+		if err := Validate(m); err == nil {
+			t.Error("accepted element func index out of range")
+		}
+	})
+	t.Run("data offset wrong type", func(t *testing.T) {
+		m := simpleModule(nil, nil, nil, nil)
+		m.Data = []DataSegment{{Offset: Instr{Op: OpI64Const}, Bytes: []byte{1}}}
+		if err := Validate(m); err == nil {
+			t.Error("accepted i64 data offset")
+		}
+	})
+	t.Run("global init references defined global", func(t *testing.T) {
+		m := simpleModule(nil, nil, nil, nil)
+		m.Globals = []Global{
+			{Type: GlobalType{Type: ValI32}, Init: Instr{Op: OpI32Const, Imm: 1}},
+			{Type: GlobalType{Type: ValI32}, Init: Instr{Op: OpGlobalGet, Imm: 0}},
+		}
+		if err := Validate(m); err == nil {
+			t.Error("accepted init referencing non-imported global")
+		}
+	})
+}
+
+func TestValidateBrTable(t *testing.T) {
+	m := simpleModule([]ValType{ValI32}, []ValType{ValI32}, nil, []Instr{
+		{Op: OpBlock, Imm: uint64(ValI32)},
+		{Op: OpBlock, Imm: uint64(ValI32)},
+		{Op: OpI32Const, Imm: 10},
+		{Op: OpLocalGet, Imm: 0},
+		{Op: OpBrTable, Labels: []uint32{0, 1}, Imm: 1},
+		{Op: OpEnd},
+		{Op: OpEnd},
+	})
+	if err := Validate(m); err != nil {
+		t.Errorf("valid br_table rejected: %v", err)
+	}
+
+	bad := simpleModule([]ValType{ValI32}, nil, nil, []Instr{
+		{Op: OpBlock, Imm: uint64(ValI32)},
+		{Op: OpBlock, Imm: uint64(BlockTypeEmpty)},
+		{Op: OpI32Const, Imm: 10},
+		{Op: OpLocalGet, Imm: 0},
+		{Op: OpBrTable, Labels: []uint32{0}, Imm: 1},
+		{Op: OpEnd},
+		{Op: OpEnd},
+		{Op: OpDrop},
+	})
+	if err := Validate(bad); err == nil {
+		t.Error("br_table with mismatched target arity accepted")
+	}
+}
+
+func TestValidateCallIndirect(t *testing.T) {
+	m := NewModule()
+	m.Types = []FuncType{{Results: []ValType{ValI32}}}
+	m.Funcs = []Func{{TypeIdx: 0, Body: []Instr{
+		{Op: OpI32Const, Imm: 0},
+		{Op: OpCallIndirect, Imm: 0},
+	}}}
+	m.Tables = []Limits{{Min: 1}}
+	if err := Validate(m); err != nil {
+		t.Errorf("valid call_indirect rejected: %v", err)
+	}
+
+	m2 := NewModule()
+	m2.Types = []FuncType{{Results: []ValType{ValI32}}}
+	m2.Funcs = []Func{{TypeIdx: 0, Body: []Instr{
+		{Op: OpI32Const, Imm: 0},
+		{Op: OpCallIndirect, Imm: 0},
+	}}}
+	if err := Validate(m2); err == nil {
+		t.Error("call_indirect without table accepted")
+	}
+}

@@ -1,0 +1,283 @@
+package wcc
+
+import "fmt"
+
+// Type is a WCC type: a scalar value type or a pointer into linear memory.
+type Type struct {
+	// Kind is the value kind for scalars; for pointers, the kind is KindPtr
+	// and Elem describes the pointee element.
+	Kind Kind
+	Elem ElemKind // valid when Kind == KindPtr
+}
+
+// Kind enumerates value kinds.
+type Kind int
+
+// Value kinds.
+const (
+	KindVoid Kind = iota
+	KindI32
+	KindI64
+	KindF32
+	KindF64
+	KindPtr
+)
+
+// ElemKind enumerates memory element kinds for pointers.
+type ElemKind int
+
+// Element kinds.
+const (
+	ElemU8 ElemKind = iota + 1
+	ElemI8
+	ElemU16
+	ElemI16
+	ElemI32
+	ElemI64
+	ElemF32
+	ElemF64
+)
+
+// Size returns the element width in bytes.
+func (e ElemKind) Size() int {
+	switch e {
+	case ElemU8, ElemI8:
+		return 1
+	case ElemU16, ElemI16:
+		return 2
+	case ElemI32, ElemF32:
+		return 4
+	case ElemI64, ElemF64:
+		return 8
+	}
+	return 0
+}
+
+// ValueType returns the scalar type an element loads as.
+func (e ElemKind) ValueType() Type {
+	switch e {
+	case ElemI64:
+		return Type{Kind: KindI64}
+	case ElemF32:
+		return Type{Kind: KindF32}
+	case ElemF64:
+		return Type{Kind: KindF64}
+	default:
+		return Type{Kind: KindI32}
+	}
+}
+
+// String renders the type.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindI32:
+		return "i32"
+	case KindI64:
+		return "i64"
+	case KindF32:
+		return "f32"
+	case KindF64:
+		return "f64"
+	case KindPtr:
+		names := map[ElemKind]string{
+			ElemU8: "u8", ElemI8: "i8", ElemU16: "u16", ElemI16: "i16",
+			ElemI32: "i32", ElemI64: "i64", ElemF32: "f32", ElemF64: "f64",
+		}
+		return names[t.Elem] + "*"
+	}
+	return fmt.Sprintf("type(%d)", int(t.Kind))
+}
+
+// IsNumeric reports whether the type participates in arithmetic.
+func (t Type) IsNumeric() bool {
+	switch t.Kind {
+	case KindI32, KindI64, KindF32, KindF64:
+		return true
+	}
+	return false
+}
+
+// IsInt reports whether the type is an integer scalar.
+func (t Type) IsInt() bool { return t.Kind == KindI32 || t.Kind == KindI64 }
+
+// IsFloat reports whether the type is a floating scalar.
+func (t Type) IsFloat() bool { return t.Kind == KindF32 || t.Kind == KindF64 }
+
+// ---- expressions ----
+
+type expr interface {
+	exprNode()
+	pos() token
+	// typ is filled by the checker.
+	resultType() Type
+}
+
+type baseExpr struct {
+	tok token
+	typ Type
+}
+
+func (b *baseExpr) exprNode()        {}
+func (b *baseExpr) setType(t Type)   { b.typ = t }
+func (b *baseExpr) pos() token       { return b.tok }
+func (b *baseExpr) resultType() Type { return b.typ }
+
+type intLit struct {
+	baseExpr
+	val int64
+}
+
+type floatLit struct {
+	baseExpr
+	val float64
+}
+
+type identExpr struct {
+	baseExpr
+	name string
+	// resolved by the checker:
+	local    int  // local slot when >= 0
+	global   int  // global index when >= 0
+	array    int  // static array index when >= 0
+	isFunc   bool // function reference (only valid as call target)
+	isConst  bool // folded compile-time constant
+	constVal int64
+}
+
+type callExpr struct {
+	baseExpr
+	name string
+	args []expr
+}
+
+type indexExpr struct {
+	baseExpr
+	ptr   expr
+	index expr
+}
+
+type binExpr struct {
+	baseExpr
+	op   string
+	l, r expr
+}
+
+type unExpr struct {
+	baseExpr
+	op string
+	e  expr
+}
+
+type castExpr struct {
+	baseExpr
+	to Type
+	e  expr
+}
+
+// ---- statements ----
+
+type stmt interface{ stmtNode() }
+
+type declStmt struct {
+	tok  token
+	typ  Type
+	name string
+	init expr // may be nil
+	slot int  // filled by checker
+}
+
+type assignStmt struct {
+	tok token
+	// Either a variable target or a memory target.
+	name  string
+	slot  int // local slot; -1 for globals/memory
+	gidx  int // global index; -1 otherwise
+	ptr   expr
+	index expr
+	val   expr
+}
+
+type ifStmt struct {
+	cond       expr
+	then, els_ []stmt
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+}
+
+type forStmt struct {
+	init stmt // declStmt or assignStmt; may be nil
+	cond expr // may be nil (infinite)
+	post stmt // assignStmt; may be nil
+	body []stmt
+}
+
+type returnStmt struct {
+	tok token
+	val expr // nil for void
+}
+
+type breakStmt struct{ tok token }
+type continueStmt struct{ tok token }
+
+type exprStmt struct{ e expr }
+
+func (*declStmt) stmtNode()     {}
+func (*assignStmt) stmtNode()   {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*exprStmt) stmtNode()     {}
+
+// ---- top-level declarations ----
+
+type param struct {
+	name string
+	typ  Type
+}
+
+type funcDecl struct {
+	tok      token
+	name     string
+	params   []param
+	ret      Type
+	body     []stmt
+	exported bool
+	// filled by checker:
+	localTypes []Type // all locals including params
+}
+
+type arrayDecl struct {
+	tok  token
+	name string
+	elem ElemKind
+	size int64 // element count, const-evaluated
+	// filled by layout:
+	offset uint32
+}
+
+type globalDecl struct {
+	tok  token
+	name string
+	typ  Type
+	init expr // constant literal
+}
+
+type constDecl struct {
+	name string
+	val  int64
+}
+
+type program struct {
+	consts  []constDecl
+	arrays  []arrayDecl
+	globals []globalDecl
+	funcs   []funcDecl
+}

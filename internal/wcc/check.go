@@ -1,0 +1,569 @@
+package wcc
+
+import (
+	"fmt"
+
+	"sledge/internal/wasm"
+)
+
+type builtinKind int
+
+const (
+	bInline   builtinKind = iota + 1 // single wasm opcode
+	bHost                            // host import
+	bAlloc                           // bump allocator (generated function)
+	bHeapBase                        // constant: first free byte after statics
+)
+
+type builtin struct {
+	kind   builtinKind
+	params []Type
+	ret    Type
+	op     wasm.Opcode
+	module string
+	name   string
+}
+
+var (
+	i32T = Type{Kind: KindI32}
+	i64T = Type{Kind: KindI64}
+	f32T = Type{Kind: KindF32}
+	f64T = Type{Kind: KindF64}
+)
+
+// builtinTable declares every function WCC programs may call without
+// defining. Inline builtins lower to a single wasm instruction; host
+// builtins become imports provided by the serverless ABI (package abi).
+var builtinTable = map[string]builtin{
+	"sqrt":  {kind: bInline, params: []Type{f64T}, ret: f64T, op: wasm.OpF64Sqrt},
+	"fabs":  {kind: bInline, params: []Type{f64T}, ret: f64T, op: wasm.OpF64Abs},
+	"floor": {kind: bInline, params: []Type{f64T}, ret: f64T, op: wasm.OpF64Floor},
+	"ceil":  {kind: bInline, params: []Type{f64T}, ret: f64T, op: wasm.OpF64Ceil},
+	"trunc": {kind: bInline, params: []Type{f64T}, ret: f64T, op: wasm.OpF64Trunc},
+	"round": {kind: bInline, params: []Type{f64T}, ret: f64T, op: wasm.OpF64Nearest},
+	"fmin":  {kind: bInline, params: []Type{f64T, f64T}, ret: f64T, op: wasm.OpF64Min},
+	"fmax":  {kind: bInline, params: []Type{f64T, f64T}, ret: f64T, op: wasm.OpF64Max},
+
+	"exp":   {kind: bHost, params: []Type{f64T}, ret: f64T, module: "math", name: "exp"},
+	"log":   {kind: bHost, params: []Type{f64T}, ret: f64T, module: "math", name: "log"},
+	"pow":   {kind: bHost, params: []Type{f64T, f64T}, ret: f64T, module: "math", name: "pow"},
+	"sin":   {kind: bHost, params: []Type{f64T}, ret: f64T, module: "math", name: "sin"},
+	"cos":   {kind: bHost, params: []Type{f64T}, ret: f64T, module: "math", name: "cos"},
+	"atan2": {kind: bHost, params: []Type{f64T, f64T}, ret: f64T, module: "math", name: "atan2"},
+
+	"sys_read":     {kind: bHost, params: []Type{i32T, i32T}, ret: i32T, module: "sledge", name: "read"},
+	"sys_write":    {kind: bHost, params: []Type{i32T, i32T}, ret: i32T, module: "sledge", name: "write"},
+	"sys_req_len":  {kind: bHost, ret: i32T, module: "sledge", name: "req_len"},
+	"sys_kv_get":   {kind: bHost, params: []Type{i32T, i32T, i32T, i32T}, ret: i32T, module: "sledge", name: "kv_get"},
+	"sys_kv_set":   {kind: bHost, params: []Type{i32T, i32T, i32T, i32T}, ret: i32T, module: "sledge", name: "kv_set"},
+	"sys_clock_ms": {kind: bHost, ret: i64T, module: "sledge", name: "clock_ms"},
+	"sys_rand":     {kind: bHost, ret: i32T, module: "sledge", name: "rand"},
+
+	"alloc":     {kind: bAlloc, params: []Type{i32T}, ret: i32T},
+	"heap_base": {kind: bHeapBase, ret: i32T},
+}
+
+type checker struct {
+	prog     *program
+	consts   map[string]int64
+	arrays   map[string]int
+	globals  map[string]int
+	funcs    map[string]int
+	usesHost map[string]bool // builtin names (bHost) referenced
+	useAlloc bool
+
+	// per-function state
+	cur    *funcDecl
+	scopes []map[string]int // name -> local slot
+}
+
+func check(prog *program) (*checker, error) {
+	ck := &checker{
+		prog:     prog,
+		consts:   make(map[string]int64),
+		arrays:   make(map[string]int),
+		globals:  make(map[string]int),
+		funcs:    make(map[string]int),
+		usesHost: make(map[string]bool),
+	}
+	for _, c := range prog.consts {
+		ck.consts[c.name] = c.val
+	}
+	for i, a := range prog.arrays {
+		if _, dup := ck.arrays[a.name]; dup {
+			return nil, errAt(a.tok, "duplicate array %s", a.name)
+		}
+		ck.arrays[a.name] = i
+	}
+	for i, g := range prog.globals {
+		if _, dup := ck.globals[g.name]; dup {
+			return nil, errAt(g.tok, "duplicate global %s", g.name)
+		}
+		ck.globals[g.name] = i
+	}
+	for i := range prog.funcs {
+		f := &prog.funcs[i]
+		if _, dup := ck.funcs[f.name]; dup {
+			return nil, errAt(f.tok, "duplicate function %s", f.name)
+		}
+		if _, isBuiltin := builtinTable[f.name]; isBuiltin {
+			return nil, errAt(f.tok, "function %s shadows a builtin", f.name)
+		}
+		ck.funcs[f.name] = i
+	}
+	for i := range prog.globals {
+		g := &prog.globals[i]
+		if err := ck.checkGlobalInit(g); err != nil {
+			return nil, err
+		}
+	}
+	for i := range prog.funcs {
+		if err := ck.checkFunc(&prog.funcs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return ck, nil
+}
+
+func (ck *checker) checkGlobalInit(g *globalDecl) error {
+	switch init := g.init.(type) {
+	case *intLit:
+		init.typ = g.typ
+		if !g.typ.IsNumeric() {
+			return errAt(g.tok, "global %s: bad type", g.name)
+		}
+	case *floatLit:
+		init.typ = g.typ
+		if !g.typ.IsFloat() {
+			return errAt(g.tok, "global %s: float initializer for %s", g.name, g.typ)
+		}
+	case *unExpr:
+		// Allow negated literals.
+		if lit, ok := init.e.(*intLit); ok && init.op == "-" {
+			lit.val = -lit.val
+			lit.typ = g.typ
+			g.init = lit
+			return nil
+		}
+		if lit, ok := init.e.(*floatLit); ok && init.op == "-" {
+			lit.val = -lit.val
+			lit.typ = g.typ
+			g.init = lit
+			return nil
+		}
+		return errAt(g.tok, "global %s: initializer must be a literal", g.name)
+	default:
+		return errAt(g.tok, "global %s: initializer must be a literal", g.name)
+	}
+	return nil
+}
+
+func (ck *checker) checkFunc(f *funcDecl) error {
+	ck.cur = f
+	f.localTypes = nil
+	ck.scopes = []map[string]int{make(map[string]int, len(f.params))}
+	for _, p := range f.params {
+		if p.typ.Kind == KindVoid {
+			return errAt(f.tok, "void parameter %s", p.name)
+		}
+		slot := len(f.localTypes)
+		f.localTypes = append(f.localTypes, p.typ)
+		ck.scopes[0][p.name] = slot
+	}
+	return ck.checkBlock(f.body)
+}
+
+func (ck *checker) pushScope() { ck.scopes = append(ck.scopes, make(map[string]int)) }
+func (ck *checker) popScope()  { ck.scopes = ck.scopes[:len(ck.scopes)-1] }
+
+func (ck *checker) lookupLocal(name string) (int, bool) {
+	for i := len(ck.scopes) - 1; i >= 0; i-- {
+		if slot, ok := ck.scopes[i][name]; ok {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+func (ck *checker) checkBlock(stmts []stmt) error {
+	ck.pushScope()
+	defer ck.popScope()
+	for _, s := range stmts {
+		if err := ck.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ck *checker) checkStmt(s stmt) error {
+	switch n := s.(type) {
+	case *declStmt:
+		if _, dup := ck.scopes[len(ck.scopes)-1][n.name]; dup {
+			return errAt(n.tok, "duplicate variable %s", n.name)
+		}
+		if n.init != nil {
+			if err := ck.checkExpr(n.init); err != nil {
+				return err
+			}
+			if err := ck.coerce(&n.init, n.typ); err != nil {
+				return errAt(n.tok, "cannot initialize %s %s with %s", n.typ, n.name, n.init.resultType())
+			}
+		}
+		n.slot = len(ck.cur.localTypes)
+		ck.cur.localTypes = append(ck.cur.localTypes, n.typ)
+		ck.scopes[len(ck.scopes)-1][n.name] = n.slot
+		return nil
+
+	case *assignStmt:
+		if err := ck.checkExpr(n.val); err != nil {
+			return err
+		}
+		if n.ptr != nil {
+			// Memory store through an index expression.
+			if err := ck.checkExpr(n.ptr); err != nil {
+				return err
+			}
+			if err := ck.checkExpr(n.index); err != nil {
+				return err
+			}
+			pt := n.ptr.resultType()
+			if pt.Kind != KindPtr {
+				return errAt(n.tok, "indexed assignment requires a pointer, got %s", pt)
+			}
+			if it := n.index.resultType(); it.Kind != KindI32 {
+				return errAt(n.tok, "array index must be i32, got %s", it)
+			}
+			want := pt.Elem.ValueType()
+			if err := ck.coerce(&n.val, want); err != nil {
+				return errAt(n.tok, "cannot store %s into %s element", n.val.resultType(), pt)
+			}
+			return nil
+		}
+		// Variable target.
+		if slot, ok := ck.lookupLocal(n.name); ok {
+			n.slot = slot
+			want := ck.cur.localTypes[slot]
+			if err := ck.coerce(&n.val, want); err != nil {
+				return errAt(n.tok, "cannot assign %s to %s %s", n.val.resultType(), want, n.name)
+			}
+			return nil
+		}
+		if gi, ok := ck.globals[n.name]; ok {
+			n.gidx = gi
+			want := ck.prog.globals[gi].typ
+			if err := ck.coerce(&n.val, want); err != nil {
+				return errAt(n.tok, "cannot assign %s to global %s %s", n.val.resultType(), want, n.name)
+			}
+			return nil
+		}
+		return errAt(n.tok, "undefined variable %s", n.name)
+
+	case *ifStmt:
+		if err := ck.checkCond(n.cond); err != nil {
+			return err
+		}
+		if err := ck.checkBlock(n.then); err != nil {
+			return err
+		}
+		return ck.checkBlock(n.els_)
+
+	case *whileStmt:
+		if err := ck.checkCond(n.cond); err != nil {
+			return err
+		}
+		return ck.checkBlock(n.body)
+
+	case *forStmt:
+		ck.pushScope() // the for clause introduces its own scope
+		defer ck.popScope()
+		if n.init != nil {
+			if err := ck.checkStmt(n.init); err != nil {
+				return err
+			}
+		}
+		if n.cond != nil {
+			if err := ck.checkCond(n.cond); err != nil {
+				return err
+			}
+		}
+		if n.post != nil {
+			if err := ck.checkStmt(n.post); err != nil {
+				return err
+			}
+		}
+		return ck.checkBlock(n.body)
+
+	case *returnStmt:
+		if ck.cur.ret.Kind == KindVoid {
+			if n.val != nil {
+				return errAt(n.tok, "void function %s returns a value", ck.cur.name)
+			}
+			return nil
+		}
+		if n.val == nil {
+			return errAt(n.tok, "function %s must return %s", ck.cur.name, ck.cur.ret)
+		}
+		if err := ck.checkExpr(n.val); err != nil {
+			return err
+		}
+		if err := ck.coerce(&n.val, ck.cur.ret); err != nil {
+			return errAt(n.tok, "cannot return %s from %s function", n.val.resultType(), ck.cur.ret)
+		}
+		return nil
+
+	case *breakStmt, *continueStmt:
+		return nil // loop nesting validated at codegen
+
+	case *exprStmt:
+		return ck.checkExpr(n.e)
+	}
+	return fmt.Errorf("wcc: unknown statement %T", s)
+}
+
+func (ck *checker) checkCond(e expr) error {
+	if err := ck.checkExpr(e); err != nil {
+		return err
+	}
+	if t := e.resultType(); t.Kind != KindI32 {
+		return errAt(e.pos(), "condition must be i32, got %s", t)
+	}
+	return nil
+}
+
+// coerce makes *e assignable to want, retyping numeric literals in place.
+// An i32 expression (e.g. an alloc() result) is implicitly usable as any
+// pointer: pointers are byte addresses at runtime.
+func (ck *checker) coerce(e *expr, want Type) error {
+	got := (*e).resultType()
+	if got == want {
+		return nil
+	}
+	if (want.Kind == KindPtr && got.Kind == KindI32) ||
+		(want.Kind == KindI32 && got.Kind == KindPtr) {
+		if st, ok := (*e).(interface{ setType(Type) }); ok {
+			st.setType(want)
+			return nil
+		}
+	}
+	switch lit := (*e).(type) {
+	case *intLit:
+		if want.IsNumeric() {
+			lit.typ = want
+			return nil
+		}
+	case *floatLit:
+		if want.IsFloat() {
+			lit.typ = want
+			return nil
+		}
+	case *identExpr:
+		if lit.isConst && want.IsNumeric() {
+			lit.typ = want
+			return nil
+		}
+	case *unExpr:
+		if lit.op == "-" {
+			if inner, ok := lit.e.(*intLit); ok && want.IsNumeric() {
+				inner.typ = want
+				lit.typ = want
+				return nil
+			}
+			if inner, ok := lit.e.(*floatLit); ok && want.IsFloat() {
+				inner.typ = want
+				lit.typ = want
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("type mismatch: %s vs %s", got, want)
+}
+
+func (ck *checker) checkExpr(e expr) error {
+	switch n := e.(type) {
+	case *intLit:
+		if n.typ.Kind == KindVoid {
+			n.typ = i32T
+		}
+		return nil
+	case *floatLit:
+		if n.typ.Kind == KindVoid {
+			n.typ = f64T
+		}
+		return nil
+
+	case *identExpr:
+		if v, ok := ck.consts[n.name]; ok {
+			n.isConst = true
+			n.constVal = v
+			n.typ = i32T
+			return nil
+		}
+		if slot, ok := ck.lookupLocal(n.name); ok {
+			n.local = slot
+			n.typ = ck.cur.localTypes[slot]
+			return nil
+		}
+		if gi, ok := ck.globals[n.name]; ok {
+			n.global = gi
+			n.typ = ck.prog.globals[gi].typ
+			return nil
+		}
+		if ai, ok := ck.arrays[n.name]; ok {
+			n.array = ai
+			n.typ = Type{Kind: KindPtr, Elem: ck.prog.arrays[ai].elem}
+			return nil
+		}
+		return errAt(n.tok, "undefined identifier %s", n.name)
+
+	case *callExpr:
+		for _, a := range n.args {
+			if err := ck.checkExpr(a); err != nil {
+				return err
+			}
+		}
+		if b, ok := builtinTable[n.name]; ok {
+			if len(n.args) != len(b.params) {
+				return errAt(n.tok, "%s takes %d arguments, got %d", n.name, len(b.params), len(n.args))
+			}
+			for i := range n.args {
+				if err := ck.coerce(&n.args[i], b.params[i]); err != nil {
+					return errAt(n.tok, "%s argument %d: %v", n.name, i+1, err)
+				}
+			}
+			n.typ = b.ret
+			switch b.kind {
+			case bHost:
+				ck.usesHost[n.name] = true
+			case bAlloc:
+				ck.useAlloc = true
+			}
+			return nil
+		}
+		fi, ok := ck.funcs[n.name]
+		if !ok {
+			return errAt(n.tok, "undefined function %s", n.name)
+		}
+		fd := &ck.prog.funcs[fi]
+		if len(n.args) != len(fd.params) {
+			return errAt(n.tok, "%s takes %d arguments, got %d", n.name, len(fd.params), len(n.args))
+		}
+		for i := range n.args {
+			if err := ck.coerce(&n.args[i], fd.params[i].typ); err != nil {
+				return errAt(n.tok, "%s argument %d: %v", n.name, i+1, err)
+			}
+		}
+		n.typ = fd.ret
+		return nil
+
+	case *indexExpr:
+		if err := ck.checkExpr(n.ptr); err != nil {
+			return err
+		}
+		if err := ck.checkExpr(n.index); err != nil {
+			return err
+		}
+		pt := n.ptr.resultType()
+		if pt.Kind != KindPtr {
+			return errAt(n.tok, "cannot index %s", pt)
+		}
+		if it := n.index.resultType(); it.Kind != KindI32 {
+			return errAt(n.tok, "array index must be i32, got %s", it)
+		}
+		n.typ = pt.Elem.ValueType()
+		return nil
+
+	case *binExpr:
+		if err := ck.checkExpr(n.l); err != nil {
+			return err
+		}
+		if err := ck.checkExpr(n.r); err != nil {
+			return err
+		}
+		lt, rt := n.l.resultType(), n.r.resultType()
+
+		// Pointer arithmetic: ptr + i32, ptr - i32.
+		if lt.Kind == KindPtr && (n.op == "+" || n.op == "-") {
+			if rt.Kind != KindI32 {
+				return errAt(n.tok, "pointer offset must be i32, got %s", rt)
+			}
+			n.typ = lt
+			return nil
+		}
+
+		// Unify literal operand types.
+		if lt != rt {
+			if err := ck.coerce(&n.r, lt); err != nil {
+				if err2 := ck.coerce(&n.l, rt); err2 != nil {
+					return errAt(n.tok, "operand type mismatch: %s %s %s", lt, n.op, rt)
+				}
+			}
+			lt = n.l.resultType()
+		}
+		if !lt.IsNumeric() {
+			return errAt(n.tok, "operator %s requires numeric operands, got %s", n.op, lt)
+		}
+		switch n.op {
+		case "&&", "||":
+			if lt.Kind != KindI32 {
+				return errAt(n.tok, "operator %s requires i32 operands", n.op)
+			}
+			n.typ = i32T
+		case "==", "!=", "<", "<=", ">", ">=":
+			n.typ = i32T
+		case "&", "|", "^", "<<", ">>", "%":
+			if !lt.IsInt() {
+				return errAt(n.tok, "operator %s requires integer operands, got %s", n.op, lt)
+			}
+			n.typ = lt
+		default:
+			n.typ = lt
+		}
+		return nil
+
+	case *unExpr:
+		if err := ck.checkExpr(n.e); err != nil {
+			return err
+		}
+		t := n.e.resultType()
+		switch n.op {
+		case "-":
+			if !t.IsNumeric() {
+				return errAt(n.tok, "cannot negate %s", t)
+			}
+			n.typ = t
+		case "!":
+			if t.Kind != KindI32 {
+				return errAt(n.tok, "operator ! requires i32, got %s", t)
+			}
+			n.typ = i32T
+		}
+		return nil
+
+	case *castExpr:
+		if err := ck.checkExpr(n.e); err != nil {
+			return err
+		}
+		from := n.e.resultType()
+		if !from.IsNumeric() && from.Kind != KindPtr {
+			return errAt(n.tok, "cannot cast %s", from)
+		}
+		if n.to.Kind == KindPtr {
+			// Pointer reinterpretation: any address-typed value converts.
+			if from.Kind != KindPtr && from.Kind != KindI32 {
+				return errAt(n.tok, "cannot cast %s to %s", from, n.to)
+			}
+			n.typ = n.to
+			return nil
+		}
+		if from.Kind == KindPtr && n.to.Kind != KindI32 {
+			return errAt(n.tok, "pointers cast only to i32 or other pointer types")
+		}
+		if !n.to.IsNumeric() {
+			return errAt(n.tok, "cannot cast to %s", n.to)
+		}
+		n.typ = n.to
+		return nil
+	}
+	return fmt.Errorf("wcc: unknown expression %T", e)
+}

@@ -1,0 +1,826 @@
+package wcc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sledge/internal/wasm"
+)
+
+// Options configures compilation.
+type Options struct {
+	// HeapBytes reserves heap space after static arrays for alloc().
+	// Default 256 KiB.
+	HeapBytes int
+	// ExtraPages adds linear-memory headroom beyond the computed minimum.
+	ExtraPages uint32
+	// Data provides initial contents for named static arrays, emitted as
+	// data segments.
+	Data map[string][]byte
+}
+
+// ArrayInfo describes a static array's placement in linear memory.
+type ArrayInfo struct {
+	Offset uint32
+	Elem   ElemKind
+	Count  int64
+	Bytes  int64
+}
+
+// Result is a compiled WCC program.
+type Result struct {
+	// Module is the assembled wasm module (validated).
+	Module *wasm.Module
+	// Binary is the encoded wasm binary.
+	Binary []byte
+	// Arrays maps static array names to their memory placement.
+	Arrays map[string]ArrayInfo
+	// HeapBase is the first free byte after static data.
+	HeapBase uint32
+	// Exports lists exported function names.
+	Exports []string
+}
+
+// Compile compiles WCC source to a validated wasm module.
+func Compile(src string, opts Options) (*Result, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := check(prog)
+	if err != nil {
+		return nil, err
+	}
+	g := &codegen{prog: prog, ck: ck, opts: opts}
+	res, err := g.generate()
+	if err != nil {
+		return nil, err
+	}
+	if err := wasm.Validate(res.Module); err != nil {
+		return nil, fmt.Errorf("wcc: generated module failed validation: %w", err)
+	}
+	res.Binary, err = wasm.Encode(res.Module)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+type codegen struct {
+	prog *program
+	ck   *checker
+	opts Options
+
+	mod       *wasm.Module
+	arrays    map[string]ArrayInfo
+	heapBase  uint32
+	importIdx map[string]uint32 // builtin name -> import func index
+	funcIdx   map[string]uint32 // user function -> func index
+	allocIdx  uint32            // __alloc function index (when used)
+	heapGlob  uint32            // heap pointer global index (when used)
+
+	// per-function state
+	body  []wasm.Instr
+	depth int
+	loops []loopCtx
+	cur   *funcDecl
+}
+
+type loopCtx struct {
+	breakLevel int
+	contLevel  int
+}
+
+func (g *codegen) emit(in wasm.Instr) { g.body = append(g.body, in) }
+
+func (g *codegen) generate() (*Result, error) {
+	g.mod = wasm.NewModule()
+	g.arrays = make(map[string]ArrayInfo)
+	g.importIdx = make(map[string]uint32)
+	g.funcIdx = make(map[string]uint32)
+
+	// ---- static data layout ----
+	offset := uint32(16) // keep address 0 unused
+	for i := range g.prog.arrays {
+		a := &g.prog.arrays[i]
+		size := uint32(a.elem.Size())
+		offset = (offset + size - 1) &^ (size - 1)
+		a.offset = offset
+		bytes := int64(size) * a.size
+		g.arrays[a.name] = ArrayInfo{Offset: offset, Elem: a.elem, Count: a.size, Bytes: bytes}
+		if int64(offset)+bytes > math.MaxUint32 {
+			return nil, errAt(a.tok, "static data exceeds 4 GiB")
+		}
+		offset += uint32(bytes)
+	}
+	g.heapBase = (offset + 15) &^ 15
+
+	heapBytes := g.opts.HeapBytes
+	if heapBytes == 0 {
+		heapBytes = 256 << 10
+	}
+	totalBytes := uint64(g.heapBase) + uint64(heapBytes)
+	minPages := uint32((totalBytes + wasm.PageSize - 1) / wasm.PageSize)
+	if minPages == 0 {
+		minPages = 1
+	}
+	minPages += g.opts.ExtraPages
+	g.mod.Memories = []wasm.Limits{{Min: minPages, Max: minPages, HasMax: true}}
+
+	// ---- imports ----
+	var hostNames []string
+	for name := range g.ck.usesHost {
+		hostNames = append(hostNames, name)
+	}
+	sort.Strings(hostNames)
+	for _, name := range hostNames {
+		b := builtinTable[name]
+		ft := wasm.FuncType{}
+		for _, p := range b.params {
+			ft.Params = append(ft.Params, valType(p))
+		}
+		if b.ret.Kind != KindVoid {
+			ft.Results = []wasm.ValType{valType(b.ret)}
+		}
+		g.importIdx[name] = uint32(len(g.mod.Imports))
+		g.mod.Imports = append(g.mod.Imports, wasm.Import{
+			Module: b.module, Name: b.name, Kind: wasm.ExternFunc,
+			TypeIdx: g.typeIdx(ft),
+		})
+	}
+	numImports := uint32(len(g.mod.Imports))
+
+	// ---- globals ----
+	for _, gd := range g.prog.globals {
+		init := wasm.Instr{}
+		switch lit := gd.init.(type) {
+		case *intLit:
+			init = constInstr(gd.typ, lit.val, 0)
+		case *floatLit:
+			init = constInstr(gd.typ, 0, lit.val)
+		}
+		g.mod.Globals = append(g.mod.Globals, wasm.Global{
+			Type: wasm.GlobalType{Type: valType(gd.typ), Mutable: true},
+			Init: init,
+		})
+	}
+	if g.ck.useAlloc {
+		g.heapGlob = uint32(len(g.mod.Globals))
+		g.mod.Globals = append(g.mod.Globals, wasm.Global{
+			Type: wasm.GlobalType{Type: wasm.ValI32, Mutable: true},
+			Init: wasm.Instr{Op: wasm.OpI32Const, Imm: uint64(g.heapBase)},
+		})
+	}
+
+	// ---- function index assignment ----
+	next := numImports
+	if g.ck.useAlloc {
+		g.allocIdx = next
+		next++
+	}
+	for i := range g.prog.funcs {
+		g.funcIdx[g.prog.funcs[i].name] = next
+		next++
+	}
+
+	// ---- function bodies ----
+	if g.ck.useAlloc {
+		g.mod.Funcs = append(g.mod.Funcs, g.genAllocFunc())
+	}
+	var exports []string
+	for i := range g.prog.funcs {
+		fd := &g.prog.funcs[i]
+		wf, err := g.genFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		g.mod.Funcs = append(g.mod.Funcs, wf)
+		if fd.exported {
+			g.mod.Exports = append(g.mod.Exports, wasm.Export{
+				Name: fd.name, Kind: wasm.ExternFunc, Index: g.funcIdx[fd.name],
+			})
+			exports = append(exports, fd.name)
+		}
+	}
+
+	// ---- data segments ----
+	var dataNames []string
+	for name := range g.opts.Data {
+		dataNames = append(dataNames, name)
+	}
+	sort.Strings(dataNames)
+	for _, name := range dataNames {
+		info, ok := g.arrays[name]
+		if !ok {
+			return nil, fmt.Errorf("wcc: data for unknown array %q", name)
+		}
+		data := g.opts.Data[name]
+		if int64(len(data)) > info.Bytes {
+			return nil, fmt.Errorf("wcc: data for %q is %d bytes, array holds %d", name, len(data), info.Bytes)
+		}
+		g.mod.Data = append(g.mod.Data, wasm.DataSegment{
+			Offset: wasm.Instr{Op: wasm.OpI32Const, Imm: uint64(info.Offset)},
+			Bytes:  append([]byte(nil), data...),
+		})
+	}
+
+	return &Result{
+		Module:   g.mod,
+		Arrays:   g.arrays,
+		HeapBase: g.heapBase,
+		Exports:  exports,
+	}, nil
+}
+
+func valType(t Type) wasm.ValType {
+	switch t.Kind {
+	case KindI64:
+		return wasm.ValI64
+	case KindF32:
+		return wasm.ValF32
+	case KindF64:
+		return wasm.ValF64
+	default: // i32 and pointers
+		return wasm.ValI32
+	}
+}
+
+func constInstr(t Type, iv int64, fv float64) wasm.Instr {
+	switch t.Kind {
+	case KindI64:
+		return wasm.Instr{Op: wasm.OpI64Const, Imm: uint64(iv)}
+	case KindF32:
+		return wasm.Instr{Op: wasm.OpF32Const, Imm: uint64(math.Float32bits(float32(fv)))}
+	case KindF64:
+		return wasm.Instr{Op: wasm.OpF64Const, Imm: math.Float64bits(fv)}
+	default:
+		return wasm.Instr{Op: wasm.OpI32Const, Imm: uint64(uint32(int32(iv)))}
+	}
+}
+
+func (g *codegen) typeIdx(ft wasm.FuncType) uint32 {
+	for i, t := range g.mod.Types {
+		if t.Equal(ft) {
+			return uint32(i)
+		}
+	}
+	g.mod.Types = append(g.mod.Types, ft)
+	return uint32(len(g.mod.Types) - 1)
+}
+
+// genAllocFunc emits the bump allocator:
+//
+//	__alloc(n) { old = heap; heap = old + ((n + 7) &^ 7); return old; }
+func (g *codegen) genAllocFunc() wasm.Func {
+	ft := wasm.FuncType{Params: []wasm.ValType{wasm.ValI32}, Results: []wasm.ValType{wasm.ValI32}}
+	h := uint64(g.heapGlob)
+	return wasm.Func{
+		TypeIdx: g.typeIdx(ft),
+		Locals:  []wasm.ValType{wasm.ValI32},
+		Name:    "__alloc",
+		Body: []wasm.Instr{
+			{Op: wasm.OpGlobalGet, Imm: h},
+			{Op: wasm.OpLocalTee, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 7},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpI32Const, Imm: 0xFFFFFFF8}, // -8: align to 8
+			{Op: wasm.OpI32And},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpGlobalSet, Imm: h},
+			{Op: wasm.OpLocalGet, Imm: 1},
+		},
+	}
+}
+
+func (g *codegen) genFunc(fd *funcDecl) (wasm.Func, error) {
+	g.cur = fd
+	g.body = nil
+	g.depth = 0
+	g.loops = nil
+
+	ft := wasm.FuncType{}
+	for _, p := range fd.params {
+		ft.Params = append(ft.Params, valType(p.typ))
+	}
+	if fd.ret.Kind != KindVoid {
+		ft.Results = []wasm.ValType{valType(fd.ret)}
+	}
+
+	for _, s := range fd.body {
+		if err := g.genStmt(s); err != nil {
+			return wasm.Func{}, err
+		}
+	}
+	// Guarantee the implicit end leaves a value for non-void functions
+	// whose control flow falls off the end.
+	if fd.ret.Kind != KindVoid {
+		g.emit(constInstr(fd.ret, 0, 0))
+	}
+
+	var locals []wasm.ValType
+	for _, t := range fd.localTypes[len(fd.params):] {
+		locals = append(locals, valType(t))
+	}
+	return wasm.Func{
+		TypeIdx: g.typeIdx(ft),
+		Locals:  locals,
+		Body:    g.body,
+		Name:    fd.name,
+	}, nil
+}
+
+func (g *codegen) genStmt(s stmt) error {
+	switch n := s.(type) {
+	case *declStmt:
+		if n.init != nil {
+			if err := g.genExpr(n.init); err != nil {
+				return err
+			}
+			g.emit(wasm.Instr{Op: wasm.OpLocalSet, Imm: uint64(n.slot)})
+		}
+		return nil
+
+	case *assignStmt:
+		if n.ptr != nil {
+			pt := n.ptr.resultType()
+			if err := g.genAddress(n.ptr, n.index, pt.Elem); err != nil {
+				return err
+			}
+			if err := g.genExpr(n.val); err != nil {
+				return err
+			}
+			g.emit(storeInstr(pt.Elem))
+			return nil
+		}
+		if err := g.genExpr(n.val); err != nil {
+			return err
+		}
+		if n.slot >= 0 {
+			g.emit(wasm.Instr{Op: wasm.OpLocalSet, Imm: uint64(n.slot)})
+		} else {
+			g.emit(wasm.Instr{Op: wasm.OpGlobalSet, Imm: uint64(n.gidx)})
+		}
+		return nil
+
+	case *ifStmt:
+		if err := g.genExpr(n.cond); err != nil {
+			return err
+		}
+		g.emit(wasm.Instr{Op: wasm.OpIf, Imm: uint64(wasm.BlockTypeEmpty)})
+		g.depth++
+		for _, st := range n.then {
+			if err := g.genStmt(st); err != nil {
+				return err
+			}
+		}
+		if len(n.els_) > 0 {
+			g.emit(wasm.Instr{Op: wasm.OpElse})
+			for _, st := range n.els_ {
+				if err := g.genStmt(st); err != nil {
+					return err
+				}
+			}
+		}
+		g.depth--
+		g.emit(wasm.Instr{Op: wasm.OpEnd})
+		return nil
+
+	case *whileStmt:
+		return g.genLoop(nil, n.cond, nil, n.body)
+
+	case *forStmt:
+		if n.init != nil {
+			if err := g.genStmt(n.init); err != nil {
+				return err
+			}
+		}
+		return g.genLoop(nil, n.cond, n.post, n.body)
+
+	case *returnStmt:
+		if n.val != nil {
+			if err := g.genExpr(n.val); err != nil {
+				return err
+			}
+		}
+		g.emit(wasm.Instr{Op: wasm.OpReturn})
+		return nil
+
+	case *breakStmt:
+		if len(g.loops) == 0 {
+			return errAt(n.tok, "break outside loop")
+		}
+		lc := g.loops[len(g.loops)-1]
+		g.emit(wasm.Instr{Op: wasm.OpBr, Imm: uint64(g.depth - lc.breakLevel - 1)})
+		return nil
+
+	case *continueStmt:
+		if len(g.loops) == 0 {
+			return errAt(n.tok, "continue outside loop")
+		}
+		lc := g.loops[len(g.loops)-1]
+		g.emit(wasm.Instr{Op: wasm.OpBr, Imm: uint64(g.depth - lc.contLevel - 1)})
+		return nil
+
+	case *exprStmt:
+		if err := g.genExpr(n.e); err != nil {
+			return err
+		}
+		if n.e.resultType().Kind != KindVoid {
+			g.emit(wasm.Instr{Op: wasm.OpDrop})
+		}
+		return nil
+	}
+	return fmt.Errorf("wcc: codegen: unknown statement %T", s)
+}
+
+// genLoop emits the canonical loop shape:
+//
+//	block B { loop L { cond? eqz br_if B; block C { body }; post; br L } }
+//
+// break branches to B, continue to C (so the post clause still runs).
+func (g *codegen) genLoop(_ stmt, cond expr, post stmt, body []stmt) error {
+	g.emit(wasm.Instr{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)})
+	breakLevel := g.depth
+	g.depth++
+	g.emit(wasm.Instr{Op: wasm.OpLoop, Imm: uint64(wasm.BlockTypeEmpty)})
+	loopLevel := g.depth
+	g.depth++
+	if cond != nil {
+		if err := g.genExpr(cond); err != nil {
+			return err
+		}
+		g.emit(wasm.Instr{Op: wasm.OpI32Eqz})
+		g.emit(wasm.Instr{Op: wasm.OpBrIf, Imm: uint64(g.depth - breakLevel - 1)})
+	}
+	g.emit(wasm.Instr{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)})
+	contLevel := g.depth
+	g.depth++
+	g.loops = append(g.loops, loopCtx{breakLevel: breakLevel, contLevel: contLevel})
+	for _, st := range body {
+		if err := g.genStmt(st); err != nil {
+			return err
+		}
+	}
+	g.loops = g.loops[:len(g.loops)-1]
+	g.depth--
+	g.emit(wasm.Instr{Op: wasm.OpEnd}) // C
+	if post != nil {
+		if err := g.genStmt(post); err != nil {
+			return err
+		}
+	}
+	g.emit(wasm.Instr{Op: wasm.OpBr, Imm: uint64(g.depth - loopLevel - 1)})
+	g.depth--
+	g.emit(wasm.Instr{Op: wasm.OpEnd}) // L
+	g.depth--
+	g.emit(wasm.Instr{Op: wasm.OpEnd}) // B
+	return nil
+}
+
+// genAddress emits the effective address of ptr[index].
+func (g *codegen) genAddress(ptr, index expr, elem ElemKind) error {
+	if err := g.genExpr(ptr); err != nil {
+		return err
+	}
+	if err := g.genExpr(index); err != nil {
+		return err
+	}
+	if size := elem.Size(); size > 1 {
+		g.emit(wasm.Instr{Op: wasm.OpI32Const, Imm: uint64(size)})
+		g.emit(wasm.Instr{Op: wasm.OpI32Mul})
+	}
+	g.emit(wasm.Instr{Op: wasm.OpI32Add})
+	return nil
+}
+
+func loadInstr(e ElemKind) wasm.Instr {
+	align := uint64(0)
+	switch e.Size() {
+	case 2:
+		align = 1
+	case 4:
+		align = 2
+	case 8:
+		align = 3
+	}
+	var op wasm.Opcode
+	switch e {
+	case ElemU8:
+		op = wasm.OpI32Load8U
+	case ElemI8:
+		op = wasm.OpI32Load8S
+	case ElemU16:
+		op = wasm.OpI32Load16U
+	case ElemI16:
+		op = wasm.OpI32Load16S
+	case ElemI32:
+		op = wasm.OpI32Load
+	case ElemI64:
+		op = wasm.OpI64Load
+	case ElemF32:
+		op = wasm.OpF32Load
+	case ElemF64:
+		op = wasm.OpF64Load
+	}
+	return wasm.Instr{Op: op, Imm2: align}
+}
+
+func storeInstr(e ElemKind) wasm.Instr {
+	align := uint64(0)
+	switch e.Size() {
+	case 2:
+		align = 1
+	case 4:
+		align = 2
+	case 8:
+		align = 3
+	}
+	var op wasm.Opcode
+	switch e {
+	case ElemU8, ElemI8:
+		op = wasm.OpI32Store8
+	case ElemU16, ElemI16:
+		op = wasm.OpI32Store16
+	case ElemI32:
+		op = wasm.OpI32Store
+	case ElemI64:
+		op = wasm.OpI64Store
+	case ElemF32:
+		op = wasm.OpF32Store
+	case ElemF64:
+		op = wasm.OpF64Store
+	}
+	return wasm.Instr{Op: op, Imm2: align}
+}
+
+func (g *codegen) genExpr(e expr) error {
+	switch n := e.(type) {
+	case *intLit:
+		g.emit(constInstr(n.typ, n.val, float64(n.val)))
+		return nil
+	case *floatLit:
+		g.emit(constInstr(n.typ, int64(n.val), n.val))
+		return nil
+
+	case *identExpr:
+		switch {
+		case n.isConst:
+			g.emit(constInstr(n.typ, n.constVal, float64(n.constVal)))
+		case n.local >= 0:
+			g.emit(wasm.Instr{Op: wasm.OpLocalGet, Imm: uint64(n.local)})
+		case n.global >= 0:
+			g.emit(wasm.Instr{Op: wasm.OpGlobalGet, Imm: uint64(n.global)})
+		case n.array >= 0:
+			g.emit(wasm.Instr{Op: wasm.OpI32Const, Imm: uint64(g.prog.arrays[n.array].offset)})
+		default:
+			return errAt(n.tok, "unresolved identifier %s", n.name)
+		}
+		return nil
+
+	case *indexExpr:
+		pt := n.ptr.resultType()
+		if err := g.genAddress(n.ptr, n.index, pt.Elem); err != nil {
+			return err
+		}
+		g.emit(loadInstr(pt.Elem))
+		return nil
+
+	case *callExpr:
+		if b, ok := builtinTable[n.name]; ok {
+			switch b.kind {
+			case bHeapBase:
+				g.emit(wasm.Instr{Op: wasm.OpI32Const, Imm: uint64(g.heapBase)})
+				return nil
+			case bInline:
+				for _, a := range n.args {
+					if err := g.genExpr(a); err != nil {
+						return err
+					}
+				}
+				g.emit(wasm.Instr{Op: b.op})
+				return nil
+			case bHost:
+				for _, a := range n.args {
+					if err := g.genExpr(a); err != nil {
+						return err
+					}
+				}
+				g.emit(wasm.Instr{Op: wasm.OpCall, Imm: uint64(g.importIdx[n.name])})
+				return nil
+			case bAlloc:
+				if err := g.genExpr(n.args[0]); err != nil {
+					return err
+				}
+				g.emit(wasm.Instr{Op: wasm.OpCall, Imm: uint64(g.allocIdx)})
+				return nil
+			}
+		}
+		for _, a := range n.args {
+			if err := g.genExpr(a); err != nil {
+				return err
+			}
+		}
+		g.emit(wasm.Instr{Op: wasm.OpCall, Imm: uint64(g.funcIdx[n.name])})
+		return nil
+
+	case *binExpr:
+		return g.genBinExpr(n)
+
+	case *unExpr:
+		switch n.op {
+		case "!":
+			if err := g.genExpr(n.e); err != nil {
+				return err
+			}
+			g.emit(wasm.Instr{Op: wasm.OpI32Eqz})
+			return nil
+		case "-":
+			t := n.typ
+			switch t.Kind {
+			case KindF32:
+				if err := g.genExpr(n.e); err != nil {
+					return err
+				}
+				g.emit(wasm.Instr{Op: wasm.OpF32Neg})
+			case KindF64:
+				if err := g.genExpr(n.e); err != nil {
+					return err
+				}
+				g.emit(wasm.Instr{Op: wasm.OpF64Neg})
+			case KindI64:
+				g.emit(wasm.Instr{Op: wasm.OpI64Const, Imm: 0})
+				if err := g.genExpr(n.e); err != nil {
+					return err
+				}
+				g.emit(wasm.Instr{Op: wasm.OpI64Sub})
+			default:
+				g.emit(wasm.Instr{Op: wasm.OpI32Const, Imm: 0})
+				if err := g.genExpr(n.e); err != nil {
+					return err
+				}
+				g.emit(wasm.Instr{Op: wasm.OpI32Sub})
+			}
+			return nil
+		}
+		return errAt(n.tok, "unknown unary operator %s", n.op)
+
+	case *castExpr:
+		if err := g.genExpr(n.e); err != nil {
+			return err
+		}
+		return g.genCast(n.e.resultType(), n.to, n.tok)
+	}
+	return fmt.Errorf("wcc: codegen: unknown expression %T", e)
+}
+
+func (g *codegen) genBinExpr(n *binExpr) error {
+	lt := n.l.resultType()
+
+	// Short-circuit logic.
+	switch n.op {
+	case "&&":
+		if err := g.genExpr(n.l); err != nil {
+			return err
+		}
+		g.emit(wasm.Instr{Op: wasm.OpI32Eqz})
+		g.emit(wasm.Instr{Op: wasm.OpIf, Imm: uint64(wasm.ValI32)})
+		g.depth++
+		g.emit(wasm.Instr{Op: wasm.OpI32Const, Imm: 0})
+		g.emit(wasm.Instr{Op: wasm.OpElse})
+		if err := g.genExpr(n.r); err != nil {
+			return err
+		}
+		g.emit(wasm.Instr{Op: wasm.OpI32Eqz})
+		g.emit(wasm.Instr{Op: wasm.OpI32Eqz})
+		g.depth--
+		g.emit(wasm.Instr{Op: wasm.OpEnd})
+		return nil
+	case "||":
+		if err := g.genExpr(n.l); err != nil {
+			return err
+		}
+		g.emit(wasm.Instr{Op: wasm.OpI32Eqz})
+		g.emit(wasm.Instr{Op: wasm.OpIf, Imm: uint64(wasm.ValI32)})
+		g.depth++
+		if err := g.genExpr(n.r); err != nil {
+			return err
+		}
+		g.emit(wasm.Instr{Op: wasm.OpI32Eqz})
+		g.emit(wasm.Instr{Op: wasm.OpI32Eqz})
+		g.emit(wasm.Instr{Op: wasm.OpElse})
+		g.emit(wasm.Instr{Op: wasm.OpI32Const, Imm: 1})
+		g.depth--
+		g.emit(wasm.Instr{Op: wasm.OpEnd})
+		return nil
+	}
+
+	// Pointer arithmetic scales the integer operand.
+	if lt.Kind == KindPtr {
+		if err := g.genExpr(n.l); err != nil {
+			return err
+		}
+		if err := g.genExpr(n.r); err != nil {
+			return err
+		}
+		if size := lt.Elem.Size(); size > 1 {
+			g.emit(wasm.Instr{Op: wasm.OpI32Const, Imm: uint64(size)})
+			g.emit(wasm.Instr{Op: wasm.OpI32Mul})
+		}
+		if n.op == "+" {
+			g.emit(wasm.Instr{Op: wasm.OpI32Add})
+		} else {
+			g.emit(wasm.Instr{Op: wasm.OpI32Sub})
+		}
+		return nil
+	}
+
+	if err := g.genExpr(n.l); err != nil {
+		return err
+	}
+	if err := g.genExpr(n.r); err != nil {
+		return err
+	}
+	op, err := binOpcode(n.op, lt, n.tok)
+	if err != nil {
+		return err
+	}
+	g.emit(wasm.Instr{Op: op})
+	return nil
+}
+
+func binOpcode(op string, t Type, tok token) (wasm.Opcode, error) {
+	type key struct {
+		op string
+		k  Kind
+	}
+	table := map[key]wasm.Opcode{
+		{"+", KindI32}: wasm.OpI32Add, {"-", KindI32}: wasm.OpI32Sub,
+		{"*", KindI32}: wasm.OpI32Mul, {"/", KindI32}: wasm.OpI32DivS,
+		{"%", KindI32}: wasm.OpI32RemS, {"&", KindI32}: wasm.OpI32And,
+		{"|", KindI32}: wasm.OpI32Or, {"^", KindI32}: wasm.OpI32Xor,
+		{"<<", KindI32}: wasm.OpI32Shl, {">>", KindI32}: wasm.OpI32ShrS,
+		{"==", KindI32}: wasm.OpI32Eq, {"!=", KindI32}: wasm.OpI32Ne,
+		{"<", KindI32}: wasm.OpI32LtS, {"<=", KindI32}: wasm.OpI32LeS,
+		{">", KindI32}: wasm.OpI32GtS, {">=", KindI32}: wasm.OpI32GeS,
+
+		{"+", KindI64}: wasm.OpI64Add, {"-", KindI64}: wasm.OpI64Sub,
+		{"*", KindI64}: wasm.OpI64Mul, {"/", KindI64}: wasm.OpI64DivS,
+		{"%", KindI64}: wasm.OpI64RemS, {"&", KindI64}: wasm.OpI64And,
+		{"|", KindI64}: wasm.OpI64Or, {"^", KindI64}: wasm.OpI64Xor,
+		{"<<", KindI64}: wasm.OpI64Shl, {">>", KindI64}: wasm.OpI64ShrS,
+		{"==", KindI64}: wasm.OpI64Eq, {"!=", KindI64}: wasm.OpI64Ne,
+		{"<", KindI64}: wasm.OpI64LtS, {"<=", KindI64}: wasm.OpI64LeS,
+		{">", KindI64}: wasm.OpI64GtS, {">=", KindI64}: wasm.OpI64GeS,
+
+		{"+", KindF32}: wasm.OpF32Add, {"-", KindF32}: wasm.OpF32Sub,
+		{"*", KindF32}: wasm.OpF32Mul, {"/", KindF32}: wasm.OpF32Div,
+		{"==", KindF32}: wasm.OpF32Eq, {"!=", KindF32}: wasm.OpF32Ne,
+		{"<", KindF32}: wasm.OpF32Lt, {"<=", KindF32}: wasm.OpF32Le,
+		{">", KindF32}: wasm.OpF32Gt, {">=", KindF32}: wasm.OpF32Ge,
+
+		{"+", KindF64}: wasm.OpF64Add, {"-", KindF64}: wasm.OpF64Sub,
+		{"*", KindF64}: wasm.OpF64Mul, {"/", KindF64}: wasm.OpF64Div,
+		{"==", KindF64}: wasm.OpF64Eq, {"!=", KindF64}: wasm.OpF64Ne,
+		{"<", KindF64}: wasm.OpF64Lt, {"<=", KindF64}: wasm.OpF64Le,
+		{">", KindF64}: wasm.OpF64Gt, {">=", KindF64}: wasm.OpF64Ge,
+	}
+	if opc, ok := table[key{op, t.Kind}]; ok {
+		return opc, nil
+	}
+	return 0, errAt(tok, "operator %s not defined for %s", op, t)
+}
+
+func (g *codegen) genCast(from, to Type, tok token) error {
+	if from.Kind == KindPtr {
+		from = i32T // pointers are i32 at runtime
+	}
+	if to.Kind == KindPtr {
+		to = i32T
+	}
+	if from.Kind == to.Kind {
+		return nil
+	}
+	type key struct{ from, to Kind }
+	table := map[key]wasm.Opcode{
+		{KindI32, KindI64}: wasm.OpI64ExtendI32S,
+		{KindI32, KindF32}: wasm.OpF32ConvertI32S,
+		{KindI32, KindF64}: wasm.OpF64ConvertI32S,
+		{KindI64, KindI32}: wasm.OpI32WrapI64,
+		{KindI64, KindF32}: wasm.OpF32ConvertI64S,
+		{KindI64, KindF64}: wasm.OpF64ConvertI64S,
+		{KindF32, KindI32}: wasm.OpI32TruncF32S,
+		{KindF32, KindI64}: wasm.OpI64TruncF32S,
+		{KindF32, KindF64}: wasm.OpF64PromoteF32,
+		{KindF64, KindI32}: wasm.OpI32TruncF64S,
+		{KindF64, KindI64}: wasm.OpI64TruncF64S,
+		{KindF64, KindF32}: wasm.OpF32DemoteF64,
+	}
+	op, ok := table[key{from.Kind, to.Kind}]
+	if !ok {
+		return errAt(tok, "cannot cast %s to %s", from, to)
+	}
+	g.emit(wasm.Instr{Op: op})
+	return nil
+}

@@ -1,0 +1,429 @@
+package wcc_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sledge/internal/abi"
+	"sledge/internal/engine"
+	"sledge/internal/wcc"
+)
+
+func TestCommentsAndLiterals(t *testing.T) {
+	src := `
+// line comment with code: i32 bogus = 1;
+/* block
+   comment */
+const MASK = 0xFF; // hex constant
+
+export i32 f(i32 x) {
+	/* inline */ i32 y = 0x10; // 16
+	f64 z = 1.5e2;             // 150
+	return (x & MASK) + y + (i32) z;
+}
+`
+	if got := run(t, src, "f", 0x1234); got != (0x34 + 16 + 150) {
+		t.Errorf("f = %d", got)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	src := `
+export i32 f(i32 a, i32 b) {
+	return a + b * 2 - a / 2 % 3;
+}
+
+export i32 g(i32 a, i32 b) {
+	return a << 2 | b & 3 ^ 1;
+}
+
+export i32 h(i32 a) {
+	return a > 2 && a < 10 || a == 0;
+}
+`
+	ref := func(a, b int32) int32 { return a + b*2 - a/2%3 }
+	for _, c := range [][2]int32{{7, 3}, {100, -5}, {-9, 4}} {
+		if got := run(t, src, "f", uint64(uint32(c[0])), uint64(uint32(c[1]))); int32(got) != ref(c[0], c[1]) {
+			t.Errorf("f(%d,%d) = %d, want %d", c[0], c[1], int32(got), ref(c[0], c[1]))
+		}
+	}
+	refG := func(a, b int32) int32 { return a<<2 | b&3 ^ 1 }
+	if got := run(t, src, "g", 5, 7); int32(got) != refG(5, 7) {
+		t.Errorf("g = %d, want %d", int32(got), refG(5, 7))
+	}
+	cases := map[uint64]uint64{0: 1, 1: 0, 3: 1, 9: 1, 10: 0}
+	for a, want := range cases {
+		if got := run(t, src, "h", a); got != want {
+			t.Errorf("h(%d) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+export i32 grade(i32 score) {
+	if (score >= 90) {
+		return 4;
+	} else if (score >= 80) {
+		return 3;
+	} else if (score >= 70) {
+		return 2;
+	} else {
+		return 0;
+	}
+}
+`
+	cases := map[uint64]uint64{95: 4, 85: 3, 75: 2, 60: 0}
+	for in, want := range cases {
+		if got := run(t, src, "grade", in); got != want {
+			t.Errorf("grade(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNegativeNumbersAndUnary(t *testing.T) {
+	src := `
+global f64 bias = -2.5;
+
+export f64 f(f64 x) {
+	return -x * 2.0 + bias;
+}
+
+export i32 neg(i32 x) {
+	return -x;
+}
+`
+	got := math.Float64frombits(run(t, src, "f", math.Float64bits(3)))
+	if got != -8.5 {
+		t.Errorf("f(3) = %v, want -8.5", got)
+	}
+	if got := run(t, src, "neg", uint64(uint32(7))); int32(got) != -7 {
+		t.Errorf("neg(7) = %d", int32(got))
+	}
+}
+
+func TestI64Arithmetic(t *testing.T) {
+	src := `
+export i64 f(i64 a, i64 b) {
+	i64 c = a * b + 1;
+	return c % 1000007;
+}
+`
+	check := func(a, b int64) bool {
+		got := run(t, src, "f", uint64(a), uint64(b))
+		want := (a*b + 1) % 1000007
+		return int64(got) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWCCCompileDeterministic(t *testing.T) {
+	src := `
+const N = 4;
+static f64 A[N];
+export f64 f() {
+	for (i32 i = 0; i < N; i = i + 1) {
+		A[i] = (f64) i;
+	}
+	return A[0] + A[1] + A[2] + A[3];
+}
+`
+	r1, err := wcc.Compile(src, wcc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := wcc.Compile(src, wcc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r1.Binary) != string(r2.Binary) {
+		t.Error("compilation is not deterministic")
+	}
+}
+
+func TestHeapBaseAndAllocInteraction(t *testing.T) {
+	src := `
+static u8 pad[100];
+
+export i32 f() {
+	i32 base = heap_base();
+	u8* a = alloc(10);
+	u8* b = alloc(1);
+	// Allocations are 8-byte aligned and start at the heap base.
+	return ((i32) a == base) + 2 * ((i32) b == base + 16);
+}
+`
+	if got := run(t, src, "f"); got != 3 {
+		t.Errorf("heap layout check = %d, want 3", got)
+	}
+}
+
+func TestGlobalsOfEachType(t *testing.T) {
+	src := `
+global i32 gi = 7;
+global i64 gl = -9;
+global f32 gf = 1.5;
+global f64 gd = 2.25;
+
+export f64 f() {
+	return (f64) gi + (f64) gl + (f64) gf + gd;
+}
+`
+	got := math.Float64frombits(run(t, src, "f"))
+	if got != 7-9+1.5+2.25 {
+		t.Errorf("f = %v", got)
+	}
+}
+
+func TestWhileWithBreakContinue(t *testing.T) {
+	src := `
+export i32 f(i32 n) {
+	i32 i = 0;
+	i32 acc = 0;
+	while (1) {
+		i = i + 1;
+		if (i > n) {
+			break;
+		}
+		if (i % 3 == 0) {
+			continue;
+		}
+		acc = acc + i;
+	}
+	return acc;
+}
+`
+	ref := func(n int) (acc int) {
+		for i := 1; i <= n; i++ {
+			if i%3 != 0 {
+				acc += i
+			}
+		}
+		return
+	}
+	for _, n := range []int{0, 1, 9, 20} {
+		if got := run(t, src, "f", uint64(n)); int(got) != ref(n) {
+			t.Errorf("f(%d) = %d, want %d", n, got, ref(n))
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		part string
+	}{
+		{"export i32 f() { return 1 @ 2; }", "unexpected character"},
+		{"/* unterminated", "unterminated block comment"},
+	}
+	for _, c := range cases {
+		_, err := wcc.Compile(c.src, wcc.Options{})
+		if err == nil || !strings.Contains(err.Error(), c.part) {
+			t.Errorf("Compile(%q) err = %v, want %q", c.src, err, c.part)
+		}
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	src := "export i32 f() {\n\treturn undefined_name;\n}"
+	_, err := wcc.Compile(src, wcc.Options{})
+	if err == nil {
+		t.Fatal("compile succeeded")
+	}
+	var cerr *wcc.Error
+	if !errorsAs(err, &cerr) {
+		t.Fatalf("error %T is not *wcc.Error", err)
+	}
+	if cerr.Line != 2 {
+		t.Errorf("error line = %d, want 2", cerr.Line)
+	}
+}
+
+func errorsAs(err error, target *(*wcc.Error)) bool {
+	for err != nil {
+		if e, ok := err.(*wcc.Error); ok {
+			*target = e
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestRandomArithProgramsMatchGo generates random arithmetic expressions
+// over two variables, compiles them through the full pipeline, and checks
+// the result against direct Go evaluation.
+func TestRandomArithProgramsMatchGo(t *testing.T) {
+	type node struct {
+		expr string
+		eval func(a, b int32) int32
+	}
+	leafs := []node{
+		{"a", func(a, b int32) int32 { return a }},
+		{"b", func(a, b int32) int32 { return b }},
+		{"3", func(a, b int32) int32 { return 3 }},
+		{"11", func(a, b int32) int32 { return 11 }},
+	}
+	combine := []struct {
+		op   string
+		eval func(x, y int32) int32
+	}{
+		{"+", func(x, y int32) int32 { return x + y }},
+		{"-", func(x, y int32) int32 { return x - y }},
+		{"*", func(x, y int32) int32 { return x * y }},
+		{"&", func(x, y int32) int32 { return x & y }},
+		{"|", func(x, y int32) int32 { return x | y }},
+		{"^", func(x, y int32) int32 { return x ^ y }},
+	}
+	// Deterministic pseudo-random expression construction.
+	seed := uint64(12345)
+	rnd := func(n int) int {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return int(seed % uint64(n))
+	}
+	build := func(depth int) node {
+		var rec func(d int) node
+		rec = func(d int) node {
+			if d == 0 {
+				return leafs[rnd(len(leafs))]
+			}
+			op := combine[rnd(len(combine))]
+			l := rec(d - 1)
+			r := rec(d - 1)
+			return node{
+				expr: "(" + l.expr + " " + op.op + " " + r.expr + ")",
+				eval: func(a, b int32) int32 { return op.eval(l.eval(a, b), r.eval(a, b)) },
+			}
+		}
+		return rec(depth)
+	}
+	for trial := 0; trial < 8; trial++ {
+		n := build(4)
+		src := "export i32 f(i32 a, i32 b) { return " + n.expr + "; }"
+		res, err := wcc.Compile(src, wcc.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		cm, err := engine.CompileBinary(res.Binary, abi.Registry(), engine.Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, c := range [][2]int32{{0, 0}, {1, -1}, {12345, -999}, {math.MaxInt32, 7}} {
+			inst := cm.Instantiate()
+			inst.HostData = abi.NewContext(nil)
+			got, err := inst.Invoke("f", uint64(uint32(c[0])), uint64(uint32(c[1])))
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if int32(got) != n.eval(c[0], c[1]) {
+				t.Errorf("trial %d: f(%d,%d) = %d, want %d\nexpr: %s",
+					trial, c[0], c[1], int32(got), n.eval(c[0], c[1]), n.expr)
+			}
+		}
+	}
+}
+
+// TestDocWordCountExample keeps docs/WCC.md's complete example compiling
+// and behaving as documented.
+func TestDocWordCountExample(t *testing.T) {
+	src := `
+static u8 buf[65536];
+static u8 out[12];
+
+export i32 main() {
+	i32 n = sys_read(buf, 65536);
+	i32 words = 1;
+	for (i32 i = 0; i < n; i = i + 1) {
+		if (buf[i] == 32) {
+			words = words + 1;
+		}
+	}
+	i32 len = 0;
+	if (words == 0) { out[0] = 48; len = 1; }
+	while (words > 0) {
+		i32 d = words % 10;
+		i32 j = len;
+		while (j > 0) { out[j] = out[j-1]; j = j - 1; }
+		out[0] = 48 + d;
+		len = len + 1;
+		words = words / 10;
+	}
+	sys_write(out, len);
+	return 0;
+}
+`
+	res, err := wcc.Compile(src, wcc.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	cm, err := engine.CompileBinary(res.Binary, abi.Registry(), engine.Config{})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	cases := map[string]string{
+		"one two three":           "3",
+		"hello":                   "1",
+		"a b c d e f g h i j k l": "12",
+	}
+	for in, want := range cases {
+		inst := cm.Instantiate()
+		ctx := abi.NewContext([]byte(in))
+		inst.HostData = ctx
+		if _, err := inst.Invoke("main"); err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if string(ctx.Response) != want {
+			t.Errorf("wordcount(%q) = %q, want %q", in, ctx.Response, want)
+		}
+	}
+}
+
+func TestMoreCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		part string
+	}{
+		{"negated global float", `global f64 g = -1.5; export f64 f() { return g; }`, ""},
+		{"global non-literal init", `export i32 h() { return 1; } global i32 g = h();`, "initializer must be a literal"},
+		{"void global", `global void g = 0;`, "globals must be scalar"},
+		{"pointer global", `global f64* g = 0;`, "globals must be scalar"},
+		{"duplicate const", "const A = 1;\nconst A = 2;", "duplicate constant"},
+		{"duplicate function", `void f() {} void f() {}`, "duplicate function"},
+		{"builtin shadow", `i32 sqrt(i32 x) { return x; }`, "shadows a builtin"},
+		{"continue outside loop", `export void f() { continue; }`, "continue outside loop"},
+		{"index by float", `static f64 A[4]; export f64 f(f64 x) { return A[(i32) x + 1]; }`, ""},
+		{"index by f64 direct", `static f64 A[4]; export f64 f(f64 x) { return A[x]; }`, "array index must be i32"},
+		{"assign to undefined", `export void f() { ghost = 1; }`, "undefined variable"},
+		{"return value from void", `export void f() { return 3; }`, "void function"},
+		{"missing return value", `export i32 f() { return; }`, "must return"},
+		{"zero-size array", `static f64 A[0];`, "non-positive size"},
+		{"cast pointer to f64", `static u8 b[4]; export f64 f() { return (f64) b; }`, "pointers cast only to"},
+		{"condition not i32", `export void f(f64 x) { if (x) { } }`, "condition must be i32"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := wcc.Compile(c.src, wcc.Options{})
+			if c.part == "" {
+				if err != nil {
+					t.Errorf("expected success, got %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.part) {
+				t.Errorf("err = %v, want %q", err, c.part)
+			}
+		})
+	}
+}

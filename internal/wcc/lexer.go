@@ -1,0 +1,194 @@
+// Package wcc implements the workload compiler: a small C-like kernel
+// language compiled to WebAssembly binary modules.
+//
+// The reproduction uses WCC where the paper uses clang: every PolyBench
+// kernel and edge application is written once in WCC and compiled through
+// the full wasm pipeline (encode → decode → validate → engine lowering), so
+// the engine executes genuine Wasm modules rather than hand-built IR.
+//
+// Language summary:
+//
+//	const N = 128;                   // compile-time integer constants
+//	static f64 A[N*N];               // arrays in linear memory
+//	global i32 counter = 0;          // mutable wasm globals
+//	export i32 main() { ... }        // functions; export makes them callable
+//
+// Types: i32, i64, f32, f64, void, and element pointers (u8*, i8*, i16*,
+// u16*, i32*, i64*, f32*, f64*). Statements: declarations, assignment,
+// if/else, while, for, break, continue, return. Builtins include wasm-level
+// math (sqrt, fabs, floor, ceil, min, max), host math imports (exp, log,
+// pow, sin, cos), the serverless ABI (sys_read, sys_write, ...), and a bump
+// allocator (alloc).
+package wcc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokPunct // operators and delimiters
+)
+
+type token struct {
+	kind tokKind
+	text string
+	// numeric literal values
+	intVal   int64
+	floatVal float64
+	isFloat  bool
+	line     int
+	col      int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("wcc: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t token, format string, args ...any) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+var punctuation = []string{
+	// Longest first so the lexer is maximal-munch.
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ";", ",",
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for j := 0; j < n; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+outer:
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			advance(2)
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				advance(1)
+			}
+			if i+1 >= len(src) {
+				return nil, &Error{Line: line, Col: col, Msg: "unterminated block comment"}
+			}
+			advance(2)
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			startLine, startCol := line, col
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[start:i], line: startLine, col: startCol})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			startLine, startCol := line, col
+			isFloat := false
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				advance(2)
+				for i < len(src) && isHexDigit(src[i]) {
+					advance(1)
+				}
+			} else {
+				for i < len(src) && unicode.IsDigit(rune(src[i])) {
+					advance(1)
+				}
+				if i < len(src) && src[i] == '.' {
+					isFloat = true
+					advance(1)
+					for i < len(src) && unicode.IsDigit(rune(src[i])) {
+						advance(1)
+					}
+				}
+				if i < len(src) && (src[i] == 'e' || src[i] == 'E') {
+					isFloat = true
+					advance(1)
+					if i < len(src) && (src[i] == '+' || src[i] == '-') {
+						advance(1)
+					}
+					for i < len(src) && unicode.IsDigit(rune(src[i])) {
+						advance(1)
+					}
+				}
+			}
+			text := src[start:i]
+			tok := token{text: text, line: startLine, col: startCol, isFloat: isFloat}
+			if isFloat {
+				tok.kind = tokFloat
+				if _, err := fmt.Sscanf(text, "%g", &tok.floatVal); err != nil {
+					return nil, &Error{Line: startLine, Col: startCol, Msg: "bad float literal " + text}
+				}
+			} else {
+				tok.kind = tokInt
+				var v uint64
+				var err error
+				if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+					_, err = fmt.Sscanf(text, "%v", &v)
+				} else {
+					_, err = fmt.Sscanf(text, "%d", &v)
+				}
+				if err != nil {
+					return nil, &Error{Line: startLine, Col: startCol, Msg: "bad integer literal " + text}
+				}
+				tok.intVal = int64(v)
+			}
+			toks = append(toks, tok)
+		default:
+			for _, p := range punctuation {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{kind: tokPunct, text: p, line: line, col: col})
+					advance(len(p))
+					continue outer
+				}
+			}
+			return nil, &Error{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

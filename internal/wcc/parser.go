@@ -1,0 +1,661 @@
+package wcc
+
+import "fmt"
+
+type parser struct {
+	toks   []token
+	pos    int
+	consts map[string]int64
+	prog   *program
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[p.pos+1] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (token, error) {
+	t := p.cur()
+	if t.kind == tokPunct && t.text == text {
+		p.pos++
+		return t, nil
+	}
+	return t, errAt(t, "expected %q, found %s", text, t)
+}
+
+func (p *parser) acceptIdent(name string) bool {
+	if p.cur().kind == tokIdent && p.cur().text == name {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+var scalarTypes = map[string]Type{
+	"void": {Kind: KindVoid},
+	"i32":  {Kind: KindI32},
+	"i64":  {Kind: KindI64},
+	"f32":  {Kind: KindF32},
+	"f64":  {Kind: KindF64},
+}
+
+var elemTypes = map[string]ElemKind{
+	"u8": ElemU8, "i8": ElemI8, "u16": ElemU16, "i16": ElemI16,
+	"i32": ElemI32, "i64": ElemI64, "f32": ElemF32, "f64": ElemF64,
+}
+
+// isTypeStart reports whether the token could begin a type.
+func isTypeStart(t token) bool {
+	if t.kind != tokIdent {
+		return false
+	}
+	_, scalar := scalarTypes[t.text]
+	_, elem := elemTypes[t.text]
+	return scalar || elem
+}
+
+// parseType parses a scalar or pointer type.
+func (p *parser) parseType() (Type, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return Type{}, errAt(t, "expected type, found %s", t)
+	}
+	if ek, ok := elemTypes[t.text]; ok {
+		if p.peek().kind == tokPunct && p.peek().text == "*" {
+			p.pos += 2
+			return Type{Kind: KindPtr, Elem: ek}, nil
+		}
+	}
+	if st, ok := scalarTypes[t.text]; ok {
+		p.pos++
+		return st, nil
+	}
+	return Type{}, errAt(t, "expected type, found %s", t)
+}
+
+// parse builds the AST for a compilation unit.
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, consts: make(map[string]int64), prog: &program{}}
+	for p.cur().kind != tokEOF {
+		if err := p.parseTopDecl(); err != nil {
+			return nil, err
+		}
+	}
+	return p.prog, nil
+}
+
+func (p *parser) parseTopDecl() error {
+	switch {
+	case p.acceptIdent("const"):
+		return p.parseConst()
+	case p.acceptIdent("static"):
+		return p.parseStatic()
+	case p.acceptIdent("global"):
+		return p.parseGlobal()
+	default:
+		exported := p.acceptIdent("export")
+		return p.parseFunc(exported)
+	}
+}
+
+func (p *parser) parseConst() error {
+	name := p.next()
+	if name.kind != tokIdent {
+		return errAt(name, "expected constant name")
+	}
+	if _, err := p.expect("="); err != nil {
+		return err
+	}
+	v, err := p.parseConstExpr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	if _, dup := p.consts[name.text]; dup {
+		return errAt(name, "duplicate constant %s", name.text)
+	}
+	p.consts[name.text] = v
+	p.prog.consts = append(p.prog.consts, constDecl{name: name.text, val: v})
+	return nil
+}
+
+// parseConstExpr evaluates a compile-time integer expression
+// (+ - * / % << >> and parentheses over literals and prior consts).
+func (p *parser) parseConstExpr() (int64, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return 0, err
+	}
+	return p.evalConst(e)
+}
+
+func (p *parser) evalConst(e expr) (int64, error) {
+	switch n := e.(type) {
+	case *intLit:
+		return n.val, nil
+	case *identExpr:
+		if v, ok := p.consts[n.name]; ok {
+			return v, nil
+		}
+		return 0, errAt(n.pos(), "%s is not a compile-time constant", n.name)
+	case *unExpr:
+		v, err := p.evalConst(n.e)
+		if err != nil {
+			return 0, err
+		}
+		if n.op == "-" {
+			return -v, nil
+		}
+		return 0, errAt(n.pos(), "operator %s not constant-foldable", n.op)
+	case *binExpr:
+		l, err := p.evalConst(n.l)
+		if err != nil {
+			return 0, err
+		}
+		r, err := p.evalConst(n.r)
+		if err != nil {
+			return 0, err
+		}
+		switch n.op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, errAt(n.pos(), "constant division by zero")
+			}
+			return l / r, nil
+		case "%":
+			if r == 0 {
+				return 0, errAt(n.pos(), "constant division by zero")
+			}
+			return l % r, nil
+		case "<<":
+			return l << uint(r&63), nil
+		case ">>":
+			return l >> uint(r&63), nil
+		}
+		return 0, errAt(n.pos(), "operator %s not constant-foldable", n.op)
+	}
+	return 0, fmt.Errorf("wcc: expression is not a compile-time constant")
+}
+
+func (p *parser) parseStatic() error {
+	tok := p.cur()
+	elemName := p.next()
+	if elemName.kind != tokIdent {
+		return errAt(elemName, "expected element type")
+	}
+	ek, ok := elemTypes[elemName.text]
+	if !ok {
+		return errAt(elemName, "invalid array element type %s", elemName.text)
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return errAt(name, "expected array name")
+	}
+	if _, err := p.expect("["); err != nil {
+		return err
+	}
+	size, err := p.parseConstExpr()
+	if err != nil {
+		return err
+	}
+	if size <= 0 {
+		return errAt(name, "array %s has non-positive size %d", name.text, size)
+	}
+	if _, err := p.expect("]"); err != nil {
+		return err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	p.prog.arrays = append(p.prog.arrays, arrayDecl{tok: tok, name: name.text, elem: ek, size: size})
+	return nil
+}
+
+func (p *parser) parseGlobal() error {
+	tok := p.cur()
+	typ, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	if typ.Kind == KindVoid || typ.Kind == KindPtr {
+		return errAt(tok, "globals must be scalar")
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return errAt(name, "expected global name")
+	}
+	if _, err := p.expect("="); err != nil {
+		return err
+	}
+	init, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	p.prog.globals = append(p.prog.globals, globalDecl{tok: tok, name: name.text, typ: typ, init: init})
+	return nil
+}
+
+func (p *parser) parseFunc(exported bool) error {
+	tok := p.cur()
+	ret, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return errAt(name, "expected function name")
+	}
+	if _, err := p.expect("("); err != nil {
+		return err
+	}
+	var params []param
+	for !p.accept(")") {
+		if len(params) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		pn := p.next()
+		if pn.kind != tokIdent {
+			return errAt(pn, "expected parameter name")
+		}
+		params = append(params, param{name: pn.text, typ: pt})
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	p.prog.funcs = append(p.prog.funcs, funcDecl{
+		tok: tok, name: name.text, params: params, ret: ret, body: body, exported: exported,
+	})
+	return nil
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for !p.accept("}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokIdent && t.text == "if":
+		p.pos++
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []stmt
+		if p.acceptIdent("else") {
+			if p.cur().kind == tokIdent && p.cur().text == "if" {
+				s, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []stmt{s}
+			} else if els, err = p.parseBlock(); err != nil {
+				return nil, err
+			}
+		}
+		return &ifStmt{cond: cond, then: then, els_: els}, nil
+
+	case t.kind == tokIdent && t.text == "while":
+		p.pos++
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body}, nil
+
+	case t.kind == tokIdent && t.text == "for":
+		p.pos++
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var init, post stmt
+		var cond expr
+		var err error
+		if !p.accept(";") {
+			if init, err = p.parseSimpleStmt(); err != nil {
+				return nil, err
+			}
+			if _, err = p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(";") {
+			if cond, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+			if _, err = p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().kind != tokPunct || p.cur().text != ")" {
+			if post, err = p.parseSimpleStmt(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err = p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &forStmt{init: init, cond: cond, post: post, body: body}, nil
+
+	case t.kind == tokIdent && t.text == "return":
+		p.pos++
+		rs := &returnStmt{tok: t}
+		if !p.accept(";") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.val = v
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		return rs, nil
+
+	case t.kind == tokIdent && t.text == "break":
+		p.pos++
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &breakStmt{tok: t}, nil
+
+	case t.kind == tokIdent && t.text == "continue":
+		p.pos++
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &continueStmt{tok: t}, nil
+	}
+
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses a declaration, assignment, or expression statement
+// (without the trailing semicolon, so it also serves for-clauses).
+func (p *parser) parseSimpleStmt() (stmt, error) {
+	t := p.cur()
+	// Declaration: starts with a type.
+	if isTypeStart(t) && !(p.peek().kind == tokPunct && p.peek().text == "(") {
+		// Distinguish `i32 x = ...` from an expression like `i32(...)`:
+		// WCC has no such call form, so a type token always means a decl
+		// unless it is a cast, which can only appear inside parentheses.
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if typ.Kind == KindVoid {
+			return nil, errAt(t, "cannot declare void variable")
+		}
+		name := p.next()
+		if name.kind != tokIdent {
+			return nil, errAt(name, "expected variable name")
+		}
+		ds := &declStmt{tok: name, typ: typ, name: name.text, slot: -1}
+		if p.accept("=") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ds.init = v
+		}
+		return ds, nil
+	}
+
+	// Assignment or expression statement.
+	if t.kind == tokIdent {
+		// ident = expr | ident[expr] = expr | call(...)
+		if p.peek().kind == tokPunct && p.peek().text == "=" {
+			name := p.next()
+			p.pos++ // '='
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &assignStmt{tok: name, name: name.text, slot: -1, gidx: -1, val: v}, nil
+		}
+	}
+	// General: parse an expression; if followed by '=', it must be an index
+	// expression target.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("=") {
+		ie, ok := e.(*indexExpr)
+		if !ok {
+			return nil, errAt(t, "invalid assignment target")
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{tok: t, slot: -1, gidx: -1, ptr: ie.ptr, index: ie.index, val: v}, nil
+	}
+	return &exprStmt{e: e}, nil
+}
+
+// ---- expression parsing (precedence climbing) ----
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return l, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{baseExpr: baseExpr{tok: t}, op: t.text, l: l, r: r}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!":
+			p.pos++
+			e, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &unExpr{baseExpr: baseExpr{tok: t}, op: t.text, e: e}, nil
+		case "(":
+			// Cast: "(" type ")" unary or "(" type "*" ")" unary.
+			if isTypeStart(p.peek()) {
+				_, scalar := scalarTypes[p.peek().text]
+				_, elem := elemTypes[p.peek().text]
+				isScalarCast := scalar &&
+					p.toks[p.pos+2].kind == tokPunct && p.toks[p.pos+2].text == ")"
+				isPtrCast := elem &&
+					p.toks[p.pos+2].kind == tokPunct && p.toks[p.pos+2].text == "*" &&
+					p.toks[p.pos+3].kind == tokPunct && p.toks[p.pos+3].text == ")"
+				if isScalarCast || isPtrCast {
+					p.pos++ // (
+					to, err := p.parseType()
+					if err != nil {
+						return nil, err
+					}
+					if _, err := p.expect(")"); err != nil {
+						return nil, err
+					}
+					e, err := p.parseUnary()
+					if err != nil {
+						return nil, err
+					}
+					return &castExpr{baseExpr: baseExpr{tok: t}, to: to, e: e}, nil
+				}
+			}
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct || t.text != "[" {
+			return e, nil
+		}
+		p.pos++
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		e = &indexExpr{baseExpr: baseExpr{tok: t}, ptr: e, index: idx}
+	}
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.pos++
+		return &intLit{baseExpr: baseExpr{tok: t}, val: t.intVal}, nil
+	case tokFloat:
+		p.pos++
+		return &floatLit{baseExpr: baseExpr{tok: t}, val: t.floatVal}, nil
+	case tokIdent:
+		p.pos++
+		if p.accept("(") {
+			ce := &callExpr{baseExpr: baseExpr{tok: t}, name: t.text}
+			for !p.accept(")") {
+				if len(ce.args) > 0 {
+					if _, err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				ce.args = append(ce.args, a)
+			}
+			return ce, nil
+		}
+		return &identExpr{baseExpr: baseExpr{tok: t}, name: t.text, local: -1, global: -1, array: -1}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errAt(t, "unexpected %s in expression", t)
+}

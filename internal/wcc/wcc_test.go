@@ -1,0 +1,497 @@
+package wcc_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sledge/internal/abi"
+	"sledge/internal/engine"
+	"sledge/internal/wcc"
+)
+
+// run compiles src and invokes fn with args in a fresh sandbox.
+func run(t *testing.T, src, fn string, args ...uint64) uint64 {
+	t.Helper()
+	res, err := wcc.Compile(src, wcc.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	cm, err := engine.CompileBinary(res.Binary, abi.Registry(), engine.Config{})
+	if err != nil {
+		t.Fatalf("engine.CompileBinary: %v", err)
+	}
+	inst := cm.Instantiate()
+	inst.HostData = abi.NewContext(nil)
+	v, err := inst.Invoke(fn, args...)
+	if err != nil {
+		t.Fatalf("Invoke(%s): %v", fn, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+export i32 calc(i32 a, i32 b) {
+	i32 x = a * 3 + b / 2 - 1;
+	i32 y = (a + b) % 7;
+	return x * 10 + y;
+}
+`
+	// a=5,b=8: x = 15+4-1 = 18; y = 13%7 = 6; 186
+	if got := run(t, src, "calc", 5, 8); got != 186 {
+		t.Errorf("calc(5,8) = %d, want 186", got)
+	}
+}
+
+func TestLoopsAndControl(t *testing.T) {
+	src := `
+export i32 sum_even(i32 n) {
+	i32 acc = 0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		if (i % 2 != 0) {
+			continue;
+		}
+		if (i > 100) {
+			break;
+		}
+		acc = acc + i;
+	}
+	return acc;
+}
+
+export i32 count_down(i32 n) {
+	i32 steps = 0;
+	while (n > 1) {
+		if (n % 2 == 0) {
+			n = n / 2;
+		} else {
+			n = 3 * n + 1;
+		}
+		steps = steps + 1;
+	}
+	return steps;
+}
+`
+	if got := run(t, src, "sum_even", 10); got != 20 {
+		t.Errorf("sum_even(10) = %d, want 20", got)
+	}
+	// break path: evens 0..100 sum = 2550
+	if got := run(t, src, "sum_even", 1000); got != 2550 {
+		t.Errorf("sum_even(1000) = %d, want 2550", got)
+	}
+	// Collatz(27) = 111 steps
+	if got := run(t, src, "count_down", 27); got != 111 {
+		t.Errorf("count_down(27) = %d, want 111", got)
+	}
+}
+
+func TestStaticArraysAndConsts(t *testing.T) {
+	src := `
+const N = 16;
+static f64 A[N];
+static i32 idx[N];
+
+export f64 fill_and_sum() {
+	for (i32 i = 0; i < N; i = i + 1) {
+		A[i] = (f64) i * 1.5;
+		idx[i] = N - 1 - i;
+	}
+	f64 acc = 0.0;
+	for (i32 i = 0; i < N; i = i + 1) {
+		acc = acc + A[idx[i]];
+	}
+	return acc;
+}
+`
+	got := run(t, src, "fill_and_sum")
+	want := 0.0
+	for i := 0; i < 16; i++ {
+		want += float64(i) * 1.5
+	}
+	if math.Float64frombits(got) != want {
+		t.Errorf("fill_and_sum = %v, want %v", math.Float64frombits(got), want)
+	}
+}
+
+func TestPointersAndAlloc(t *testing.T) {
+	src := `
+export i32 vecsum(i32 n) {
+	i32* v = alloc(n * 4);
+	for (i32 i = 0; i < n; i = i + 1) {
+		v[i] = i * i;
+	}
+	i32 acc = 0;
+	i32* p = v + 1; // pointer arithmetic: skip first element
+	for (i32 i = 0; i < n - 1; i = i + 1) {
+		acc = acc + p[i];
+	}
+	return acc;
+}
+
+export i32 bytes_roundtrip() {
+	u8* b = alloc(8);
+	b[0] = 200;      // stores as byte
+	b[1] = 1;
+	i16* h = (i16*) (b + 2);
+	h[0] = -2;
+	return b[0] + b[1] * 256 + h[0];
+}
+`
+	// sum of i^2 for i=1..9 = 285
+	if got := run(t, src, "vecsum", 10); got != 285 {
+		t.Errorf("vecsum(10) = %d, want 285", got)
+	}
+	// 200 + 256 - 2 = 454
+	if got := run(t, src, "bytes_roundtrip"); got != 454 {
+		t.Errorf("bytes_roundtrip = %d, want 454", got)
+	}
+}
+
+func TestRecursionAndMultipleFunctions(t *testing.T) {
+	src := `
+i32 fib(i32 n) {
+	if (n < 2) {
+		return n;
+	}
+	return fib(n - 1) + fib(n - 2);
+}
+
+export i32 fib10() {
+	return fib(10);
+}
+`
+	if got := run(t, src, "fib10"); got != 55 {
+		t.Errorf("fib10 = %d, want 55", got)
+	}
+}
+
+func TestCastsAndFloats(t *testing.T) {
+	src := `
+export f64 norm(f64 x, f64 y) {
+	return sqrt(x * x + y * y);
+}
+
+export i32 trunc_mix(f64 x) {
+	i64 big = (i64) x * 1000;
+	return (i32) big;
+}
+
+export f64 hostmath(f64 x) {
+	return exp(log(x)) + pow(x, 2.0);
+}
+`
+	if got := math.Float64frombits(run(t, src, "norm", math.Float64bits(3), math.Float64bits(4))); got != 5 {
+		t.Errorf("norm(3,4) = %v, want 5", got)
+	}
+	if got := run(t, src, "trunc_mix", math.Float64bits(12.9)); got != 12000 {
+		t.Errorf("trunc_mix(12.9) = %d, want 12000", got)
+	}
+	got := math.Float64frombits(run(t, src, "hostmath", math.Float64bits(3)))
+	if math.Abs(got-12) > 1e-9 {
+		t.Errorf("hostmath(3) = %v, want 12", got)
+	}
+}
+
+func TestLogicalOps(t *testing.T) {
+	src := `
+global i32 effects = 0;
+
+i32 bump() {
+	effects = effects + 1;
+	return 1;
+}
+
+export i32 shortcircuit(i32 a) {
+	i32 r = 0;
+	if (a > 0 && bump() == 1) {
+		r = r + 1;
+	}
+	if (a > 0 || bump() == 1) {
+		r = r + 2;
+	}
+	return r * 100 + effects;
+}
+
+export i32 logic(i32 a, i32 b) {
+	return (a == 1 || b == 1) && !(a == b);
+}
+`
+	// a=1: both conds true; bump called once (from &&): 300 + 1
+	if got := run(t, src, "shortcircuit", 1); got != 301 {
+		t.Errorf("shortcircuit(1) = %d, want 301", got)
+	}
+	// a=0: && skips bump, || calls bump: r=2, effects=1
+	if got := run(t, src, "shortcircuit", 0); got != 201 {
+		t.Errorf("shortcircuit(0) = %d, want 201", got)
+	}
+	if got := run(t, src, "logic", 1, 0); got != 1 {
+		t.Errorf("logic(1,0) = %d, want 1", got)
+	}
+	if got := run(t, src, "logic", 1, 1); got != 0 {
+		t.Errorf("logic(1,1) = %d, want 0", got)
+	}
+}
+
+func TestSysReadWriteEcho(t *testing.T) {
+	src := `
+static u8 buf[1024];
+
+export i32 main() {
+	i32 n = sys_read(buf, 1024);
+	sys_write(buf, n);
+	return 0;
+}
+`
+	res, err := wcc.Compile(src, wcc.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	cm, err := engine.CompileBinary(res.Binary, abi.Registry(), engine.Config{})
+	if err != nil {
+		t.Fatalf("engine compile: %v", err)
+	}
+	inst := cm.Instantiate()
+	ctx := abi.NewContext([]byte("hello sledge"))
+	inst.HostData = ctx
+	if _, err := inst.Invoke("main"); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if string(ctx.Response) != "hello sledge" {
+		t.Errorf("Response = %q, want %q", ctx.Response, "hello sledge")
+	}
+}
+
+func TestKVRoundTrip(t *testing.T) {
+	src := `
+static u8 key[8];
+static u8 val[64];
+
+export i32 main() {
+	key[0] = 107; // 'k'
+	val[0] = 118; // 'v'
+	val[1] = 49;  // '1'
+	sys_kv_set(key, 1, val, 2);
+	i32 n = sys_kv_get(key, 1, val, 64);
+	sys_write(val, n);
+	return n;
+}
+`
+	res, err := wcc.Compile(src, wcc.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	cm, err := engine.CompileBinary(res.Binary, abi.Registry(), engine.Config{})
+	if err != nil {
+		t.Fatalf("engine compile: %v", err)
+	}
+	inst := cm.Instantiate()
+	ctx := abi.NewContext(nil)
+	ctx.KV = abi.NewMapKV()
+	inst.HostData = ctx
+	v, err := inst.Invoke("main")
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if v != 2 || string(ctx.Response) != "v1" {
+		t.Errorf("kv roundtrip: n=%d resp=%q", v, ctx.Response)
+	}
+}
+
+func TestArrayInfoAndDataInit(t *testing.T) {
+	src := `
+static f64 W[4];
+
+export f64 dotself() {
+	f64 acc = 0.0;
+	for (i32 i = 0; i < 4; i = i + 1) {
+		acc = acc + W[i] * W[i];
+	}
+	return acc;
+}
+`
+	weights := make([]byte, 32)
+	for i, v := range []float64{1, 2, 3, 4} {
+		bits := math.Float64bits(v)
+		for j := 0; j < 8; j++ {
+			weights[i*8+j] = byte(bits >> (8 * j))
+		}
+	}
+	res, err := wcc.Compile(src, wcc.Options{Data: map[string][]byte{"W": weights}})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	info, ok := res.Arrays["W"]
+	if !ok || info.Bytes != 32 || info.Count != 4 {
+		t.Fatalf("ArrayInfo = %+v", info)
+	}
+	cm, err := engine.CompileBinary(res.Binary, abi.Registry(), engine.Config{})
+	if err != nil {
+		t.Fatalf("engine compile: %v", err)
+	}
+	inst := cm.Instantiate()
+	inst.HostData = abi.NewContext(nil)
+	v, err := inst.Invoke("dotself")
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if got := math.Float64frombits(v); got != 30 {
+		t.Errorf("dotself = %v, want 30", got)
+	}
+}
+
+func TestGlobalsPersistWithinInstance(t *testing.T) {
+	src := `
+global i64 counter = 10;
+
+export i64 bump3() {
+	counter = counter + 1;
+	counter = counter + 1;
+	counter = counter + 1;
+	return counter;
+}
+`
+	if got := run(t, src, "bump3"); got != 13 {
+		t.Errorf("bump3 = %d, want 13", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		part string
+	}{
+		{"undefined var", `export i32 f() { return x; }`, "undefined identifier x"},
+		{"type mismatch", `export i32 f() { f64 x = 1.5; return x; }`, "cannot return"},
+		{"bad call arity", `export i32 f() { return sqrt(); }`, "takes 1 arguments"},
+		{"undefined func", `export i32 f() { return g(7); }`, "undefined function g"},
+		{"break outside loop", `export void f() { break; }`, "break outside loop"},
+		{"duplicate var", `export void f() { i32 x = 1; i32 x = 2; }`, "duplicate variable"},
+		{"index non-pointer", `export i32 f(i32 x) { return x[0]; }`, "cannot index"},
+		{"float mod", `export f64 f(f64 x) { return x % 2.0; }`, "integer operands"},
+		{"void value", `void g() { } export i32 f() { i32 x = g(); return x; }`, "cannot initialize"},
+		{"syntax", `export i32 f( { }`, "expected"},
+		{"non-const array size", `export void f() {} static f64 A[f()];`, "not a compile-time constant"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := wcc.Compile(c.src, wcc.Options{})
+			if err == nil {
+				t.Fatal("compile succeeded unexpectedly")
+			}
+			if !strings.Contains(err.Error(), c.part) {
+				t.Errorf("error %q does not contain %q", err, c.part)
+			}
+		})
+	}
+}
+
+func TestNestedLoopsMatrixMultiply(t *testing.T) {
+	src := `
+const N = 8;
+static f64 A[N*N];
+static f64 B[N*N];
+static f64 C[N*N];
+
+export f64 matmul() {
+	for (i32 i = 0; i < N; i = i + 1) {
+		for (i32 j = 0; j < N; j = j + 1) {
+			A[i*N+j] = (f64) (i + j);
+			B[i*N+j] = (f64) (i - j);
+			C[i*N+j] = 0.0;
+		}
+	}
+	for (i32 i = 0; i < N; i = i + 1) {
+		for (i32 j = 0; j < N; j = j + 1) {
+			for (i32 k = 0; k < N; k = k + 1) {
+				C[i*N+j] = C[i*N+j] + A[i*N+k] * B[k*N+j];
+			}
+		}
+	}
+	f64 trace = 0.0;
+	for (i32 i = 0; i < N; i = i + 1) {
+		trace = trace + C[i*N+i];
+	}
+	return trace;
+}
+`
+	got := math.Float64frombits(run(t, src, "matmul"))
+	// Reference computation in Go.
+	n := 8
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	cc := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = float64(i + j)
+			b[i*n+j] = float64(i - j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				cc[i*n+j] += a[i*n+k] * b[k*n+j]
+			}
+		}
+	}
+	want := 0.0
+	for i := 0; i < n; i++ {
+		want += cc[i*n+i]
+	}
+	if got != want {
+		t.Errorf("matmul trace = %v, want %v", got, want)
+	}
+}
+
+func TestTierEquivalenceOnWCCProgram(t *testing.T) {
+	src := `
+const N = 32;
+static i32 sieve[N];
+
+export i32 primes() {
+	for (i32 i = 0; i < N; i = i + 1) {
+		sieve[i] = 1;
+	}
+	i32 count = 0;
+	for (i32 i = 2; i < N; i = i + 1) {
+		if (sieve[i] == 1) {
+			count = count + 1;
+			for (i32 j = i * i; j < N; j = j + i) {
+				sieve[j] = 0;
+			}
+		}
+	}
+	return count;
+}
+`
+	res, err := wcc.Compile(src, wcc.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var results []uint64
+	for _, cfg := range []engine.Config{
+		{Tier: engine.TierOptimized, Bounds: engine.BoundsGuard},
+		{Tier: engine.TierOptimized, Bounds: engine.BoundsSoftware},
+		{Tier: engine.TierOptimized, Bounds: engine.BoundsMPX},
+		{Tier: engine.TierNaive, Bounds: engine.BoundsSoftwareFused},
+	} {
+		cm, err := engine.CompileBinary(res.Binary, abi.Registry(), cfg)
+		if err != nil {
+			t.Fatalf("engine compile (%v): %v", cfg, err)
+		}
+		inst := cm.Instantiate()
+		inst.HostData = abi.NewContext(nil)
+		v, err := inst.Invoke("primes")
+		if err != nil {
+			t.Fatalf("Invoke (%v): %v", cfg, err)
+		}
+		results = append(results, v)
+	}
+	// π(31) = 11 primes below 32.
+	for i, v := range results {
+		if v != 11 {
+			t.Errorf("config %d: primes = %d, want 11", i, v)
+		}
+	}
+}

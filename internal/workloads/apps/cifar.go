@@ -1,0 +1,318 @@
+package apps
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// CIFAR-10 classifier in the style of the Arm CMSIS-NN example: a small
+// convolutional network (conv 3x3 -> relu -> maxpool -> conv 3x3 -> relu ->
+// maxpool -> fully connected) over a 32x32 RGB image, planar layout. The
+// response is a single byte with the predicted class (0-9).
+//
+// Substitution note: CMSIS-NN ships trained q7 weights; this reproduction
+// generates deterministic pseudo-random weights (the compute shape — MAC
+// counts, memory traffic — is identical, and determinism lets the native
+// and Wasm versions agree exactly).
+
+const (
+	cifarDim    = 32
+	cifarC1Out  = 30
+	cifarP1Out  = 15
+	cifarC2Out  = 13
+	cifarP2Out  = 6
+	cifarNF     = 8
+	cifarReqLen = 3 * cifarDim * cifarDim
+)
+
+type cifarWeights struct {
+	W1 []float64 // 8 x 3 x 3 x 3
+	B1 []float64 // 8
+	W2 []float64 // 8 x 8 x 3 x 3
+	B2 []float64 // 8
+	WF []float64 // 288 x 10
+	BF []float64 // 10
+}
+
+var cifarW = genCifarWeights()
+
+func genCifarWeights() cifarWeights {
+	state := uint64(0x5DEECE66D)
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		// Map to [-0.5, 0.5) with coarse quantization so sums stay exact
+		// across reorderings.
+		return float64(int64(state%1024)-512) / 1024.0
+	}
+	fill := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = next()
+		}
+		return out
+	}
+	return cifarWeights{
+		W1: fill(cifarNF * 3 * 3 * 3),
+		B1: fill(cifarNF),
+		W2: fill(cifarNF * cifarNF * 3 * 3),
+		B2: fill(cifarNF),
+		WF: fill(cifarNF * cifarP2Out * cifarP2Out * 10),
+		BF: fill(10),
+	}
+}
+
+func f64Bytes(v []float64) []byte {
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(x))
+	}
+	return out
+}
+
+var cifarApp = App{
+	Name:      "cifar10",
+	HeapBytes: 2 << 20,
+	Data: map[string][]byte{
+		"W1": f64Bytes(cifarW.W1),
+		"B1": f64Bytes(cifarW.B1),
+		"W2": f64Bytes(cifarW.W2),
+		"B2": f64Bytes(cifarW.B2),
+		"WF": f64Bytes(cifarW.WF),
+		"BF": f64Bytes(cifarW.BF),
+	},
+	GenRequest: func() []byte { return CIFARRequest(0) },
+	Native:     cifarNative,
+	Source: `
+const DIM = 32;
+const C1 = 30;
+const P1 = 15;
+const C2 = 13;
+const P2 = 6;
+const NF = 8;
+
+static f64 W1[216];
+static f64 B1[8];
+static f64 W2[576];
+static f64 B2[8];
+static f64 WF[2880];
+static f64 BF[10];
+static u8 img[3072];
+static u8 out[1];
+
+export i32 main() {
+	sys_read(img, 3072);
+	f64* in = alloc(3 * DIM * DIM * 8);
+	f64* c1 = alloc(NF * C1 * C1 * 8);
+	f64* p1 = alloc(NF * P1 * P1 * 8);
+	f64* c2 = alloc(NF * C2 * C2 * 8);
+	f64* p2 = alloc(NF * P2 * P2 * 8);
+
+	for (i32 c = 0; c < 3; c = c + 1) {
+		for (i32 i = 0; i < DIM * DIM; i = i + 1) {
+			in[c * DIM * DIM + i] = (f64) img[c * DIM * DIM + i] / 255.0 - 0.5;
+		}
+	}
+	// conv1 + relu
+	for (i32 f = 0; f < NF; f = f + 1) {
+		for (i32 y = 0; y < C1; y = y + 1) {
+			for (i32 x = 0; x < C1; x = x + 1) {
+				f64 acc = B1[f];
+				for (i32 c = 0; c < 3; c = c + 1) {
+					for (i32 ky = 0; ky < 3; ky = ky + 1) {
+						for (i32 kx = 0; kx < 3; kx = kx + 1) {
+							acc = acc + W1[((f*3+c)*3+ky)*3+kx] * in[c*DIM*DIM + (y+ky)*DIM + x+kx];
+						}
+					}
+				}
+				if (acc < 0.0) {
+					acc = 0.0;
+				}
+				c1[(f*C1+y)*C1+x] = acc;
+			}
+		}
+	}
+	// maxpool 2x2
+	for (i32 f = 0; f < NF; f = f + 1) {
+		for (i32 y = 0; y < P1; y = y + 1) {
+			for (i32 x = 0; x < P1; x = x + 1) {
+				f64 m = c1[(f*C1+2*y)*C1+2*x];
+				if (c1[(f*C1+2*y)*C1+2*x+1] > m) { m = c1[(f*C1+2*y)*C1+2*x+1]; }
+				if (c1[(f*C1+2*y+1)*C1+2*x] > m) { m = c1[(f*C1+2*y+1)*C1+2*x]; }
+				if (c1[(f*C1+2*y+1)*C1+2*x+1] > m) { m = c1[(f*C1+2*y+1)*C1+2*x+1]; }
+				p1[(f*P1+y)*P1+x] = m;
+			}
+		}
+	}
+	// conv2 + relu
+	for (i32 g = 0; g < NF; g = g + 1) {
+		for (i32 y = 0; y < C2; y = y + 1) {
+			for (i32 x = 0; x < C2; x = x + 1) {
+				f64 acc = B2[g];
+				for (i32 f = 0; f < NF; f = f + 1) {
+					for (i32 ky = 0; ky < 3; ky = ky + 1) {
+						for (i32 kx = 0; kx < 3; kx = kx + 1) {
+							acc = acc + W2[((g*NF+f)*3+ky)*3+kx] * p1[(f*P1+y+ky)*P1 + x+kx];
+						}
+					}
+				}
+				if (acc < 0.0) {
+					acc = 0.0;
+				}
+				c2[(g*C2+y)*C2+x] = acc;
+			}
+		}
+	}
+	// maxpool 2x2 (floor)
+	for (i32 g = 0; g < NF; g = g + 1) {
+		for (i32 y = 0; y < P2; y = y + 1) {
+			for (i32 x = 0; x < P2; x = x + 1) {
+				f64 m = c2[(g*C2+2*y)*C2+2*x];
+				if (c2[(g*C2+2*y)*C2+2*x+1] > m) { m = c2[(g*C2+2*y)*C2+2*x+1]; }
+				if (c2[(g*C2+2*y+1)*C2+2*x] > m) { m = c2[(g*C2+2*y+1)*C2+2*x]; }
+				if (c2[(g*C2+2*y+1)*C2+2*x+1] > m) { m = c2[(g*C2+2*y+1)*C2+2*x+1]; }
+				p2[(g*P2+y)*P2+x] = m;
+			}
+		}
+	}
+	// fully connected + argmax
+	i32 best = 0;
+	f64 bestv = 0.0;
+	for (i32 k = 0; k < 10; k = k + 1) {
+		f64 acc = BF[k];
+		for (i32 g = 0; g < NF; g = g + 1) {
+			for (i32 y = 0; y < P2; y = y + 1) {
+				for (i32 x = 0; x < P2; x = x + 1) {
+					acc = acc + WF[(((g*P2+y)*P2+x))*10 + k] * p2[(g*P2+y)*P2+x];
+				}
+			}
+		}
+		if (k == 0 || acc > bestv) {
+			bestv = acc;
+			best = k;
+		}
+	}
+	out[0] = best;
+	sys_write(out, 1);
+	return 0;
+}
+`,
+}
+
+// CIFARRequest builds a deterministic 32x32 planar RGB image; seed varies
+// the pattern.
+func CIFARRequest(seed int) []byte {
+	req := make([]byte, cifarReqLen)
+	for c := 0; c < 3; c++ {
+		for y := 0; y < cifarDim; y++ {
+			for x := 0; x < cifarDim; x++ {
+				req[c*cifarDim*cifarDim+y*cifarDim+x] = byte((x*7 + y*13 + c*31 + seed*17) % 256)
+			}
+		}
+	}
+	return req
+}
+
+func cifarNative(req []byte) []byte {
+	if len(req) < cifarReqLen {
+		return nil
+	}
+	in := make([]float64, 3*cifarDim*cifarDim)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < cifarDim*cifarDim; i++ {
+			in[c*cifarDim*cifarDim+i] = float64(req[c*cifarDim*cifarDim+i])/255.0 - 0.5
+		}
+	}
+	w := cifarW
+	c1 := make([]float64, cifarNF*cifarC1Out*cifarC1Out)
+	for f := 0; f < cifarNF; f++ {
+		for y := 0; y < cifarC1Out; y++ {
+			for x := 0; x < cifarC1Out; x++ {
+				acc := w.B1[f]
+				for c := 0; c < 3; c++ {
+					for ky := 0; ky < 3; ky++ {
+						for kx := 0; kx < 3; kx++ {
+							acc = acc + w.W1[((f*3+c)*3+ky)*3+kx]*in[c*cifarDim*cifarDim+(y+ky)*cifarDim+x+kx]
+						}
+					}
+				}
+				if acc < 0 {
+					acc = 0
+				}
+				c1[(f*cifarC1Out+y)*cifarC1Out+x] = acc
+			}
+		}
+	}
+	p1 := make([]float64, cifarNF*cifarP1Out*cifarP1Out)
+	for f := 0; f < cifarNF; f++ {
+		for y := 0; y < cifarP1Out; y++ {
+			for x := 0; x < cifarP1Out; x++ {
+				m := c1[(f*cifarC1Out+2*y)*cifarC1Out+2*x]
+				if v := c1[(f*cifarC1Out+2*y)*cifarC1Out+2*x+1]; v > m {
+					m = v
+				}
+				if v := c1[(f*cifarC1Out+2*y+1)*cifarC1Out+2*x]; v > m {
+					m = v
+				}
+				if v := c1[(f*cifarC1Out+2*y+1)*cifarC1Out+2*x+1]; v > m {
+					m = v
+				}
+				p1[(f*cifarP1Out+y)*cifarP1Out+x] = m
+			}
+		}
+	}
+	c2 := make([]float64, cifarNF*cifarC2Out*cifarC2Out)
+	for g := 0; g < cifarNF; g++ {
+		for y := 0; y < cifarC2Out; y++ {
+			for x := 0; x < cifarC2Out; x++ {
+				acc := w.B2[g]
+				for f := 0; f < cifarNF; f++ {
+					for ky := 0; ky < 3; ky++ {
+						for kx := 0; kx < 3; kx++ {
+							acc = acc + w.W2[((g*cifarNF+f)*3+ky)*3+kx]*p1[(f*cifarP1Out+y+ky)*cifarP1Out+x+kx]
+						}
+					}
+				}
+				if acc < 0 {
+					acc = 0
+				}
+				c2[(g*cifarC2Out+y)*cifarC2Out+x] = acc
+			}
+		}
+	}
+	p2 := make([]float64, cifarNF*cifarP2Out*cifarP2Out)
+	for g := 0; g < cifarNF; g++ {
+		for y := 0; y < cifarP2Out; y++ {
+			for x := 0; x < cifarP2Out; x++ {
+				m := c2[(g*cifarC2Out+2*y)*cifarC2Out+2*x]
+				if v := c2[(g*cifarC2Out+2*y)*cifarC2Out+2*x+1]; v > m {
+					m = v
+				}
+				if v := c2[(g*cifarC2Out+2*y+1)*cifarC2Out+2*x]; v > m {
+					m = v
+				}
+				if v := c2[(g*cifarC2Out+2*y+1)*cifarC2Out+2*x+1]; v > m {
+					m = v
+				}
+				p2[(g*cifarP2Out+y)*cifarP2Out+x] = m
+			}
+		}
+	}
+	best, bestv := 0, 0.0
+	for k := 0; k < 10; k++ {
+		acc := w.BF[k]
+		for g := 0; g < cifarNF; g++ {
+			for y := 0; y < cifarP2Out; y++ {
+				for x := 0; x < cifarP2Out; x++ {
+					acc = acc + w.WF[((g*cifarP2Out+y)*cifarP2Out+x)*10+k]*p2[(g*cifarP2Out+y)*cifarP2Out+x]
+				}
+			}
+		}
+		if k == 0 || acc > bestv {
+			bestv = acc
+			best = k
+		}
+	}
+	return []byte{byte(best)}
+}

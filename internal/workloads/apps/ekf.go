@@ -1,0 +1,306 @@
+package apps
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// GPS-EKF: an 8-state / 4-measurement extended Kalman filter in the style of
+// TinyEKF's GPS example (state = position/velocity pairs plus clock bias and
+// drift). The client carries the filter state: each request holds x[8],
+// P[8][8], and a measurement z[4]; the response returns the updated x and P
+// (the paper notes EKF state is returned to the client and passed along
+// with each request).
+//
+// Request layout (little-endian f64): x at 0, P at 64, z at 576; 608 bytes.
+// Response layout: x at 0, P at 64; 576 bytes.
+
+const (
+	ekfN       = 8
+	ekfM       = 4
+	ekfReqLen  = 8*8 + 64*8 + 4*8
+	ekfRespLen = 8*8 + 64*8
+)
+
+var ekfApp = App{
+	Name:       "gps-ekf",
+	GenRequest: EKFRequest,
+	Source: `
+static u8 inbuf[640];
+static u8 outbuf[576];
+static f64 xp[8];
+static f64 FP[64];
+static f64 Pp[64];
+static f64 S[16];
+static f64 Sinv[16];
+static f64 aug[32];
+static f64 K[32];
+static f64 y[4];
+
+export i32 main() {
+	sys_read(inbuf, 640);
+	f64* x = (f64*) inbuf;
+	f64* P = (f64*) (inbuf + 64);
+	f64* z = (f64*) (inbuf + 576);
+	f64 dt = 1.0;
+	f64 qv = 0.01;
+	f64 rv = 0.25;
+
+	// Predict state: pairs (position, velocity).
+	for (i32 i = 0; i < 4; i = i + 1) {
+		xp[2*i] = x[2*i] + dt * x[2*i+1];
+		xp[2*i+1] = x[2*i+1];
+	}
+	// FP = F * P (F = I plus dt coupling on even rows).
+	for (i32 r = 0; r < 8; r = r + 1) {
+		for (i32 c = 0; c < 8; c = c + 1) {
+			FP[r*8+c] = P[r*8+c];
+			if (r % 2 == 0) {
+				FP[r*8+c] = FP[r*8+c] + dt * P[(r+1)*8+c];
+			}
+		}
+	}
+	// Pp = FP * F^T + Q.
+	for (i32 r = 0; r < 8; r = r + 1) {
+		for (i32 c = 0; c < 8; c = c + 1) {
+			Pp[r*8+c] = FP[r*8+c];
+			if (c % 2 == 0) {
+				Pp[r*8+c] = Pp[r*8+c] + dt * FP[r*8+c+1];
+			}
+			if (r == c) {
+				Pp[r*8+c] = Pp[r*8+c] + qv;
+			}
+		}
+	}
+	// Innovation: z_j observes x[2j].
+	for (i32 j = 0; j < 4; j = j + 1) {
+		y[j] = z[j] - xp[2*j];
+	}
+	// S = H Pp H^T + R.
+	for (i32 j = 0; j < 4; j = j + 1) {
+		for (i32 k = 0; k < 4; k = k + 1) {
+			S[j*4+k] = Pp[(2*j)*8+2*k];
+			if (j == k) {
+				S[j*4+k] = S[j*4+k] + rv;
+			}
+		}
+	}
+	// Invert S with Gauss-Jordan on [S | I].
+	for (i32 j = 0; j < 4; j = j + 1) {
+		for (i32 k = 0; k < 8; k = k + 1) {
+			if (k < 4) {
+				aug[j*8+k] = S[j*4+k];
+			} else {
+				if (k - 4 == j) {
+					aug[j*8+k] = 1.0;
+				} else {
+					aug[j*8+k] = 0.0;
+				}
+			}
+		}
+	}
+	for (i32 col = 0; col < 4; col = col + 1) {
+		f64 piv = aug[col*8+col];
+		for (i32 k = 0; k < 8; k = k + 1) {
+			aug[col*8+k] = aug[col*8+k] / piv;
+		}
+		for (i32 r = 0; r < 4; r = r + 1) {
+			if (r != col) {
+				f64 fac = aug[r*8+col];
+				for (i32 k = 0; k < 8; k = k + 1) {
+					aug[r*8+k] = aug[r*8+k] - fac * aug[col*8+k];
+				}
+			}
+		}
+	}
+	for (i32 j = 0; j < 4; j = j + 1) {
+		for (i32 k = 0; k < 4; k = k + 1) {
+			Sinv[j*4+k] = aug[j*8+k+4];
+		}
+	}
+	// K = Pp H^T Sinv (8x4).
+	for (i32 i = 0; i < 8; i = i + 1) {
+		for (i32 j = 0; j < 4; j = j + 1) {
+			f64 acc = 0.0;
+			for (i32 k = 0; k < 4; k = k + 1) {
+				acc = acc + Pp[i*8+2*k] * Sinv[k*4+j];
+			}
+			K[i*4+j] = acc;
+		}
+	}
+	// State update.
+	f64* xo = (f64*) outbuf;
+	for (i32 i = 0; i < 8; i = i + 1) {
+		f64 acc = xp[i];
+		for (i32 j = 0; j < 4; j = j + 1) {
+			acc = acc + K[i*4+j] * y[j];
+		}
+		xo[i] = acc;
+	}
+	// Covariance update: P = Pp - K H Pp.
+	f64* Po = (f64*) (outbuf + 64);
+	for (i32 i = 0; i < 8; i = i + 1) {
+		for (i32 c = 0; c < 8; c = c + 1) {
+			f64 acc = Pp[i*8+c];
+			for (i32 j = 0; j < 4; j = j + 1) {
+				acc = acc - K[i*4+j] * Pp[(2*j)*8+c];
+			}
+			Po[i*8+c] = acc;
+		}
+	}
+	sys_write(outbuf, 576);
+	return 0;
+}
+`,
+	Native: ekfNative,
+}
+
+// EKFRequest builds the deterministic initial filter request.
+func EKFRequest() []byte {
+	req := make([]byte, ekfReqLen)
+	x := []float64{0, 1, 0, 0.5, 0, 0.25, 0, 0.1}
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(req[i*8:], math.Float64bits(v))
+	}
+	for i := 0; i < ekfN; i++ {
+		binary.LittleEndian.PutUint64(req[64+(i*8+i)*8:], math.Float64bits(1.0))
+	}
+	z := []float64{1.1, 0.6, 0.3, 0.05}
+	for i, v := range z {
+		binary.LittleEndian.PutUint64(req[576+i*8:], math.Float64bits(v))
+	}
+	return req
+}
+
+// EKFStep advances the request payload using the native response, so closed
+// loops can feed state forward exactly as the paper's client does.
+func EKFStep(prevReq, resp []byte, z [4]float64) []byte {
+	req := make([]byte, ekfReqLen)
+	copy(req, resp[:ekfRespLen])
+	for i, v := range z {
+		binary.LittleEndian.PutUint64(req[576+i*8:], math.Float64bits(v))
+	}
+	return req
+}
+
+func ekfNative(req []byte) []byte {
+	if len(req) < ekfReqLen {
+		return nil
+	}
+	f64at := func(off int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(req[off:]))
+	}
+	var x [ekfN]float64
+	var P [ekfN * ekfN]float64
+	var z [ekfM]float64
+	for i := 0; i < ekfN; i++ {
+		x[i] = f64at(i * 8)
+	}
+	for i := 0; i < ekfN*ekfN; i++ {
+		P[i] = f64at(64 + i*8)
+	}
+	for i := 0; i < ekfM; i++ {
+		z[i] = f64at(576 + i*8)
+	}
+	dt, qv, rv := 1.0, 0.01, 0.25
+
+	var xp [ekfN]float64
+	for i := 0; i < 4; i++ {
+		xp[2*i] = x[2*i] + dt*x[2*i+1]
+		xp[2*i+1] = x[2*i+1]
+	}
+	var FP, Pp [ekfN * ekfN]float64
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			FP[r*8+c] = P[r*8+c]
+			if r%2 == 0 {
+				FP[r*8+c] = FP[r*8+c] + dt*P[(r+1)*8+c]
+			}
+		}
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			Pp[r*8+c] = FP[r*8+c]
+			if c%2 == 0 {
+				Pp[r*8+c] = Pp[r*8+c] + dt*FP[r*8+c+1]
+			}
+			if r == c {
+				Pp[r*8+c] = Pp[r*8+c] + qv
+			}
+		}
+	}
+	var y [ekfM]float64
+	for j := 0; j < 4; j++ {
+		y[j] = z[j] - xp[2*j]
+	}
+	var S [ekfM * ekfM]float64
+	for j := 0; j < 4; j++ {
+		for k := 0; k < 4; k++ {
+			S[j*4+k] = Pp[(2*j)*8+2*k]
+			if j == k {
+				S[j*4+k] = S[j*4+k] + rv
+			}
+		}
+	}
+	var aug [ekfM * 8]float64
+	for j := 0; j < 4; j++ {
+		for k := 0; k < 8; k++ {
+			switch {
+			case k < 4:
+				aug[j*8+k] = S[j*4+k]
+			case k-4 == j:
+				aug[j*8+k] = 1.0
+			default:
+				aug[j*8+k] = 0.0
+			}
+		}
+	}
+	for col := 0; col < 4; col++ {
+		piv := aug[col*8+col]
+		for k := 0; k < 8; k++ {
+			aug[col*8+k] = aug[col*8+k] / piv
+		}
+		for r := 0; r < 4; r++ {
+			if r != col {
+				fac := aug[r*8+col]
+				for k := 0; k < 8; k++ {
+					aug[r*8+k] = aug[r*8+k] - fac*aug[col*8+k]
+				}
+			}
+		}
+	}
+	var Sinv [ekfM * ekfM]float64
+	for j := 0; j < 4; j++ {
+		for k := 0; k < 4; k++ {
+			Sinv[j*4+k] = aug[j*8+k+4]
+		}
+	}
+	var K [ekfN * ekfM]float64
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 4; j++ {
+			acc := 0.0
+			for k := 0; k < 4; k++ {
+				acc = acc + Pp[i*8+2*k]*Sinv[k*4+j]
+			}
+			K[i*4+j] = acc
+		}
+	}
+	resp := make([]byte, ekfRespLen)
+	for i := 0; i < 8; i++ {
+		acc := xp[i]
+		for j := 0; j < 4; j++ {
+			acc = acc + K[i*4+j]*y[j]
+		}
+		binary.LittleEndian.PutUint64(resp[i*8:], math.Float64bits(acc))
+	}
+	for i := 0; i < 8; i++ {
+		for c := 0; c < 8; c++ {
+			acc := Pp[i*8+c]
+			for j := 0; j < 4; j++ {
+				acc = acc - K[i*4+j]*Pp[(2*j)*8+c]
+			}
+			binary.LittleEndian.PutUint64(resp[64+(i*8+c)*8:], math.Float64bits(acc))
+		}
+	}
+	return resp
+}

@@ -1,0 +1,291 @@
+package apps
+
+// Image workloads.
+//
+// RESIZE: halves an RGB frame with a 2x2 box filter (the paper's SOD resize
+// of a flower JPEG; codec replaced by raw frames per the substitution note).
+// Request: w i32, h i32, then w*h*3 interleaved RGB. Response: the halved
+// header and pixels.
+//
+// LPD (license plate detection): Sobel gradients over a grayscale frame,
+// edge thresholding, then a projection-histogram bounding box around the
+// densest edge region; the response carries the box coordinates followed by
+// the image with the box drawn, mirroring the paper's output image.
+// Request: w i32, h i32, then w*h gray bytes. Response: x0,y0,x1,y1 (4 i32)
+// then the annotated image.
+
+// Frame sizes are chosen so the native compute-time ordering matches the
+// paper's applications (CIFAR10 < RESIZE < LPD, Table 2).
+const (
+	resizeW = 768
+	resizeH = 768
+	lpdW    = 800
+	lpdH    = 600
+)
+
+var resizeApp = App{
+	Name:      "resize",
+	HeapBytes: 4 << 20,
+	Source: `
+static u8 hdr[8];
+
+export i32 main() {
+	sys_read(hdr, 8);
+	i32* dims = (i32*) hdr;
+	i32 w = dims[0];
+	i32 h = dims[1];
+	u8* img = alloc(w * h * 3);
+	sys_read(img, w * h * 3);
+	i32 ow = w / 2;
+	i32 oh = h / 2;
+	u8* out = alloc(ow * oh * 3);
+	for (i32 y = 0; y < oh; y = y + 1) {
+		for (i32 x = 0; x < ow; x = x + 1) {
+			for (i32 c = 0; c < 3; c = c + 1) {
+				i32 a = img[((2*y) * w + 2*x) * 3 + c];
+				i32 b = img[((2*y) * w + 2*x + 1) * 3 + c];
+				i32 d = img[((2*y + 1) * w + 2*x) * 3 + c];
+				i32 e = img[((2*y + 1) * w + 2*x + 1) * 3 + c];
+				out[(y * ow + x) * 3 + c] = (a + b + d + e) / 4;
+			}
+		}
+	}
+	dims[0] = ow;
+	dims[1] = oh;
+	sys_write(hdr, 8);
+	sys_write(out, ow * oh * 3);
+	return 0;
+}
+`,
+	GenRequest: func() []byte { return ResizeRequest(resizeW, resizeH) },
+	Native:     resizeNative,
+}
+
+// ResizeRequest builds a deterministic RGB frame.
+func ResizeRequest(w, h int) []byte {
+	req := make([]byte, 8+w*h*3)
+	putU32(req, 0, uint32(w))
+	putU32(req, 4, uint32(h))
+	px := req[8:]
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			px[(y*w+x)*3] = byte((x + y) % 256)
+			px[(y*w+x)*3+1] = byte((x * 2) % 256)
+			px[(y*w+x)*3+2] = byte((y * 3) % 256)
+		}
+	}
+	return req
+}
+
+func resizeNative(req []byte) []byte {
+	if len(req) < 8 {
+		return nil
+	}
+	w := int(getU32(req, 0))
+	h := int(getU32(req, 4))
+	if len(req) < 8+w*h*3 {
+		return nil
+	}
+	img := req[8:]
+	ow, oh := w/2, h/2
+	resp := make([]byte, 8+ow*oh*3)
+	putU32(resp, 0, uint32(ow))
+	putU32(resp, 4, uint32(oh))
+	out := resp[8:]
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			for c := 0; c < 3; c++ {
+				a := int(img[((2*y)*w+2*x)*3+c])
+				b := int(img[((2*y)*w+2*x+1)*3+c])
+				d := int(img[((2*y+1)*w+2*x)*3+c])
+				e := int(img[((2*y+1)*w+2*x+1)*3+c])
+				out[(y*ow+x)*3+c] = byte((a + b + d + e) / 4)
+			}
+		}
+	}
+	return resp
+}
+
+var lpdApp = App{
+	Name:      "lpd",
+	HeapBytes: 3 << 20,
+	Source: `
+static u8 hdr[8];
+static u8 box[16];
+static i32 rows[4096];
+static i32 cols[4096];
+
+export i32 main() {
+	sys_read(hdr, 8);
+	i32* dims = (i32*) hdr;
+	i32 w = dims[0];
+	i32 h = dims[1];
+	u8* img = alloc(w * h);
+	sys_read(img, w * h);
+	for (i32 y = 0; y < h; y = y + 1) {
+		rows[y] = 0;
+	}
+	for (i32 x = 0; x < w; x = x + 1) {
+		cols[x] = 0;
+	}
+	for (i32 y = 1; y < h - 1; y = y + 1) {
+		for (i32 x = 1; x < w - 1; x = x + 1) {
+			i32 gx = img[(y-1)*w + x+1] + 2 * img[y*w + x+1] + img[(y+1)*w + x+1]
+				- img[(y-1)*w + x-1] - 2 * img[y*w + x-1] - img[(y+1)*w + x-1];
+			i32 gy = img[(y+1)*w + x-1] + 2 * img[(y+1)*w + x] + img[(y+1)*w + x+1]
+				- img[(y-1)*w + x-1] - 2 * img[(y-1)*w + x] - img[(y-1)*w + x+1];
+			if (gx < 0) { gx = 0 - gx; }
+			if (gy < 0) { gy = 0 - gy; }
+			i32 mag = gx + gy;
+			if (mag > 300) {
+				rows[y] = rows[y] + 1;
+				cols[x] = cols[x] + 1;
+			}
+		}
+	}
+	i32 rowThresh = w / 8;
+	i32 colThresh = h / 12;
+	i32 y0 = -1;
+	i32 y1 = -1;
+	for (i32 y = 0; y < h; y = y + 1) {
+		if (rows[y] > rowThresh) {
+			if (y0 < 0) {
+				y0 = y;
+			}
+			y1 = y;
+		}
+	}
+	i32 x0 = -1;
+	i32 x1 = -1;
+	for (i32 x = 0; x < w; x = x + 1) {
+		if (cols[x] > colThresh) {
+			if (x0 < 0) {
+				x0 = x;
+			}
+			x1 = x;
+		}
+	}
+	if (x0 < 0) { x0 = 0; x1 = 0; }
+	if (y0 < 0) { y0 = 0; y1 = 0; }
+	// Draw the box.
+	for (i32 x = x0; x <= x1; x = x + 1) {
+		img[y0*w + x] = 255;
+		img[y1*w + x] = 255;
+	}
+	for (i32 y = y0; y <= y1; y = y + 1) {
+		img[y*w + x0] = 255;
+		img[y*w + x1] = 255;
+	}
+	i32* b = (i32*) box;
+	b[0] = x0;
+	b[1] = y0;
+	b[2] = x1;
+	b[3] = y1;
+	sys_write(box, 16);
+	sys_write(img, w * h);
+	return 0;
+}
+`,
+	GenRequest: func() []byte { return LPDRequest(lpdW, lpdH) },
+	Native:     lpdNative,
+}
+
+// LPDRequest builds a grayscale frame with a high-contrast striped plate
+// region over a smooth gradient background.
+func LPDRequest(w, h int) []byte {
+	req := make([]byte, 8+w*h)
+	putU32(req, 0, uint32(w))
+	putU32(req, 4, uint32(h))
+	img := req[8:]
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img[y*w+x] = byte(40 + (x+y)/16%32)
+		}
+	}
+	// The "plate": a striped rectangle in the lower third.
+	px0, py0 := w/3, 2*h/3
+	px1, py1 := px0+w/4, py0+h/10
+	for y := py0; y < py1; y++ {
+		for x := px0; x < px1; x++ {
+			if (x/3)%2 == 0 {
+				img[y*w+x] = 250
+			} else {
+				img[y*w+x] = 5
+			}
+		}
+	}
+	return req
+}
+
+func lpdNative(req []byte) []byte {
+	if len(req) < 8 {
+		return nil
+	}
+	w := int(getU32(req, 0))
+	h := int(getU32(req, 4))
+	if len(req) < 8+w*h {
+		return nil
+	}
+	img := make([]byte, w*h)
+	copy(img, req[8:])
+	rows := make([]int32, h)
+	cols := make([]int32, w)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			gx := int32(img[(y-1)*w+x+1]) + 2*int32(img[y*w+x+1]) + int32(img[(y+1)*w+x+1]) -
+				int32(img[(y-1)*w+x-1]) - 2*int32(img[y*w+x-1]) - int32(img[(y+1)*w+x-1])
+			gy := int32(img[(y+1)*w+x-1]) + 2*int32(img[(y+1)*w+x]) + int32(img[(y+1)*w+x+1]) -
+				int32(img[(y-1)*w+x-1]) - 2*int32(img[(y-1)*w+x]) - int32(img[(y-1)*w+x+1])
+			if gx < 0 {
+				gx = -gx
+			}
+			if gy < 0 {
+				gy = -gy
+			}
+			if gx+gy > 300 {
+				rows[y]++
+				cols[x]++
+			}
+		}
+	}
+	rowThresh := int32(w / 8)
+	colThresh := int32(h / 12)
+	x0, y0, x1, y1 := -1, -1, -1, -1
+	for y := 0; y < h; y++ {
+		if rows[y] > rowThresh {
+			if y0 < 0 {
+				y0 = y
+			}
+			y1 = y
+		}
+	}
+	for x := 0; x < w; x++ {
+		if cols[x] > colThresh {
+			if x0 < 0 {
+				x0 = x
+			}
+			x1 = x
+		}
+	}
+	if x0 < 0 {
+		x0, x1 = 0, 0
+	}
+	if y0 < 0 {
+		y0, y1 = 0, 0
+	}
+	for x := x0; x <= x1; x++ {
+		img[y0*w+x] = 255
+		img[y1*w+x] = 255
+	}
+	for y := y0; y <= y1; y++ {
+		img[y*w+x0] = 255
+		img[y*w+x1] = 255
+	}
+	resp := make([]byte, 16+w*h)
+	putU32(resp, 0, uint32(x0))
+	putU32(resp, 4, uint32(y0))
+	putU32(resp, 8, uint32(x1))
+	putU32(resp, 12, uint32(y1))
+	copy(resp[16:], img)
+	return resp
+}

@@ -1,0 +1,179 @@
+package apps
+
+// GOCR-style optical character recognition: the request carries a 1-bit
+// raster (the paper's PBM input) containing a row of machine-printed digits;
+// the function recognizes them by template correlation against a 5x7 glyph
+// table and writes the ASCII text to stdout.
+//
+// Request layout: w i32, h i32, then w*h bytes (0 or 1).
+
+const (
+	glyphW    = 5
+	glyphH    = 7
+	ocrCellW  = 6
+	ocrChars  = 40
+	ocrImageW = ocrCellW * ocrChars
+	ocrImageH = 8
+)
+
+// digitGlyphs is the shared 5x7 font, one row per digit, '#' = ink.
+var digitGlyphs = [10][glyphH]string{
+	{"#####", "#...#", "#...#", "#...#", "#...#", "#...#", "#####"}, // 0
+	{"..#..", ".##..", "..#..", "..#..", "..#..", "..#..", "#####"}, // 1
+	{"#####", "....#", "....#", "#####", "#....", "#....", "#####"}, // 2
+	{"#####", "....#", "....#", "#####", "....#", "....#", "#####"}, // 3
+	{"#...#", "#...#", "#...#", "#####", "....#", "....#", "....#"}, // 4
+	{"#####", "#....", "#....", "#####", "....#", "....#", "#####"}, // 5
+	{"#####", "#....", "#....", "#####", "#...#", "#...#", "#####"}, // 6
+	{"#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#..."}, // 7
+	{"#####", "#...#", "#...#", "#####", "#...#", "#...#", "#####"}, // 8
+	{"#####", "#...#", "#...#", "#####", "....#", "....#", "#####"}, // 9
+}
+
+// glyphTableBytes serializes the font as 10*35 bytes (row-major, 1 = ink),
+// shared between the WCC module (via data init) and the native code.
+func glyphTableBytes() []byte {
+	out := make([]byte, 10*glyphW*glyphH)
+	for d := 0; d < 10; d++ {
+		for r := 0; r < glyphH; r++ {
+			for c := 0; c < glyphW; c++ {
+				if digitGlyphs[d][r][c] == '#' {
+					out[d*glyphW*glyphH+r*glyphW+c] = 1
+				}
+			}
+		}
+	}
+	return out
+}
+
+var ocrApp = App{
+	Name:      "gocr",
+	HeapBytes: 1 << 20,
+	Data:      map[string][]byte{"glyphs": glyphTableBytes()},
+	Source: `
+const GW = 5;
+const GH = 7;
+const CELL = 6;
+static u8 glyphs[350];
+static u8 hdr[8];
+static u8 text[512];
+
+export i32 main() {
+	sys_read(hdr, 8);
+	i32* dims = (i32*) hdr;
+	i32 w = dims[0];
+	i32 h = dims[1];
+	u8* img = alloc(w * h);
+	sys_read(img, w * h);
+	i32 cells = w / CELL;
+	if (cells > 512) {
+		cells = 512;
+	}
+	for (i32 cell = 0; cell < cells; cell = cell + 1) {
+		i32 x0 = cell * CELL;
+		i32 best = -1;
+		i32 bestScore = -1;
+		for (i32 d = 0; d < 10; d = d + 1) {
+			i32 score = 0;
+			for (i32 r = 0; r < GH; r = r + 1) {
+				for (i32 c = 0; c < GW; c = c + 1) {
+					i32 pix = img[r * w + x0 + c];
+					i32 ink = glyphs[d * GW * GH + r * GW + c];
+					if (pix == ink) {
+						score = score + 1;
+					}
+				}
+			}
+			if (score > bestScore) {
+				bestScore = score;
+				best = d;
+			}
+		}
+		if (bestScore >= 30) {
+			text[cell] = 48 + best;
+		} else {
+			text[cell] = 63; // '?'
+		}
+	}
+	sys_write(text, cells);
+	return 0;
+}
+`,
+	GenRequest: func() []byte { return OCRRequest(ocrChars) },
+	Native:     ocrNative,
+}
+
+// OCRRequest renders a deterministic digit string of the given length into
+// the raster format the OCR function consumes.
+func OCRRequest(chars int) []byte {
+	w := ocrCellW * chars
+	h := ocrImageH
+	req := make([]byte, 8+w*h)
+	putU32(req, 0, uint32(w))
+	putU32(req, 4, uint32(h))
+	img := req[8:]
+	glyphs := glyphTableBytes()
+	for cell := 0; cell < chars; cell++ {
+		d := (cell*3 + 1) % 10
+		x0 := cell * ocrCellW
+		for r := 0; r < glyphH; r++ {
+			for c := 0; c < glyphW; c++ {
+				img[r*w+x0+c] = glyphs[d*glyphW*glyphH+r*glyphW+c]
+			}
+		}
+	}
+	return req
+}
+
+// OCRExpected returns the text OCRRequest encodes.
+func OCRExpected(chars int) string {
+	out := make([]byte, chars)
+	for cell := 0; cell < chars; cell++ {
+		out[cell] = byte('0' + (cell*3+1)%10)
+	}
+	return string(out)
+}
+
+func ocrNative(req []byte) []byte {
+	if len(req) < 8 {
+		return nil
+	}
+	w := int(getU32(req, 0))
+	h := int(getU32(req, 4))
+	if len(req) < 8+w*h {
+		return nil
+	}
+	img := req[8:]
+	glyphs := glyphTableBytes()
+	cells := w / ocrCellW
+	if cells > 512 {
+		cells = 512
+	}
+	text := make([]byte, cells)
+	for cell := 0; cell < cells; cell++ {
+		x0 := cell * ocrCellW
+		best, bestScore := -1, -1
+		for d := 0; d < 10; d++ {
+			score := 0
+			for r := 0; r < glyphH; r++ {
+				for c := 0; c < glyphW; c++ {
+					pix := int(img[r*w+x0+c])
+					ink := int(glyphs[d*glyphW*glyphH+r*glyphW+c])
+					if pix == ink {
+						score = score + 1
+					}
+				}
+			}
+			if score > bestScore {
+				bestScore = score
+				best = d
+			}
+		}
+		if bestScore >= 30 {
+			text[cell] = byte(48 + best)
+		} else {
+			text[cell] = '?'
+		}
+	}
+	return text
+}

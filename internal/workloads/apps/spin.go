@@ -1,0 +1,50 @@
+package apps
+
+import "encoding/binary"
+
+// spin is a tunable CPU-bound function: the request carries a u32 iteration
+// count, the function burns that many loop iterations and replies with the
+// accumulator. The paper's §5.2 uses "CPU-bound functions of various
+// computation times" (results described in text, not shown) to demonstrate
+// that Sledge's advantage shrinks as functions become compute-bound; the
+// cpubound experiment sweeps this function's iteration count.
+var spinApp = App{
+	Name: "spin",
+	Source: `
+static u8 buf[8];
+
+export i32 main() {
+	sys_read(buf, 4);
+	i32* p = (i32*) buf;
+	i32 n = p[0];
+	i32 acc = 0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		acc = acc + i * 31 + 7;
+	}
+	p[0] = acc;
+	sys_write(buf, 4);
+	return 0;
+}
+`,
+	GenRequest: func() []byte { return SpinRequest(100_000) },
+	Native: func(req []byte) []byte {
+		if len(req) < 4 {
+			return nil
+		}
+		n := int32(binary.LittleEndian.Uint32(req))
+		var acc int32
+		for i := int32(0); i < n; i++ {
+			acc = acc + i*31 + 7
+		}
+		out := make([]byte, 4)
+		binary.LittleEndian.PutUint32(out, uint32(acc))
+		return out
+	},
+}
+
+// SpinRequest encodes an iteration count for the spin function.
+func SpinRequest(iters uint32) []byte {
+	out := make([]byte, 4)
+	binary.LittleEndian.PutUint32(out, iters)
+	return out
+}

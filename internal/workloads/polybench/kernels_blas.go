@@ -1,0 +1,969 @@
+package polybench
+
+// Linear-algebra kernels (BLAS and kernels categories): gemm, 2mm, 3mm,
+// atax, bicg, mvt, gemver, gesummv, symm, syrk, syr2k, trmm, doitgen.
+//
+// Every WCC source and its Go mirror share loop structure, operation order,
+// and initialization so checksums agree.
+
+var blasKernels = []Kernel{
+	{
+		Name:     "gemm",
+		DefaultN: 40,
+		TestN:    10,
+		MemBytes: memN(0, 3, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* B = alloc(n*n*8);
+	f64* C = alloc(n*n*8);
+	f64 alpha = 1.5;
+	f64 beta = 1.2;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i*j+1) % n) / (f64) n;
+			B[i*n+j] = (f64) ((i*j+2) % n) / (f64) n;
+			C[i*n+j] = (f64) ((i*j+3) % n) / (f64) n;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			C[i*n+j] = C[i*n+j] * beta;
+			for (i32 k = 0; k < n; k = k + 1) {
+				C[i*n+j] = C[i*n+j] + alpha * A[i*n+k] * B[k*n+j];
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + C[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			B := make([]float64, n*n)
+			C := make([]float64, n*n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i*j+1)%n) / float64(n)
+					B[i*n+j] = float64((i*j+2)%n) / float64(n)
+					C[i*n+j] = float64((i*j+3)%n) / float64(n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					C[i*n+j] = C[i*n+j] * beta
+					for k := 0; k < n; k++ {
+						C[i*n+j] = C[i*n+j] + alpha*A[i*n+k]*B[k*n+j]
+					}
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + C[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "2mm",
+		DefaultN: 32,
+		TestN:    10,
+		MemBytes: memN(0, 5, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* B = alloc(n*n*8);
+	f64* C = alloc(n*n*8);
+	f64* D = alloc(n*n*8);
+	f64* tmp = alloc(n*n*8);
+	f64 alpha = 1.5;
+	f64 beta = 1.2;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i*j+1) % n) / (f64) n;
+			B[i*n+j] = (f64) ((i*(j+1)+2) % n) / (f64) n;
+			C[i*n+j] = (f64) ((i*(j+3)+1) % n) / (f64) n;
+			D[i*n+j] = (f64) ((i*(j+2)) % n) / (f64) n;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			tmp[i*n+j] = 0.0;
+			for (i32 k = 0; k < n; k = k + 1) {
+				tmp[i*n+j] = tmp[i*n+j] + alpha * A[i*n+k] * B[k*n+j];
+			}
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			D[i*n+j] = D[i*n+j] * beta;
+			for (i32 k = 0; k < n; k = k + 1) {
+				D[i*n+j] = D[i*n+j] + tmp[i*n+k] * C[k*n+j];
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + D[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			B := make([]float64, n*n)
+			C := make([]float64, n*n)
+			D := make([]float64, n*n)
+			tmp := make([]float64, n*n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i*j+1)%n) / float64(n)
+					B[i*n+j] = float64((i*(j+1)+2)%n) / float64(n)
+					C[i*n+j] = float64((i*(j+3)+1)%n) / float64(n)
+					D[i*n+j] = float64((i*(j+2))%n) / float64(n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					tmp[i*n+j] = 0
+					for k := 0; k < n; k++ {
+						tmp[i*n+j] = tmp[i*n+j] + alpha*A[i*n+k]*B[k*n+j]
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					D[i*n+j] = D[i*n+j] * beta
+					for k := 0; k < n; k++ {
+						D[i*n+j] = D[i*n+j] + tmp[i*n+k]*C[k*n+j]
+					}
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + D[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "3mm",
+		DefaultN: 28,
+		TestN:    10,
+		MemBytes: memN(0, 7, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* B = alloc(n*n*8);
+	f64* C = alloc(n*n*8);
+	f64* D = alloc(n*n*8);
+	f64* E = alloc(n*n*8);
+	f64* F = alloc(n*n*8);
+	f64* G = alloc(n*n*8);
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i*j+1) % n) / (f64) (5*n);
+			B[i*n+j] = (f64) ((i*(j+1)+2) % n) / (f64) (5*n);
+			C[i*n+j] = (f64) (i*(j+3) % n) / (f64) (5*n);
+			D[i*n+j] = (f64) ((i*(j+2)+2) % n) / (f64) (5*n);
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			E[i*n+j] = 0.0;
+			for (i32 k = 0; k < n; k = k + 1) {
+				E[i*n+j] = E[i*n+j] + A[i*n+k] * B[k*n+j];
+			}
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			F[i*n+j] = 0.0;
+			for (i32 k = 0; k < n; k = k + 1) {
+				F[i*n+j] = F[i*n+j] + C[i*n+k] * D[k*n+j];
+			}
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			G[i*n+j] = 0.0;
+			for (i32 k = 0; k < n; k = k + 1) {
+				G[i*n+j] = G[i*n+j] + E[i*n+k] * F[k*n+j];
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + G[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			B := make([]float64, n*n)
+			C := make([]float64, n*n)
+			D := make([]float64, n*n)
+			E := make([]float64, n*n)
+			F := make([]float64, n*n)
+			G := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i*j+1)%n) / float64(5*n)
+					B[i*n+j] = float64((i*(j+1)+2)%n) / float64(5*n)
+					C[i*n+j] = float64(i*(j+3)%n) / float64(5*n)
+					D[i*n+j] = float64((i*(j+2)+2)%n) / float64(5*n)
+				}
+			}
+			mm := func(dst, x, y []float64) {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						dst[i*n+j] = 0
+						for k := 0; k < n; k++ {
+							dst[i*n+j] = dst[i*n+j] + x[i*n+k]*y[k*n+j]
+						}
+					}
+				}
+			}
+			mm(E, A, B)
+			mm(F, C, D)
+			mm(G, E, F)
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + G[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "atax",
+		DefaultN: 200,
+		TestN:    24,
+		MemBytes: memN(0, 1, 8),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* x = alloc(n*8);
+	f64* y = alloc(n*8);
+	f64* tmp = alloc(n*8);
+	for (i32 i = 0; i < n; i = i + 1) {
+		x[i] = 1.0 + (f64) i / (f64) n;
+		y[i] = 0.0;
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i+j) % n) / (f64) (5*n);
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		tmp[i] = 0.0;
+		for (i32 j = 0; j < n; j = j + 1) {
+			tmp[i] = tmp[i] + A[i*n+j] * x[j];
+		}
+		for (i32 j = 0; j < n; j = j + 1) {
+			y[j] = y[j] + A[i*n+j] * tmp[i];
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		s = s + y[i];
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			x := make([]float64, n)
+			y := make([]float64, n)
+			tmp := make([]float64, n)
+			for i := 0; i < n; i++ {
+				x[i] = 1.0 + float64(i)/float64(n)
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i+j)%n) / float64(5*n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				tmp[i] = 0
+				for j := 0; j < n; j++ {
+					tmp[i] = tmp[i] + A[i*n+j]*x[j]
+				}
+				for j := 0; j < n; j++ {
+					y[j] = y[j] + A[i*n+j]*tmp[i]
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s = s + y[i]
+			}
+			return s
+		},
+	},
+	{
+		Name:     "bicg",
+		DefaultN: 200,
+		TestN:    24,
+		MemBytes: memN(0, 1, 8),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* s = alloc(n*8);
+	f64* q = alloc(n*8);
+	f64* p = alloc(n*8);
+	f64* r = alloc(n*8);
+	for (i32 i = 0; i < n; i = i + 1) {
+		p[i] = (f64) (i % n) / (f64) n;
+		r[i] = (f64) (i % n) / (f64) n;
+		s[i] = 0.0;
+		q[i] = 0.0;
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i*(j+1)) % n) / (f64) n;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s[j] = s[j] + r[i] * A[i*n+j];
+			q[i] = q[i] + A[i*n+j] * p[j];
+		}
+	}
+	f64 acc = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		acc = acc + s[i] + q[i];
+	}
+	return acc;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			s := make([]float64, n)
+			q := make([]float64, n)
+			p := make([]float64, n)
+			r := make([]float64, n)
+			for i := 0; i < n; i++ {
+				p[i] = float64(i%n) / float64(n)
+				r[i] = float64(i%n) / float64(n)
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i*(j+1))%n) / float64(n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s[j] = s[j] + r[i]*A[i*n+j]
+					q[i] = q[i] + A[i*n+j]*p[j]
+				}
+			}
+			acc := 0.0
+			for i := 0; i < n; i++ {
+				acc = acc + s[i] + q[i]
+			}
+			return acc
+		},
+	},
+	{
+		Name:     "mvt",
+		DefaultN: 200,
+		TestN:    24,
+		MemBytes: memN(0, 1, 8),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* x1 = alloc(n*8);
+	f64* x2 = alloc(n*8);
+	f64* y1 = alloc(n*8);
+	f64* y2 = alloc(n*8);
+	for (i32 i = 0; i < n; i = i + 1) {
+		x1[i] = (f64) (i % n) / (f64) n;
+		x2[i] = (f64) ((i + 1) % n) / (f64) n;
+		y1[i] = (f64) ((i + 3) % n) / (f64) n;
+		y2[i] = (f64) ((i + 4) % n) / (f64) n;
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i*j) % n) / (f64) n;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			x1[i] = x1[i] + A[i*n+j] * y1[j];
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			x2[i] = x2[i] + A[j*n+i] * y2[j];
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		s = s + x1[i] + x2[i];
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			x1 := make([]float64, n)
+			x2 := make([]float64, n)
+			y1 := make([]float64, n)
+			y2 := make([]float64, n)
+			for i := 0; i < n; i++ {
+				x1[i] = float64(i%n) / float64(n)
+				x2[i] = float64((i+1)%n) / float64(n)
+				y1[i] = float64((i+3)%n) / float64(n)
+				y2[i] = float64((i+4)%n) / float64(n)
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i*j)%n) / float64(n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					x1[i] = x1[i] + A[i*n+j]*y1[j]
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					x2[i] = x2[i] + A[j*n+i]*y2[j]
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s = s + x1[i] + x2[i]
+			}
+			return s
+		},
+	},
+	{
+		Name:     "gemver",
+		DefaultN: 160,
+		TestN:    24,
+		MemBytes: memN(0, 1, 12),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* u1 = alloc(n*8);
+	f64* v1 = alloc(n*8);
+	f64* u2 = alloc(n*8);
+	f64* v2 = alloc(n*8);
+	f64* w = alloc(n*8);
+	f64* x = alloc(n*8);
+	f64* y = alloc(n*8);
+	f64* z = alloc(n*8);
+	f64 alpha = 1.5;
+	f64 beta = 1.2;
+	f64 fn = (f64) n;
+	for (i32 i = 0; i < n; i = i + 1) {
+		u1[i] = (f64) i;
+		u2[i] = ((f64) i + 1.0) / fn / 2.0;
+		v1[i] = ((f64) i + 1.0) / fn / 4.0;
+		v2[i] = ((f64) i + 1.0) / fn / 6.0;
+		y[i] = ((f64) i + 1.0) / fn / 8.0;
+		z[i] = ((f64) i + 1.0) / fn / 9.0;
+		x[i] = 0.0;
+		w[i] = 0.0;
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) (i*j % n) / fn;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = A[i*n+j] + u1[i] * v1[j] + u2[i] * v2[j];
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			x[i] = x[i] + beta * A[j*n+i] * y[j];
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		x[i] = x[i] + z[i];
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			w[i] = w[i] + alpha * A[i*n+j] * x[j];
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		s = s + w[i];
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			u1 := make([]float64, n)
+			v1 := make([]float64, n)
+			u2 := make([]float64, n)
+			v2 := make([]float64, n)
+			w := make([]float64, n)
+			x := make([]float64, n)
+			y := make([]float64, n)
+			z := make([]float64, n)
+			alpha, beta := 1.5, 1.2
+			fn := float64(n)
+			for i := 0; i < n; i++ {
+				u1[i] = float64(i)
+				u2[i] = (float64(i) + 1.0) / fn / 2.0
+				v1[i] = (float64(i) + 1.0) / fn / 4.0
+				v2[i] = (float64(i) + 1.0) / fn / 6.0
+				y[i] = (float64(i) + 1.0) / fn / 8.0
+				z[i] = (float64(i) + 1.0) / fn / 9.0
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64(i*j%n) / fn
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = A[i*n+j] + u1[i]*v1[j] + u2[i]*v2[j]
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					x[i] = x[i] + beta*A[j*n+i]*y[j]
+				}
+			}
+			for i := 0; i < n; i++ {
+				x[i] = x[i] + z[i]
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					w[i] = w[i] + alpha*A[i*n+j]*x[j]
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s = s + w[i]
+			}
+			return s
+		},
+	},
+	{
+		Name:     "gesummv",
+		DefaultN: 180,
+		TestN:    24,
+		MemBytes: memN(0, 2, 8),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* B = alloc(n*n*8);
+	f64* x = alloc(n*8);
+	f64* y = alloc(n*8);
+	f64* tmp = alloc(n*8);
+	f64 alpha = 1.5;
+	f64 beta = 1.2;
+	for (i32 i = 0; i < n; i = i + 1) {
+		x[i] = (f64) (i % n) / (f64) n;
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i*j+1) % n) / (f64) n;
+			B[i*n+j] = (f64) ((i*j+2) % n) / (f64) n;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		tmp[i] = 0.0;
+		y[i] = 0.0;
+		for (i32 j = 0; j < n; j = j + 1) {
+			tmp[i] = A[i*n+j] * x[j] + tmp[i];
+			y[i] = B[i*n+j] * x[j] + y[i];
+		}
+		y[i] = alpha * tmp[i] + beta * y[i];
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		s = s + y[i];
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			B := make([]float64, n*n)
+			x := make([]float64, n)
+			y := make([]float64, n)
+			tmp := make([]float64, n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				x[i] = float64(i%n) / float64(n)
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i*j+1)%n) / float64(n)
+					B[i*n+j] = float64((i*j+2)%n) / float64(n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				tmp[i] = 0
+				y[i] = 0
+				for j := 0; j < n; j++ {
+					tmp[i] = A[i*n+j]*x[j] + tmp[i]
+					y[i] = B[i*n+j]*x[j] + y[i]
+				}
+				y[i] = alpha*tmp[i] + beta*y[i]
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s = s + y[i]
+			}
+			return s
+		},
+	},
+	{
+		Name:     "symm",
+		DefaultN: 36,
+		TestN:    10,
+		MemBytes: memN(0, 3, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* B = alloc(n*n*8);
+	f64* C = alloc(n*n*8);
+	f64 alpha = 1.5;
+	f64 beta = 1.2;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i+j) % 100) / (f64) n;
+			B[i*n+j] = (f64) ((n+i-j) % 100) / (f64) n;
+			C[i*n+j] = (f64) ((i*j+2) % 100) / (f64) n;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			f64 temp2 = 0.0;
+			for (i32 k = 0; k < i; k = k + 1) {
+				C[k*n+j] = C[k*n+j] + alpha * B[i*n+j] * A[i*n+k];
+				temp2 = temp2 + B[k*n+j] * A[i*n+k];
+			}
+			C[i*n+j] = beta * C[i*n+j] + alpha * B[i*n+j] * A[i*n+i] + alpha * temp2;
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + C[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			B := make([]float64, n*n)
+			C := make([]float64, n*n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i+j)%100) / float64(n)
+					B[i*n+j] = float64((n+i-j)%100) / float64(n)
+					C[i*n+j] = float64((i*j+2)%100) / float64(n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					temp2 := 0.0
+					for k := 0; k < i; k++ {
+						C[k*n+j] = C[k*n+j] + alpha*B[i*n+j]*A[i*n+k]
+						temp2 = temp2 + B[k*n+j]*A[i*n+k]
+					}
+					C[i*n+j] = beta*C[i*n+j] + alpha*B[i*n+j]*A[i*n+i] + alpha*temp2
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + C[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "syrk",
+		DefaultN: 40,
+		TestN:    10,
+		MemBytes: memN(0, 2, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* C = alloc(n*n*8);
+	f64 alpha = 1.5;
+	f64 beta = 1.2;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i*j+1) % n) / (f64) n;
+			C[i*n+j] = (f64) ((i*j+2) % n) / (f64) n;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j <= i; j = j + 1) {
+			C[i*n+j] = C[i*n+j] * beta;
+		}
+		for (i32 k = 0; k < n; k = k + 1) {
+			for (i32 j = 0; j <= i; j = j + 1) {
+				C[i*n+j] = C[i*n+j] + alpha * A[i*n+k] * A[j*n+k];
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + C[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			C := make([]float64, n*n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i*j+1)%n) / float64(n)
+					C[i*n+j] = float64((i*j+2)%n) / float64(n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					C[i*n+j] = C[i*n+j] * beta
+				}
+				for k := 0; k < n; k++ {
+					for j := 0; j <= i; j++ {
+						C[i*n+j] = C[i*n+j] + alpha*A[i*n+k]*A[j*n+k]
+					}
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + C[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "syr2k",
+		DefaultN: 36,
+		TestN:    10,
+		MemBytes: memN(0, 3, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* B = alloc(n*n*8);
+	f64* C = alloc(n*n*8);
+	f64 alpha = 1.5;
+	f64 beta = 1.2;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i*j+1) % n) / (f64) n;
+			B[i*n+j] = (f64) ((i*j+2) % n) / (f64) n;
+			C[i*n+j] = (f64) ((i*j+3) % n) / (f64) n;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j <= i; j = j + 1) {
+			C[i*n+j] = C[i*n+j] * beta;
+		}
+		for (i32 k = 0; k < n; k = k + 1) {
+			for (i32 j = 0; j <= i; j = j + 1) {
+				C[i*n+j] = C[i*n+j] + A[j*n+k] * alpha * B[i*n+k] + B[j*n+k] * alpha * A[i*n+k];
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + C[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			B := make([]float64, n*n)
+			C := make([]float64, n*n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i*j+1)%n) / float64(n)
+					B[i*n+j] = float64((i*j+2)%n) / float64(n)
+					C[i*n+j] = float64((i*j+3)%n) / float64(n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					C[i*n+j] = C[i*n+j] * beta
+				}
+				for k := 0; k < n; k++ {
+					for j := 0; j <= i; j++ {
+						C[i*n+j] = C[i*n+j] + A[j*n+k]*alpha*B[i*n+k] + B[j*n+k]*alpha*A[i*n+k]
+					}
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + C[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "trmm",
+		DefaultN: 40,
+		TestN:    10,
+		MemBytes: memN(0, 2, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* B = alloc(n*n*8);
+	f64 alpha = 1.5;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i+j) % n) / (f64) n;
+			B[i*n+j] = (f64) ((n+i-j) % n) / (f64) n;
+		}
+		A[i*n+i] = 1.0;
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			for (i32 k = i + 1; k < n; k = k + 1) {
+				B[i*n+j] = B[i*n+j] + A[k*n+i] * B[k*n+j];
+			}
+			B[i*n+j] = alpha * B[i*n+j];
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + B[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			B := make([]float64, n*n)
+			alpha := 1.5
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i+j)%n) / float64(n)
+					B[i*n+j] = float64((n+i-j)%n) / float64(n)
+				}
+				A[i*n+i] = 1.0
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					for k := i + 1; k < n; k++ {
+						B[i*n+j] = B[i*n+j] + A[k*n+i]*B[k*n+j]
+					}
+					B[i*n+j] = alpha * B[i*n+j]
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + B[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "doitgen",
+		DefaultN: 18,
+		TestN:    8,
+		MemBytes: memN(1, 1, 2),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*n*8);
+	f64* C4 = alloc(n*n*8);
+	f64* sum = alloc(n*8);
+	for (i32 r = 0; r < n; r = r + 1) {
+		for (i32 q = 0; q < n; q = q + 1) {
+			for (i32 p = 0; p < n; p = p + 1) {
+				A[(r*n+q)*n+p] = (f64) ((r*q+p) % n) / (f64) n;
+			}
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			C4[i*n+j] = (f64) (i*j % n) / (f64) n;
+		}
+	}
+	for (i32 r = 0; r < n; r = r + 1) {
+		for (i32 q = 0; q < n; q = q + 1) {
+			for (i32 p = 0; p < n; p = p + 1) {
+				sum[p] = 0.0;
+				for (i32 s = 0; s < n; s = s + 1) {
+					sum[p] = sum[p] + A[(r*n+q)*n+s] * C4[s*n+p];
+				}
+			}
+			for (i32 p = 0; p < n; p = p + 1) {
+				A[(r*n+q)*n+p] = sum[p];
+			}
+		}
+	}
+	f64 acc = 0.0;
+	for (i32 r = 0; r < n; r = r + 1) {
+		for (i32 q = 0; q < n; q = q + 1) {
+			for (i32 p = 0; p < n; p = p + 1) {
+				acc = acc + A[(r*n+q)*n+p];
+			}
+		}
+	}
+	return acc;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n*n)
+			C4 := make([]float64, n*n)
+			sum := make([]float64, n)
+			for r := 0; r < n; r++ {
+				for q := 0; q < n; q++ {
+					for p := 0; p < n; p++ {
+						A[(r*n+q)*n+p] = float64((r*q+p)%n) / float64(n)
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					C4[i*n+j] = float64(i*j%n) / float64(n)
+				}
+			}
+			for r := 0; r < n; r++ {
+				for q := 0; q < n; q++ {
+					for p := 0; p < n; p++ {
+						sum[p] = 0
+						for s := 0; s < n; s++ {
+							sum[p] = sum[p] + A[(r*n+q)*n+s]*C4[s*n+p]
+						}
+					}
+					for p := 0; p < n; p++ {
+						A[(r*n+q)*n+p] = sum[p]
+					}
+				}
+			}
+			acc := 0.0
+			for r := 0; r < n; r++ {
+				for q := 0; q < n; q++ {
+					for p := 0; p < n; p++ {
+						acc = acc + A[(r*n+q)*n+p]
+					}
+				}
+			}
+			return acc
+		},
+	},
+}

@@ -1,0 +1,839 @@
+package polybench
+
+import "math"
+
+// Medley and stencil kernels: deriche, floyd-warshall, nussinov, adi,
+// fdtd-2d, heat-3d, jacobi-1d, jacobi-2d, seidel-2d.
+
+var medleyKernels = []Kernel{
+	{
+		Name:     "deriche",
+		DefaultN: 64,
+		TestN:    16,
+		MemBytes: memN(0, 4, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* imgIn = alloc(n*n*8);
+	f64* imgOut = alloc(n*n*8);
+	f64* y1 = alloc(n*n*8);
+	f64* y2 = alloc(n*n*8);
+	f64 alpha = 0.25;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			imgIn[i*n+j] = (f64) ((313*i + 991*j) % 65536) / 65535.0;
+		}
+	}
+	f64 k = (1.0 - exp(-alpha)) * (1.0 - exp(-alpha)) /
+		(1.0 + 2.0 * alpha * exp(-alpha) - exp(2.0 * alpha));
+	f64 a1 = k;
+	f64 a5 = k;
+	f64 a2 = k * exp(-alpha) * (alpha - 1.0);
+	f64 a6 = a2;
+	f64 a3 = k * exp(-alpha) * (alpha + 1.0);
+	f64 a7 = a3;
+	f64 a4 = -k * exp(-2.0 * alpha);
+	f64 a8 = a4;
+	f64 b1 = pow(2.0, -alpha);
+	f64 b2 = -exp(-2.0 * alpha);
+	f64 c1 = 1.0;
+	f64 c2 = 1.0;
+
+	for (i32 i = 0; i < n; i = i + 1) {
+		f64 ym1 = 0.0;
+		f64 ym2 = 0.0;
+		f64 xm1 = 0.0;
+		for (i32 j = 0; j < n; j = j + 1) {
+			y1[i*n+j] = a1 * imgIn[i*n+j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+			xm1 = imgIn[i*n+j];
+			ym2 = ym1;
+			ym1 = y1[i*n+j];
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		f64 yp1 = 0.0;
+		f64 yp2 = 0.0;
+		f64 xp1 = 0.0;
+		f64 xp2 = 0.0;
+		for (i32 j = n - 1; j >= 0; j = j - 1) {
+			y2[i*n+j] = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;
+			xp2 = xp1;
+			xp1 = imgIn[i*n+j];
+			yp2 = yp1;
+			yp1 = y2[i*n+j];
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			imgOut[i*n+j] = c1 * (y1[i*n+j] + y2[i*n+j]);
+		}
+	}
+	for (i32 j = 0; j < n; j = j + 1) {
+		f64 tm1 = 0.0;
+		f64 ym1 = 0.0;
+		f64 ym2 = 0.0;
+		for (i32 i = 0; i < n; i = i + 1) {
+			y1[i*n+j] = a5 * imgOut[i*n+j] + a6 * tm1 + b1 * ym1 + b2 * ym2;
+			tm1 = imgOut[i*n+j];
+			ym2 = ym1;
+			ym1 = y1[i*n+j];
+		}
+	}
+	for (i32 j = 0; j < n; j = j + 1) {
+		f64 tp1 = 0.0;
+		f64 tp2 = 0.0;
+		f64 yp1 = 0.0;
+		f64 yp2 = 0.0;
+		for (i32 i = n - 1; i >= 0; i = i - 1) {
+			y2[i*n+j] = a7 * tp1 + a8 * tp2 + b1 * yp1 + b2 * yp2;
+			tp2 = tp1;
+			tp1 = imgOut[i*n+j];
+			yp2 = yp1;
+			yp1 = y2[i*n+j];
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			imgOut[i*n+j] = c2 * (y1[i*n+j] + y2[i*n+j]);
+			s = s + imgOut[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			imgIn := make([]float64, n*n)
+			imgOut := make([]float64, n*n)
+			y1 := make([]float64, n*n)
+			y2 := make([]float64, n*n)
+			alpha := 0.25
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					imgIn[i*n+j] = float64((313*i+991*j)%65536) / 65535.0
+				}
+			}
+			k := (1.0 - math.Exp(-alpha)) * (1.0 - math.Exp(-alpha)) /
+				(1.0 + 2.0*alpha*math.Exp(-alpha) - math.Exp(2.0*alpha))
+			a1, a5 := k, k
+			a2 := k * math.Exp(-alpha) * (alpha - 1.0)
+			a6 := a2
+			a3 := k * math.Exp(-alpha) * (alpha + 1.0)
+			a7 := a3
+			a4 := -k * math.Exp(-2.0*alpha)
+			a8 := a4
+			b1 := math.Pow(2.0, -alpha)
+			b2 := -math.Exp(-2.0 * alpha)
+			c1, c2 := 1.0, 1.0
+
+			for i := 0; i < n; i++ {
+				ym1, ym2, xm1 := 0.0, 0.0, 0.0
+				for j := 0; j < n; j++ {
+					y1[i*n+j] = a1*imgIn[i*n+j] + a2*xm1 + b1*ym1 + b2*ym2
+					xm1 = imgIn[i*n+j]
+					ym2 = ym1
+					ym1 = y1[i*n+j]
+				}
+			}
+			for i := 0; i < n; i++ {
+				yp1, yp2, xp1, xp2 := 0.0, 0.0, 0.0, 0.0
+				for j := n - 1; j >= 0; j-- {
+					y2[i*n+j] = a3*xp1 + a4*xp2 + b1*yp1 + b2*yp2
+					xp2 = xp1
+					xp1 = imgIn[i*n+j]
+					yp2 = yp1
+					yp1 = y2[i*n+j]
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					imgOut[i*n+j] = c1 * (y1[i*n+j] + y2[i*n+j])
+				}
+			}
+			for j := 0; j < n; j++ {
+				tm1, ym1, ym2 := 0.0, 0.0, 0.0
+				for i := 0; i < n; i++ {
+					y1[i*n+j] = a5*imgOut[i*n+j] + a6*tm1 + b1*ym1 + b2*ym2
+					tm1 = imgOut[i*n+j]
+					ym2 = ym1
+					ym1 = y1[i*n+j]
+				}
+			}
+			for j := 0; j < n; j++ {
+				tp1, tp2, yp1, yp2 := 0.0, 0.0, 0.0, 0.0
+				for i := n - 1; i >= 0; i-- {
+					y2[i*n+j] = a7*tp1 + a8*tp2 + b1*yp1 + b2*yp2
+					tp2 = tp1
+					tp1 = imgOut[i*n+j]
+					yp2 = yp1
+					yp1 = y2[i*n+j]
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					imgOut[i*n+j] = c2 * (y1[i*n+j] + y2[i*n+j])
+					s = s + imgOut[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "floyd-warshall",
+		DefaultN: 40,
+		TestN:    12,
+		MemBytes: func(n int) int { return n*n*4 + (64 << 10) },
+		Source: `
+export f64 kernel(i32 n) {
+	i32* path = alloc(n*n*4);
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			path[i*n+j] = i * j % 7 + 1;
+			if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0) {
+				path[i*n+j] = 999;
+			}
+		}
+	}
+	for (i32 k = 0; k < n; k = k + 1) {
+		for (i32 i = 0; i < n; i = i + 1) {
+			for (i32 j = 0; j < n; j = j + 1) {
+				if (path[i*n+k] + path[k*n+j] < path[i*n+j]) {
+					path[i*n+j] = path[i*n+k] + path[k*n+j];
+				}
+			}
+		}
+	}
+	i32 s = 0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + path[i*n+j];
+		}
+	}
+	return (f64) s;
+}
+`,
+		Native: func(n int) float64 {
+			path := make([]int32, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					path[i*n+j] = int32(i*j%7 + 1)
+					if (i+j)%13 == 0 || (i+j)%7 == 0 || (i+j)%11 == 0 {
+						path[i*n+j] = 999
+					}
+				}
+			}
+			for k := 0; k < n; k++ {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if path[i*n+k]+path[k*n+j] < path[i*n+j] {
+							path[i*n+j] = path[i*n+k] + path[k*n+j]
+						}
+					}
+				}
+			}
+			var s int32
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + path[i*n+j]
+				}
+			}
+			return float64(s)
+		},
+	},
+	{
+		Name:     "nussinov",
+		DefaultN: 48,
+		TestN:    14,
+		MemBytes: func(n int) int { return n*n*4 + n*4 + (64 << 10) },
+		Source: `
+export f64 kernel(i32 n) {
+	i32* table = alloc(n*n*4);
+	i32* seq = alloc(n*4);
+	for (i32 i = 0; i < n; i = i + 1) {
+		seq[i] = (i + 1) % 4;
+		for (i32 j = 0; j < n; j = j + 1) {
+			table[i*n+j] = 0;
+		}
+	}
+	for (i32 i = n - 1; i >= 0; i = i - 1) {
+		for (i32 j = i + 1; j < n; j = j + 1) {
+			if (j - 1 >= 0) {
+				if (table[i*n+j] < table[i*n+j-1]) {
+					table[i*n+j] = table[i*n+j-1];
+				}
+			}
+			if (i + 1 < n) {
+				if (table[i*n+j] < table[(i+1)*n+j]) {
+					table[i*n+j] = table[(i+1)*n+j];
+				}
+			}
+			if (j - 1 >= 0 && i + 1 < n) {
+				i32 m = 0;
+				if (i < j - 1) {
+					if (seq[i] + seq[j] == 3) {
+						m = 1;
+					}
+					if (table[i*n+j] < table[(i+1)*n+j-1] + m) {
+						table[i*n+j] = table[(i+1)*n+j-1] + m;
+					}
+				} else {
+					if (table[i*n+j] < table[(i+1)*n+j-1]) {
+						table[i*n+j] = table[(i+1)*n+j-1];
+					}
+				}
+			}
+			for (i32 k = i + 1; k < j; k = k + 1) {
+				if (table[i*n+j] < table[i*n+k] + table[(k+1)*n+j]) {
+					table[i*n+j] = table[i*n+k] + table[(k+1)*n+j];
+				}
+			}
+		}
+	}
+	i32 s = 0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + table[i*n+j];
+		}
+	}
+	return (f64) s;
+}
+`,
+		Native: func(n int) float64 {
+			table := make([]int32, n*n)
+			seq := make([]int32, n)
+			for i := 0; i < n; i++ {
+				seq[i] = int32((i + 1) % 4)
+			}
+			for i := n - 1; i >= 0; i-- {
+				for j := i + 1; j < n; j++ {
+					if j-1 >= 0 {
+						if table[i*n+j] < table[i*n+j-1] {
+							table[i*n+j] = table[i*n+j-1]
+						}
+					}
+					if i+1 < n {
+						if table[i*n+j] < table[(i+1)*n+j] {
+							table[i*n+j] = table[(i+1)*n+j]
+						}
+					}
+					if j-1 >= 0 && i+1 < n {
+						var m int32
+						if i < j-1 {
+							if seq[i]+seq[j] == 3 {
+								m = 1
+							}
+							if table[i*n+j] < table[(i+1)*n+j-1]+m {
+								table[i*n+j] = table[(i+1)*n+j-1] + m
+							}
+						} else {
+							if table[i*n+j] < table[(i+1)*n+j-1] {
+								table[i*n+j] = table[(i+1)*n+j-1]
+							}
+						}
+					}
+					for k := i + 1; k < j; k++ {
+						if table[i*n+j] < table[i*n+k]+table[(k+1)*n+j] {
+							table[i*n+j] = table[i*n+k] + table[(k+1)*n+j]
+						}
+					}
+				}
+			}
+			var s int32
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + table[i*n+j]
+				}
+			}
+			return float64(s)
+		},
+	},
+	{
+		Name:     "adi",
+		DefaultN: 36,
+		TestN:    12,
+		MemBytes: memN(0, 4, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* u = alloc(n*n*8);
+	f64* v = alloc(n*n*8);
+	f64* p = alloc(n*n*8);
+	f64* q = alloc(n*n*8);
+	i32 tsteps = 4;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			u[i*n+j] = (f64) (i + n - j) / (f64) n;
+		}
+	}
+	f64 DX = 1.0 / (f64) n;
+	f64 DY = 1.0 / (f64) n;
+	f64 DT = 1.0 / (f64) tsteps;
+	f64 B1 = 2.0;
+	f64 B2 = 1.0;
+	f64 mul1 = B1 * DT / (DX * DX);
+	f64 mul2 = B2 * DT / (DY * DY);
+	f64 a = -mul1 / 2.0;
+	f64 b = 1.0 + mul1;
+	f64 c = a;
+	f64 d = -mul2 / 2.0;
+	f64 e = 1.0 + mul2;
+	f64 f = d;
+	for (i32 t = 1; t <= tsteps; t = t + 1) {
+		for (i32 i = 1; i < n - 1; i = i + 1) {
+			v[0*n+i] = 1.0;
+			p[i*n+0] = 0.0;
+			q[i*n+0] = v[0*n+i];
+			for (i32 j = 1; j < n - 1; j = j + 1) {
+				p[i*n+j] = -c / (a * p[i*n+j-1] + b);
+				q[i*n+j] = (-d * u[j*n+i-1] + (1.0 + 2.0 * d) * u[j*n+i] - f * u[j*n+i+1] - a * q[i*n+j-1]) / (a * p[i*n+j-1] + b);
+			}
+			v[(n-1)*n+i] = 1.0;
+			for (i32 j = n - 2; j >= 1; j = j - 1) {
+				v[j*n+i] = p[i*n+j] * v[(j+1)*n+i] + q[i*n+j];
+			}
+		}
+		for (i32 i = 1; i < n - 1; i = i + 1) {
+			u[i*n+0] = 1.0;
+			p[i*n+0] = 0.0;
+			q[i*n+0] = u[i*n+0];
+			for (i32 j = 1; j < n - 1; j = j + 1) {
+				p[i*n+j] = -f / (d * p[i*n+j-1] + e);
+				q[i*n+j] = (-a * v[(i-1)*n+j] + (1.0 + 2.0 * a) * v[i*n+j] - c * v[(i+1)*n+j] - d * q[i*n+j-1]) / (d * p[i*n+j-1] + e);
+			}
+			u[i*n+n-1] = 1.0;
+			for (i32 j = n - 2; j >= 1; j = j - 1) {
+				u[i*n+j] = p[i*n+j] * u[i*n+j+1] + q[i*n+j];
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + u[i*n+j] + v[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			u := make([]float64, n*n)
+			v := make([]float64, n*n)
+			p := make([]float64, n*n)
+			q := make([]float64, n*n)
+			tsteps := 4
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					u[i*n+j] = float64(i+n-j) / float64(n)
+				}
+			}
+			DX := 1.0 / float64(n)
+			DY := 1.0 / float64(n)
+			DT := 1.0 / float64(tsteps)
+			B1, B2 := 2.0, 1.0
+			mul1 := B1 * DT / (DX * DX)
+			mul2 := B2 * DT / (DY * DY)
+			a := -mul1 / 2.0
+			b := 1.0 + mul1
+			c := a
+			d := -mul2 / 2.0
+			e := 1.0 + mul2
+			f := d
+			for t := 1; t <= tsteps; t++ {
+				for i := 1; i < n-1; i++ {
+					v[0*n+i] = 1.0
+					p[i*n+0] = 0.0
+					q[i*n+0] = v[0*n+i]
+					for j := 1; j < n-1; j++ {
+						p[i*n+j] = -c / (a*p[i*n+j-1] + b)
+						q[i*n+j] = (-d*u[j*n+i-1] + (1.0+2.0*d)*u[j*n+i] - f*u[j*n+i+1] - a*q[i*n+j-1]) / (a*p[i*n+j-1] + b)
+					}
+					v[(n-1)*n+i] = 1.0
+					for j := n - 2; j >= 1; j-- {
+						v[j*n+i] = p[i*n+j]*v[(j+1)*n+i] + q[i*n+j]
+					}
+				}
+				for i := 1; i < n-1; i++ {
+					u[i*n+0] = 1.0
+					p[i*n+0] = 0.0
+					q[i*n+0] = u[i*n+0]
+					for j := 1; j < n-1; j++ {
+						p[i*n+j] = -f / (d*p[i*n+j-1] + e)
+						q[i*n+j] = (-a*v[(i-1)*n+j] + (1.0+2.0*a)*v[i*n+j] - c*v[(i+1)*n+j] - d*q[i*n+j-1]) / (d*p[i*n+j-1] + e)
+					}
+					u[i*n+n-1] = 1.0
+					for j := n - 2; j >= 1; j-- {
+						u[i*n+j] = p[i*n+j]*u[i*n+j+1] + q[i*n+j]
+					}
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + u[i*n+j] + v[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "fdtd-2d",
+		DefaultN: 40,
+		TestN:    12,
+		MemBytes: memN(0, 3, 8),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* ex = alloc(n*n*8);
+	f64* ey = alloc(n*n*8);
+	f64* hz = alloc(n*n*8);
+	i32 tmax = 6;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			ex[i*n+j] = (f64) (i * (j + 1)) / (f64) n;
+			ey[i*n+j] = (f64) (i * (j + 2)) / (f64) n;
+			hz[i*n+j] = (f64) (i * (j + 3)) / (f64) n;
+		}
+	}
+	for (i32 t = 0; t < tmax; t = t + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			ey[0*n+j] = (f64) t;
+		}
+		for (i32 i = 1; i < n; i = i + 1) {
+			for (i32 j = 0; j < n; j = j + 1) {
+				ey[i*n+j] = ey[i*n+j] - 0.5 * (hz[i*n+j] - hz[(i-1)*n+j]);
+			}
+		}
+		for (i32 i = 0; i < n; i = i + 1) {
+			for (i32 j = 1; j < n; j = j + 1) {
+				ex[i*n+j] = ex[i*n+j] - 0.5 * (hz[i*n+j] - hz[i*n+j-1]);
+			}
+		}
+		for (i32 i = 0; i < n - 1; i = i + 1) {
+			for (i32 j = 0; j < n - 1; j = j + 1) {
+				hz[i*n+j] = hz[i*n+j] - 0.7 * (ex[i*n+j+1] - ex[i*n+j] + ey[(i+1)*n+j] - ey[i*n+j]);
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + ex[i*n+j] + ey[i*n+j] + hz[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			ex := make([]float64, n*n)
+			ey := make([]float64, n*n)
+			hz := make([]float64, n*n)
+			tmax := 6
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					ex[i*n+j] = float64(i*(j+1)) / float64(n)
+					ey[i*n+j] = float64(i*(j+2)) / float64(n)
+					hz[i*n+j] = float64(i*(j+3)) / float64(n)
+				}
+			}
+			for t := 0; t < tmax; t++ {
+				for j := 0; j < n; j++ {
+					ey[0*n+j] = float64(t)
+				}
+				for i := 1; i < n; i++ {
+					for j := 0; j < n; j++ {
+						ey[i*n+j] = ey[i*n+j] - 0.5*(hz[i*n+j]-hz[(i-1)*n+j])
+					}
+				}
+				for i := 0; i < n; i++ {
+					for j := 1; j < n; j++ {
+						ex[i*n+j] = ex[i*n+j] - 0.5*(hz[i*n+j]-hz[i*n+j-1])
+					}
+				}
+				for i := 0; i < n-1; i++ {
+					for j := 0; j < n-1; j++ {
+						hz[i*n+j] = hz[i*n+j] - 0.7*(ex[i*n+j+1]-ex[i*n+j]+ey[(i+1)*n+j]-ey[i*n+j])
+					}
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + ex[i*n+j] + ey[i*n+j] + hz[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "heat-3d",
+		DefaultN: 14,
+		TestN:    8,
+		MemBytes: memN(2, 0, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*n*8);
+	f64* B = alloc(n*n*n*8);
+	i32 tsteps = 4;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			for (i32 k = 0; k < n; k = k + 1) {
+				A[(i*n+j)*n+k] = (f64) (i + j + (n - k)) * 10.0 / (f64) n;
+				B[(i*n+j)*n+k] = A[(i*n+j)*n+k];
+			}
+		}
+	}
+	for (i32 t = 1; t <= tsteps; t = t + 1) {
+		for (i32 i = 1; i < n - 1; i = i + 1) {
+			for (i32 j = 1; j < n - 1; j = j + 1) {
+				for (i32 k = 1; k < n - 1; k = k + 1) {
+					B[(i*n+j)*n+k] = 0.125 * (A[((i+1)*n+j)*n+k] - 2.0 * A[(i*n+j)*n+k] + A[((i-1)*n+j)*n+k])
+						+ 0.125 * (A[(i*n+j+1)*n+k] - 2.0 * A[(i*n+j)*n+k] + A[(i*n+j-1)*n+k])
+						+ 0.125 * (A[(i*n+j)*n+k+1] - 2.0 * A[(i*n+j)*n+k] + A[(i*n+j)*n+k-1])
+						+ A[(i*n+j)*n+k];
+				}
+			}
+		}
+		for (i32 i = 1; i < n - 1; i = i + 1) {
+			for (i32 j = 1; j < n - 1; j = j + 1) {
+				for (i32 k = 1; k < n - 1; k = k + 1) {
+					A[(i*n+j)*n+k] = 0.125 * (B[((i+1)*n+j)*n+k] - 2.0 * B[(i*n+j)*n+k] + B[((i-1)*n+j)*n+k])
+						+ 0.125 * (B[(i*n+j+1)*n+k] - 2.0 * B[(i*n+j)*n+k] + B[(i*n+j-1)*n+k])
+						+ 0.125 * (B[(i*n+j)*n+k+1] - 2.0 * B[(i*n+j)*n+k] + B[(i*n+j)*n+k-1])
+						+ B[(i*n+j)*n+k];
+				}
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			for (i32 k = 0; k < n; k = k + 1) {
+				s = s + A[(i*n+j)*n+k];
+			}
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n*n)
+			B := make([]float64, n*n*n)
+			tsteps := 4
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					for k := 0; k < n; k++ {
+						A[(i*n+j)*n+k] = float64(i+j+(n-k)) * 10.0 / float64(n)
+						B[(i*n+j)*n+k] = A[(i*n+j)*n+k]
+					}
+				}
+			}
+			for t := 1; t <= tsteps; t++ {
+				for i := 1; i < n-1; i++ {
+					for j := 1; j < n-1; j++ {
+						for k := 1; k < n-1; k++ {
+							B[(i*n+j)*n+k] = 0.125*(A[((i+1)*n+j)*n+k]-2.0*A[(i*n+j)*n+k]+A[((i-1)*n+j)*n+k]) +
+								0.125*(A[(i*n+j+1)*n+k]-2.0*A[(i*n+j)*n+k]+A[(i*n+j-1)*n+k]) +
+								0.125*(A[(i*n+j)*n+k+1]-2.0*A[(i*n+j)*n+k]+A[(i*n+j)*n+k-1]) +
+								A[(i*n+j)*n+k]
+						}
+					}
+				}
+				for i := 1; i < n-1; i++ {
+					for j := 1; j < n-1; j++ {
+						for k := 1; k < n-1; k++ {
+							A[(i*n+j)*n+k] = 0.125*(B[((i+1)*n+j)*n+k]-2.0*B[(i*n+j)*n+k]+B[((i-1)*n+j)*n+k]) +
+								0.125*(B[(i*n+j+1)*n+k]-2.0*B[(i*n+j)*n+k]+B[(i*n+j-1)*n+k]) +
+								0.125*(B[(i*n+j)*n+k+1]-2.0*B[(i*n+j)*n+k]+B[(i*n+j)*n+k-1]) +
+								B[(i*n+j)*n+k]
+						}
+					}
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					for k := 0; k < n; k++ {
+						s = s + A[(i*n+j)*n+k]
+					}
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "jacobi-1d",
+		DefaultN: 4000,
+		TestN:    64,
+		MemBytes: memN(0, 0, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*8);
+	f64* B = alloc(n*8);
+	i32 tsteps = 20;
+	for (i32 i = 0; i < n; i = i + 1) {
+		A[i] = ((f64) i + 2.0) / (f64) n;
+		B[i] = ((f64) i + 3.0) / (f64) n;
+	}
+	for (i32 t = 0; t < tsteps; t = t + 1) {
+		for (i32 i = 1; i < n - 1; i = i + 1) {
+			B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]);
+		}
+		for (i32 i = 1; i < n - 1; i = i + 1) {
+			A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1]);
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		s = s + A[i];
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n)
+			B := make([]float64, n)
+			tsteps := 20
+			for i := 0; i < n; i++ {
+				A[i] = (float64(i) + 2.0) / float64(n)
+				B[i] = (float64(i) + 3.0) / float64(n)
+			}
+			for t := 0; t < tsteps; t++ {
+				for i := 1; i < n-1; i++ {
+					B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1])
+				}
+				for i := 1; i < n-1; i++ {
+					A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1])
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s = s + A[i]
+			}
+			return s
+		},
+	},
+	{
+		Name:     "jacobi-2d",
+		DefaultN: 48,
+		TestN:    12,
+		MemBytes: memN(0, 2, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* B = alloc(n*n*8);
+	i32 tsteps = 6;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) i * ((f64) j + 2.0) / (f64) n;
+			B[i*n+j] = (f64) i * ((f64) j + 3.0) / (f64) n;
+		}
+	}
+	for (i32 t = 0; t < tsteps; t = t + 1) {
+		for (i32 i = 1; i < n - 1; i = i + 1) {
+			for (i32 j = 1; j < n - 1; j = j + 1) {
+				B[i*n+j] = 0.2 * (A[i*n+j] + A[i*n+j-1] + A[i*n+j+1] + A[(i+1)*n+j] + A[(i-1)*n+j]);
+			}
+		}
+		for (i32 i = 1; i < n - 1; i = i + 1) {
+			for (i32 j = 1; j < n - 1; j = j + 1) {
+				A[i*n+j] = 0.2 * (B[i*n+j] + B[i*n+j-1] + B[i*n+j+1] + B[(i+1)*n+j] + B[(i-1)*n+j]);
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + A[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			B := make([]float64, n*n)
+			tsteps := 6
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64(i) * (float64(j) + 2.0) / float64(n)
+					B[i*n+j] = float64(i) * (float64(j) + 3.0) / float64(n)
+				}
+			}
+			for t := 0; t < tsteps; t++ {
+				for i := 1; i < n-1; i++ {
+					for j := 1; j < n-1; j++ {
+						B[i*n+j] = 0.2 * (A[i*n+j] + A[i*n+j-1] + A[i*n+j+1] + A[(i+1)*n+j] + A[(i-1)*n+j])
+					}
+				}
+				for i := 1; i < n-1; i++ {
+					for j := 1; j < n-1; j++ {
+						A[i*n+j] = 0.2 * (B[i*n+j] + B[i*n+j-1] + B[i*n+j+1] + B[(i+1)*n+j] + B[(i-1)*n+j])
+					}
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + A[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "seidel-2d",
+		DefaultN: 40,
+		TestN:    12,
+		MemBytes: memN(0, 1, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	i32 tsteps = 4;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = ((f64) i * ((f64) j + 2.0) + 2.0) / (f64) n;
+		}
+	}
+	for (i32 t = 0; t < tsteps; t = t + 1) {
+		for (i32 i = 1; i < n - 1; i = i + 1) {
+			for (i32 j = 1; j < n - 1; j = j + 1) {
+				A[i*n+j] = (A[(i-1)*n+j-1] + A[(i-1)*n+j] + A[(i-1)*n+j+1]
+					+ A[i*n+j-1] + A[i*n+j] + A[i*n+j+1]
+					+ A[(i+1)*n+j-1] + A[(i+1)*n+j] + A[(i+1)*n+j+1]) / 9.0;
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + A[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			tsteps := 4
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = (float64(i)*(float64(j)+2.0) + 2.0) / float64(n)
+				}
+			}
+			for t := 0; t < tsteps; t++ {
+				for i := 1; i < n-1; i++ {
+					for j := 1; j < n-1; j++ {
+						A[i*n+j] = (A[(i-1)*n+j-1] + A[(i-1)*n+j] + A[(i-1)*n+j+1] +
+							A[i*n+j-1] + A[i*n+j] + A[i*n+j+1] +
+							A[(i+1)*n+j-1] + A[(i+1)*n+j] + A[(i+1)*n+j+1]) / 9.0
+					}
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + A[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+}

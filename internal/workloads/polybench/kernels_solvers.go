@@ -1,0 +1,668 @@
+package polybench
+
+// Solver and datamining kernels: cholesky, durbin, gramschmidt, lu, ludcmp,
+// trisolv, correlation, covariance.
+
+var solverKernels = []Kernel{
+	{
+		Name:     "cholesky",
+		DefaultN: 40,
+		TestN:    12,
+		MemBytes: memN(0, 1, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = 1.0 / (f64) (i + j + 1);
+			if (i == j) {
+				A[i*n+j] = A[i*n+j] + (f64) n;
+			}
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < i; j = j + 1) {
+			for (i32 k = 0; k < j; k = k + 1) {
+				A[i*n+j] = A[i*n+j] - A[i*n+k] * A[j*n+k];
+			}
+			A[i*n+j] = A[i*n+j] / A[j*n+j];
+		}
+		for (i32 k = 0; k < i; k = k + 1) {
+			A[i*n+i] = A[i*n+i] - A[i*n+k] * A[i*n+k];
+		}
+		A[i*n+i] = sqrt(A[i*n+i]);
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j <= i; j = j + 1) {
+			s = s + A[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = 1.0 / float64(i+j+1)
+					if i == j {
+						A[i*n+j] = A[i*n+j] + float64(n)
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < i; j++ {
+					for k := 0; k < j; k++ {
+						A[i*n+j] = A[i*n+j] - A[i*n+k]*A[j*n+k]
+					}
+					A[i*n+j] = A[i*n+j] / A[j*n+j]
+				}
+				for k := 0; k < i; k++ {
+					A[i*n+i] = A[i*n+i] - A[i*n+k]*A[i*n+k]
+				}
+				A[i*n+i] = sqrtf(A[i*n+i])
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					s = s + A[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "durbin",
+		DefaultN: 300,
+		TestN:    32,
+		MemBytes: memN(0, 0, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* r = alloc(n*8);
+	f64* y = alloc(n*8);
+	f64* z = alloc(n*8);
+	for (i32 i = 0; i < n; i = i + 1) {
+		r[i] = (f64) (n + 1 - i) / (f64) (2 * n);
+	}
+	y[0] = -r[0];
+	f64 beta = 1.0;
+	f64 alpha = -r[0];
+	for (i32 k = 1; k < n; k = k + 1) {
+		beta = (1.0 - alpha * alpha) * beta;
+		f64 sum = 0.0;
+		for (i32 i = 0; i < k; i = i + 1) {
+			sum = sum + r[k-i-1] * y[i];
+		}
+		alpha = -(r[k] + sum) / beta;
+		for (i32 i = 0; i < k; i = i + 1) {
+			z[i] = y[i] + alpha * y[k-i-1];
+		}
+		for (i32 i = 0; i < k; i = i + 1) {
+			y[i] = z[i];
+		}
+		y[k] = alpha;
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		s = s + y[i];
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			r := make([]float64, n)
+			y := make([]float64, n)
+			z := make([]float64, n)
+			for i := 0; i < n; i++ {
+				r[i] = float64(n+1-i) / float64(2*n)
+			}
+			y[0] = -r[0]
+			beta := 1.0
+			alpha := -r[0]
+			for k := 1; k < n; k++ {
+				beta = (1.0 - alpha*alpha) * beta
+				sum := 0.0
+				for i := 0; i < k; i++ {
+					sum = sum + r[k-i-1]*y[i]
+				}
+				alpha = -(r[k] + sum) / beta
+				for i := 0; i < k; i++ {
+					z[i] = y[i] + alpha*y[k-i-1]
+				}
+				for i := 0; i < k; i++ {
+					y[i] = z[i]
+				}
+				y[k] = alpha
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s = s + y[i]
+			}
+			return s
+		},
+	},
+	{
+		Name:     "gramschmidt",
+		DefaultN: 32,
+		TestN:    10,
+		MemBytes: memN(0, 3, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* R = alloc(n*n*8);
+	f64* Q = alloc(n*n*8);
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i*j) % n) / (f64) n + 1.0;
+			R[i*n+j] = 0.0;
+			Q[i*n+j] = 0.0;
+		}
+	}
+	for (i32 k = 0; k < n; k = k + 1) {
+		f64 nrm = 0.0;
+		for (i32 i = 0; i < n; i = i + 1) {
+			nrm = nrm + A[i*n+k] * A[i*n+k];
+		}
+		R[k*n+k] = sqrt(nrm);
+		for (i32 i = 0; i < n; i = i + 1) {
+			Q[i*n+k] = A[i*n+k] / R[k*n+k];
+		}
+		for (i32 j = k + 1; j < n; j = j + 1) {
+			R[k*n+j] = 0.0;
+			for (i32 i = 0; i < n; i = i + 1) {
+				R[k*n+j] = R[k*n+j] + Q[i*n+k] * A[i*n+j];
+			}
+			for (i32 i = 0; i < n; i = i + 1) {
+				A[i*n+j] = A[i*n+j] - Q[i*n+k] * R[k*n+j];
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + R[i*n+j] + Q[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			R := make([]float64, n*n)
+			Q := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = float64((i*j)%n)/float64(n) + 1.0
+				}
+			}
+			for k := 0; k < n; k++ {
+				nrm := 0.0
+				for i := 0; i < n; i++ {
+					nrm = nrm + A[i*n+k]*A[i*n+k]
+				}
+				R[k*n+k] = sqrtf(nrm)
+				for i := 0; i < n; i++ {
+					Q[i*n+k] = A[i*n+k] / R[k*n+k]
+				}
+				for j := k + 1; j < n; j++ {
+					R[k*n+j] = 0
+					for i := 0; i < n; i++ {
+						R[k*n+j] = R[k*n+j] + Q[i*n+k]*A[i*n+j]
+					}
+					for i := 0; i < n; i++ {
+						A[i*n+j] = A[i*n+j] - Q[i*n+k]*R[k*n+j]
+					}
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + R[i*n+j] + Q[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "lu",
+		DefaultN: 36,
+		TestN:    12,
+		MemBytes: memN(0, 1, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = 1.0 / (f64) (i + j + 1);
+			if (i == j) {
+				A[i*n+j] = A[i*n+j] + (f64) n;
+			}
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < i; j = j + 1) {
+			for (i32 k = 0; k < j; k = k + 1) {
+				A[i*n+j] = A[i*n+j] - A[i*n+k] * A[k*n+j];
+			}
+			A[i*n+j] = A[i*n+j] / A[j*n+j];
+		}
+		for (i32 j = i; j < n; j = j + 1) {
+			for (i32 k = 0; k < i; k = k + 1) {
+				A[i*n+j] = A[i*n+j] - A[i*n+k] * A[k*n+j];
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + A[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = 1.0 / float64(i+j+1)
+					if i == j {
+						A[i*n+j] = A[i*n+j] + float64(n)
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < i; j++ {
+					for k := 0; k < j; k++ {
+						A[i*n+j] = A[i*n+j] - A[i*n+k]*A[k*n+j]
+					}
+					A[i*n+j] = A[i*n+j] / A[j*n+j]
+				}
+				for j := i; j < n; j++ {
+					for k := 0; k < i; k++ {
+						A[i*n+j] = A[i*n+j] - A[i*n+k]*A[k*n+j]
+					}
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + A[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "ludcmp",
+		DefaultN: 36,
+		TestN:    12,
+		MemBytes: memN(0, 1, 8),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* b = alloc(n*8);
+	f64* x = alloc(n*8);
+	f64* y = alloc(n*8);
+	for (i32 i = 0; i < n; i = i + 1) {
+		b[i] = ((f64) i + 1.0) / (f64) n / 2.0 + 4.0;
+		x[i] = 0.0;
+		y[i] = 0.0;
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = 1.0 / (f64) (i + j + 1);
+			if (i == j) {
+				A[i*n+j] = A[i*n+j] + (f64) n;
+			}
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < i; j = j + 1) {
+			f64 w = A[i*n+j];
+			for (i32 k = 0; k < j; k = k + 1) {
+				w = w - A[i*n+k] * A[k*n+j];
+			}
+			A[i*n+j] = w / A[j*n+j];
+		}
+		for (i32 j = i; j < n; j = j + 1) {
+			f64 w = A[i*n+j];
+			for (i32 k = 0; k < i; k = k + 1) {
+				w = w - A[i*n+k] * A[k*n+j];
+			}
+			A[i*n+j] = w;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		f64 w = b[i];
+		for (i32 j = 0; j < i; j = j + 1) {
+			w = w - A[i*n+j] * y[j];
+		}
+		y[i] = w;
+	}
+	for (i32 i = n - 1; i >= 0; i = i - 1) {
+		f64 w = y[i];
+		for (i32 j = i + 1; j < n; j = j + 1) {
+			w = w - A[i*n+j] * x[j];
+		}
+		x[i] = w / A[i*n+i];
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		s = s + x[i];
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			A := make([]float64, n*n)
+			b := make([]float64, n)
+			x := make([]float64, n)
+			y := make([]float64, n)
+			for i := 0; i < n; i++ {
+				b[i] = (float64(i)+1.0)/float64(n)/2.0 + 4.0
+				for j := 0; j < n; j++ {
+					A[i*n+j] = 1.0 / float64(i+j+1)
+					if i == j {
+						A[i*n+j] = A[i*n+j] + float64(n)
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < i; j++ {
+					w := A[i*n+j]
+					for k := 0; k < j; k++ {
+						w = w - A[i*n+k]*A[k*n+j]
+					}
+					A[i*n+j] = w / A[j*n+j]
+				}
+				for j := i; j < n; j++ {
+					w := A[i*n+j]
+					for k := 0; k < i; k++ {
+						w = w - A[i*n+k]*A[k*n+j]
+					}
+					A[i*n+j] = w
+				}
+			}
+			for i := 0; i < n; i++ {
+				w := b[i]
+				for j := 0; j < i; j++ {
+					w = w - A[i*n+j]*y[j]
+				}
+				y[i] = w
+			}
+			for i := n - 1; i >= 0; i-- {
+				w := y[i]
+				for j := i + 1; j < n; j++ {
+					w = w - A[i*n+j]*x[j]
+				}
+				x[i] = w / A[i*n+i]
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s = s + x[i]
+			}
+			return s
+		},
+	},
+	{
+		Name:     "trisolv",
+		DefaultN: 250,
+		TestN:    24,
+		MemBytes: memN(0, 1, 8),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* L = alloc(n*n*8);
+	f64* x = alloc(n*8);
+	f64* b = alloc(n*8);
+	for (i32 i = 0; i < n; i = i + 1) {
+		b[i] = (f64) i / (f64) n;
+		x[i] = 0.0;
+		for (i32 j = 0; j <= i; j = j + 1) {
+			L[i*n+j] = (f64) (i + n - j + 1) * 2.0 / (f64) n;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		x[i] = b[i];
+		for (i32 j = 0; j < i; j = j + 1) {
+			x[i] = x[i] - L[i*n+j] * x[j];
+		}
+		x[i] = x[i] / L[i*n+i];
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		s = s + x[i];
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			L := make([]float64, n*n)
+			x := make([]float64, n)
+			b := make([]float64, n)
+			for i := 0; i < n; i++ {
+				b[i] = float64(i) / float64(n)
+				for j := 0; j <= i; j++ {
+					L[i*n+j] = float64(i+n-j+1) * 2.0 / float64(n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				x[i] = b[i]
+				for j := 0; j < i; j++ {
+					x[i] = x[i] - L[i*n+j]*x[j]
+				}
+				x[i] = x[i] / L[i*n+i]
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s = s + x[i]
+			}
+			return s
+		},
+	},
+	{
+		Name:     "correlation",
+		DefaultN: 32,
+		TestN:    10,
+		MemBytes: memN(0, 2, 8),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* data = alloc(n*n*8);
+	f64* corr = alloc(n*n*8);
+	f64* mean = alloc(n*8);
+	f64* stddev = alloc(n*8);
+	f64 fn = (f64) n;
+	f64 eps = 0.1;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			data[i*n+j] = (f64) (i*j) / fn + (f64) i;
+		}
+	}
+	for (i32 j = 0; j < n; j = j + 1) {
+		mean[j] = 0.0;
+		for (i32 i = 0; i < n; i = i + 1) {
+			mean[j] = mean[j] + data[i*n+j];
+		}
+		mean[j] = mean[j] / fn;
+	}
+	for (i32 j = 0; j < n; j = j + 1) {
+		stddev[j] = 0.0;
+		for (i32 i = 0; i < n; i = i + 1) {
+			stddev[j] = stddev[j] + (data[i*n+j] - mean[j]) * (data[i*n+j] - mean[j]);
+		}
+		stddev[j] = stddev[j] / fn;
+		stddev[j] = sqrt(stddev[j]);
+		if (stddev[j] <= eps) {
+			stddev[j] = 1.0;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			data[i*n+j] = data[i*n+j] - mean[j];
+			data[i*n+j] = data[i*n+j] / (sqrt(fn) * stddev[j]);
+		}
+	}
+	for (i32 i = 0; i < n - 1; i = i + 1) {
+		corr[i*n+i] = 1.0;
+		for (i32 j = i + 1; j < n; j = j + 1) {
+			corr[i*n+j] = 0.0;
+			for (i32 k = 0; k < n; k = k + 1) {
+				corr[i*n+j] = corr[i*n+j] + data[k*n+i] * data[k*n+j];
+			}
+			corr[j*n+i] = corr[i*n+j];
+		}
+	}
+	corr[(n-1)*n+(n-1)] = 1.0;
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + corr[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			data := make([]float64, n*n)
+			corr := make([]float64, n*n)
+			mean := make([]float64, n)
+			stddev := make([]float64, n)
+			fn := float64(n)
+			eps := 0.1
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					data[i*n+j] = float64(i*j)/fn + float64(i)
+				}
+			}
+			for j := 0; j < n; j++ {
+				mean[j] = 0
+				for i := 0; i < n; i++ {
+					mean[j] = mean[j] + data[i*n+j]
+				}
+				mean[j] = mean[j] / fn
+			}
+			for j := 0; j < n; j++ {
+				stddev[j] = 0
+				for i := 0; i < n; i++ {
+					stddev[j] = stddev[j] + (data[i*n+j]-mean[j])*(data[i*n+j]-mean[j])
+				}
+				stddev[j] = stddev[j] / fn
+				stddev[j] = sqrtf(stddev[j])
+				if stddev[j] <= eps {
+					stddev[j] = 1.0
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					data[i*n+j] = data[i*n+j] - mean[j]
+					data[i*n+j] = data[i*n+j] / (sqrtf(fn) * stddev[j])
+				}
+			}
+			for i := 0; i < n-1; i++ {
+				corr[i*n+i] = 1.0
+				for j := i + 1; j < n; j++ {
+					corr[i*n+j] = 0
+					for k := 0; k < n; k++ {
+						corr[i*n+j] = corr[i*n+j] + data[k*n+i]*data[k*n+j]
+					}
+					corr[j*n+i] = corr[i*n+j]
+				}
+			}
+			corr[(n-1)*n+(n-1)] = 1.0
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + corr[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+	{
+		Name:     "covariance",
+		DefaultN: 32,
+		TestN:    10,
+		MemBytes: memN(0, 2, 4),
+		Source: `
+export f64 kernel(i32 n) {
+	f64* data = alloc(n*n*8);
+	f64* cov = alloc(n*n*8);
+	f64* mean = alloc(n*8);
+	f64 fn = (f64) n;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			data[i*n+j] = (f64) (i*j) / fn;
+		}
+	}
+	for (i32 j = 0; j < n; j = j + 1) {
+		mean[j] = 0.0;
+		for (i32 i = 0; i < n; i = i + 1) {
+			mean[j] = mean[j] + data[i*n+j];
+		}
+		mean[j] = mean[j] / fn;
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			data[i*n+j] = data[i*n+j] - mean[j];
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = i; j < n; j = j + 1) {
+			cov[i*n+j] = 0.0;
+			for (i32 k = 0; k < n; k = k + 1) {
+				cov[i*n+j] = cov[i*n+j] + data[k*n+i] * data[k*n+j];
+			}
+			cov[i*n+j] = cov[i*n+j] / (fn - 1.0);
+			cov[j*n+i] = cov[i*n+j];
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + cov[i*n+j];
+		}
+	}
+	return s;
+}
+`,
+		Native: func(n int) float64 {
+			data := make([]float64, n*n)
+			cov := make([]float64, n*n)
+			mean := make([]float64, n)
+			fn := float64(n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					data[i*n+j] = float64(i*j) / fn
+				}
+			}
+			for j := 0; j < n; j++ {
+				mean[j] = 0
+				for i := 0; i < n; i++ {
+					mean[j] = mean[j] + data[i*n+j]
+				}
+				mean[j] = mean[j] / fn
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					data[i*n+j] = data[i*n+j] - mean[j]
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := i; j < n; j++ {
+					cov[i*n+j] = 0
+					for k := 0; k < n; k++ {
+						cov[i*n+j] = cov[i*n+j] + data[k*n+i]*data[k*n+j]
+					}
+					cov[i*n+j] = cov[i*n+j] / (fn - 1.0)
+					cov[j*n+i] = cov[i*n+j]
+				}
+			}
+			s := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s = s + cov[i*n+j]
+				}
+			}
+			return s
+		},
+	},
+}

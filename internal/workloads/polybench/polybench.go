@@ -1,0 +1,115 @@
+// Package polybench provides the 30 PolyBench/C 4.2.1 kernels used by the
+// paper's Figure 5 / Table 1 evaluation.
+//
+// Each kernel exists twice, with identical loop structure and operation
+// order:
+//
+//   - Source: WCC source compiled to a genuine Wasm module and executed by
+//     the engine under any runtime configuration, and
+//   - Native: a Go implementation serving as the "clang -O3 native"
+//     baseline for normalized-slowdown tables and as the oracle for
+//     equivalence tests.
+//
+// Kernels are parameterized by a single problem size n (the paper's
+// MINI/SMALL datasets); initialization is deterministic so the Wasm and
+// native versions produce bit-comparable checksums.
+package polybench
+
+import (
+	"fmt"
+	"math"
+
+	"sledge/internal/abi"
+	"sledge/internal/engine"
+	"sledge/internal/wcc"
+)
+
+// Kernel is one PolyBench benchmark.
+type Kernel struct {
+	// Name is the PolyBench benchmark name, e.g. "gemm".
+	Name string
+	// Source is the WCC program exporting `f64 kernel(i32 n)`.
+	Source string
+	// Native runs the mirrored Go implementation.
+	Native func(n int) float64
+	// MemBytes returns the sandbox heap needed for problem size n.
+	MemBytes func(n int) int
+	// DefaultN is the benchmark problem size (the paper's SMALL-class).
+	DefaultN int
+	// TestN is a small size for fast equivalence tests.
+	TestN int
+}
+
+// Get returns the kernel with the given name.
+func Get(name string) (*Kernel, bool) {
+	for i := range Kernels {
+		if Kernels[i].Name == name {
+			return &Kernels[i], true
+		}
+	}
+	return nil, false
+}
+
+// Names lists all kernel names in suite order.
+func Names() []string {
+	out := make([]string, len(Kernels))
+	for i := range Kernels {
+		out[i] = Kernels[i].Name
+	}
+	return out
+}
+
+// Compile builds the kernel's wasm module for problem size n under the
+// given engine configuration.
+func (k *Kernel) Compile(n int, cfg engine.Config) (*engine.CompiledModule, error) {
+	res, err := wcc.Compile(k.Source, wcc.Options{HeapBytes: k.MemBytes(n)})
+	if err != nil {
+		return nil, fmt.Errorf("polybench %s: %w", k.Name, err)
+	}
+	need := uint32((uint64(k.MemBytes(n))+1<<20)/(64<<10) + 2)
+	if cfg.MaxMemoryPages < need {
+		cfg.MaxMemoryPages = need
+	}
+	cm, err := engine.CompileBinary(res.Binary, abi.Registry(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("polybench %s: %w", k.Name, err)
+	}
+	return cm, nil
+}
+
+// RunWasm instantiates and executes the compiled kernel, returning the
+// checksum.
+func RunWasm(cm *engine.CompiledModule, n int) (float64, error) {
+	inst := cm.Instantiate()
+	inst.HostData = abi.NewContext(nil)
+	bits, err := inst.Invoke("kernel", uint64(uint32(n)))
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// mem helpers: bytes for c3 n³ + c2 n² + c1 n f64 elements plus slack.
+func memN(c3, c2, c1 int) func(n int) int {
+	return func(n int) int {
+		return (c3*n*n*n+c2*n*n+c1*n)*8 + (64 << 10)
+	}
+}
+
+// Kernels is the full PolyBench/C 4.2.1 suite.
+var Kernels = concat(
+	blasKernels,
+	solverKernels,
+	medleyKernels,
+)
+
+func concat(lists ...[]Kernel) []Kernel {
+	var out []Kernel
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// sqrtf keeps native kernels textually parallel to the WCC sqrt builtin.
+func sqrtf(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,111 @@
+// Package sledge is the public API of the Sledge reproduction: a
+// serverless-first, light-weight WebAssembly runtime for the edge
+// (Gadepalli et al., Middleware '20), implemented from scratch in Go.
+//
+// The runtime executes multi-tenant serverless functions as Wasm sandboxes
+// inside a single process:
+//
+//	rt := sledge.New(sledge.Config{Workers: 4})
+//	defer rt.Close()
+//	rt.RegisterWCC("hello", src, sledge.WCCOptions{})
+//	resp, err := rt.Invoke("hello", []byte("world"))   // or rt.ListenAndServe(":8080")
+//
+// Functions are written in WCC (a small C-like language, see internal/wcc)
+// or provided as WebAssembly binaries, compiled ahead of time at
+// registration, and instantiated per request in microseconds. Scheduling is
+// preemptive round-robin over a lock-free work-stealing deque, reproducing
+// the paper's decoupling of work distribution from temporal isolation.
+//
+// The packages under internal/ contain the substrates: the Wasm binary
+// toolchain (internal/wasm), the execution engine with configurable
+// bounds-check strategies (internal/engine), the WCC compiler
+// (internal/wcc), the scheduler (internal/sched), the serverless ABI
+// (internal/abi), the workload suites (internal/workloads/...), the
+// process-model baseline (internal/nuclio), and the paper-experiment
+// drivers (internal/experiments).
+package sledge
+
+import (
+	"sledge/internal/abi"
+	"sledge/internal/core"
+	"sledge/internal/engine"
+	"sledge/internal/sched"
+	"sledge/internal/wcc"
+)
+
+// Core runtime types.
+type (
+	// Runtime is the single-process serverless runtime.
+	Runtime = core.Runtime
+	// Config configures a Runtime.
+	Config = core.Config
+	// Module is a registered function.
+	Module = core.Module
+)
+
+// Engine configuration: sandboxing tiers and memory-safety strategies.
+type (
+	// EngineConfig selects the execution tier and bounds-check strategy.
+	EngineConfig = engine.Config
+	// BoundsStrategy selects the memory-safety mechanism.
+	BoundsStrategy = engine.BoundsStrategy
+	// Tier selects the compilation tier.
+	Tier = engine.Tier
+)
+
+// Bounds-check strategies (see the paper's §3.2).
+const (
+	BoundsGuard         = engine.BoundsGuard
+	BoundsSoftware      = engine.BoundsSoftware
+	BoundsSoftwareFused = engine.BoundsSoftwareFused
+	BoundsMPX           = engine.BoundsMPX
+	BoundsNone          = engine.BoundsNone
+)
+
+// Compilation tiers.
+const (
+	TierOptimized = engine.TierOptimized
+	TierNaive     = engine.TierNaive
+)
+
+// Scheduler configuration.
+type (
+	// SchedPolicy selects preemptive vs cooperative scheduling.
+	SchedPolicy = sched.Policy
+	// SchedDistribution selects the work-distribution mechanism.
+	SchedDistribution = sched.Distribution
+)
+
+// Scheduling policies and distribution mechanisms (§3.4).
+const (
+	PolicyPreemptiveRR = sched.PolicyPreemptiveRR
+	PolicyCooperative  = sched.PolicyCooperative
+
+	DistWorkStealing = sched.DistWorkStealing
+	DistGlobalLock   = sched.DistGlobalLock
+	DistStatic       = sched.DistStatic
+)
+
+// DefaultQuantum is the paper's 5 ms preemption time slice.
+const DefaultQuantum = sched.DefaultQuantum
+
+// WCCOptions configures WCC compilation at registration.
+type WCCOptions = wcc.Options
+
+// Storage backends for the serverless ABI's kv interface.
+type (
+	// KVStore is the synchronous storage interface.
+	KVStore = abi.KVStore
+	// MapKV is an in-memory store.
+	MapKV = abi.MapKV
+	// LatentKV wraps a store with simulated access latency, making
+	// operations asynchronous (sandboxes block and resume via the
+	// worker event loop).
+	LatentKV = abi.LatentKV
+)
+
+// NewMapKV returns an empty in-memory KV store.
+func NewMapKV() *MapKV { return abi.NewMapKV() }
+
+// New starts a Sledge runtime.
+func New(cfg Config) *Runtime { return core.New(cfg) }

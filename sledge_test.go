@@ -1,0 +1,101 @@
+package sledge_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sledge"
+)
+
+// TestPublicAPIQuickstart exercises the README's quickstart path through
+// the public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	rt := sledge.New(sledge.Config{Workers: 2, Quantum: sledge.DefaultQuantum})
+	defer rt.Close()
+
+	const src = `
+static u8 buf[64];
+
+export i32 main() {
+	i32 n = sys_read(buf, 64);
+	for (i32 i = 0; i < n; i = i + 1) {
+		if (buf[i] >= 97 && buf[i] <= 122) {
+			buf[i] = buf[i] - 32; // to upper
+		}
+	}
+	sys_write(buf, n);
+	return 0;
+}
+`
+	if _, err := rt.RegisterWCC("upper", src, sledge.WCCOptions{}); err != nil {
+		t.Fatalf("RegisterWCC: %v", err)
+	}
+	resp, err := rt.Invoke("upper", []byte("edge functions"))
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if string(resp) != "EDGE FUNCTIONS" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+// TestPublicAPIKVAndEngineConfig covers storage plus a non-default engine
+// configuration through the facade.
+func TestPublicAPIKVAndEngineConfig(t *testing.T) {
+	kv := sledge.NewMapKV()
+	kv.Set("greeting", []byte("hi"))
+	rt := sledge.New(sledge.Config{
+		Workers: 1,
+		KV:      &sledge.LatentKV{KVStore: kv, Delay: time.Millisecond},
+		Engine:  sledge.EngineConfig{Bounds: sledge.BoundsSoftware},
+	})
+	defer rt.Close()
+
+	const src = `
+static u8 key[8];
+static u8 val[16];
+
+export i32 main() {
+	key[0] = 103; key[1] = 114; key[2] = 101; key[3] = 101;
+	key[4] = 116; key[5] = 105; key[6] = 110; key[7] = 103;
+	i32 n = sys_kv_get(key, 8, val, 16);
+	sys_write(val, n);
+	return n;
+}
+`
+	if _, err := rt.RegisterWCC("greet", src, sledge.WCCOptions{}); err != nil {
+		t.Fatalf("RegisterWCC: %v", err)
+	}
+	// The latent KV forces the sandbox through block/park/resume.
+	resp, err := rt.Invoke("greet", nil)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("hi")) {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+// TestPublicAPISchedulerKnobs checks the exported scheduler constants wire
+// through to runtime behaviour.
+func TestPublicAPISchedulerKnobs(t *testing.T) {
+	rt := sledge.New(sledge.Config{
+		Workers:      1,
+		Policy:       sledge.PolicyCooperative,
+		Distribution: sledge.DistGlobalLock,
+	})
+	defer rt.Close()
+	if _, err := rt.RegisterWCC("noop", `export i32 main() { return 0; }`, sledge.WCCOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := rt.Invoke("noop", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rt.Stats()
+	if st.Completed != 5 || st.Preemptions != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
