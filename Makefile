@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check vet build test-race bench-smoke test bench
+
+# check is the pre-merge gate for the zero-allocation request path: static
+# analysis, a full build, the race detector over the recycling-sensitive
+# packages, and a short churn-benchmark smoke run (allocs/op regressions
+# show up immediately in its -benchmem output).
+check: vet build test-race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test-race:
+	$(GO) test -race ./internal/sandbox/... ./internal/sched/... ./internal/core/...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=Churn -benchtime=100x -benchmem .
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .

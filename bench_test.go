@@ -185,6 +185,71 @@ func BenchmarkTable3ChurnSandbox(b *testing.B) {
 	}
 }
 
+// ---- invocation churn: the zero-allocation request path ----
+
+const benchNoopSrc = `
+export i32 main() { return 0; }
+`
+
+// BenchmarkInvokeChurn drives full end-to-end Runtime.Invoke churn with and
+// without the recycling layer. The pooled steady state is the zero-allocs/op
+// claim: sandbox shell, engine instance, timeout timer, and context are all
+// recycled (an empty response avoids the mandatory response copy).
+func BenchmarkInvokeChurn(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		noRecycle bool
+	}{
+		{"pooled", false},
+		{"norecycle", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			rt := sledge.New(sledge.Config{Workers: 1, NoRecycle: mode.noRecycle})
+			defer rt.Close()
+			if _, err := rt.RegisterWCC("noop", benchNoopSrc, sledge.WCCOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			// Warm the pools before measuring.
+			for i := 0; i < 16; i++ {
+				if _, err := rt.Invoke("noop", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Invoke("noop", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInstantiateReuse isolates the engine layer: a fresh Instantiate
+// per request versus the pool's Acquire/Release cycle.
+func BenchmarkInstantiateReuse(b *testing.B) {
+	app, _ := apps.Get("gps-ekf")
+	cm, err := app.Compile(engine.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("instantiate-fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in := cm.Instantiate()
+			in.Teardown()
+		}
+	})
+	b.Run("acquire-release", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in := cm.Acquire()
+			cm.Release(in)
+		}
+	})
+}
+
 func BenchmarkTable3ChurnForkExec(b *testing.B) {
 	nuc, err := nuclio.New(nuclio.Config{MaxWorkers: 1})
 	if err != nil {

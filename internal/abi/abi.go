@@ -77,6 +77,18 @@ func NewContext(request []byte) *Context {
 	return &Context{Request: request, randState: 0x9E3779B9}
 }
 
+// Reset rebinds the context to a new request, keeping the Response buffer's
+// capacity so a recycled sandbox accumulates output without reallocating.
+func (c *Context) Reset(request []byte) {
+	c.Request = request
+	c.Response = c.Response[:0]
+	c.KV = nil
+	c.Now = nil
+	c.Pending = nil
+	c.readPos = 0
+	c.randState = 0x9E3779B9
+}
+
 // SetRandSeed makes sledge.rand deterministic per sandbox.
 func (c *Context) SetRandSeed(seed uint32) {
 	if seed == 0 {

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sledge/internal/wcc"
+)
+
+// TestInvokeRecyclingIsolated hammers one module from many goroutines with
+// distinct payloads; every response must match its own request even though
+// all requests share a small set of recycled sandboxes. Run under -race this
+// also exercises the worker/waiter ownership handoff.
+func TestInvokeRecyclingIsolated(t *testing.T) {
+	rt := newTestRuntime(t)
+	if _, err := rt.RegisterWCC("echo", `
+static u8 buf[4096];
+export i32 main() {
+	i32 n = sys_read(buf, 4096);
+	sys_write(buf, n);
+	return n;
+}
+`, wcc.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const perG = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				payload := []byte(fmt.Sprintf("g%d-i%d-%s", g, i, strings.Repeat("x", i)))
+				resp, err := rt.Invoke("echo", payload)
+				if err != nil {
+					errs <- fmt.Errorf("g%d i%d: %w", g, i, err)
+					return
+				}
+				if !bytes.Equal(resp, payload) {
+					errs <- fmt.Errorf("g%d i%d: got %q want %q", g, i, resp, payload)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestInvokeTimeoutAbandons: a timed-out request returns an error, bumps the
+// abandoned counter, and the worker reaps the still-running sandbox so the
+// pool drains (no silent leak).
+func TestInvokeTimeoutAbandons(t *testing.T) {
+	rt := New(Config{Workers: 1, RequestTimeout: 20 * time.Millisecond})
+	t.Cleanup(func() { rt.Close() })
+	if _, err := rt.RegisterWCC("spin", `
+export i32 main() {
+	i32 x = 0;
+	for (i32 i = 0; i != 2; i = i * 1) {
+		x = x + 1;
+	}
+	return x;
+}
+`, wcc.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := rt.Invoke("spin", nil)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("Invoke = %v, want timeout", err)
+	}
+	if got := rt.Abandoned(); got != 1 {
+		t.Errorf("abandoned = %d, want 1", got)
+	}
+	// The preemptive scheduler surfaces the abandoned sandbox at the next
+	// quantum boundary and reaps it; in-flight work must drain.
+	if !rt.Pool().Quiesce(5 * time.Second) {
+		t.Fatal("abandoned sandbox never reaped; pool did not drain")
+	}
+	// The runtime stays serviceable afterwards.
+	if _, err := rt.RegisterWCC("ok", `
+export i32 main() { return 0; }
+`, wcc.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Invoke("ok", nil); err != nil {
+		t.Errorf("Invoke after abandon: %v", err)
+	}
+}
+
+// TestStatsReportsAbandoned: the /__stats payload carries the counter.
+func TestStatsReportsAbandoned(t *testing.T) {
+	rt := newTestRuntime(t)
+	resp := rt.statsResponse()
+	if resp.Status != 200 {
+		t.Fatalf("stats status %d", resp.Status)
+	}
+	if !bytes.Contains(resp.Body, []byte(`"abandoned"`)) {
+		t.Errorf("stats payload missing abandoned counter: %s", resp.Body)
+	}
+}
+
+// TestNoRecycleConfig: the churn baseline still works end to end.
+func TestNoRecycleConfig(t *testing.T) {
+	rt := New(Config{Workers: 1, NoRecycle: true})
+	t.Cleanup(func() { rt.Close() })
+	registerApp(t, rt, "ping")
+	for i := 0; i < 10; i++ {
+		resp, err := rt.Invoke("ping", nil)
+		if err != nil || string(resp) != "p" {
+			t.Fatalf("ping #%d = %q, %v", i, resp, err)
+		}
+	}
+}

@@ -83,6 +83,9 @@ type Config struct {
 	KV abi.KVStore
 	// RequestTimeout bounds one invocation end-to-end. Default 30 s.
 	RequestTimeout time.Duration
+	// NoRecycle disables sandbox/instance pooling on the request path
+	// (the churn baseline for benchmarks).
+	NoRecycle bool
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +102,15 @@ type Runtime struct {
 
 	mu       sync.RWMutex
 	registry map[string]*Module
+
+	// abandoned counts requests that timed out and left their sandbox to
+	// be reaped by a worker (exposed via /__stats).
+	abandoned atomic.Uint64
+
+	// timers recycles the per-request timeout timers. Pooled timers always
+	// have empty channels: a timer is only put back when its Stop() returned
+	// true or its channel was just drained by a receive.
+	timers sync.Pool
 
 	server *httpd.Server
 	lnMu   sync.Mutex
@@ -194,31 +206,59 @@ func (rt *Runtime) Invoke(name string, req []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNoModule, name)
 	}
 	sb, err := sandbox.New(m.cm, req, sandbox.Options{
-		Entry:  m.Entry,
-		KV:     rt.cfg.KV,
-		Tenant: m.Tenant,
+		Entry:     m.Entry,
+		KV:        rt.cfg.KV,
+		Tenant:    m.Tenant,
+		NoRecycle: rt.cfg.NoRecycle,
 	})
 	if err != nil {
 		return nil, err
 	}
-	done := make(chan struct{})
-	sb.OnComplete = func(*sandbox.Sandbox) { close(done) }
 	if err := rt.pool.Submit(sb); err != nil {
 		return nil, err
 	}
+	timer, _ := rt.timers.Get().(*time.Timer)
+	if timer == nil {
+		timer = time.NewTimer(rt.cfg.RequestTimeout)
+	} else {
+		timer.Reset(rt.cfg.RequestTimeout)
+	}
 	select {
-	case <-done:
-	case <-time.After(rt.cfg.RequestTimeout):
-		m.failures.Add(1)
-		return nil, fmt.Errorf("core: %s: request timed out after %v", name, rt.cfg.RequestTimeout)
+	case <-sb.Done():
+		if timer.Stop() {
+			rt.timers.Put(timer)
+		}
+		// else: the timer fired concurrently; its channel holds a stale
+		// token, so drop it rather than poison the pool.
+	case <-timer.C:
+		rt.timers.Put(timer) // token consumed; channel known empty
+		if sb.Abandon() {
+			// The sandbox is still running somewhere on the pool; a
+			// worker reaps and recycles it when it next surfaces.
+			rt.abandoned.Add(1)
+			m.failures.Add(1)
+			return nil, fmt.Errorf("core: %s: request timed out after %v", name, rt.cfg.RequestTimeout)
+		}
+		// Lost the race: the sandbox finished first. Consume its
+		// notification and proceed as a normal completion.
+		<-sb.Done()
 	}
 	m.invocations.Add(1)
 	m.totalNanos.Add(int64(sb.Latency()))
 	if sb.State() == sandbox.StateTrapped {
 		m.failures.Add(1)
-		return nil, fmt.Errorf("core: %s: %w", name, sb.Err)
+		err := fmt.Errorf("core: %s: %w", name, sb.Err)
+		sb.Release()
+		return nil, err
 	}
-	return sb.Response(), nil
+	resp := sb.Response()
+	var out []byte
+	if len(resp) > 0 {
+		// Copy out before the buffer returns to the pool.
+		out = append([]byte(nil), resp...)
+	}
+	sb.Release()
+	return out, nil
 }
 
 // handle is the listener-core request path: demultiplex by URL, instantiate
@@ -246,9 +286,13 @@ func (rt *Runtime) handle(req *httpd.Request) httpd.Response {
 // registry as JSON, for operators and the experiment harness.
 func (rt *Runtime) statsResponse() httpd.Response {
 	st := rt.pool.Stats()
-	perModule := make(map[string]ModuleStats)
+	// One critical section for both the name list and the per-module
+	// snapshots, so the two views are consistent with each other.
 	rt.mu.RLock()
+	modules := make([]string, 0, len(rt.registry))
+	perModule := make(map[string]ModuleStats, len(rt.registry))
 	for name, m := range rt.registry {
+		modules = append(modules, name)
 		perModule[name] = m.Stats()
 	}
 	rt.mu.RUnlock()
@@ -261,9 +305,10 @@ func (rt *Runtime) statsResponse() httpd.Response {
 		Preemptions uint64                 `json:"preemptions"`
 		Steals      uint64                 `json:"steals"`
 		Blocked     uint64                 `json:"blocked"`
+		Abandoned   uint64                 `json:"abandoned"`
 		Inflight    int                    `json:"inflight"`
 	}{
-		Modules:     rt.Modules(),
+		Modules:     modules,
 		PerModule:   perModule,
 		Submitted:   st.Submitted,
 		Completed:   st.Completed,
@@ -271,6 +316,7 @@ func (rt *Runtime) statsResponse() httpd.Response {
 		Preemptions: st.Preemptions,
 		Steals:      st.Steals,
 		Blocked:     st.Blocked,
+		Abandoned:   rt.abandoned.Load(),
 		Inflight:    rt.pool.Inflight(),
 	}
 	body, err := json.MarshalIndent(payload, "", "  ")
@@ -309,6 +355,10 @@ func (rt *Runtime) Addr() net.Addr {
 
 // Stats exposes scheduler counters.
 func (rt *Runtime) Stats() sched.Stats { return rt.pool.Stats() }
+
+// Abandoned reports how many requests timed out leaving a running sandbox
+// behind (reaped asynchronously by the workers).
+func (rt *Runtime) Abandoned() uint64 { return rt.abandoned.Load() }
 
 // Pool exposes the scheduler for experiments.
 func (rt *Runtime) Pool() *sched.Pool { return rt.pool }

@@ -252,9 +252,23 @@ func (lo *lowerer) step(in wasm.Instr) error {
 		// Fuse `i32.eqz; br_if` into an inverted conditional branch —
 		// the back-edge idiom of every compiled loop condition.
 		op := uint16(iBrIf)
+		neg := false
 		if lo.canFuse(1) && lo.last(1).op == uint16(wasm.OpI32Eqz) {
 			lo.shrink(1)
 			op = iBrIfNot
+			neg = true
+		}
+		// Fuse a preceding i32 comparison into the branch itself
+		// (`cmp; br_if` and the negated `cmp; i32.eqz; br_if` form).
+		if lo.canFuse(1) {
+			if fused, ok := cmpBrIf[lo.last(1).op]; ok {
+				lo.shrink(1)
+				if neg {
+					op = fused[1]
+				} else {
+					op = fused[0]
+				}
+			}
 		}
 		pc := lo.emit(cinstr{op: op, a: int32(f.startPC), b: int32(height), imm: uint64(arity)})
 		if !toLoop {
@@ -321,9 +335,13 @@ func (lo *lowerer) step(in wasm.Instr) error {
 			return err
 		}
 		lo.emitCallOverhead()
+		// Each call_indirect site gets a monomorphic inline-cache slot;
+		// imm packs the result arity (low 16 bits) with the slot index.
+		icIdx := lo.cm.numICSites
+		lo.cm.numICSites++
 		lo.emit(cinstr{
 			op: iCallIndirect, a: lo.cm.canonTypes[in.Imm],
-			b: int32(len(ft.Params)), imm: uint64(len(ft.Results)),
+			b: int32(len(ft.Params)), imm: uint64(len(ft.Results)) | uint64(icIdx)<<16,
 		})
 		lo.push(len(ft.Results))
 		return nil
@@ -386,6 +404,27 @@ func (lo *lowerer) step(in wasm.Instr) error {
 			lo.emit(cinstr{op: iMPXCheck, a: int32(width), b: depth, imm: in.Imm})
 			checked = true
 		}
+		// Fuse `i32.const a; load` into an absolute-addressed load (static
+		// data and globals spilled to memory by wcc hit this constantly).
+		if !store && !checked && lo.canFuse(1) && lo.last(1).op == iConst {
+			var fusedOp uint16
+			switch in.Op {
+			case wasm.OpI32Load:
+				fusedOp = iI32LoadC
+			case wasm.OpF64Load:
+				fusedOp = iF64LoadC
+			}
+			if fusedOp != 0 {
+				addr := uint64(uint32(lo.last(1).imm)) + in.Imm
+				lo.shrink(1)
+				lo.emit(cinstr{op: fusedOp, imm: addr})
+				if err := lo.pop(npop); err != nil {
+					return err
+				}
+				lo.push(npush)
+				return nil
+			}
+		}
 		// Fuse `local.get x; load` into an addressed load when no
 		// separate check instruction sits between them.
 		if !store && !checked && lo.canFuse(1) && lo.last(1).op == iLocalGet {
@@ -400,6 +439,30 @@ func (lo *lowerer) step(in wasm.Instr) error {
 				x := lo.last(1).a
 				lo.shrink(1)
 				lo.emit(cinstr{op: fusedOp, a: x, imm: in.Imm})
+				if err := lo.pop(npop); err != nil {
+					return err
+				}
+				lo.push(npush)
+				return nil
+			}
+		}
+		// Fuse the stored value's producer into the store: a constant or a
+		// local read on top of the stack folds into one instruction that
+		// pops only the address.
+		if store && !checked && lo.canFuse(1) {
+			var fusedOp uint16
+			var arg int32
+			switch last := lo.last(1); {
+			case in.Op == wasm.OpI32Store && last.op == iConst:
+				fusedOp, arg = iI32StoreC, int32(uint32(last.imm))
+			case in.Op == wasm.OpI32Store && last.op == iLocalGet:
+				fusedOp, arg = iI32StoreL, last.a
+			case in.Op == wasm.OpF64Store && last.op == iLocalGet:
+				fusedOp, arg = iF64StoreL, last.a
+			}
+			if fusedOp != 0 {
+				lo.shrink(1)
+				lo.emit(cinstr{op: fusedOp, a: arg, imm: in.Imm})
 				if err := lo.pop(npop); err != nil {
 					return err
 				}
@@ -438,6 +501,22 @@ func (lo *lowerer) emitCallOverhead() {
 // two-to-three instruction idioms (index arithmetic, loop counters,
 // addressed loads) into superinstructions at emission time; barrier
 // tracking guarantees no branch target ever points into a fused sequence.
+
+// cmpBrIf maps an i32 comparison opcode to its fused compare-and-branch
+// form: [0] is the direct sense (`cmp; br_if`), [1] the inverted sense
+// (`cmp; i32.eqz; br_if`).
+var cmpBrIf = map[uint16][2]uint16{
+	uint16(wasm.OpI32Eq):  {iBrIfEq, iBrIfNe},
+	uint16(wasm.OpI32Ne):  {iBrIfNe, iBrIfEq},
+	uint16(wasm.OpI32LtS): {iBrIfLtS, iBrIfGeS},
+	uint16(wasm.OpI32LtU): {iBrIfLtU, iBrIfGeU},
+	uint16(wasm.OpI32GtS): {iBrIfGtS, iBrIfLeS},
+	uint16(wasm.OpI32GtU): {iBrIfGtU, iBrIfLeU},
+	uint16(wasm.OpI32LeS): {iBrIfLeS, iBrIfGtS},
+	uint16(wasm.OpI32LeU): {iBrIfLeU, iBrIfGtU},
+	uint16(wasm.OpI32GeS): {iBrIfGeS, iBrIfLtS},
+	uint16(wasm.OpI32GeU): {iBrIfGeU, iBrIfLtU},
+}
 
 func (lo *lowerer) canFuse(n int) bool {
 	if lo.cfg.NoFusion || lo.cfg.PerInstrNops > 0 {
@@ -485,6 +564,21 @@ func (lo *lowerer) fuseNumeric(op wasm.Opcode) bool {
 			lo.emit(cinstr{op: iI32AddSC, imm: c})
 			return true
 		}
+	case wasm.OpI32Sub:
+		// ...; local.get x; sub  ->  top -= local[x]
+		if lo.canFuse(1) && lo.last(1).op == iLocalGet {
+			x := lo.last(1).a
+			lo.shrink(1)
+			lo.emit(cinstr{op: iI32SubSL, a: x})
+			return true
+		}
+		// ...; i32.const c; sub  ->  top += -c (reuses the add form)
+		if lo.canFuse(1) && lo.last(1).op == iConst {
+			c := uint32(lo.last(1).imm)
+			lo.shrink(1)
+			lo.emit(cinstr{op: iI32AddSC, imm: uint64(-c)})
+			return true
+		}
 	case wasm.OpF64Add, wasm.OpF64Mul:
 		if lo.canFuse(1) && lo.last(1).op == iLocalGet {
 			x := lo.last(1).a
@@ -494,6 +588,13 @@ func (lo *lowerer) fuseNumeric(op wasm.Opcode) bool {
 				fused = iF64MulSL
 			}
 			lo.emit(cinstr{op: fused, a: x})
+			return true
+		}
+	case wasm.OpF64Sub:
+		if lo.canFuse(1) && lo.last(1).op == iLocalGet {
+			x := lo.last(1).a
+			lo.shrink(1)
+			lo.emit(cinstr{op: iF64SubSL, a: x})
 			return true
 		}
 	}

@@ -75,6 +75,16 @@ type Instance struct {
 	mpxBounds  [2]uint64
 	mpxScratch uint64
 
+	// memDirty is one past the highest linear-memory byte that may have
+	// been written since the last reset (stores, host writes, replayed
+	// data segments). The recycling reset zeroes only [0, memDirty).
+	memDirty uint64
+
+	// ic holds per-call_indirect-site monomorphic inline caches. The table
+	// is immutable after instantiation, so entries stay valid across
+	// recycling and never need resetting.
+	ic []icEntry
+
 	// HostData carries the embedder's per-sandbox context (the serverless
 	// ABI attaches request/response state here).
 	HostData any
@@ -102,18 +112,34 @@ func (cm *CompiledModule) Instantiate() *Instance {
 		status:           StatusYielded,
 		pendingHostArity: -1,
 	}
-	if cm.memLimits.Min > 0 {
-		in.mem = make([]byte, int(cm.memLimits.Min)*wasm.PageSize)
+	if cm.minMemBytes > 0 {
+		in.mem = make([]byte, cm.minMemBytes)
 		for _, seg := range cm.dataSegs {
 			copy(in.mem[seg.offset:], seg.bytes)
 		}
 	}
+	in.memDirty = uint64(cm.dataEnd)
 	if len(cm.globalInit) > 0 {
 		in.globals = make([]uint64, len(cm.globalInit))
 		copy(in.globals, cm.globalInit)
 	}
+	if cm.numICSites > 0 {
+		in.ic = make([]icEntry, cm.numICSites)
+		for i := range in.ic {
+			in.ic[i].key = -1
+		}
+	}
 	in.mpxBounds = [2]uint64{0, uint64(len(in.mem))}
 	return in
+}
+
+// icEntry is one monomorphic inline cache for a call_indirect site: key is
+// the last table index dispatched through the site, callee the resolved
+// defined function. A hit skips the table bounds, null, and CFI type checks
+// — all implied by the immutable table entry that populated the cache.
+type icEntry struct {
+	key    int32
+	callee *compiledFunc
 }
 
 // Module returns the compiled module this instance was created from.
@@ -126,8 +152,15 @@ func (in *Instance) Status() Status { return in.status }
 func (in *Instance) TrapError() *Trap { return in.trap }
 
 // Memory exposes the linear memory for host functions. The slice aliases
-// the live memory and is invalidated by memory.grow.
-func (in *Instance) Memory() []byte { return in.mem }
+// the live memory and is invalidated by memory.grow. The caller may write
+// anywhere through it, so the whole memory is conservatively marked dirty
+// for the recycling reset; hot-path host code should use MemRange instead.
+func (in *Instance) Memory() []byte {
+	if n := uint64(len(in.mem)); n > in.memDirty {
+		in.memDirty = n
+	}
+	return in.mem
+}
 
 // MemRange returns memory[off:off+n] after bounds checking, for host
 // functions implementing the serverless ABI.
@@ -135,6 +168,11 @@ func (in *Instance) MemRange(off, n uint32) ([]byte, error) {
 	end := uint64(off) + uint64(n)
 	if end > uint64(len(in.mem)) {
 		return nil, newTrap(TrapMemOutOfBounds)
+	}
+	// The caller may write through the returned slice (sledge.read,
+	// kv_get); account it against the recycling reset's dirty prefix.
+	if end > in.memDirty {
+		in.memDirty = end
 	}
 	return in.mem[off:end:end], nil
 }
@@ -302,10 +340,17 @@ func (in *Instance) growMemory(delta uint32) int32 {
 	if newPages > uint64(in.mod.maxPages) {
 		return -1
 	}
-	nm := make([]byte, newPages*wasm.PageSize)
-	copy(nm, in.mem)
-	in.mem = nm
-	in.mpxBounds[1] = uint64(len(nm))
+	newBytes := int(newPages) * wasm.PageSize
+	if newBytes <= cap(in.mem) {
+		// Recycled instances keep grown capacity across resets; the reset
+		// zeroed the dirty prefix, so re-exposed bytes are already zero.
+		in.mem = in.mem[:newBytes]
+	} else {
+		nm := make([]byte, newBytes)
+		copy(nm, in.mem)
+		in.mem = nm
+	}
+	in.mpxBounds[1] = uint64(len(in.mem))
 	return int32(oldPages)
 }
 
@@ -317,6 +362,8 @@ func (in *Instance) Teardown() {
 	in.stack = nil
 	in.frames = nil
 	in.globals = nil
+	in.ic = nil
+	in.memDirty = 0
 	in.status = StatusTrapped
 	in.trap = &Trap{Code: TrapUnreachable, Detail: "instance torn down"}
 }

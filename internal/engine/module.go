@@ -55,6 +55,31 @@ const (
 	iIncLocal // local[a] += imm (i32)
 	iI32LoadL // push mem[local[a] + imm] (i32)
 	iF64LoadL // push mem[local[a] + imm] (f64)
+
+	// Second-generation superinstructions: constant-addressed loads,
+	// constant/local-valued stores, local-operand subtraction, and the
+	// compare-and-branch family (an i32 comparison immediately feeding a
+	// br_if collapses into one dispatch; the *Not variants come from the
+	// `cmp; i32.eqz; br_if` loop-exit idiom, branching on the inverse).
+	iI32LoadC  // push mem[imm] (i32; imm = const addr + static offset)
+	iF64LoadC  // push mem[imm] (f64)
+	iI32StoreC // mem[pop() + imm] = a (i32 constant value)
+	iI32StoreL // mem[pop() + imm] = local[a] (i32)
+	iF64StoreL // mem[pop() + imm] = local[a] (f64)
+	iI32SubSL  // top -= local[a] (i32)
+	iF64SubSL  // top -= local[a] (f64)
+	// iBrIf*: layout of iBrIf (a = target pc, b = height, imm = arity) but
+	// pops two i32 operands and branches on the fused comparison.
+	iBrIfEq
+	iBrIfNe
+	iBrIfLtS
+	iBrIfLtU
+	iBrIfGtS
+	iBrIfGtU
+	iBrIfLeS
+	iBrIfLeU
+	iBrIfGeS
+	iBrIfGeU
 )
 
 // cinstr is one lowered instruction.
@@ -126,6 +151,18 @@ type CompiledModule struct {
 	explicitChecks bool
 	sourceSize     int
 	lowerStats     LowerStats
+
+	// minMemBytes/dataEnd are precomputed for the instance-recycling reset
+	// path: dataEnd is one past the highest byte any data segment writes,
+	// so a reset only re-zeroes [0, dirty) and replays [0, dataEnd).
+	minMemBytes int
+	dataEnd     uint32
+	// numICSites counts call_indirect sites; each lowered site is assigned
+	// a per-instance monomorphic inline-cache slot.
+	numICSites int
+	// pool recycles Instances (linear memory, operand stack, frames) so
+	// steady-state invocation allocates nothing. See pool.go.
+	pool instancePool
 }
 
 // LowerStats reports work done during compilation, used by the memory
@@ -271,7 +308,11 @@ func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, er
 			return nil, fmt.Errorf("engine: data segment %d out of bounds", i)
 		}
 		cm.dataSegs = append(cm.dataSegs, dataSeg{offset: off, bytes: seg.Bytes})
+		if end := off + uint32(len(seg.Bytes)); end > cm.dataEnd {
+			cm.dataEnd = end
+		}
 	}
+	cm.minMemBytes = int(cm.memLimits.Min) * wasm.PageSize
 
 	// Table: MVP tables are immutable after element initialization, so one
 	// shared table serves all instances.

@@ -34,6 +34,14 @@ func (in *Instance) runNaive(fuel int64) (st Status, err error) {
 	}
 	ni := &naiveInterp{in: in, budget: budget, spin: in.mod.cfg.PerInstrNops}
 
+	// The naive tier does not track a per-store high-water mark; mark the
+	// whole memory dirty so a recycling reset stays conservative.
+	defer func() {
+		if n := uint64(len(in.mem)); n > in.memDirty {
+			in.memDirty = n
+		}
+	}()
+
 	defer func() {
 		if r := recover(); r != nil {
 			rte, ok := r.(runtime.Error)

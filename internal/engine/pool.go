@@ -1,0 +1,139 @@
+package engine
+
+import "sync"
+
+// Instance recycling (the zero-allocation request path).
+//
+// The paper's µs-scale sandbox startup comes from decoupling heavyweight
+// module processing from per-request instantiation; this file removes the
+// remaining per-request cost on the Go side — the linear-memory, operand
+// stack, and frame allocations — by recycling Instances per CompiledModule.
+//
+// Hygiene contract: an Instance handed out by Acquire is indistinguishable
+// from a freshly instantiated one. Release re-zeroes the dirty prefix of
+// linear memory ([0, memDirty), tracked by every store handler, host write,
+// and data-segment replay), replays data segments and globals, and clears
+// the operand stack, so no bytes authored by one tenant are ever observable
+// by the next. The call_indirect inline caches survive recycling on purpose:
+// they are derived from the immutable table, not from tenant state.
+
+// maxFreeInstances bounds the per-module explicit free list. Overflow goes
+// to a sync.Pool, which the GC may reclaim under memory pressure.
+const maxFreeInstances = 64
+
+// instancePool recycles Instances for one CompiledModule: a small bounded
+// LIFO for the steady state plus a sync.Pool overflow tier.
+type instancePool struct {
+	mu   sync.Mutex
+	free []*Instance
+	sp   sync.Pool
+}
+
+// Acquire returns a reset, ready-to-Start Instance, reusing a recycled one
+// when available. Pair with Release on the completion path; an Instance that
+// is never released is simply collected by the GC, exactly like one from
+// Instantiate.
+func (cm *CompiledModule) Acquire() *Instance {
+	p := &cm.pool
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		in := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return in
+	}
+	p.mu.Unlock()
+	if v := p.sp.Get(); v != nil {
+		return v.(*Instance)
+	}
+	return cm.Instantiate()
+}
+
+// Release resets in and returns it to the module's pool. It is a no-op for
+// instances of other modules and for instances still runnable or blocked
+// (releasing live state would let a scheduled sandbox be handed to a second
+// owner).
+func (cm *CompiledModule) Release(in *Instance) {
+	if in == nil || in.mod != cm {
+		return
+	}
+	if in.started && (in.status == StatusYielded || in.status == StatusBlocked) {
+		return
+	}
+	in.resetForReuse()
+	p := &cm.pool
+	p.mu.Lock()
+	if len(p.free) < maxFreeInstances {
+		p.free = append(p.free, in)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.sp.Put(in)
+}
+
+// PooledInstances reports how many instances sit in the bounded free list
+// (diagnostics and tests).
+func (cm *CompiledModule) PooledInstances() int {
+	cm.pool.mu.Lock()
+	defer cm.pool.mu.Unlock()
+	return len(cm.pool.free)
+}
+
+// resetForReuse restores the instance to its post-Instantiate state without
+// allocating (unless a Teardown dropped the buffers). This is the
+// multi-tenant isolation boundary: zero the dirty memory prefix over the
+// full retained capacity, replay data segments and globals, clear the
+// operand stack.
+func (in *Instance) resetForReuse() {
+	cm := in.mod
+	if cap(in.mem) < cm.minMemBytes {
+		// Torn down (or never had memory): start from a fresh zeroed
+		// allocation; nothing stale can survive.
+		in.mem = make([]byte, cm.minMemBytes)
+	} else {
+		full := in.mem[:cap(in.mem)]
+		d := in.memDirty
+		if d > uint64(len(full)) {
+			d = uint64(len(full))
+		}
+		clear(full[:d])
+		in.mem = full[:cm.minMemBytes]
+	}
+	for _, seg := range cm.dataSegs {
+		copy(in.mem[seg.offset:], seg.bytes)
+	}
+	in.memDirty = uint64(cm.dataEnd)
+
+	if len(in.globals) != len(cm.globalInit) {
+		in.globals = make([]uint64, len(cm.globalInit))
+	}
+	copy(in.globals, cm.globalInit)
+
+	if cm.numICSites > 0 && len(in.ic) != cm.numICSites {
+		in.ic = make([]icEntry, cm.numICSites)
+		for i := range in.ic {
+			in.ic[i].key = -1
+		}
+	}
+
+	// The operand stack is never readable by wasm before being written
+	// (locals are zeroed at Start, operand slots are write-before-read by
+	// validation), but clear it anyway: the hygiene guarantee is "no bytes
+	// leak", not "no reachable bytes leak".
+	clear(in.stack)
+	in.frames = in.frames[:0]
+	in.sp = 0
+	in.table = cm.table
+
+	in.status = StatusYielded
+	in.started = false
+	in.trap = nil
+	in.entryArity = 0
+	in.pendingHostArity = -1
+	in.mpxBounds = [2]uint64{0, uint64(len(in.mem))}
+	in.mpxScratch = 0
+	in.HostData = nil
+	in.InstrRetired = 0
+}

@@ -34,6 +34,10 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 	globals := in.globals
 	maxDepth := in.mod.cfg.MaxCallDepth
 
+	// dirty is the store high-water mark feeding the recycling reset; kept
+	// in a register-friendly local and folded back in save().
+	dirty := in.memDirty
+
 	steps := fuel
 	if fuel <= 0 {
 		steps = int64(1) << 62
@@ -44,6 +48,9 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 		in.frames = frames
 		in.stack = stack
 		in.sp = sp
+		if dirty > in.memDirty {
+			in.memDirty = dirty
+		}
 		in.InstrRetired += retired
 		retired = 0
 	}
@@ -172,10 +179,16 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 			fr.pc = int32(pc)
 			in.sp = sp
 			in.mem = mem
+			if dirty > in.memDirty {
+				in.memDirty = dirty
+			}
 			val, herr := hb.fn(in, stack[sp-n:sp])
 			sp -= n
 			mem = in.mem
 			memLen = uint64(len(mem))
+			if in.memDirty > dirty {
+				dirty = in.memDirty
+			}
 			if herr != nil {
 				if errors.Is(herr, ErrHostBlock) {
 					in.pendingHostArity = int(ci.b)
@@ -196,6 +209,32 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 		case iCallIndirect:
 			idx := uint64(uint32(stack[sp-1]))
 			sp--
+			// Monomorphic inline-cache fast path (imm>>16 is the site's IC
+			// slot): dispatching the same table index as last time implies
+			// the bounds, null, and CFI type checks all pass — the table is
+			// immutable — so jump straight to the resolved callee.
+			if e := &in.ic[ci.imm>>16]; e.callee != nil && e.key == int32(idx) {
+				callee := e.callee
+				base := sp - callee.nParams
+				if need := base + callee.nLocals + callee.maxStack + 1; need > len(stack) {
+					in.stack = stack
+					in.ensureStack(need)
+					stack = in.stack
+				}
+				for i := base + callee.nParams; i < base+callee.nLocals; i++ {
+					stack[i] = 0
+				}
+				if len(frames) >= maxDepth {
+					return fail(TrapStackOverflow)
+				}
+				fr.pc = int32(pc)
+				frames = append(frames, frame{fn: callee, base: int32(base)})
+				fr = &frames[len(frames)-1]
+				code = callee.code
+				pc = 0
+				sp = base + callee.nLocals
+				break
+			}
 			if idx >= uint64(len(in.table)) {
 				return fail(TrapIndirectCallOOB)
 			}
@@ -213,13 +252,19 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 				fr.pc = int32(pc)
 				in.sp = sp
 				in.mem = mem
+				if dirty > in.memDirty {
+					in.memDirty = dirty
+				}
 				val, herr := hb.fn(in, stack[sp-n:sp])
 				sp -= n
 				mem = in.mem
 				memLen = uint64(len(mem))
+				if in.memDirty > dirty {
+					dirty = in.memDirty
+				}
 				if herr != nil {
 					if errors.Is(herr, ErrHostBlock) {
-						in.pendingHostArity = int(ci.imm)
+						in.pendingHostArity = int(ci.imm & 0xFFFF)
 						save()
 						in.status = StatusBlocked
 						return StatusBlocked, nil
@@ -229,13 +274,14 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 					in.status = StatusTrapped
 					return StatusTrapped, in.trap
 				}
-				if ci.imm > 0 {
+				if ci.imm&0xFFFF > 0 {
 					stack[sp] = val
 					sp++
 				}
 				break
 			}
 			callee := &in.mod.funcs[int(ent.funcIdx)-nImp]
+			in.ic[ci.imm>>16] = icEntry{key: int32(idx), callee: callee}
 			base := sp - callee.nParams
 			if need := base + callee.nLocals + callee.maxStack + 1; need > len(stack) {
 				in.stack = stack
@@ -329,6 +375,157 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 			}
 			stack[sp] = binary.LittleEndian.Uint64(mem[a:])
 			sp++
+		case iI32LoadC:
+			a := ci.imm
+			if explicit && a+4 > memLen {
+				return fail(TrapMemOutOfBounds)
+			}
+			stack[sp] = uint64(binary.LittleEndian.Uint32(mem[a:]))
+			sp++
+		case iF64LoadC:
+			a := ci.imm
+			if explicit && a+8 > memLen {
+				return fail(TrapMemOutOfBounds)
+			}
+			stack[sp] = binary.LittleEndian.Uint64(mem[a:])
+			sp++
+		case iI32StoreC:
+			a := uint64(uint32(stack[sp-1])) + ci.imm
+			sp--
+			if explicit && a+4 > memLen {
+				return fail(TrapMemOutOfBounds)
+			}
+			if a+4 > dirty {
+				dirty = a + 4
+			}
+			binary.LittleEndian.PutUint32(mem[a:], uint32(ci.a))
+		case iI32StoreL:
+			v := uint32(stack[int(fr.base)+int(ci.a)])
+			a := uint64(uint32(stack[sp-1])) + ci.imm
+			sp--
+			if explicit && a+4 > memLen {
+				return fail(TrapMemOutOfBounds)
+			}
+			if a+4 > dirty {
+				dirty = a + 4
+			}
+			binary.LittleEndian.PutUint32(mem[a:], v)
+		case iF64StoreL:
+			v := stack[int(fr.base)+int(ci.a)]
+			a := uint64(uint32(stack[sp-1])) + ci.imm
+			sp--
+			if explicit && a+8 > memLen {
+				return fail(TrapMemOutOfBounds)
+			}
+			if a+8 > dirty {
+				dirty = a + 8
+			}
+			binary.LittleEndian.PutUint64(mem[a:], v)
+		case iI32SubSL:
+			stack[sp-1] = uint64(uint32(stack[sp-1]) - uint32(stack[int(fr.base)+int(ci.a)]))
+		case iF64SubSL:
+			stack[sp-1] = uf64(f64(stack[sp-1]) - f64(stack[int(fr.base)+int(ci.a)]))
+
+		case iBrIfEq:
+			y, x := uint32(stack[sp-1]), uint32(stack[sp-2])
+			sp -= 2
+			if x == y {
+				target := int(fr.base) + fr.fn.nLocals + int(ci.b)
+				arity := int(ci.imm)
+				copy(stack[target:target+arity], stack[sp-arity:sp])
+				sp = target + arity
+				pc = int(ci.a)
+			}
+		case iBrIfNe:
+			y, x := uint32(stack[sp-1]), uint32(stack[sp-2])
+			sp -= 2
+			if x != y {
+				target := int(fr.base) + fr.fn.nLocals + int(ci.b)
+				arity := int(ci.imm)
+				copy(stack[target:target+arity], stack[sp-arity:sp])
+				sp = target + arity
+				pc = int(ci.a)
+			}
+		case iBrIfLtS:
+			y, x := int32(stack[sp-1]), int32(stack[sp-2])
+			sp -= 2
+			if x < y {
+				target := int(fr.base) + fr.fn.nLocals + int(ci.b)
+				arity := int(ci.imm)
+				copy(stack[target:target+arity], stack[sp-arity:sp])
+				sp = target + arity
+				pc = int(ci.a)
+			}
+		case iBrIfLtU:
+			y, x := uint32(stack[sp-1]), uint32(stack[sp-2])
+			sp -= 2
+			if x < y {
+				target := int(fr.base) + fr.fn.nLocals + int(ci.b)
+				arity := int(ci.imm)
+				copy(stack[target:target+arity], stack[sp-arity:sp])
+				sp = target + arity
+				pc = int(ci.a)
+			}
+		case iBrIfGtS:
+			y, x := int32(stack[sp-1]), int32(stack[sp-2])
+			sp -= 2
+			if x > y {
+				target := int(fr.base) + fr.fn.nLocals + int(ci.b)
+				arity := int(ci.imm)
+				copy(stack[target:target+arity], stack[sp-arity:sp])
+				sp = target + arity
+				pc = int(ci.a)
+			}
+		case iBrIfGtU:
+			y, x := uint32(stack[sp-1]), uint32(stack[sp-2])
+			sp -= 2
+			if x > y {
+				target := int(fr.base) + fr.fn.nLocals + int(ci.b)
+				arity := int(ci.imm)
+				copy(stack[target:target+arity], stack[sp-arity:sp])
+				sp = target + arity
+				pc = int(ci.a)
+			}
+		case iBrIfLeS:
+			y, x := int32(stack[sp-1]), int32(stack[sp-2])
+			sp -= 2
+			if x <= y {
+				target := int(fr.base) + fr.fn.nLocals + int(ci.b)
+				arity := int(ci.imm)
+				copy(stack[target:target+arity], stack[sp-arity:sp])
+				sp = target + arity
+				pc = int(ci.a)
+			}
+		case iBrIfLeU:
+			y, x := uint32(stack[sp-1]), uint32(stack[sp-2])
+			sp -= 2
+			if x <= y {
+				target := int(fr.base) + fr.fn.nLocals + int(ci.b)
+				arity := int(ci.imm)
+				copy(stack[target:target+arity], stack[sp-arity:sp])
+				sp = target + arity
+				pc = int(ci.a)
+			}
+		case iBrIfGeS:
+			y, x := int32(stack[sp-1]), int32(stack[sp-2])
+			sp -= 2
+			if x >= y {
+				target := int(fr.base) + fr.fn.nLocals + int(ci.b)
+				arity := int(ci.imm)
+				copy(stack[target:target+arity], stack[sp-arity:sp])
+				sp = target + arity
+				pc = int(ci.a)
+			}
+		case iBrIfGeU:
+			y, x := uint32(stack[sp-1]), uint32(stack[sp-2])
+			sp -= 2
+			if x >= y {
+				target := int(fr.base) + fr.fn.nLocals + int(ci.b)
+				arity := int(ci.imm)
+				copy(stack[target:target+arity], stack[sp-arity:sp])
+				sp = target + arity
+				pc = int(ci.a)
+			}
 
 		case iMemorySize:
 			stack[sp] = uint64(uint32(len(mem) / wasm.PageSize))
@@ -434,6 +631,9 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 			if explicit && a+4 > memLen {
 				return fail(TrapMemOutOfBounds)
 			}
+			if a+4 > dirty {
+				dirty = a + 4
+			}
 			binary.LittleEndian.PutUint32(mem[a:], v)
 		case uint16(wasm.OpI64Store):
 			v := stack[sp-1]
@@ -441,6 +641,9 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 			sp -= 2
 			if explicit && a+8 > memLen {
 				return fail(TrapMemOutOfBounds)
+			}
+			if a+8 > dirty {
+				dirty = a + 8
 			}
 			binary.LittleEndian.PutUint64(mem[a:], v)
 		case uint16(wasm.OpF32Store):
@@ -450,6 +653,9 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 			if explicit && a+4 > memLen {
 				return fail(TrapMemOutOfBounds)
 			}
+			if a+4 > dirty {
+				dirty = a + 4
+			}
 			binary.LittleEndian.PutUint32(mem[a:], v)
 		case uint16(wasm.OpF64Store):
 			v := stack[sp-1]
@@ -457,6 +663,9 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 			sp -= 2
 			if explicit && a+8 > memLen {
 				return fail(TrapMemOutOfBounds)
+			}
+			if a+8 > dirty {
+				dirty = a + 8
 			}
 			binary.LittleEndian.PutUint64(mem[a:], v)
 		case uint16(wasm.OpI32Store8), uint16(wasm.OpI64Store8):
@@ -466,6 +675,9 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 			if explicit && a+1 > memLen {
 				return fail(TrapMemOutOfBounds)
 			}
+			if a+1 > dirty {
+				dirty = a + 1
+			}
 			mem[a] = v
 		case uint16(wasm.OpI32Store16), uint16(wasm.OpI64Store16):
 			v := uint16(stack[sp-1])
@@ -474,6 +686,9 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 			if explicit && a+2 > memLen {
 				return fail(TrapMemOutOfBounds)
 			}
+			if a+2 > dirty {
+				dirty = a + 2
+			}
 			binary.LittleEndian.PutUint16(mem[a:], v)
 		case uint16(wasm.OpI64Store32):
 			v := uint32(stack[sp-1])
@@ -481,6 +696,9 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 			sp -= 2
 			if explicit && a+4 > memLen {
 				return fail(TrapMemOutOfBounds)
+			}
+			if a+4 > dirty {
+				dirty = a + 4
 			}
 			binary.LittleEndian.PutUint32(mem[a:], v)
 

@@ -10,6 +10,7 @@ package sandbox
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -48,6 +49,16 @@ func (s State) String() string {
 
 var idCounter atomic.Uint64
 
+// Ownership handoff states (Sandbox.rel). A pooled sandbox has two parties
+// racing at the end of its life: the worker that finishes it and the waiter
+// that may have timed out. Whoever loses the CAS on rel takes the recycling
+// action; the winner's side is already gone.
+const (
+	relLive      = int32(iota) // running; no completion observed yet
+	relAbandoned               // waiter timed out; worker recycles on finish
+	relFinished                // worker finished; waiter reads then releases
+)
+
 // Sandbox is one in-flight function invocation.
 type Sandbox struct {
 	// ID is unique per process.
@@ -58,9 +69,22 @@ type Sandbox struct {
 	Tenant string
 
 	inst *engine.Instance
-	ctx  *abi.Context
+	// ctx is embedded by value so the zero-allocation path does not pay a
+	// per-request abi.Context allocation.
+	ctx abi.Context
 
 	state atomic.Int32
+
+	// rel is the completion-ownership state machine; see the rel* consts.
+	rel atomic.Int32
+
+	// done is signalled (once) by FinishNotify; Invoke-style waiters select
+	// on it instead of registering an OnComplete closure.
+	done chan struct{}
+
+	// noRecycle pins this sandbox to the pre-pool lifecycle: fresh
+	// allocations and eager teardown, never returned to a pool.
+	noRecycle bool
 
 	// Err records the trap or start failure for completed sandboxes.
 	Err error
@@ -83,6 +107,12 @@ type Sandbox struct {
 	Preemptions uint64
 }
 
+// sbPool recycles Sandbox shells (the struct, its embedded context, and its
+// done channel); linear memories are recycled per-module by the engine.
+var sbPool = sync.Pool{
+	New: func() any { return &Sandbox{done: make(chan struct{}, 1)} },
+}
+
 // Options configures sandbox creation.
 type Options struct {
 	// Entry is the exported function to run; defaults to "main".
@@ -93,31 +123,61 @@ type Options struct {
 	RandSeed uint32
 	// Tenant labels the sandbox for multi-tenant accounting.
 	Tenant string
+	// NoRecycle disables instance/sandbox pooling for this request: fresh
+	// allocations and eager teardown (the pre-pool churn baseline).
+	NoRecycle bool
 }
 
-// New instantiates a sandbox for one request. This is the fast path: linear
-// memory allocation plus context setup only.
+// New instantiates a sandbox for one request. This is the fast path: in the
+// steady state it allocates nothing — the sandbox shell comes from a
+// sync.Pool and the engine instance (linear memory, operand stack) from the
+// module's recycling pool.
 func New(cm *engine.CompiledModule, req []byte, opts Options) (*Sandbox, error) {
 	entry := opts.Entry
 	if entry == "" {
 		entry = "main"
 	}
-	inst := cm.Instantiate()
-	ctx := abi.NewContext(req)
-	ctx.KV = opts.KV
+	var sb *Sandbox
+	if opts.NoRecycle {
+		sb = &Sandbox{done: make(chan struct{}, 1), noRecycle: true}
+		sb.inst = cm.Instantiate()
+		sb.ctx = abi.Context{Request: req}
+		sb.ctx.SetRandSeed(0)
+	} else {
+		sb = sbPool.Get().(*Sandbox)
+		sb.noRecycle = false
+		sb.inst = cm.Acquire()
+		sb.ctx.Reset(req)
+	}
+	sb.ID = idCounter.Add(1)
+	sb.Module = entry
+	sb.Tenant = opts.Tenant
+	sb.Err = nil
+	sb.OnComplete = nil
+	sb.pending = nil
+	sb.exitCode = 0
+	sb.CreatedAt = time.Now()
+	sb.FirstRunAt = time.Time{}
+	sb.DoneAt = time.Time{}
+	sb.Preemptions = 0
+	sb.rel.Store(relLive)
+	select {
+	case <-sb.done:
+	default:
+	}
+
+	sb.ctx.KV = opts.KV
 	if opts.RandSeed != 0 {
-		ctx.SetRandSeed(opts.RandSeed)
+		sb.ctx.SetRandSeed(opts.RandSeed)
 	}
-	inst.HostData = ctx
-	sb := &Sandbox{
-		ID:        idCounter.Add(1),
-		Module:    entry,
-		Tenant:    opts.Tenant,
-		inst:      inst,
-		ctx:       ctx,
-		CreatedAt: time.Now(),
-	}
-	if err := inst.Start(entry); err != nil {
+	sb.inst.HostData = &sb.ctx
+	if err := sb.inst.Start(entry); err != nil {
+		inst := sb.inst
+		sb.inst = nil
+		if !opts.NoRecycle {
+			cm.Release(inst)
+			sbPool.Put(sb)
+		}
 		return nil, fmt.Errorf("sandbox: %w", err)
 	}
 	sb.state.Store(int32(StateRunnable))
@@ -199,9 +259,73 @@ func (sb *Sandbox) complete() {
 	if sb.OnComplete != nil {
 		sb.OnComplete(sb)
 	}
-	// Eager teardown: the paper tears down sandbox memories on the worker
-	// as soon as execution finishes.
-	sb.inst.Teardown()
+	if sb.noRecycle {
+		// Eager teardown: the paper tears down sandbox memories on the
+		// worker as soon as execution finishes. Pooled sandboxes instead
+		// return their memory via Release.
+		sb.inst.Teardown()
+	}
+}
+
+// ErrAbandoned reports a sandbox whose waiter timed out before completion.
+var ErrAbandoned = errors.New("sandbox: abandoned by waiter")
+
+// Done returns a channel that receives one value when the sandbox finishes
+// (complete, trapped, or failed) and FinishNotify runs.
+func (sb *Sandbox) Done() <-chan struct{} { return sb.done }
+
+// Abandon is called by a timed-out waiter to disown the sandbox. It returns
+// true if the waiter won the race (the worker will recycle the sandbox when
+// it eventually finishes) and false if the sandbox already finished (the
+// waiter must consume Done and release as usual).
+func (sb *Sandbox) Abandon() bool {
+	return sb.rel.CompareAndSwap(relLive, relAbandoned)
+}
+
+// Abandoned reports whether a waiter has disowned the sandbox. The scheduler
+// checks this before spending a quantum on it.
+func (sb *Sandbox) Abandoned() bool { return sb.rel.Load() == relAbandoned }
+
+// FinishNotify publishes the sandbox's completion to its waiter. The
+// scheduler calls it exactly once, after all other touches of the sandbox —
+// for an abandoned sandbox this recycles it, after which the worker must not
+// use sb again.
+func (sb *Sandbox) FinishNotify() {
+	if sb.rel.CompareAndSwap(relLive, relFinished) {
+		select {
+		case sb.done <- struct{}{}:
+		default:
+		}
+		return
+	}
+	if sb.rel.Load() == relAbandoned {
+		sb.Release()
+	}
+}
+
+// Release returns the sandbox's engine instance to its module pool and the
+// shell to the sandbox pool. Callers must be done with the response buffer:
+// the memory handed back here is reused (and re-zeroed) for future requests.
+// It is a no-op for unpooled sandboxes and for sandboxes still running.
+func (sb *Sandbox) Release() {
+	if sb.noRecycle || sb.inst == nil {
+		return
+	}
+	if s := State(sb.state.Load()); s != StateComplete && s != StateTrapped {
+		return
+	}
+	inst := sb.inst
+	sb.inst = nil
+	sb.OnComplete = nil
+	sb.pending = nil
+	sb.Err = nil
+	sb.ctx.Reset(nil)
+	select {
+	case <-sb.done:
+	default:
+	}
+	inst.Module().Release(inst)
+	sbPool.Put(sb)
 }
 
 // PendingReadyAt reports when the blocked sandbox's I/O completes.

@@ -163,6 +163,11 @@ type worker struct {
 		q  []*sandbox.Sandbox
 	}
 	blockedQ []*sandbox.Sandbox
+
+	// idleTimer is reused across idleWait parks; a worker that cycles
+	// between idle and running on every request must not allocate a fresh
+	// timer per cycle (the zero-allocation steady-state path).
+	idleTimer *time.Timer
 }
 
 // NewPool starts the worker pool.
@@ -341,6 +346,7 @@ func (p *Pool) finish(sb *sandbox.Sandbox, failed bool) {
 		p.trapped.Add(1)
 	}
 	p.inflight.Add(-1)
+	sb.FinishNotify() // may recycle sb: last touch
 }
 
 // ---- worker ----
@@ -369,6 +375,14 @@ func (w *worker) loop() {
 			w.idleWait()
 			continue
 		}
+		if sb.Abandoned() {
+			// The waiter timed out; don't spend another quantum on it.
+			sb.Fail(sandbox.ErrAbandoned)
+			p.trapped.Add(1)
+			p.inflight.Add(-1)
+			sb.FinishNotify() // recycles sb: last touch
+			continue
+		}
 		prevPre := sb.Preemptions
 		st := sb.RunQuantum(p.fuelQuantum)
 		switch st {
@@ -381,9 +395,11 @@ func (w *worker) loop() {
 		case sandbox.StateComplete:
 			p.completed.Add(1)
 			p.inflight.Add(-1)
+			sb.FinishNotify() // may recycle sb: last touch
 		case sandbox.StateTrapped:
 			p.trapped.Add(1)
 			p.inflight.Add(-1)
+			sb.FinishNotify() // may recycle sb: last touch
 		}
 	}
 }
@@ -459,6 +475,7 @@ func (w *worker) drainEventLoop() {
 			sb.Fail(err)
 			w.pool.trapped.Add(1)
 			w.pool.inflight.Add(-1)
+			sb.FinishNotify() // may recycle sb: last touch
 			continue
 		}
 		w.runq = append(w.runq, sb)
@@ -484,11 +501,22 @@ func (w *worker) idleWait() {
 			return
 		}
 	}
-	timer := time.NewTimer(wait)
-	defer timer.Stop()
+	if w.idleTimer == nil {
+		w.idleTimer = time.NewTimer(wait)
+	} else {
+		w.idleTimer.Reset(wait)
+	}
 	select {
 	case <-p.wake:
-	case <-timer.C:
+	case <-w.idleTimer.C:
 	case <-p.stopCh:
+	}
+	// Quiesce the timer for the next Reset. This goroutine is the only
+	// receiver, so a non-blocking drain after a failed Stop is race-free.
+	if !w.idleTimer.Stop() {
+		select {
+		case <-w.idleTimer.C:
+		default:
+		}
 	}
 }

@@ -76,12 +76,13 @@ func (a *App) Compile(cfg engine.Config) (*engine.CompiledModule, error) {
 // RunWasm executes one request through a fresh sandbox and returns the
 // response body.
 func RunWasm(cm *engine.CompiledModule, req []byte) ([]byte, error) {
-	inst := cm.Instantiate()
+	inst := cm.Acquire()
 	ctx := abi.NewContext(req)
 	inst.HostData = ctx
 	if _, err := inst.Invoke("main"); err != nil {
 		return nil, err
 	}
+	cm.Release(inst)
 	return ctx.Response, nil
 }
 

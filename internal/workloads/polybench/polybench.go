@@ -80,12 +80,13 @@ func (k *Kernel) Compile(n int, cfg engine.Config) (*engine.CompiledModule, erro
 // RunWasm instantiates and executes the compiled kernel, returning the
 // checksum.
 func RunWasm(cm *engine.CompiledModule, n int) (float64, error) {
-	inst := cm.Instantiate()
+	inst := cm.Acquire()
 	inst.HostData = abi.NewContext(nil)
 	bits, err := inst.Invoke("kernel", uint64(uint32(n)))
 	if err != nil {
 		return 0, err
 	}
+	cm.Release(inst)
 	return math.Float64frombits(bits), nil
 }
 
