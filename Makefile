@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test-race bench-smoke test bench
+.PHONY: check vet build test-race bench-smoke overload-smoke test bench
 
-# check is the pre-merge gate for the zero-allocation request path: static
-# analysis, a full build, the race detector over the recycling-sensitive
-# packages, and a short churn-benchmark smoke run (allocs/op regressions
-# show up immediately in its -benchmem output).
-check: vet build test-race bench-smoke
+# check is the pre-merge gate: static analysis, a full build, the race
+# detector over the concurrency-sensitive packages (recycling, scheduler,
+# admission control, HTTP drain), a short churn-benchmark smoke run
+# (allocs/op regressions show up immediately in its -benchmem output),
+# and an overload smoke run (admission at 2x capacity must shed cleanly:
+# admitted error rate < 1%).
+check: vet build test-race bench-smoke overload-smoke
 
 vet:
 	$(GO) vet ./...
@@ -15,10 +17,14 @@ build:
 	$(GO) build ./...
 
 test-race:
-	$(GO) test -race ./internal/sandbox/... ./internal/sched/... ./internal/core/...
+	$(GO) test -race ./internal/sandbox/... ./internal/sched/... ./internal/core/... \
+		./internal/admission/... ./internal/httpd/...
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=Churn -benchtime=100x -benchmem .
+
+overload-smoke:
+	$(GO) test -run=TestOverloadSmoke -count=1 ./internal/experiments/
 
 test:
 	$(GO) test ./...

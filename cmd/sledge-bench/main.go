@@ -25,14 +25,15 @@ func main() {
 		return
 	}
 	var (
-		run     = flag.String("run", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or all")
-		quick   = flag.Bool("quick", false, "reduced problem sizes and iteration counts")
-		workers = flag.Int("workers", 0, "override Sledge worker count (0 = GOMAXPROCS)")
-		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		run      = flag.String("run", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or all")
+		quick    = flag.Bool("quick", false, "reduced problem sizes and iteration counts")
+		workers  = flag.Int("workers", 0, "override Sledge worker count (0 = GOMAXPROCS)")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		snapshot = flag.String("snapshot", "", "write a JSON result snapshot (experiments that support it)")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick, Workers: *workers}
+	opts := experiments.Options{Quick: *quick, Workers: *workers, SnapshotPath: *snapshot}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}

@@ -1,6 +1,8 @@
 // Command sledge runs the serverless runtime as a server: it loads a
 // JSON module configuration (or the built-in application suite), then
-// serves function invocations over HTTP.
+// serves function invocations over HTTP with admission control in front
+// of the scheduler. SIGINT/SIGTERM trigger a graceful drain: new work is
+// refused with 503, in-flight requests finish, then the process exits.
 //
 // Usage:
 //
@@ -11,7 +13,7 @@
 //
 //	{
 //	  "modules": [
-//	    {"name": "hello", "path": "hello.wcc"},
+//	    {"name": "hello", "path": "hello.wcc", "tenant": "team-a"},
 //	    {"name": "fn2", "path": "fn2.wasm", "entry": "main"}
 //	  ]
 //	}
@@ -20,7 +22,12 @@ package main
 import (
 	"flag"
 	"log"
+	"net"
+	"os"
+	"os/signal"
 	"runtime"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"sledge"
@@ -34,14 +41,38 @@ func main() {
 		quantumMS  = flag.Int("quantum-ms", 5, "preemption quantum in milliseconds")
 		configPath = flag.String("config", "", "JSON module configuration file")
 		useApps    = flag.Bool("apps", false, "register the built-in application suite")
+
+		admissionOn = flag.Bool("admission", true, "enable admission control")
+		maxInflight = flag.Int("max-inflight", 0, "global in-flight cap (0 = 2x workers)")
+		maxQueue    = flag.Int("max-queue", 0, "global admit-queue depth (0 = default 256)")
+		tenantRPS   = flag.Float64("tenant-rps", 0, "per-tenant token-bucket rate (0 = unlimited)")
+		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst")
+		breakerCool = flag.Duration("breaker-cooldown", 0, "circuit-breaker open cooldown (0 = default 2s)")
+		maxConns    = flag.Int("max-conns", 1024, "concurrent connection cap (0 = unlimited)")
+		readTO      = flag.Duration("read-timeout", 0, "per-request header/body read deadline (0 = request timeout)")
+		drainTO     = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
 	)
 	flag.Parse()
 
-	rt := sledge.New(sledge.Config{
-		Workers: *workers,
-		Quantum: time.Duration(*quantumMS) * time.Millisecond,
-		KV:      sledge.NewMapKV(),
-	})
+	cfg := sledge.Config{
+		Workers:  *workers,
+		Quantum:  time.Duration(*quantumMS) * time.Millisecond,
+		KV:       sledge.NewMapKV(),
+		MaxConns: *maxConns,
+	}
+	if *readTO != 0 {
+		cfg.HTTPReadTimeout = *readTO
+	}
+	if *admissionOn {
+		cfg.Admission = &sledge.AdmissionConfig{
+			MaxInflight: *maxInflight,
+			MaxQueue:    *maxQueue,
+			TenantRate:  *tenantRPS,
+			TenantBurst: *tenantBurst,
+			Breaker:     sledge.BreakerConfig{Cooldown: *breakerCool},
+		}
+	}
+	rt := sledge.New(cfg)
 	defer rt.Close()
 
 	if *useApps {
@@ -67,9 +98,34 @@ func main() {
 		log.Fatal("no modules registered; pass -apps or -config")
 	}
 
-	log.Printf("sledge listening on %s with %d workers (%d modules)",
-		*listen, *workers, len(rt.Modules()))
-	if err := rt.ListenAndServe(*listen); err != nil {
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	var draining atomic.Bool
+	go func() {
+		sig := <-sigs
+		draining.Store(true)
+		log.Printf("%s: draining (up to %v)", sig, *drainTO)
+		if rt.Drain(*drainTO) {
+			log.Print("drain complete")
+		} else {
+			log.Print("drain timed out; exiting with work in flight")
+		}
+		os.Exit(0)
+	}()
+
+	log.Printf("sledge listening on %s with %d workers (%d modules, admission=%v)",
+		*listen, *workers, len(rt.Modules()), *admissionOn)
+	err = rt.Serve(ln)
+	if draining.Load() {
+		// The listener closed because a drain is in progress; the signal
+		// goroutine owns shutdown and exits the process when it is done.
+		select {}
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,598 @@
+// Package admission is Sledge's admission-control and overload-management
+// subsystem: it sits between the HTTP listener and the scheduler and
+// decides, per request, whether to dispatch now, queue, or shed.
+//
+// Under offered load beyond capacity an unguarded runtime collapses: every
+// request is dispatched, workers thrash across an unbounded run queue, and
+// all tenants' p99 explodes together. The controller keeps goodput near
+// capacity and admitted-request latency bounded with four mechanisms:
+//
+//   - Per-tenant token buckets (rate + burst) reject sustained overage with
+//     429 + Retry-After before it reaches the queue.
+//   - A weighted deficit-round-robin (DRR) admit queue grants scheduler
+//     slots across backlogged tenants in proportion to their weights, so a
+//     hot tenant cannot starve a well-behaved one. Costs are the per-module
+//     EWMA service-time estimate, making the shares CPU-proportional.
+//   - Global in-flight and queue-depth bounds plus deadline-aware shedding:
+//     a request whose estimated queueing delay already exceeds its deadline
+//     is rejected immediately with 503 + Retry-After instead of timing out
+//     after consuming a worker.
+//   - A per-module circuit breaker (closed → open → half-open) stops a
+//     crashing function from burning sandbox instantiations.
+//
+// Graceful drain (StartDrain/WaitIdle) stops admitting, lets queued and
+// in-flight requests finish, and then the runtime can close.
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Outcome classifies a finished request for the breaker and the
+// service-time estimator.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeSuccess is a normal completion.
+	OutcomeSuccess Outcome = iota
+	// OutcomeTrap is a function failure (wasm trap / abort).
+	OutcomeTrap
+	// OutcomeTimeout is a request that exceeded the runtime's request
+	// timeout (an overload signal, not a function defect).
+	OutcomeTimeout
+)
+
+// TenantConfig overrides per-tenant admission parameters.
+type TenantConfig struct {
+	// Weight is the DRR share (default 1). A weight-2 tenant receives
+	// twice the capacity of a weight-1 tenant under contention.
+	Weight int
+	// Rate overrides Config.TenantRate for this tenant (requests/sec;
+	// 0 inherits, negative disables the bucket).
+	Rate float64
+	// Burst overrides Config.TenantBurst.
+	Burst float64
+}
+
+// Config configures a Controller.
+type Config struct {
+	// MaxInflight bounds concurrently dispatched requests. Default
+	// 2×Workers.
+	MaxInflight int
+	// MaxQueue bounds the total admit queue. Default 256.
+	MaxQueue int
+	// MaxQueuePerTenant bounds one tenant's queue. Default MaxQueue.
+	MaxQueuePerTenant int
+	// Workers is the capacity hint used to convert queue length into an
+	// estimated queueing delay. Default 1.
+	Workers int
+	// DefaultDeadline is the shed horizon for requests that carry none.
+	// Default 30s.
+	DefaultDeadline time.Duration
+	// TenantRate is the default token-bucket rate (requests/sec) applied
+	// to every tenant; 0 disables rate limiting.
+	TenantRate float64
+	// TenantBurst is the default bucket capacity. Default max(1, TenantRate).
+	TenantBurst float64
+	// Tenants holds per-tenant overrides keyed by tenant name.
+	Tenants map[string]TenantConfig
+	// DRRQuantum is the deficit added per round per unit weight,
+	// denominated in estimated service time. Default 5ms (the paper's
+	// scheduling quantum).
+	DRRQuantum time.Duration
+	// EWMAAlpha is the service-time estimator smoothing factor. Default 0.25.
+	EWMAAlpha float64
+	// DefaultEstimate seeds the estimator for modules with no history.
+	// Default 1ms.
+	DefaultEstimate time.Duration
+	// Breaker configures the per-module circuit breakers.
+	Breaker BreakerConfig
+	// Probe, if set, reports scheduler load (sandboxes in flight) used in
+	// queueing-delay estimates; nil falls back to the controller's own
+	// in-flight count.
+	Probe func() (inflight int)
+	// SeedEstimate, if set, provides an initial service-time estimate for
+	// a module the controller has not yet observed (e.g. from the module
+	// registry's mean-latency stats).
+	SeedEstimate func(module string) time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * c.Workers
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxQueuePerTenant <= 0 {
+		c.MaxQueuePerTenant = c.MaxQueue
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = c.TenantRate
+	}
+	if c.DRRQuantum <= 0 {
+		c.DRRQuantum = 5 * time.Millisecond
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		c.EWMAAlpha = 0.25
+	}
+	if c.DefaultEstimate <= 0 {
+		c.DefaultEstimate = time.Millisecond
+	}
+	c.Breaker = c.Breaker.withDefaults()
+	return c
+}
+
+// Rejection is a refused admission. It implements error so non-HTTP
+// callers can surface it; the HTTP layer maps it to a status line.
+type Rejection struct {
+	// Status is the HTTP status to reply with: 429 for rate-limit
+	// rejections, 503 for overload/breaker/drain rejections.
+	Status int
+	// RetryAfter is the client back-off hint.
+	RetryAfter time.Duration
+	// Reason is a short operator-facing cause ("rate-limited",
+	// "queue-full", "deadline-shed", "breaker-open", "draining").
+	Reason string
+}
+
+func (r *Rejection) Error() string {
+	return fmt.Sprintf("admission: %s (HTTP %d, retry after %v)", r.Reason, r.Status, r.RetryAfter)
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	tenant  *tenantState
+	module  string
+	cost    int64 // estimated service nanos, the DRR charge
+	ch      chan struct{}
+	granted bool
+}
+
+// tenantState is one tenant's bucket, queue, and DRR bookkeeping.
+type tenantState struct {
+	name    string
+	weight  int
+	bucket  *bucket
+	q       []*waiter
+	deficit int64
+	active  bool // member of the DRR active ring
+	topped  bool // deficit already topped up for the current visit
+
+	admitted uint64
+	shed     uint64
+}
+
+// Controller is the admission controller. One instance guards one runtime.
+type Controller struct {
+	cfg Config
+	now func() time.Time
+
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	queued   int
+	tenants  map[string]*tenantState
+	ring     []*tenantState // DRR active ring; head is the current tenant
+	breakers map[string]*breaker
+	est      map[string]*ewma
+
+	admitted   uint64
+	shedRate   uint64 // 429: token bucket
+	shedQueue  uint64 // 503: queue bounds
+	shedDead   uint64 // 503: deadline-aware shed (incl. queue-wait expiry)
+	shedBreak  uint64 // 503: breaker open
+	shedDrain  uint64 // 503: draining
+	grantWaits uint64 // requests that queued before being granted
+}
+
+// ewma is an exponentially weighted moving average of service time.
+type ewma struct {
+	val float64 // nanos
+	n   uint64
+}
+
+func (e *ewma) update(alpha float64, sample time.Duration) {
+	s := float64(sample)
+	if s < 0 {
+		return
+	}
+	if e.n == 0 {
+		e.val = s
+	} else {
+		e.val = alpha*s + (1-alpha)*e.val
+	}
+	e.n++
+}
+
+// New builds a Controller.
+func New(cfg Config) *Controller {
+	return newWithClock(cfg, time.Now)
+}
+
+// newWithClock injects a deterministic clock for tests.
+func newWithClock(cfg Config, now func() time.Time) *Controller {
+	return &Controller{
+		cfg:      cfg.withDefaults(),
+		now:      now,
+		tenants:  make(map[string]*tenantState),
+		breakers: make(map[string]*breaker),
+		est:      make(map[string]*ewma),
+	}
+}
+
+// Ticket is a granted admission; exactly one Done call returns the slot.
+type Ticket struct {
+	c      *Controller
+	module string
+	done   bool
+}
+
+// Done returns the slot, feeds the service-time estimator, and advances the
+// breaker. serviceTime is the observed execution latency (for timeouts,
+// the elapsed time at abandonment — a usable lower bound on service time).
+func (t *Ticket) Done(outcome Outcome, serviceTime time.Duration) {
+	c := t.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.done = true
+	c.inflight--
+	if outcome != OutcomeTrap {
+		// Traps can be arbitrarily early (e.g. instant aborts) and would
+		// drag the estimate below the true service time of working calls.
+		c.estFor(t.module).update(c.cfg.EWMAAlpha, serviceTime)
+	}
+	c.breakerFor(t.module).record(outcome, c.now())
+	c.dispatchLocked()
+}
+
+// Admit asks to dispatch one request for module on behalf of tenant. It
+// returns immediately when a slot is free (or the request is rejected),
+// and otherwise blocks in the DRR admit queue until granted or until the
+// request's deadline budget for queueing expires. deadline <= 0 uses
+// Config.DefaultDeadline.
+func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Ticket, *Rejection) {
+	if deadline <= 0 {
+		deadline = c.cfg.DefaultDeadline
+	}
+	c.mu.Lock()
+	now := c.now()
+	if c.draining {
+		c.shedDrain++
+		c.mu.Unlock()
+		return nil, &Rejection{Status: 503, RetryAfter: time.Second, Reason: "draining"}
+	}
+	ts := c.tenantFor(tenant, now)
+	if ok, retry := c.breakerFor(module).allow(now); !ok {
+		c.shedBreak++
+		ts.shed++
+		c.mu.Unlock()
+		return nil, &Rejection{Status: 503, RetryAfter: retry, Reason: "breaker-open"}
+	}
+	if !ts.bucket.take(now) {
+		c.shedRate++
+		ts.shed++
+		retry := ts.bucket.nextToken(now)
+		c.mu.Unlock()
+		return nil, &Rejection{Status: 429, RetryAfter: retry, Reason: "rate-limited"}
+	}
+	est := c.estimateLocked(module)
+	if c.queued >= c.cfg.MaxQueue || len(ts.q) >= c.cfg.MaxQueuePerTenant {
+		c.shedQueue++
+		ts.shed++
+		wait := c.queueDelayLocked(est)
+		c.mu.Unlock()
+		return nil, &Rejection{Status: 503, RetryAfter: wait, Reason: "queue-full"}
+	}
+	// Deadline-aware shed: if the queue ahead of us already implies more
+	// waiting than the deadline allows, fail fast instead of timing out
+	// after consuming a slot.
+	if wait := c.queueDelayLocked(est); wait > deadline {
+		c.shedDead++
+		ts.shed++
+		c.mu.Unlock()
+		return nil, &Rejection{Status: 503, RetryAfter: wait, Reason: "deadline-shed"}
+	}
+	// Fast path: free slot and nobody queued ahead.
+	if c.inflight < c.cfg.MaxInflight && c.queued == 0 {
+		c.inflight++
+		c.admitted++
+		ts.admitted++
+		c.mu.Unlock()
+		return &Ticket{c: c, module: module}, nil
+	}
+	// Queue under DRR and wait for a grant.
+	w := &waiter{tenant: ts, module: module, cost: int64(est)}
+	w.ch = make(chan struct{})
+	ts.q = append(ts.q, w)
+	if !ts.active {
+		ts.active = true
+		c.ring = append(c.ring, ts)
+	}
+	c.queued++
+	c.grantWaits++
+	c.dispatchLocked()
+	c.mu.Unlock()
+
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		return &Ticket{c: c, module: module}, nil
+	case <-timer.C:
+		c.mu.Lock()
+		if w.granted {
+			// The grant raced the timer; honor it.
+			c.mu.Unlock()
+			return &Ticket{c: c, module: module}, nil
+		}
+		c.removeWaiterLocked(w)
+		c.shedDead++
+		ts.shed++
+		wait := c.queueDelayLocked(int64(c.estimateLocked(module)))
+		c.mu.Unlock()
+		return nil, &Rejection{Status: 503, RetryAfter: wait, Reason: "deadline-shed"}
+	}
+}
+
+// tenantFor lazily creates tenant state.
+func (c *Controller) tenantFor(name string, now time.Time) *tenantState {
+	ts, ok := c.tenants[name]
+	if ok {
+		return ts
+	}
+	tc := c.cfg.Tenants[name]
+	weight := tc.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	rate, burst := c.cfg.TenantRate, c.cfg.TenantBurst
+	if tc.Rate != 0 {
+		rate = tc.Rate
+	}
+	if tc.Burst != 0 {
+		burst = tc.Burst
+	}
+	ts = &tenantState{name: name, weight: weight, bucket: newBucket(rate, burst, now)}
+	c.tenants[name] = ts
+	return ts
+}
+
+func (c *Controller) breakerFor(module string) *breaker {
+	b, ok := c.breakers[module]
+	if !ok {
+		b = newBreaker(c.cfg.Breaker)
+		c.breakers[module] = b
+	}
+	return b
+}
+
+func (c *Controller) estFor(module string) *ewma {
+	e, ok := c.est[module]
+	if !ok {
+		e = &ewma{}
+		if c.cfg.SeedEstimate != nil {
+			if seed := c.cfg.SeedEstimate(module); seed > 0 {
+				e.update(1, seed)
+			}
+		}
+		c.est[module] = e
+	}
+	return e
+}
+
+// estimateLocked returns the per-request service-time estimate for module.
+func (c *Controller) estimateLocked(module string) int64 {
+	e := c.estFor(module)
+	if e.n == 0 {
+		return int64(c.cfg.DefaultEstimate)
+	}
+	return int64(e.val)
+}
+
+// queueDelayLocked estimates how long a request arriving now would wait
+// before dispatch: the requests that must complete before a slot frees for
+// it, at est nanos each, spread over the worker cores. A free slot with an
+// empty queue estimates zero. The in-flight count prefers the scheduler
+// probe (which sees sandboxes the controller has already released to the
+// pool).
+func (c *Controller) queueDelayLocked(est int64) time.Duration {
+	inflight := c.inflight
+	if c.cfg.Probe != nil {
+		if p := c.cfg.Probe(); p > inflight {
+			inflight = p
+		}
+	}
+	ahead := int64(c.queued+inflight) - int64(c.cfg.MaxInflight-1)
+	if ahead <= 0 {
+		return 0
+	}
+	return time.Duration(ahead * est / int64(c.cfg.Workers))
+}
+
+// dispatchLocked grants free slots to queued waiters in weighted
+// deficit-round-robin order: each visit tops the head tenant's deficit up
+// by quantum×weight, then grants from its queue while the deficit covers
+// the head request's estimated cost; an insufficient deficit rotates the
+// tenant to the tail. Emptied tenants leave the ring and forfeit their
+// deficit, so shares are proportional only among backlogged tenants
+// (work-conserving).
+func (c *Controller) dispatchLocked() {
+	for c.inflight < c.cfg.MaxInflight && len(c.ring) > 0 {
+		ts := c.ring[0]
+		if len(ts.q) == 0 {
+			ts.active = false
+			ts.deficit = 0
+			ts.topped = false
+			c.ring = c.ring[1:]
+			continue
+		}
+		// Top up once per visit. When the in-flight cap interrupts a visit
+		// mid-grant, the next dispatch call resumes it with the remaining
+		// deficit rather than topping up again — otherwise a tenant whose
+		// grants trickle out one slot at a time would never rotate.
+		if !ts.topped {
+			ts.deficit += int64(c.cfg.DRRQuantum) * int64(ts.weight)
+			ts.topped = true
+		}
+		for len(ts.q) > 0 && c.inflight < c.cfg.MaxInflight && ts.deficit >= ts.q[0].cost {
+			w := ts.q[0]
+			ts.q = ts.q[1:]
+			ts.deficit -= w.cost
+			c.queued--
+			c.inflight++
+			c.admitted++
+			ts.admitted++
+			w.granted = true
+			close(w.ch)
+		}
+		if c.inflight >= c.cfg.MaxInflight {
+			return
+		}
+		if len(ts.q) == 0 {
+			ts.active = false
+			ts.deficit = 0
+			ts.topped = false
+			c.ring = c.ring[1:]
+		} else {
+			// Deficit exhausted: rotate to the tail for the next round.
+			ts.topped = false
+			c.ring = append(c.ring[1:], ts)
+		}
+	}
+}
+
+// removeWaiterLocked splices an expired waiter out of its tenant queue.
+func (c *Controller) removeWaiterLocked(w *waiter) {
+	q := w.tenant.q
+	for i, x := range q {
+		if x == w {
+			w.tenant.q = append(q[:i], q[i+1:]...)
+			c.queued--
+			return
+		}
+	}
+}
+
+// ResetModule drops the breaker and service-time state for module — called
+// when a module is unregistered or replaced so a redeployed function starts
+// with a clean circuit.
+func (c *Controller) ResetModule(module string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.breakers, module)
+	delete(c.est, module)
+}
+
+// StartDrain stops admitting new requests (503 + Retry-After). Requests
+// already queued are still granted and in-flight ones run to completion.
+func (c *Controller) StartDrain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+}
+
+// Draining reports whether StartDrain was called.
+func (c *Controller) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// WaitIdle blocks until no requests are queued or in flight, or until
+// timeout. It reports whether the controller went idle.
+func (c *Controller) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		idle := c.inflight == 0 && c.queued == 0
+		c.mu.Unlock()
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TenantSnapshot is one tenant's admission accounting.
+type TenantSnapshot struct {
+	Weight   int    `json:"weight"`
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+	Queued   int    `json:"queued"`
+}
+
+// Snapshot is the controller's accounting view, exposed via /__stats.
+type Snapshot struct {
+	Draining      bool                      `json:"draining"`
+	Inflight      int                       `json:"inflight"`
+	Queued        int                       `json:"queued"`
+	Admitted      uint64                    `json:"admitted"`
+	GrantWaits    uint64                    `json:"grant_waits"`
+	ShedRate      uint64                    `json:"shed_rate_429"`
+	ShedQueue     uint64                    `json:"shed_queue_503"`
+	ShedDeadline  uint64                    `json:"shed_deadline_503"`
+	ShedBreaker   uint64                    `json:"shed_breaker_503"`
+	ShedDraining  uint64                    `json:"shed_draining_503"`
+	Tenants       map[string]TenantSnapshot `json:"tenants"`
+	Breakers      map[string]string         `json:"breakers"`
+	EstimateNanos map[string]int64          `json:"estimate_nanos"`
+}
+
+// Shed totals all rejection counters.
+func (s Snapshot) Shed() uint64 {
+	return s.ShedRate + s.ShedQueue + s.ShedDeadline + s.ShedBreaker + s.ShedDraining
+}
+
+// Stats returns a consistent snapshot.
+func (c *Controller) Stats() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := Snapshot{
+		Draining:      c.draining,
+		Inflight:      c.inflight,
+		Queued:        c.queued,
+		Admitted:      c.admitted,
+		GrantWaits:    c.grantWaits,
+		ShedRate:      c.shedRate,
+		ShedQueue:     c.shedQueue,
+		ShedDeadline:  c.shedDead,
+		ShedBreaker:   c.shedBreak,
+		ShedDraining:  c.shedDrain,
+		Tenants:       make(map[string]TenantSnapshot, len(c.tenants)),
+		Breakers:      make(map[string]string, len(c.breakers)),
+		EstimateNanos: make(map[string]int64, len(c.est)),
+	}
+	for name, ts := range c.tenants {
+		snap.Tenants[name] = TenantSnapshot{
+			Weight:   ts.weight,
+			Admitted: ts.admitted,
+			Shed:     ts.shed,
+			Queued:   len(ts.q),
+		}
+	}
+	for name, b := range c.breakers {
+		snap.Breakers[name] = b.state.String()
+	}
+	for name, e := range c.est {
+		if e.n > 0 {
+			snap.EstimateNanos[name] = int64(e.val)
+		}
+	}
+	return snap
+}

@@ -1,0 +1,168 @@
+package admission
+
+import (
+	"fmt"
+	"time"
+)
+
+// BreakerConfig configures the per-module circuit breaker.
+type BreakerConfig struct {
+	// Window is the number of recent outcomes tracked per module.
+	// Default 20.
+	Window int
+	// MinSamples is the minimum outcomes in the window before the breaker
+	// may trip. Default 8.
+	MinSamples int
+	// FailureRatio trips the breaker when failures/window >= ratio.
+	// Default 0.5.
+	FailureRatio float64
+	// Cooldown is how long an open breaker rejects before allowing a
+	// half-open probe. Default 2s.
+	Cooldown time.Duration
+	// Disabled turns the breaker off entirely.
+	Disabled bool
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window == 0 {
+		c.Window = 20
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 8
+	}
+	if c.FailureRatio == 0 {
+		c.FailureRatio = 0.5
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// breaker is one module's circuit breaker: closed → open when the failure
+// ratio over a sliding outcome window crosses the threshold, open →
+// half-open after a cooldown, half-open admits a single probe whose outcome
+// closes or re-opens the circuit. A crashing function therefore stops
+// burning sandbox instantiations after Window·FailureRatio traps, and is
+// retried at Cooldown intervals. Callers synchronize access.
+type breaker struct {
+	cfg      BreakerConfig
+	state    breakerState
+	ring     []bool // true = failure
+	n, idx   int
+	failures int
+	openedAt time.Time
+	probing  bool
+	trips    uint64
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg, ring: make([]bool, cfg.Window)}
+}
+
+// allow reports whether a request for this module may proceed; when it may
+// not, retry is how long the caller should advertise in Retry-After.
+func (b *breaker) allow(now time.Time) (ok bool, retry time.Duration) {
+	if b.cfg.Disabled {
+		return true, 0
+	}
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if since := now.Sub(b.openedAt); since >= b.cfg.Cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return true, 0
+		} else {
+			return false, b.cfg.Cooldown - since
+		}
+	case breakerHalfOpen:
+		if b.probing {
+			// One probe at a time; everyone else keeps backing off.
+			return false, b.cfg.Cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+	return true, 0
+}
+
+// record feeds a finished request's outcome back. Timeouts are an overload
+// signal, not evidence the function is broken, so they only count against a
+// half-open probe (where any non-success must re-open the circuit).
+func (b *breaker) record(outcome Outcome, now time.Time) {
+	if b.cfg.Disabled {
+		return
+	}
+	switch b.state {
+	case breakerClosed:
+		if outcome == OutcomeTimeout {
+			return
+		}
+		failed := outcome == OutcomeTrap
+		if b.n < len(b.ring) {
+			b.n++
+		} else if b.ring[b.idx] {
+			b.failures--
+		}
+		b.ring[b.idx] = failed
+		b.idx = (b.idx + 1) % len(b.ring)
+		if failed {
+			b.failures++
+		}
+		if b.n >= b.cfg.MinSamples && float64(b.failures) >= b.cfg.FailureRatio*float64(b.n) {
+			b.trip(now)
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if outcome == OutcomeSuccess {
+			b.reset()
+		} else {
+			b.trip(now)
+		}
+	case breakerOpen:
+		// Stale result from before the trip; ignore.
+	}
+}
+
+func (b *breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.probing = false
+	b.trips++
+	b.clearWindow()
+}
+
+func (b *breaker) reset() {
+	b.state = breakerClosed
+	b.probing = false
+	b.clearWindow()
+}
+
+func (b *breaker) clearWindow() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.n, b.idx, b.failures = 0, 0, 0
+}

@@ -1,0 +1,61 @@
+package admission
+
+import "time"
+
+// bucket is a token bucket: rate tokens per second refill up to burst
+// capacity, one token per admitted request. rate <= 0 disables the limit.
+//
+// Refill is computed lazily from the elapsed time since the last
+// interaction, so an idle bucket needs no background goroutine and the
+// arithmetic is exact under an injected clock.
+type bucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+func (b *bucket) refill(now time.Time) {
+	elapsed := now.Sub(b.last)
+	if elapsed <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens += elapsed.Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// take consumes one token if available.
+func (b *bucket) take(now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.refill(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// nextToken reports how long until a whole token accumulates.
+func (b *bucket) nextToken(now time.Time) time.Duration {
+	if b.rate <= 0 {
+		return 0
+	}
+	b.refill(now)
+	if b.tokens >= 1 {
+		return 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return time.Duration(need * float64(time.Second))
+}

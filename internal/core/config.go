@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"sledge/internal/abi"
+	"sledge/internal/engine"
 	"sledge/internal/wcc"
 )
 
@@ -21,6 +23,9 @@ type ModuleConfig struct {
 	Entry string `json:"entry"`
 	// HeapBytes reserves sandbox heap for WCC compilation.
 	HeapBytes int `json:"heap_bytes"`
+	// Tenant labels the function's owner for admission control (fair
+	// queueing weight and rate limits); empty means the default tenant.
+	Tenant string `json:"tenant"`
 }
 
 // DeployConfig is the on-disk configuration format.
@@ -55,11 +60,23 @@ func (rt *Runtime) LoadModulesFile(path string) error {
 		}
 		switch strings.ToLower(filepath.Ext(modPath)) {
 		case ".wasm":
-			if _, err := rt.RegisterWasm(mc.Name, src, mc.Entry); err != nil {
+			cm, err := engine.CompileBinary(src, abi.WASIRegistry(), rt.cfg.Engine)
+			if err != nil {
+				return fmt.Errorf("core: register %s: %w", mc.Name, err)
+			}
+			if _, err := rt.RegisterCompiled(mc.Name, cm, mc.Entry, mc.Tenant); err != nil {
 				return err
 			}
 		default:
-			if _, err := rt.RegisterWCC(mc.Name, string(src), wcc.Options{HeapBytes: mc.HeapBytes}); err != nil {
+			res, err := wcc.Compile(string(src), wcc.Options{HeapBytes: mc.HeapBytes})
+			if err != nil {
+				return fmt.Errorf("core: register %s: %w", mc.Name, err)
+			}
+			cm, err := engine.CompileBinary(res.Binary, abi.WASIRegistry(), rt.cfg.Engine)
+			if err != nil {
+				return fmt.Errorf("core: register %s: %w", mc.Name, err)
+			}
+			if _, err := rt.RegisterCompiled(mc.Name, cm, "main", mc.Tenant); err != nil {
 				return err
 			}
 		}

@@ -8,6 +8,12 @@
 // Module registration performs the heavyweight compile/link/load once; each
 // request then pays only sandbox instantiation (µs-scale), reproducing the
 // paper's decoupled function startup.
+//
+// When Config.Admission is set, an admission controller sits between the
+// listener and the scheduler: per-tenant token buckets and weighted
+// deficit-round-robin queueing, deadline-aware shedding (429/503 +
+// Retry-After), per-module circuit breakers, and graceful drain — the
+// overload-management half of multi-tenant temporal isolation.
 package core
 
 import (
@@ -15,12 +21,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sledge/internal/abi"
+	"sledge/internal/admission"
 	"sledge/internal/engine"
 	"sledge/internal/httpd"
 	"sledge/internal/sandbox"
@@ -65,6 +73,10 @@ func (m *Module) Stats() ModuleStats {
 // need direct instantiation).
 func (m *Module) Compiled() *engine.CompiledModule { return m.cm }
 
+// DeadlineHeader is the request header carrying a per-request deadline in
+// milliseconds, used by the admission controller's shed decision.
+const DeadlineHeader = "x-sledge-deadline-ms"
+
 // Config configures the runtime.
 type Config struct {
 	// Workers is the number of worker cores (the paper uses 15 workers +
@@ -86,11 +98,35 @@ type Config struct {
 	// NoRecycle disables sandbox/instance pooling on the request path
 	// (the churn baseline for benchmarks).
 	NoRecycle bool
+
+	// Admission, when non-nil, enables the admission controller between
+	// the listener and the scheduler. Workers, DefaultDeadline, Probe and
+	// SeedEstimate are filled in from the runtime when unset.
+	Admission *admission.Config
+
+	// HTTPReadTimeout bounds reading one request (slow-loris defense);
+	// 0 defaults to RequestTimeout, negative disables.
+	HTTPReadTimeout time.Duration
+	// HTTPWriteTimeout bounds writing one response; 0 defaults to
+	// RequestTimeout, negative disables.
+	HTTPWriteTimeout time.Duration
+	// MaxConns caps concurrent HTTP connections (0 = unlimited).
+	MaxConns int
 }
 
 func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
+	}
+	if c.HTTPReadTimeout == 0 {
+		c.HTTPReadTimeout = c.RequestTimeout
+	} else if c.HTTPReadTimeout < 0 {
+		c.HTTPReadTimeout = 0
+	}
+	if c.HTTPWriteTimeout == 0 {
+		c.HTTPWriteTimeout = c.RequestTimeout
+	} else if c.HTTPWriteTimeout < 0 {
+		c.HTTPWriteTimeout = 0
 	}
 	return c
 }
@@ -99,6 +135,7 @@ func (c Config) withDefaults() Config {
 type Runtime struct {
 	cfg  Config
 	pool *sched.Pool
+	adm  *admission.Controller
 
 	mu       sync.RWMutex
 	registry map[string]*Module
@@ -130,7 +167,36 @@ func New(cfg Config) *Runtime {
 		Policy:       cfg.Policy,
 		Distribution: cfg.Distribution,
 	})
-	rt.server = &httpd.Server{Handler: rt.handle}
+	if cfg.Admission != nil {
+		acfg := *cfg.Admission
+		if acfg.Workers == 0 {
+			acfg.Workers = rt.pool.Workers()
+		}
+		if acfg.DefaultDeadline == 0 {
+			acfg.DefaultDeadline = cfg.RequestTimeout
+		}
+		if acfg.Probe == nil {
+			acfg.Probe = rt.pool.Inflight
+		}
+		if acfg.SeedEstimate == nil {
+			// Seed a module's first service-time estimate from its
+			// registry stats, so warm modules shed accurately from the
+			// first overloaded request.
+			acfg.SeedEstimate = func(module string) time.Duration {
+				if m, ok := rt.Lookup(module); ok {
+					return m.Stats().MeanLatency
+				}
+				return 0
+			}
+		}
+		rt.adm = admission.New(acfg)
+	}
+	rt.server = &httpd.Server{
+		Handler:      rt.handle,
+		ReadTimeout:  cfg.HTTPReadTimeout,
+		WriteTimeout: cfg.HTTPWriteTimeout,
+		MaxConns:     cfg.MaxConns,
+	}
 	return rt
 }
 
@@ -179,6 +245,41 @@ func (rt *Runtime) RegisterCompiled(name string, cm *engine.CompiledModule, entr
 	return m, nil
 }
 
+// Unregister removes the module registered under name and clears its
+// admission state (breaker, service-time estimate). In-flight invocations
+// hold their own module reference and finish normally. It reports whether
+// a module was removed.
+func (rt *Runtime) Unregister(name string) bool {
+	rt.mu.Lock()
+	_, ok := rt.registry[name]
+	if ok {
+		delete(rt.registry, name)
+	}
+	rt.mu.Unlock()
+	if ok && rt.adm != nil {
+		rt.adm.ResetModule(name)
+	}
+	return ok
+}
+
+// Replace atomically swaps the module registered under name — the redeploy
+// path for a breaker-tripped or updated function — registering it fresh if
+// absent. The new deployment starts with a clean circuit and service-time
+// estimate.
+func (rt *Runtime) Replace(name string, cm *engine.CompiledModule, entry, tenant string) (*Module, error) {
+	if entry == "" {
+		entry = "main"
+	}
+	m := &Module{Name: name, Entry: entry, Tenant: tenant, cm: cm}
+	rt.mu.Lock()
+	rt.registry[name] = m
+	rt.mu.Unlock()
+	if rt.adm != nil {
+		rt.adm.ResetModule(name)
+	}
+	return m, nil
+}
+
 // Lookup returns the module registered under name.
 func (rt *Runtime) Lookup(name string) (*Module, bool) {
 	rt.mu.RLock()
@@ -201,10 +302,40 @@ func (rt *Runtime) Modules() []string {
 // Invoke executes one request against the named function, bypassing HTTP.
 // It blocks until the sandbox completes and returns the response body.
 func (rt *Runtime) Invoke(name string, req []byte) ([]byte, error) {
+	return rt.InvokeWithDeadline(name, req, 0)
+}
+
+// InvokeWithDeadline is Invoke with an explicit admission deadline: when
+// the controller estimates the request would wait longer than deadline for
+// a worker, it is shed immediately with an *admission.Rejection error
+// instead of queueing. deadline <= 0 uses the controller default; without
+// an admission controller it is ignored.
+func (rt *Runtime) InvokeWithDeadline(name string, req []byte, deadline time.Duration) ([]byte, error) {
 	m, ok := rt.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoModule, name)
 	}
+	if rt.adm == nil {
+		out, _, _, err := rt.run(m, req)
+		return out, err
+	}
+	tenant := m.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	ticket, rej := rt.adm.Admit(tenant, m.Name, deadline)
+	if rej != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, rej)
+	}
+	out, lat, outcome, err := rt.run(m, req)
+	ticket.Done(outcome, lat)
+	return out, err
+}
+
+// run executes one admitted request end-to-end: instantiate a sandbox,
+// submit it to the scheduler, wait for completion or timeout. It reports
+// the observed latency and the admission outcome alongside the response.
+func (rt *Runtime) run(m *Module, req []byte) (out []byte, lat time.Duration, outcome admission.Outcome, err error) {
 	sb, err := sandbox.New(m.cm, req, sandbox.Options{
 		Entry:     m.Entry,
 		KV:        rt.cfg.KV,
@@ -212,10 +343,10 @@ func (rt *Runtime) Invoke(name string, req []byte) ([]byte, error) {
 		NoRecycle: rt.cfg.NoRecycle,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, admission.OutcomeTrap, err
 	}
 	if err := rt.pool.Submit(sb); err != nil {
-		return nil, err
+		return nil, 0, admission.OutcomeTrap, err
 	}
 	timer, _ := rt.timers.Get().(*time.Timer)
 	if timer == nil {
@@ -237,33 +368,34 @@ func (rt *Runtime) Invoke(name string, req []byte) ([]byte, error) {
 			// worker reaps and recycles it when it next surfaces.
 			rt.abandoned.Add(1)
 			m.failures.Add(1)
-			return nil, fmt.Errorf("core: %s: request timed out after %v", name, rt.cfg.RequestTimeout)
+			return nil, rt.cfg.RequestTimeout, admission.OutcomeTimeout,
+				fmt.Errorf("core: %s: request timed out after %v", m.Name, rt.cfg.RequestTimeout)
 		}
 		// Lost the race: the sandbox finished first. Consume its
 		// notification and proceed as a normal completion.
 		<-sb.Done()
 	}
 	m.invocations.Add(1)
-	m.totalNanos.Add(int64(sb.Latency()))
+	lat = sb.Latency()
+	m.totalNanos.Add(int64(lat))
 	if sb.State() == sandbox.StateTrapped {
 		m.failures.Add(1)
-		err := fmt.Errorf("core: %s: %w", name, sb.Err)
+		err := fmt.Errorf("core: %s: %w", m.Name, sb.Err)
 		sb.Release()
-		return nil, err
+		return nil, lat, admission.OutcomeTrap, err
 	}
 	resp := sb.Response()
-	var out []byte
 	if len(resp) > 0 {
 		// Copy out before the buffer returns to the pool.
 		out = append([]byte(nil), resp...)
 	}
 	sb.Release()
-	return out, nil
+	return out, lat, admission.OutcomeSuccess, nil
 }
 
-// handle is the listener-core request path: demultiplex by URL, instantiate
-// a sandbox, push it to the work-distribution deque, and reply with the
-// function's stdout.
+// handle is the listener-core request path: demultiplex by URL, admit (or
+// shed), instantiate a sandbox, push it to the work-distribution deque, and
+// reply with the function's stdout.
 func (rt *Runtime) handle(req *httpd.Request) httpd.Response {
 	name := strings.TrimPrefix(req.Path, "/")
 	if i := strings.IndexByte(name, '?'); i >= 0 {
@@ -272,18 +404,33 @@ func (rt *Runtime) handle(req *httpd.Request) httpd.Response {
 	if name == "__stats" {
 		return rt.statsResponse()
 	}
-	body, err := rt.Invoke(name, req.Body)
+	var deadline time.Duration
+	if v := req.Header[DeadlineHeader]; v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			deadline = time.Duration(ms) * time.Millisecond
+		}
+	}
+	body, err := rt.InvokeWithDeadline(name, req.Body, deadline)
+	var rej *admission.Rejection
 	switch {
 	case errors.Is(err, ErrNoModule):
 		return httpd.Response{Status: 404, Body: []byte(err.Error() + "\n")}
+	case errors.As(err, &rej):
+		return httpd.Response{
+			Status:      rej.Status,
+			RetryAfter:  rej.RetryAfter,
+			ContentType: "text/plain",
+			Body:        []byte(rej.Reason + "\n"),
+		}
 	case err != nil:
 		return httpd.Response{Status: 500, Body: []byte(err.Error() + "\n")}
 	}
 	return httpd.Response{Status: 200, Body: body}
 }
 
-// statsResponse serves GET /__stats: scheduler counters and the module
-// registry as JSON, for operators and the experiment harness.
+// statsResponse serves GET /__stats: scheduler counters, listener
+// counters, admission-control state, and the module registry as JSON, for
+// operators and the experiment harness.
 func (rt *Runtime) statsResponse() httpd.Response {
 	st := rt.pool.Stats()
 	// One critical section for both the name list and the per-module
@@ -307,6 +454,10 @@ func (rt *Runtime) statsResponse() httpd.Response {
 		Blocked     uint64                 `json:"blocked"`
 		Abandoned   uint64                 `json:"abandoned"`
 		Inflight    int                    `json:"inflight"`
+		QueueDepth  int                    `json:"queue_depth"`
+		Utilization float64                `json:"utilization"`
+		Server      serverStats            `json:"server"`
+		Admission   *admission.Snapshot    `json:"admission,omitempty"`
 	}{
 		Modules:     modules,
 		PerModule:   perModule,
@@ -318,12 +469,32 @@ func (rt *Runtime) statsResponse() httpd.Response {
 		Blocked:     st.Blocked,
 		Abandoned:   rt.abandoned.Load(),
 		Inflight:    rt.pool.Inflight(),
+		QueueDepth:  rt.pool.QueueDepth(),
+		Utilization: rt.pool.Utilization(),
+		Server: serverStats{
+			Accepted: rt.server.Accepted.Load(),
+			Served:   rt.server.Served.Load(),
+			Rejected: rt.server.Rejected.Load(),
+			TimedOut: rt.server.TimedOut.Load(),
+		},
+	}
+	if rt.adm != nil {
+		snap := rt.adm.Stats()
+		payload.Admission = &snap
 	}
 	body, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		return httpd.Response{Status: 500, Body: []byte(err.Error())}
 	}
 	return httpd.Response{Status: 200, ContentType: "application/json", Body: body}
+}
+
+// serverStats is the listener-side accounting exposed via /__stats.
+type serverStats struct {
+	Accepted uint64 `json:"accepted"`
+	Served   uint64 `json:"served"`
+	Rejected uint64 `json:"rejected"`
+	TimedOut uint64 `json:"timed_out"`
 }
 
 // Serve runs the HTTP listener until Close.
@@ -356,6 +527,15 @@ func (rt *Runtime) Addr() net.Addr {
 // Stats exposes scheduler counters.
 func (rt *Runtime) Stats() sched.Stats { return rt.pool.Stats() }
 
+// AdmissionStats returns the admission controller's snapshot; ok is false
+// when admission is disabled.
+func (rt *Runtime) AdmissionStats() (admission.Snapshot, bool) {
+	if rt.adm == nil {
+		return admission.Snapshot{}, false
+	}
+	return rt.adm.Stats(), true
+}
+
 // Abandoned reports how many requests timed out leaving a running sandbox
 // behind (reaped asynchronously by the workers).
 func (rt *Runtime) Abandoned() uint64 { return rt.abandoned.Load() }
@@ -363,7 +543,29 @@ func (rt *Runtime) Abandoned() uint64 { return rt.abandoned.Load() }
 // Pool exposes the scheduler for experiments.
 func (rt *Runtime) Pool() *sched.Pool { return rt.pool }
 
-// Close shuts down the listener and the worker pool.
+// Drain gracefully shuts the runtime down: stop admitting new requests
+// (503 + Retry-After), let queued and in-flight requests finish within
+// timeout, then close the listener and the worker pool. It reports whether
+// everything completed before the timeout forced the remainder.
+func (rt *Runtime) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	if rt.adm != nil {
+		rt.adm.StartDrain()
+	}
+	clean := true
+	if rt.server != nil {
+		clean = rt.server.Drain(time.Until(deadline))
+	}
+	if rt.adm != nil {
+		clean = rt.adm.WaitIdle(time.Until(deadline)) && clean
+	}
+	clean = rt.pool.Quiesce(time.Until(deadline)) && clean
+	rt.pool.Stop()
+	return clean
+}
+
+// Close shuts down the listener and the worker pool immediately; use Drain
+// for graceful shutdown.
 func (rt *Runtime) Close() error {
 	var err error
 	if rt.server != nil {

@@ -25,6 +25,9 @@ type Options struct {
 	KernelFilter []string
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
+	// SnapshotPath, when set, makes experiments that support it (overload)
+	// write a machine-readable JSON result there.
+	SnapshotPath string
 }
 
 func (o Options) logf(format string, args ...any) {
@@ -100,6 +103,7 @@ var Registry = map[string]func(Options) ([]*Table, error){
 	"table3":   RunTable3,
 	"memfoot":  RunMemFootprint,
 	"cpubound": RunCPUBound,
+	"overload": RunOverload,
 	"ablation": func(o Options) ([]*Table, error) {
 		var out []*Table
 		for _, fn := range []func(Options) ([]*Table, error){
@@ -117,5 +121,5 @@ var Registry = map[string]func(Options) ([]*Table, error){
 
 // IDs lists experiment IDs in paper order.
 func IDs() []string {
-	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "ablation"}
+	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "overload", "ablation"}
 }

@@ -3,6 +3,13 @@
 // keep-alive connections, and plain responses. The paper's runtime speaks
 // raw HTTP over TCP sockets from a dedicated listener core; this package is
 // that layer, kept deliberately small and allocation-light.
+//
+// The server defends the accept side of the admission-control pipeline:
+// per-connection read deadlines bound how long a client may dribble a
+// request in (the slow-loris exposure), a concurrent-connection cap sheds
+// excess connections with an immediate 503 + Retry-After, and Drain
+// supports graceful shutdown (stop accepting, finish in-flight requests,
+// then close).
 package httpd
 
 import (
@@ -11,10 +18,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Request is one parsed HTTP request.
@@ -34,7 +43,10 @@ type Response struct {
 	Status int
 	// ContentType defaults to application/octet-stream.
 	ContentType string
-	Body        []byte
+	// RetryAfter, when positive, emits a Retry-After header (whole
+	// seconds, rounded up) — the back-off hint on 429/503 sheds.
+	RetryAfter time.Duration
+	Body       []byte
 }
 
 // Handler processes one request. Handlers may block; each connection is
@@ -50,26 +62,52 @@ const MaxBodyBytes = 8 << 20
 // MaxHeaderBytes bounds each header line.
 const MaxHeaderBytes = 64 << 10
 
+// connState tracks one connection's request lifecycle so drain can tell
+// idle connections (safe to close now) from ones mid-request (must be
+// allowed to finish).
+type connState struct {
+	mu     sync.Mutex
+	active bool // a request has been read and is being handled
+	closed bool // drain closed the conn; do not start a new request
+}
+
 // Server serves HTTP over a listener.
 type Server struct {
 	Handler Handler
 
+	// ReadTimeout bounds reading one full request (and keep-alive idle
+	// gaps); it is armed before each request read. Zero disables it.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response. Zero disables it.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrent connections; excess connections receive an
+	// immediate 503 + Retry-After and are closed. Zero means unlimited.
+	MaxConns int
+
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
+	conns    map[net.Conn]*connState
 	closed   atomic.Bool
+	draining atomic.Bool
 
-	// Accepted counts accepted connections; Served counts requests.
+	// Accepted counts accepted connections; Served counts requests;
+	// Rejected counts connections shed by MaxConns; TimedOut counts
+	// connections closed by a read deadline (slow or idle clients).
 	Accepted atomic.Uint64
 	Served   atomic.Uint64
+	Rejected atomic.Uint64
+	TimedOut atomic.Uint64
 }
+
+// conn503 is the canned response for connections shed at accept time.
+const conn503 = "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nRetry-After: 1\r\nConnection: close\r\n\r\n"
 
 // Serve accepts connections until the listener is closed.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.listener = l
 	if s.conns == nil {
-		s.conns = make(map[net.Conn]struct{})
+		s.conns = make(map[net.Conn]*connState)
 	}
 	s.mu.Unlock()
 	var wg sync.WaitGroup
@@ -82,29 +120,46 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		if s.MaxConns > 0 && s.connCount() >= s.MaxConns {
+			s.Rejected.Add(1)
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			io.WriteString(conn, conn503)
+			conn.Close()
+			continue
+		}
 		s.Accepted.Add(1)
-		s.track(conn, true)
+		st := s.track(conn)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer s.track(conn, false)
+			defer s.untrack(conn)
 			defer conn.Close()
-			s.serveConn(conn)
+			s.serveConn(conn, st)
 		}()
 	}
 }
 
-func (s *Server) track(c net.Conn, add bool) {
+func (s *Server) track(c net.Conn) *connState {
+	st := &connState{}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if add {
-		s.conns[c] = struct{}{}
-	} else {
-		delete(s.conns, c)
-	}
+	s.conns[c] = st
+	s.mu.Unlock()
+	return st
 }
 
-// Close stops accepting and closes active connections.
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) connCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Close stops accepting and closes active connections immediately.
 func (s *Server) Close() error {
 	s.closed.Store(true)
 	s.mu.Lock()
@@ -119,27 +174,100 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+// Drain gracefully shuts the server down: stop accepting, close idle
+// connections, let requests already being handled write their responses
+// (each such connection then closes), and force-close whatever remains
+// when the timeout lapses. It reports whether every connection finished
+// cleanly within the timeout.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.draining.Store(true)
+	s.closed.Store(true)
+	s.mu.Lock()
+	ln := s.listener
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.sweepConns() == 0 {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Timeout: force-close stragglers.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// sweepConns closes connections with no request in flight and returns how
+// many connections remain tracked. A connection blocked in a request read
+// is idle: closing it unblocks the read with an error and the serve
+// goroutine exits without dropping any accepted work.
+func (s *Server) sweepConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c, st := range s.conns {
+		st.mu.Lock()
+		if !st.active && !st.closed {
+			st.closed = true
+			c.Close()
+		}
+		st.mu.Unlock()
+	}
+	return len(s.conns)
+}
+
+func (s *Server) serveConn(conn net.Conn, st *connState) {
 	br := bufio.NewReaderSize(conn, 16<<10)
 	bw := bufio.NewWriterSize(conn, 16<<10)
 	for {
+		if s.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
 		req, err := ReadRequest(br)
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				// Slow-loris or idle keep-alive: the client failed to
+				// deliver a request within the read window.
+				s.TimedOut.Add(1)
+				return
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				writeResponse(bw, Response{Status: 400, Body: []byte(err.Error() + "\n")}, true)
 				bw.Flush()
 			}
 			return
 		}
+		// Transition idle → active under the state lock so a concurrent
+		// drain sweep either closed us already (drop the request — it was
+		// never admitted) or waits for this request to complete.
+		st.mu.Lock()
+		if st.closed {
+			st.mu.Unlock()
+			return
+		}
+		st.active = true
+		st.mu.Unlock()
 		s.Served.Add(1)
 		resp := s.Handler(req)
-		if err := writeResponse(bw, resp, req.Close); err != nil {
-			return
+		closeAfter := req.Close || s.draining.Load()
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-		if req.Close {
+		werr := writeResponse(bw, resp, closeAfter)
+		ferr := bw.Flush()
+		st.mu.Lock()
+		st.active = false
+		st.mu.Unlock()
+		if werr != nil || ferr != nil || closeAfter {
 			return
 		}
 	}
@@ -203,17 +331,27 @@ func ReadRequest(br *bufio.Reader) (*Request, error) {
 func readLine(br *bufio.Reader) (string, error) {
 	var sb strings.Builder
 	for {
-		chunk, isPrefix, err := br.ReadLine()
-		if err != nil {
-			return "", err
-		}
+		chunk, err := br.ReadSlice('\n')
 		sb.Write(chunk)
 		if sb.Len() > MaxHeaderBytes {
 			return "", fmt.Errorf("%w: header line too long", ErrMalformedRequest)
 		}
-		if !isPrefix {
-			return sb.String(), nil
+		if errors.Is(err, bufio.ErrBufferFull) {
+			continue
 		}
+		if err != nil {
+			// Propagate even when partial data arrived: a line cut off by
+			// EOF or a read deadline is not a request line. (bufio.ReadLine
+			// would swallow the error here, turning a slow-loris stall into
+			// a bogus 400 instead of a counted timeout.)
+			return "", err
+		}
+		line := sb.String()
+		line = line[:len(line)-1] // trailing '\n'
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		return line, nil
 	}
 }
 
@@ -221,6 +359,7 @@ var statusText = map[int]string{
 	200: "OK",
 	400: "Bad Request",
 	404: "Not Found",
+	429: "Too Many Requests",
 	500: "Internal Server Error",
 	503: "Service Unavailable",
 }
@@ -241,6 +380,15 @@ func writeResponse(w *bufio.Writer, resp Response, close bool) error {
 	if _, err := fmt.Fprintf(w, "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n",
 		status, text, ct, len(resp.Body)); err != nil {
 		return err
+	}
+	if resp.RetryAfter > 0 {
+		secs := int64((resp.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		if _, err := fmt.Fprintf(w, "Retry-After: %d\r\n", secs); err != nil {
+			return err
+		}
 	}
 	if close {
 		if _, err := io.WriteString(w, "Connection: close\r\n"); err != nil {

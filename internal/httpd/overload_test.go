@@ -1,0 +1,282 @@
+package httpd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func startOverloadServer(t *testing.T, s *Server) net.Addr {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return ln.Addr()
+}
+
+// TestSlowLorisReadDeadline: a client that connects and dribbles nothing
+// must be cut off by the read deadline, not hold the connection forever.
+func TestSlowLorisReadDeadline(t *testing.T) {
+	s := &Server{
+		Handler:     func(*Request) Response { return Response{Body: []byte("ok")} },
+		ReadTimeout: 50 * time.Millisecond,
+	}
+	addr := startOverloadServer(t, s)
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send half a request line and stall.
+	io.WriteString(conn, "POST /x HT")
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	_, rerr := conn.Read(buf)
+	if rerr == nil {
+		t.Fatal("expected the server to close a stalled connection")
+	}
+	deadline := time.Now().Add(time.Second)
+	for s.TimedOut.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.TimedOut.Load(); got != 1 {
+		t.Fatalf("TimedOut = %d, want 1", got)
+	}
+}
+
+// TestMaxConnsShedsWith503: connections past the cap receive an immediate
+// 503 with Retry-After and are counted as rejected.
+func TestMaxConnsShedsWith503(t *testing.T) {
+	release := make(chan struct{})
+	s := &Server{
+		Handler: func(*Request) Response {
+			<-release
+			return Response{Body: []byte("ok")}
+		},
+		MaxConns: 2,
+	}
+	addr := startOverloadServer(t, s)
+	defer close(release)
+
+	// Two connections occupy the cap, each with a request in flight.
+	var occupied []net.Conn
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		io.WriteString(c, "POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+		occupied = append(occupied, c)
+	}
+	deadline := time.Now().Add(time.Second)
+	for s.connCount() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The third connection must be shed at accept time.
+	c3, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	c3.SetReadDeadline(time.Now().Add(2 * time.Second))
+	raw, _ := io.ReadAll(c3)
+	head := string(raw)
+	if !strings.HasPrefix(head, "HTTP/1.1 503") {
+		t.Fatalf("shed connection got %q, want 503 status line", head)
+	}
+	if !strings.Contains(head, "Retry-After: 1") {
+		t.Fatalf("shed response missing Retry-After: %q", head)
+	}
+	if got := s.Rejected.Load(); got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+}
+
+// TestRetryAfterHeader: handler-supplied RetryAfter surfaces as a
+// Retry-After header with seconds rounded up.
+func TestRetryAfterHeader(t *testing.T) {
+	s := &Server{
+		Handler: func(*Request) Response {
+			return Response{Status: 429, RetryAfter: 1500 * time.Millisecond}
+		},
+	}
+	addr := startOverloadServer(t, s)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	io.WriteString(conn, "POST /x HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n")
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	raw, _ := io.ReadAll(conn)
+	head := string(raw)
+	if !strings.HasPrefix(head, "HTTP/1.1 429 Too Many Requests") {
+		t.Fatalf("status line = %q", head)
+	}
+	if !strings.Contains(head, "Retry-After: 2") {
+		t.Fatalf("1.5s RetryAfter should round up to 2 seconds: %q", head)
+	}
+}
+
+// TestDrainFinishesInflight: Drain must complete the request already being
+// handled, close its connection afterwards, and close idle keep-alive
+// connections immediately.
+func TestDrainFinishesInflight(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	var served atomic.Int64
+	s := &Server{
+		Handler: func(*Request) Response {
+			served.Add(1)
+			close(inHandler)
+			<-release
+			return Response{Body: []byte("done")}
+		},
+	}
+	addr := startOverloadServer(t, s)
+
+	// An idle keep-alive connection (no request in flight).
+	idle, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	io.WriteString(idle, "POST /x HTTP") // partial: never becomes a request
+
+	// A connection with a request mid-handler.
+	busy, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+	io.WriteString(busy, "POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+	<-inHandler
+
+	drained := make(chan bool)
+	go func() { drained <- s.Drain(5 * time.Second) }()
+	// Give the sweep a moment: the idle conn must die, the busy one not.
+	time.Sleep(20 * time.Millisecond)
+	idle.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := idle.Read(make([]byte, 1)); err == nil {
+		t.Fatal("idle connection should be closed by drain")
+	}
+	select {
+	case <-drained:
+		t.Fatal("drain returned while a request was still in flight")
+	default:
+	}
+
+	// Release the handler: the response must arrive, then drain completes.
+	close(release)
+	busy.SetReadDeadline(time.Now().Add(2 * time.Second))
+	br := bufio.NewReader(busy)
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "HTTP/1.1 200") {
+		t.Fatalf("in-flight request response = %q, %v", line, err)
+	}
+	raw, _ := io.ReadAll(br)
+	if !strings.Contains(string(raw), "Connection: close") {
+		t.Fatalf("drained connection should advertise close: %q", string(raw))
+	}
+	if ok := <-drained; !ok {
+		t.Fatal("drain should report clean completion")
+	}
+	if served.Load() != 1 {
+		t.Fatalf("served = %d, want 1", served.Load())
+	}
+	// New connections are refused (listener closed).
+	if c, err := net.Dial("tcp", addr.String()); err == nil {
+		c.Close()
+		t.Fatal("dial should fail after drain closed the listener")
+	}
+}
+
+// TestDrainUnderConcurrentLoad exercises drain while many keep-alive
+// clients are mid-flight (run with -race).
+func TestDrainUnderConcurrentLoad(t *testing.T) {
+	var served atomic.Int64
+	s := &Server{
+		Handler: func(*Request) Response {
+			time.Sleep(time.Millisecond)
+			served.Add(1)
+			return Response{Body: []byte("ok")}
+		},
+		ReadTimeout: time.Second,
+	}
+	addr := startOverloadServer(t, s)
+
+	var wg sync.WaitGroup
+	var completed atomic.Int64
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := net.Dial("tcp", addr.String())
+				if err != nil {
+					return // listener closed by drain
+				}
+				br := bufio.NewReader(c)
+				for {
+					if _, err := io.WriteString(c, "POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n"); err != nil {
+						break
+					}
+					c.SetReadDeadline(time.Now().Add(2 * time.Second))
+					status, err := br.ReadString('\n')
+					if err != nil {
+						break
+					}
+					if !strings.HasPrefix(status, "HTTP/1.1 200") {
+						t.Errorf("unexpected status %q", status)
+						break
+					}
+					// Drain the rest of the response head + body.
+					cl := 0
+					for {
+						h, err := br.ReadString('\n')
+						if err != nil {
+							break
+						}
+						if strings.HasPrefix(strings.ToLower(h), "content-length:") {
+							fmt.Sscanf(strings.TrimSpace(h[15:]), "%d", &cl)
+						}
+						if h == "\r\n" {
+							break
+						}
+					}
+					if cl > 0 {
+						io.ReadFull(br, make([]byte, cl))
+					}
+					completed.Add(1)
+				}
+				c.Close()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	s.Drain(5 * time.Second)
+	close(stop)
+	wg.Wait()
+	if served.Load() == 0 || completed.Load() == 0 {
+		t.Fatalf("no traffic before drain: served=%d completed=%d", served.Load(), completed.Load())
+	}
+	t.Logf("served=%d completed=%d rejected=%d", served.Load(), completed.Load(), s.Rejected.Load())
+}

@@ -1,8 +1,16 @@
-// Package loadgen is the closed-loop HTTP load generator used by the
-// serverless experiments — the reproduction's Apache Bench: C concurrent
-// connections issue N total POST requests and the harness reports
-// throughput plus mean/median/p99 latency, the quantities in the paper's
-// Figures 6–8.
+// Package loadgen is the HTTP load generator used by the serverless
+// experiments. It has two modes:
+//
+//   - Closed loop (the reproduction's Apache Bench): C concurrent
+//     connections issue N total POST requests; throughput tracks service
+//     rate because each worker waits for its response before sending the
+//     next request. This is the mode behind the paper's Figures 6–8.
+//   - Open loop (Rate > 0): requests are issued on a fixed schedule
+//     regardless of completions, so offered load can exceed capacity —
+//     the overload regime the admission-control experiments drive.
+//
+// Open-loop results separate goodput (200s) from shed responses (429/503,
+// the admission controller doing its job) and errors.
 package loadgen
 
 import (
@@ -23,25 +31,55 @@ type Options struct {
 	URL string
 	// Concurrency is the number of concurrent connections (ab -c).
 	Concurrency int
-	// Requests is the total request count (ab -n).
+	// Requests is the total request count (ab -n). In open-loop mode it
+	// bounds issued requests when positive.
 	Requests int
 	// Body is the request payload; BodyFn overrides it per request.
 	Body   []byte
 	BodyFn func(i int) []byte
 	// Timeout bounds each request. Default 30 s.
 	Timeout time.Duration
-	// Validate, if set, checks each response body.
+	// Validate, if set, checks each 200 response body.
 	Validate func(body []byte) error
+	// Header adds request headers (e.g. the deadline header).
+	Header map[string]string
+
+	// Rate, when positive, selects open-loop mode: requests are issued at
+	// Rate per second for Duration (or until Requests are issued),
+	// regardless of completions.
+	Rate float64
+	// Duration bounds an open-loop run. Default 5 s.
+	Duration time.Duration
+	// MaxOutstanding bounds concurrent open-loop requests; issue ticks
+	// finding no free slot are dropped (counted, not sent — a full client
+	// is itself an overload symptom). Default 4096.
+	MaxOutstanding int
 }
 
 // Result reports one load run.
 type Result struct {
+	// Latencies holds per-request latency of successful (200) requests.
 	Latencies []time.Duration
 	Summary   stats.Summary
 	Elapsed   time.Duration
-	Errors    int
-	// ThroughputRPS is completed requests per second of wall time.
+	// Errors counts transport failures, validation failures, and
+	// unexpected statuses. Shed responses (429/503) are NOT errors.
+	Errors int
+	// Rejected counts 429/503 shed responses.
+	Rejected int
+	// Dropped counts open-loop issue ticks that found the outstanding
+	// window full.
+	Dropped int
+	// Issued counts requests actually sent.
+	Issued int
+	// StatusCounts tallies responses by HTTP status.
+	StatusCounts map[int]int
+	// ThroughputRPS is completed (200) requests per second of wall time.
 	ThroughputRPS float64
+	// GoodputRPS aliases ThroughputRPS for the overload experiments.
+	GoodputRPS float64
+	// OfferedRPS is issued requests per second of wall time.
+	OfferedRPS float64
 	// BytesIn totals response body bytes.
 	BytesIn int64
 }
@@ -52,93 +90,193 @@ func Run(opts Options) (Result, error) {
 	if opts.Concurrency <= 0 {
 		opts.Concurrency = 1
 	}
-	if opts.Requests <= 0 {
+	if opts.Requests <= 0 && opts.Rate <= 0 {
+		// Closed loop needs a request count; open loop is duration-bounded
+		// and treats Requests <= 0 as unlimited.
 		opts.Requests = 1
 	}
 	if opts.Timeout == 0 {
 		opts.Timeout = 30 * time.Second
 	}
+	idle := opts.Concurrency
+	if opts.Rate > 0 {
+		if opts.MaxOutstanding <= 0 {
+			opts.MaxOutstanding = 4096
+		}
+		if opts.Duration <= 0 {
+			opts.Duration = 5 * time.Second
+		}
+		idle = opts.MaxOutstanding
+	}
 	transport := &http.Transport{
-		MaxIdleConns:        opts.Concurrency,
-		MaxIdleConnsPerHost: opts.Concurrency,
+		MaxIdleConns:        idle,
+		MaxIdleConnsPerHost: idle,
 		IdleConnTimeout:     time.Minute,
 		DisableCompression:  true,
 	}
 	client := &http.Client{Transport: transport, Timeout: opts.Timeout}
 	defer transport.CloseIdleConnections()
+	if opts.Rate > 0 {
+		return runOpenLoop(opts, client)
+	}
+	return runClosedLoop(opts, client)
+}
 
-	var (
-		next     atomic.Int64
-		errs     atomic.Int64
-		bytesIn  atomic.Int64
-		latMu    sync.Mutex
-		all      = make([]time.Duration, 0, opts.Requests)
-		wg       sync.WaitGroup
-		firstErr atomic.Pointer[error]
-	)
+// collector accumulates per-request outcomes across workers.
+type collector struct {
+	mu       sync.Mutex
+	lats     []time.Duration
+	statuses map[int]int
+
+	errs     atomic.Int64
+	rejected atomic.Int64
+	bytesIn  atomic.Int64
+	firstErr atomic.Pointer[error]
+}
+
+func newCollector(capacity int) *collector {
+	return &collector{
+		lats:     make([]time.Duration, 0, capacity),
+		statuses: make(map[int]int),
+	}
+}
+
+// do issues one request and records its outcome.
+func (c *collector) do(client *http.Client, opts *Options, i int) {
+	body := opts.Body
+	if opts.BodyFn != nil {
+		body = opts.BodyFn(i)
+	}
+	req, err := http.NewRequest("POST", opts.URL, bytes.NewReader(body))
+	if err != nil {
+		c.fail(fmt.Errorf("request %d: %w", i, err))
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	for k, v := range opts.Header {
+		req.Header.Set(k, v)
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		c.fail(fmt.Errorf("request %d: %w", i, err))
+		return
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lat := time.Since(t0)
+	c.mu.Lock()
+	c.statuses[resp.StatusCode]++
+	c.mu.Unlock()
+	switch {
+	case err != nil:
+		c.fail(fmt.Errorf("request %d: read: %w", i, err))
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		// The admission controller shedding load is an expected overload
+		// outcome, accounted separately from errors.
+		c.rejected.Add(1)
+	case resp.StatusCode != http.StatusOK:
+		c.fail(fmt.Errorf("request %d: status %d", i, resp.StatusCode))
+	case opts.Validate != nil && opts.Validate(data) != nil:
+		c.fail(fmt.Errorf("request %d: %w", i, opts.Validate(data)))
+	default:
+		c.bytesIn.Add(int64(len(data)))
+		c.mu.Lock()
+		c.lats = append(c.lats, lat)
+		c.mu.Unlock()
+	}
+}
+
+func (c *collector) fail(err error) {
+	c.errs.Add(1)
+	c.firstErr.CompareAndSwap(nil, &err)
+}
+
+func (c *collector) result(elapsed time.Duration, issued, dropped int) (Result, error) {
+	res := Result{
+		Latencies:    c.lats,
+		Summary:      stats.Summarize(c.lats),
+		Elapsed:      elapsed,
+		Errors:       int(c.errs.Load()),
+		Rejected:     int(c.rejected.Load()),
+		Dropped:      dropped,
+		Issued:       issued,
+		StatusCounts: c.statuses,
+		BytesIn:      c.bytesIn.Load(),
+	}
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(len(c.lats)) / elapsed.Seconds()
+		res.OfferedRPS = float64(issued) / elapsed.Seconds()
+	}
+	res.GoodputRPS = res.ThroughputRPS
+	if ep := c.firstErr.Load(); ep != nil && len(c.lats) == 0 && res.Rejected == 0 {
+		return res, *ep
+	}
+	return res, nil
+}
+
+func runClosedLoop(opts Options, client *http.Client) (Result, error) {
+	col := newCollector(opts.Requests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < opts.Concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := make([]time.Duration, 0, opts.Requests/opts.Concurrency+1)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= opts.Requests {
-					break
+					return
 				}
-				body := opts.Body
-				if opts.BodyFn != nil {
-					body = opts.BodyFn(i)
-				}
-				t0 := time.Now()
-				resp, err := client.Post(opts.URL, "application/octet-stream", bytes.NewReader(body))
-				if err != nil {
-					errs.Add(1)
-					e := fmt.Errorf("request %d: %w", i, err)
-					firstErr.CompareAndSwap(nil, &e)
-					continue
-				}
-				data, err := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				lat := time.Since(t0)
-				if err != nil || resp.StatusCode != http.StatusOK {
-					errs.Add(1)
-					e := fmt.Errorf("request %d: status %d: %v", i, resp.StatusCode, err)
-					firstErr.CompareAndSwap(nil, &e)
-					continue
-				}
-				if opts.Validate != nil {
-					if verr := opts.Validate(data); verr != nil {
-						errs.Add(1)
-						e := fmt.Errorf("request %d: %w", i, verr)
-						firstErr.CompareAndSwap(nil, &e)
-						continue
-					}
-				}
-				bytesIn.Add(int64(len(data)))
-				local = append(local, lat)
+				col.do(client, &opts, i)
 			}
-			latMu.Lock()
-			all = append(all, local...)
-			latMu.Unlock()
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	return col.result(time.Since(start), opts.Requests, 0)
+}
 
-	res := Result{
-		Latencies: all,
-		Summary:   stats.Summarize(all),
-		Elapsed:   elapsed,
-		Errors:    int(errs.Load()),
-		BytesIn:   bytesIn.Load(),
+// runOpenLoop issues requests on a fixed schedule: one every 1/Rate
+// seconds, catching up in bursts when the issuing goroutine falls behind
+// (standard open-loop semantics — the schedule, not the server, paces
+// arrivals).
+func runOpenLoop(opts Options, client *http.Client) (Result, error) {
+	col := newCollector(opts.MaxOutstanding)
+	interval := time.Duration(float64(time.Second) / opts.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
 	}
-	if elapsed > 0 {
-		res.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
+	sem := make(chan struct{}, opts.MaxOutstanding)
+	var wg sync.WaitGroup
+	issued, dropped := 0, 0
+	start := time.Now()
+	end := start.Add(opts.Duration)
+	for i := 0; ; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if !due.Before(end) {
+			break
+		}
+		if opts.Requests > 0 && issued+dropped >= opts.Requests {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			dropped++
+			continue
+		}
+		issued++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			col.do(client, &opts, i)
+		}(i)
 	}
-	if ep := firstErr.Load(); ep != nil && len(all) == 0 {
-		return res, *ep
-	}
-	return res, nil
+	wg.Wait()
+	return col.result(time.Since(start), issued, dropped)
 }

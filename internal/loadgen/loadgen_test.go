@@ -87,3 +87,95 @@ func TestRunUnreachable(t *testing.T) {
 		t.Errorf("Errors = %d", res.Errors)
 	}
 }
+
+// TestOpenLoopPacing: the open-loop issuer follows the schedule, not the
+// server, and separates shed responses from errors.
+func TestOpenLoopPacing(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := served.Add(1)
+		if n%4 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	res, err := Run(Options{
+		URL:      srv.URL,
+		Rate:     200,
+		Duration: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 200 rps for 0.5 s ≈ 100 issue ticks; allow slop for slow CI.
+	if res.Issued < 50 || res.Issued > 110 {
+		t.Errorf("Issued = %d, want ~100", res.Issued)
+	}
+	if res.Errors != 0 {
+		t.Errorf("Errors = %d (shed responses must not count as errors)", res.Errors)
+	}
+	if res.Rejected == 0 || res.StatusCounts[503] != res.Rejected {
+		t.Errorf("Rejected = %d, StatusCounts = %v", res.Rejected, res.StatusCounts)
+	}
+	if res.StatusCounts[200] != res.Summary.Count {
+		t.Errorf("latencies (%d) must cover exactly the 200s (%d)",
+			res.Summary.Count, res.StatusCounts[200])
+	}
+	if res.GoodputRPS <= 0 || res.OfferedRPS <= res.GoodputRPS {
+		t.Errorf("GoodputRPS = %.1f, OfferedRPS = %.1f", res.GoodputRPS, res.OfferedRPS)
+	}
+}
+
+// TestOpenLoopOutstandingCap: when the server stalls, issue ticks beyond
+// MaxOutstanding are dropped instead of piling up goroutines.
+func TestOpenLoopOutstandingCap(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Second)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	res, err := Run(Options{
+		URL:            srv.URL,
+		Rate:           1000,
+		Duration:       300 * time.Millisecond,
+		MaxOutstanding: 4,
+		Timeout:        5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Issued > 4 {
+		t.Errorf("Issued = %d, want <= MaxOutstanding", res.Issued)
+	}
+	if res.Dropped == 0 {
+		t.Error("expected dropped issue ticks while the window is full")
+	}
+}
+
+// TestOpenLoopRequestBound: Requests caps issued work in open-loop mode.
+func TestOpenLoopRequestBound(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	res, err := Run(Options{
+		URL:      srv.URL,
+		Rate:     10000,
+		Duration: 5 * time.Second,
+		Requests: 25,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Issued+res.Dropped != 25 {
+		t.Errorf("Issued+Dropped = %d, want 25", res.Issued+res.Dropped)
+	}
+	if res.Elapsed > 2*time.Second {
+		t.Errorf("run did not stop at the request bound (%v)", res.Elapsed)
+	}
+}

@@ -144,6 +144,9 @@ type Pool struct {
 	stopped  atomic.Bool
 	wg       sync.WaitGroup
 	inflight atomic.Int64
+	// busy counts workers currently executing a sandbox quantum — the
+	// utilization signal the admission controller reads.
+	busy atomic.Int64
 
 	submitted   atomic.Uint64
 	completed   atomic.Uint64
@@ -168,6 +171,11 @@ type worker struct {
 	// between idle and running on every request must not allocate a fresh
 	// timer per cycle (the zero-allocation steady-state path).
 	idleTimer *time.Timer
+
+	// qlen publishes len(runq)+len(blockedQ) once per loop iteration so
+	// QueueDepth can sum local backlogs without touching worker-owned
+	// slices.
+	qlen atomic.Int64
 }
 
 // NewPool starts the worker pool.
@@ -276,6 +284,35 @@ func (p *Pool) Stats() Stats {
 // Inflight reports sandboxes submitted but not yet finished.
 func (p *Pool) Inflight() int { return int(p.inflight.Load()) }
 
+// Workers reports the worker-core count.
+func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// Busy reports workers currently executing a sandbox quantum.
+func (p *Pool) Busy() int { return int(p.busy.Load()) }
+
+// Utilization reports the fraction of workers mid-quantum, in [0, 1].
+func (p *Pool) Utilization() float64 {
+	return float64(p.busy.Load()) / float64(p.cfg.Workers)
+}
+
+// QueueDepth approximates sandboxes waiting for a core: the global
+// distribution structures plus each worker's published local backlog. The
+// per-worker figures are refreshed once per scheduling iteration, so the
+// value is a load signal, not an exact count.
+func (p *Pool) QueueDepth() int {
+	depth := int64(p.global.Size() + len(p.submitCh))
+	p.lockQ.mu.Lock()
+	depth += int64(len(p.lockQ.q))
+	p.lockQ.mu.Unlock()
+	for _, w := range p.workers {
+		w.inbox.mu.Lock()
+		depth += int64(len(w.inbox.q))
+		w.inbox.mu.Unlock()
+		depth += w.qlen.Load()
+	}
+	return int(depth)
+}
+
 // FuelQuantum reports the per-slice fuel (0 in cooperative mode).
 func (p *Pool) FuelQuantum() int64 { return p.fuelQuantum }
 
@@ -370,6 +407,7 @@ func (w *worker) loop() {
 		}
 		w.drainEventLoop()
 		w.admit()
+		w.qlen.Store(int64(len(w.runq) + len(w.blockedQ)))
 		sb := w.next()
 		if sb == nil {
 			w.idleWait()
@@ -384,7 +422,9 @@ func (w *worker) loop() {
 			continue
 		}
 		prevPre := sb.Preemptions
+		p.busy.Add(1)
 		st := sb.RunQuantum(p.fuelQuantum)
+		p.busy.Add(-1)
 		switch st {
 		case sandbox.StateRunnable:
 			p.preemptions.Add(sb.Preemptions - prevPre)

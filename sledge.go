@@ -27,6 +27,7 @@ package sledge
 
 import (
 	"sledge/internal/abi"
+	"sledge/internal/admission"
 	"sledge/internal/core"
 	"sledge/internal/engine"
 	"sledge/internal/sched"
@@ -91,6 +92,22 @@ const DefaultQuantum = sched.DefaultQuantum
 
 // WCCOptions configures WCC compilation at registration.
 type WCCOptions = wcc.Options
+
+// Admission control & overload management (internal/admission): per-tenant
+// fair queueing, token-bucket rate limits, deadline-aware shedding, and
+// per-module circuit breakers between the listener and the scheduler.
+// Enable by setting Config.Admission; shut down with Runtime.Drain.
+type (
+	// AdmissionConfig configures the admission controller.
+	AdmissionConfig = admission.Config
+	// TenantConfig sets one tenant's DRR weight and rate limit.
+	TenantConfig = admission.TenantConfig
+	// BreakerConfig configures the per-module circuit breaker.
+	BreakerConfig = admission.BreakerConfig
+	// AdmissionRejection is the typed error for shed requests (429/503
+	// with a Retry-After hint).
+	AdmissionRejection = admission.Rejection
+)
 
 // Storage backends for the serverless ABI's kv interface.
 type (
