@@ -238,8 +238,8 @@ type Ticket struct {
 }
 
 // Done returns the slot, feeds the service-time estimator, and advances the
-// breaker. serviceTime is the observed execution latency (for timeouts,
-// the elapsed time at abandonment — a usable lower bound on service time).
+// breaker. serviceTime is the observed execution latency; only successful
+// completions feed the estimator.
 func (t *Ticket) Done(outcome Outcome, serviceTime time.Duration) {
 	c := t.c
 	c.mu.Lock()
@@ -249,9 +249,13 @@ func (t *Ticket) Done(outcome Outcome, serviceTime time.Duration) {
 	}
 	t.done = true
 	c.inflight--
-	if outcome != OutcomeTrap {
+	if outcome == OutcomeSuccess {
 		// Traps can be arbitrarily early (e.g. instant aborts) and would
-		// drag the estimate below the true service time of working calls.
+		// drag the estimate below the true service time of working calls;
+		// timeouts report the whole request-timeout budget (default 30s),
+		// and one such sample on a fast module inflates the estimate by
+		// alpha×30s — enough to deadline-shed everything until successful
+		// samples decay it back down.
 		c.estFor(t.module).update(c.cfg.EWMAAlpha, serviceTime)
 	}
 	c.breakerFor(t.module).record(outcome, c.now())
@@ -275,21 +279,23 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 		return nil, &Rejection{Status: 503, RetryAfter: time.Second, Reason: "draining"}
 	}
 	ts := c.tenantFor(tenant, now)
-	if ok, retry := c.breakerFor(module).allow(now); !ok {
+	// If allow claims the half-open probe slot, every rejection below must
+	// hand it back (releaseProbe) — otherwise no Ticket ever reaches
+	// record() and the breaker stays probe-locked, rejecting forever.
+	brk := c.breakerFor(module)
+	ok, probe, retry := brk.allow(now)
+	if !ok {
 		c.shedBreak++
 		ts.shed++
 		c.mu.Unlock()
 		return nil, &Rejection{Status: 503, RetryAfter: retry, Reason: "breaker-open"}
 	}
-	if !ts.bucket.take(now) {
-		c.shedRate++
-		ts.shed++
-		retry := ts.bucket.nextToken(now)
-		c.mu.Unlock()
-		return nil, &Rejection{Status: 429, RetryAfter: retry, Reason: "rate-limited"}
-	}
 	est := c.estimateLocked(module)
+	// The 503 overload checks run before the bucket debit so a shed
+	// request does not also consume rate tokens (which would turn into
+	// spurious 429s for a within-rate tenant once the queue clears).
 	if c.queued >= c.cfg.MaxQueue || len(ts.q) >= c.cfg.MaxQueuePerTenant {
+		brk.releaseProbe(probe)
 		c.shedQueue++
 		ts.shed++
 		wait := c.queueDelayLocked(est)
@@ -300,10 +306,19 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 	// waiting than the deadline allows, fail fast instead of timing out
 	// after consuming a slot.
 	if wait := c.queueDelayLocked(est); wait > deadline {
+		brk.releaseProbe(probe)
 		c.shedDead++
 		ts.shed++
 		c.mu.Unlock()
 		return nil, &Rejection{Status: 503, RetryAfter: wait, Reason: "deadline-shed"}
+	}
+	if !ts.bucket.take(now) {
+		brk.releaseProbe(probe)
+		c.shedRate++
+		ts.shed++
+		retry := ts.bucket.nextToken(now)
+		c.mu.Unlock()
+		return nil, &Rejection{Status: 429, RetryAfter: retry, Reason: "rate-limited"}
 	}
 	// Fast path: free slot and nobody queued ahead.
 	if c.inflight < c.cfg.MaxInflight && c.queued == 0 {
@@ -339,6 +354,7 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 			return &Ticket{c: c, module: module}, nil
 		}
 		c.removeWaiterLocked(w)
+		brk.releaseProbe(probe)
 		c.shedDead++
 		ts.shed++
 		wait := c.queueDelayLocked(int64(c.estimateLocked(module)))

@@ -93,7 +93,7 @@ func TestBreakerStateTransitions(t *testing.T) {
 
 	// Closed admits and tolerates failures below the ratio.
 	for i := 0; i < 3; i++ {
-		if ok, _ := b.allow(clk.Now()); !ok {
+		if ok, _, _ := b.allow(clk.Now()); !ok {
 			t.Fatal("closed breaker must allow")
 		}
 		b.record(OutcomeSuccess, clk.Now())
@@ -110,20 +110,20 @@ func TestBreakerStateTransitions(t *testing.T) {
 	if b.state != breakerOpen {
 		t.Fatalf("state = %v after 5/8 failures, want open", b.state)
 	}
-	if ok, retry := b.allow(clk.Now()); ok || retry <= 0 {
+	if ok, _, retry := b.allow(clk.Now()); ok || retry <= 0 {
 		t.Fatalf("open breaker must reject with positive retry, got ok=%v retry=%v", ok, retry)
 	}
 
 	// After the cooldown one probe is let through; a second concurrent
 	// request is still rejected.
 	clk.Advance(cfg.Cooldown)
-	if ok, _ := b.allow(clk.Now()); !ok {
+	if ok, _, _ := b.allow(clk.Now()); !ok {
 		t.Fatal("cooldown elapsed: breaker must allow a half-open probe")
 	}
 	if b.state != breakerHalfOpen {
 		t.Fatalf("state = %v, want half-open", b.state)
 	}
-	if ok, _ := b.allow(clk.Now()); ok {
+	if ok, _, _ := b.allow(clk.Now()); ok {
 		t.Fatal("half-open breaker must admit only one probe at a time")
 	}
 
@@ -132,21 +132,58 @@ func TestBreakerStateTransitions(t *testing.T) {
 	if b.state != breakerOpen {
 		t.Fatalf("state = %v after failed probe, want open", b.state)
 	}
-	if ok, _ := b.allow(clk.Now()); ok {
+	if ok, _, _ := b.allow(clk.Now()); ok {
 		t.Fatal("freshly re-opened breaker must reject")
 	}
 
 	// A successful probe closes it again.
 	clk.Advance(cfg.Cooldown)
-	if ok, _ := b.allow(clk.Now()); !ok {
+	if ok, _, _ := b.allow(clk.Now()); !ok {
 		t.Fatal("second probe must be allowed")
 	}
 	b.record(OutcomeSuccess, clk.Now())
 	if b.state != breakerClosed {
 		t.Fatalf("state = %v after successful probe, want closed", b.state)
 	}
-	if ok, _ := b.allow(clk.Now()); !ok {
+	if ok, _, _ := b.allow(clk.Now()); !ok {
 		t.Fatal("closed breaker must allow")
+	}
+}
+
+// TestBreakerProbeRelease: a claimed half-open probe that is handed back
+// (the request was rejected downstream) must free the slot for the next
+// caller instead of wedging the breaker.
+func TestBreakerProbeRelease(t *testing.T) {
+	clk := newFakeClock()
+	cfg := BreakerConfig{Window: 10, MinSamples: 4, FailureRatio: 0.5, Cooldown: time.Second}.withDefaults()
+	b := newBreaker(cfg)
+	for i := 0; i < 4; i++ {
+		b.record(OutcomeTrap, clk.Now())
+	}
+	if b.state != breakerOpen {
+		t.Fatalf("state = %v, want open", b.state)
+	}
+	clk.Advance(cfg.Cooldown)
+	ok, probe, _ := b.allow(clk.Now())
+	if !ok || !probe {
+		t.Fatalf("allow after cooldown = (%v, %v), want claimed probe", ok, probe)
+	}
+	// Probe slot is held: a second caller is rejected.
+	if ok, _, _ := b.allow(clk.Now()); ok {
+		t.Fatal("probe slot must be exclusive")
+	}
+	// Hand it back (the probe request was shed downstream) and the next
+	// caller claims a fresh probe.
+	b.releaseProbe(probe)
+	ok, probe, _ = b.allow(clk.Now())
+	if !ok || !probe {
+		t.Fatalf("allow after releaseProbe = (%v, %v), want a fresh probe", ok, probe)
+	}
+	// releaseProbe(false) from a non-probe caller must not free a slot it
+	// does not hold.
+	b.releaseProbe(false)
+	if ok, _, _ := b.allow(clk.Now()); ok {
+		t.Fatal("releaseProbe(false) must not release another caller's probe")
 	}
 }
 
@@ -561,5 +598,143 @@ func TestQueueWaitExpiry(t *testing.T) {
 	gate.Done(OutcomeSuccess, time.Millisecond)
 	if rej := run(t, c, "t", "m", time.Second, nil); rej != nil {
 		t.Fatalf("controller wedged after waiter expiry: %v", rej)
+	}
+}
+
+// TestProbeReleasedOnRateLimitedAdmit: a half-open probe request that the
+// token bucket then rejects must hand the probe slot back — otherwise the
+// breaker answers 503 breaker-open forever.
+func TestProbeReleasedOnRateLimitedAdmit(t *testing.T) {
+	clk := newFakeClock()
+	c := newWithClock(Config{
+		Workers:     4,
+		TenantRate:  1,
+		TenantBurst: 1,
+		Breaker:     BreakerConfig{Window: 8, MinSamples: 4, FailureRatio: 0.5, Cooldown: time.Second},
+	}, clk.Now)
+
+	// Trip crashy's breaker (advance between admits to keep tokens coming).
+	for i := 0; i < 4; i++ {
+		clk.Advance(time.Second)
+		tkt, rej := c.Admit("t", "crashy", 0)
+		if rej != nil {
+			t.Fatalf("admit %d: %v", i, rej)
+		}
+		tkt.Done(OutcomeTrap, 100*time.Microsecond)
+	}
+
+	// Cooldown elapses and refills one token; burn it on a healthy module
+	// so the half-open probe attempt gets rate-limited.
+	clk.Advance(time.Second)
+	if rej := run(t, c, "t", "fine", 0, nil); rej != nil {
+		t.Fatalf("healthy admit: %v", rej)
+	}
+	if _, rej := c.Admit("t", "crashy", 0); rej == nil || rej.Status != 429 {
+		t.Fatalf("probe attempt with empty bucket = %v, want 429", rej)
+	}
+
+	// The aborted probe must not wedge the breaker: with a fresh token the
+	// next request is admitted as the probe and success closes the circuit.
+	clk.Advance(time.Second)
+	tkt, rej := c.Admit("t", "crashy", 0)
+	if rej != nil {
+		t.Fatalf("breaker wedged after rate-limited probe: %v", rej)
+	}
+	tkt.Done(OutcomeSuccess, time.Millisecond)
+	if st := c.Stats().Breakers["crashy"]; st != "closed" {
+		t.Fatalf("breaker state = %q, want closed", st)
+	}
+}
+
+// TestProbeReleasedOnQueueWaitExpiry: a half-open probe that queues and
+// then sheds on its queue-wait deadline must hand the probe slot back.
+func TestProbeReleasedOnQueueWaitExpiry(t *testing.T) {
+	clk := newFakeClock()
+	c := newWithClock(Config{
+		Workers:     1,
+		MaxInflight: 1,
+		MaxQueue:    16,
+		Breaker:     BreakerConfig{Window: 8, MinSamples: 4, FailureRatio: 0.5, Cooldown: time.Second},
+	}, clk.Now)
+
+	for i := 0; i < 4; i++ {
+		tkt, rej := c.Admit("t", "crashy", 0)
+		if rej != nil {
+			t.Fatalf("admit %d: %v", i, rej)
+		}
+		tkt.Done(OutcomeTrap, 100*time.Microsecond)
+	}
+
+	// Occupy the only slot so the probe has to queue.
+	gate, rej := c.Admit("t", "fine", time.Minute)
+	if rej != nil {
+		t.Fatalf("gate admit: %v", rej)
+	}
+	clk.Advance(time.Second) // cooldown elapses
+	_, rej2 := c.Admit("t", "crashy", 20*time.Millisecond)
+	if rej2 == nil || rej2.Reason != "deadline-shed" {
+		t.Fatalf("queued probe past deadline = %v, want deadline-shed", rej2)
+	}
+	gate.Done(OutcomeSuccess, time.Millisecond)
+
+	// The expired probe must not wedge the breaker.
+	tkt, rej3 := c.Admit("t", "crashy", 0)
+	if rej3 != nil {
+		t.Fatalf("breaker wedged after expired probe: %v", rej3)
+	}
+	tkt.Done(OutcomeSuccess, time.Millisecond)
+	if st := c.Stats().Breakers["crashy"]; st != "closed" {
+		t.Fatalf("breaker state = %q, want closed", st)
+	}
+}
+
+// TestTimeoutDoesNotFeedEstimator: a timed-out request reports the whole
+// request-timeout budget; feeding that into the EWMA would trigger a burst
+// of spurious deadline sheds on a fast module.
+func TestTimeoutDoesNotFeedEstimator(t *testing.T) {
+	c := New(Config{Workers: 4})
+	tkt, rej := c.Admit("t", "m", 0)
+	if rej != nil {
+		t.Fatalf("admit: %v", rej)
+	}
+	tkt.Done(OutcomeTimeout, 30*time.Second)
+	if est, ok := c.Stats().EstimateNanos["m"]; ok {
+		t.Fatalf("timeout fed the estimator: %d ns", est)
+	}
+	if rej := run(t, c, "t", "m", 0, nil); rej != nil {
+		t.Fatalf("admit after timeout: %v", rej)
+	}
+	if est := c.Stats().EstimateNanos["m"]; est != int64(time.Millisecond) {
+		t.Fatalf("estimate = %d ns, want the 1ms success sample", est)
+	}
+}
+
+// TestShed503DoesNotConsumeRateTokens: queue-bound and deadline sheds run
+// before the bucket debit, so an overloaded-but-within-rate tenant is not
+// double-penalized with spurious 429s once the queue clears.
+func TestShed503DoesNotConsumeRateTokens(t *testing.T) {
+	clk := newFakeClock()
+	c := newWithClock(Config{
+		Workers:         1,
+		MaxInflight:     1,
+		TenantRate:      10,
+		TenantBurst:     2,
+		DefaultEstimate: 100 * time.Millisecond,
+	}, clk.Now)
+	gate, rej := c.Admit("t", "m", time.Minute) // burns 1 of 2 tokens
+	if rej != nil {
+		t.Fatalf("gate admit: %v", rej)
+	}
+	// Deadline sheds while the slot is held: none of these may take the
+	// remaining token.
+	for i := 0; i < 5; i++ {
+		_, rej := c.Admit("t", "m", 10*time.Millisecond)
+		if rej == nil || rej.Reason != "deadline-shed" {
+			t.Fatalf("shed %d = %v, want deadline-shed", i, rej)
+		}
+	}
+	gate.Done(OutcomeSuccess, time.Millisecond)
+	if rej := run(t, c, "t", "m", time.Minute, nil); rej != nil {
+		t.Fatalf("503 sheds consumed rate tokens: %v", rej)
 	}
 }

@@ -81,31 +81,47 @@ func newBreaker(cfg BreakerConfig) *breaker {
 }
 
 // allow reports whether a request for this module may proceed; when it may
-// not, retry is how long the caller should advertise in Retry-After.
-func (b *breaker) allow(now time.Time) (ok bool, retry time.Duration) {
+// not, retry is how long the caller should advertise in Retry-After. probe
+// reports that this caller claimed the single half-open probe slot: if the
+// request is rejected downstream and never reaches record(), the caller
+// must hand probe back via releaseProbe or the slot leaks and the breaker
+// rejects forever.
+func (b *breaker) allow(now time.Time) (ok, probe bool, retry time.Duration) {
 	if b.cfg.Disabled {
-		return true, 0
+		return true, false, 0
 	}
 	switch b.state {
 	case breakerClosed:
-		return true, 0
+		return true, false, 0
 	case breakerOpen:
-		if since := now.Sub(b.openedAt); since >= b.cfg.Cooldown {
+		since := now.Sub(b.openedAt)
+		if since >= b.cfg.Cooldown {
 			b.state = breakerHalfOpen
 			b.probing = true
-			return true, 0
-		} else {
-			return false, b.cfg.Cooldown - since
+			return true, true, 0
 		}
+		return false, false, b.cfg.Cooldown - since
 	case breakerHalfOpen:
 		if b.probing {
 			// One probe at a time; everyone else keeps backing off.
-			return false, b.cfg.Cooldown
+			return false, false, b.cfg.Cooldown
 		}
 		b.probing = true
-		return true, 0
+		return true, true, 0
 	}
-	return true, 0
+	return true, false, 0
+}
+
+// releaseProbe returns the half-open probe slot to the breaker when the
+// request that claimed it was rejected after the breaker check (token
+// bucket, queue bounds, deadline shed, queue-wait expiry) and so will never
+// report an outcome. held is the probe flag that allow() handed the caller;
+// a false value is a no-op so every rejection path can call this
+// unconditionally.
+func (b *breaker) releaseProbe(held bool) {
+	if held && b.state == breakerHalfOpen {
+		b.probing = false
+	}
 }
 
 // record feeds a finished request's outcome back. Timeouts are an overload

@@ -207,18 +207,23 @@ func (s *Server) Drain(timeout time.Duration) bool {
 	return false
 }
 
-// sweepConns closes connections with no request in flight and returns how
-// many connections remain tracked. A connection blocked in a request read
-// is idle: closing it unblocks the read with an error and the serve
-// goroutine exits without dropping any accepted work.
+// sweepConns retires connections with no request in flight and returns how
+// many connections remain tracked. Rather than closing the socket outright
+// — which would drop, with no response at all, a request the serve loop has
+// fully read but not yet marked active — the sweep marks the connection
+// closed and pokes its read deadline into the past. A read blocked waiting
+// for a request unblocks immediately and the goroutine exits; a request
+// that already made it off the wire is answered with a canned 503 first.
+// The deadline is re-poked every sweep because the serve loop may re-arm
+// ReadTimeout concurrently with the first poke.
 func (s *Server) sweepConns() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for c, st := range s.conns {
 		st.mu.Lock()
-		if !st.active && !st.closed {
+		if !st.active {
 			st.closed = true
-			c.Close()
+			c.SetReadDeadline(time.Now())
 		}
 		st.mu.Unlock()
 	}
@@ -235,9 +240,16 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 		req, err := ReadRequest(br)
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
-				// Slow-loris or idle keep-alive: the client failed to
-				// deliver a request within the read window.
-				s.TimedOut.Add(1)
+				st.mu.Lock()
+				drained := st.closed
+				st.mu.Unlock()
+				if !drained {
+					// Slow-loris or idle keep-alive: the client failed to
+					// deliver a request within the read window. (A drain
+					// sweep poking the deadline lands here too but is not a
+					// client timeout.)
+					s.TimedOut.Add(1)
+				}
 				return
 			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -247,11 +259,18 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 			return
 		}
 		// Transition idle → active under the state lock so a concurrent
-		// drain sweep either closed us already (drop the request — it was
-		// never admitted) or waits for this request to complete.
+		// drain sweep either marked us closed already or waits for this
+		// request to complete.
 		st.mu.Lock()
 		if st.closed {
 			st.mu.Unlock()
+			// The sweep retired this connection between the read and the
+			// idle → active transition. The request was never admitted;
+			// answer with a shed 503 + Retry-After so the client retries
+			// instead of seeing a bare connection close.
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			writeResponse(bw, Response{Status: 503, RetryAfter: time.Second}, true)
+			bw.Flush()
 			return
 		}
 		st.active = true

@@ -203,6 +203,40 @@ func TestDrainFinishesInflight(t *testing.T) {
 	}
 }
 
+// TestDrainShedsFullyReadRequestWith503: a request that was fully read off
+// the wire when the drain sweep retired its connection (marked closed
+// between the read and the idle→active transition) must be answered with a
+// canned 503 + Retry-After, not dropped with a bare connection close.
+func TestDrainShedsFullyReadRequestWith503(t *testing.T) {
+	s := &Server{Handler: func(*Request) Response { return Response{Body: []byte("ok")} }}
+	client, server := net.Pipe()
+	defer client.Close()
+	st := &connState{closed: true} // as left by a drain sweep
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer server.Close()
+		s.serveConn(server, st)
+	}()
+	io.WriteString(client, "POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	raw, _ := io.ReadAll(client)
+	head := string(raw)
+	if !strings.HasPrefix(head, "HTTP/1.1 503") {
+		t.Fatalf("drained request got %q, want 503 status line", head)
+	}
+	if !strings.Contains(head, "Retry-After: 1") {
+		t.Fatalf("drained 503 missing Retry-After: %q", head)
+	}
+	if !strings.Contains(head, "Connection: close") {
+		t.Fatalf("drained 503 should close the connection: %q", head)
+	}
+	<-done
+	if s.Served.Load() != 0 {
+		t.Fatalf("Served = %d, want 0 (the request was shed, not handled)", s.Served.Load())
+	}
+}
+
 // TestDrainUnderConcurrentLoad exercises drain while many keep-alive
 // clients are mid-flight (run with -race).
 func TestDrainUnderConcurrentLoad(t *testing.T) {
@@ -242,6 +276,12 @@ func TestDrainUnderConcurrentLoad(t *testing.T) {
 					c.SetReadDeadline(time.Now().Add(2 * time.Second))
 					status, err := br.ReadString('\n')
 					if err != nil {
+						break
+					}
+					if strings.HasPrefix(status, "HTTP/1.1 503") {
+						// The drain sweep retired this connection after the
+						// request was read but before it went active; the
+						// request was shed, not dropped.
 						break
 					}
 					if !strings.HasPrefix(status, "HTTP/1.1 200") {
