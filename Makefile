@@ -1,17 +1,23 @@
 GO ?= go
 
-.PHONY: check vet build test-race bench-smoke overload-smoke test bench
+.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke test bench
 
-# check is the pre-merge gate: static analysis, a full build, the race
-# detector over the concurrency-sensitive packages (recycling, scheduler,
-# admission control, HTTP drain), a short churn-benchmark smoke run
-# (allocs/op regressions show up immediately in its -benchmem output),
-# and an overload smoke run (admission at 2x capacity must shed cleanly:
-# admitted error rate < 1%).
-check: vet build test-race bench-smoke overload-smoke
+# check is the pre-merge gate: static analysis (go vet plus the project
+# analyzers: noalloc hot-path enforcement, mutex-copy and lock-ordering), a
+# full build, the race detector over the concurrency-sensitive packages
+# (recycling, scheduler, admission control, HTTP drain), a short
+# churn-benchmark smoke run (allocs/op regressions show up immediately in
+# its -benchmem output), an overload smoke run (admission at 2x capacity
+# must shed cleanly: admitted error rate < 1%), and a 30s differential fuzz
+# of the check-elision pipeline (every bounds strategy with elision on/off
+# must produce identical results and traps).
+check: vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+analyzers:
+	$(GO) run ./tools/analyzers ./internal/... ./cmd/... ./tools/... .
 
 build:
 	$(GO) build ./...
@@ -25,6 +31,9 @@ bench-smoke:
 
 overload-smoke:
 	$(GO) test -run=TestOverloadSmoke -count=1 ./internal/experiments/
+
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzDifferentialElision -fuzztime=30s ./internal/engine/
 
 test:
 	$(GO) test ./...

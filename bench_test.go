@@ -18,6 +18,7 @@ import (
 	"sledge/internal/nuclio"
 	"sledge/internal/sandbox"
 	"sledge/internal/sched"
+	"sledge/internal/wcc"
 	"sledge/internal/workloads/apps"
 	"sledge/internal/workloads/polybench"
 )
@@ -335,6 +336,87 @@ func BenchmarkAblationBoundsStrategies(b *testing.B) {
 				if _, err := polybench.RunWasm(cm, n); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// ---- static-analysis check-elision ablation ----
+
+// benchChecksumSrc is a memory-bound checksum walk over a static buffer with
+// constant loop bounds: the interval/induction pass can prove every access
+// in-bounds, so under BoundsSoftware the analysis elides 100% of the checks.
+const benchChecksumSrc = `
+static u8 buf[65536];
+
+export i32 kernel(i32 n) {
+	i32 acc = 0;
+	for (i32 r = 0; r < n; r = r + 1) {
+		for (i32 i = 0; i < 65536; i = i + 1) {
+			buf[i] = (i + r) * 31;
+		}
+		for (i32 i = 0; i < 65536; i = i + 1) {
+			acc = acc + (i32) buf[i];
+		}
+	}
+	return acc;
+}
+`
+
+// BenchmarkAblationElision measures what the static bounds-check elision
+// buys under BoundsSoftware: gemm (partial elision via availability) and the
+// checksum walk (total elision via intervals + induction), each with the
+// analysis pipeline on and off. The elided-frac metric is the statically
+// proven share of emitted checks.
+func BenchmarkAblationElision(b *testing.B) {
+	modes := []struct {
+		name string
+		c    engine.Config
+	}{
+		{"elide", engine.Config{Bounds: engine.BoundsSoftware}},
+		{"no-elide", engine.Config{Bounds: engine.BoundsSoftware, NoAnalysis: true}},
+	}
+
+	k, _ := polybench.Get("gemm")
+	n := k.TestN * 2
+	for _, mode := range modes {
+		cm, err := k.Compile(n, mode.c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := cm.Analysis()
+		b.Run("gemm/"+mode.name, func(b *testing.B) {
+			if st.ChecksTotal > 0 {
+				b.ReportMetric(float64(st.ChecksElided)/float64(st.ChecksTotal), "elided-frac")
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := polybench.RunWasm(cm, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	res, err := wcc.Compile(benchChecksumSrc, wcc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range modes {
+		cm, err := engine.CompileBinary(res.Binary, nil, mode.c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := cm.Analysis()
+		b.Run("checksum/"+mode.name, func(b *testing.B) {
+			if st.ChecksTotal > 0 {
+				b.ReportMetric(float64(st.ChecksElided)/float64(st.ChecksTotal), "elided-frac")
+			}
+			for i := 0; i < b.N; i++ {
+				in := cm.Acquire()
+				if _, err := in.Invoke("kernel", 4); err != nil {
+					b.Fatal(err)
+				}
+				cm.Release(in)
 			}
 		})
 	}

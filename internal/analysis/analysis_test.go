@@ -1,0 +1,322 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sledge/internal/analysis"
+	"sledge/internal/wasm"
+	"sledge/internal/wcc"
+)
+
+// analyzeSrc compiles WCC source and runs the full pipeline over it with the
+// module's own minimum memory as the in-bounds horizon.
+func analyzeSrc(t *testing.T, src string, heapBytes int) (*analysis.Facts, *wasm.Module) {
+	t.Helper()
+	res, err := wcc.Compile(src, wcc.Options{HeapBytes: heapBytes})
+	if err != nil {
+		t.Fatalf("wcc compile: %v", err)
+	}
+	m := res.Module
+	minMem := uint64(m.Memories[0].Min) * wasm.PageSize
+	return analysis.Analyze(m, analysis.Params{MinMemBytes: minMem, MaxCallDepth: 512}), m
+}
+
+func TestConstantBoundLoopElided(t *testing.T) {
+	// buf sits at a static offset and i is an induction variable bounded by
+	// the dominating `i < 256` exit compare, so every access is provably
+	// below the first memory page.
+	facts, _ := analyzeSrc(t, `
+static u8 buf[256];
+export i32 kernel(i32 n) {
+	i32 s = 0;
+	for (i32 i = 0; i < 256; i = i + 1) {
+		s = s + (i32) buf[i];
+	}
+	return s;
+}
+`, 0)
+	r := facts.Report
+	if r.MemAccesses != 1 || r.SafeAccesses != 1 {
+		t.Fatalf("accesses=%d safe=%d, want 1/1", r.MemAccesses, r.SafeAccesses)
+	}
+}
+
+func TestUnknownSignedIndexNotElided(t *testing.T) {
+	// i is a raw parameter: `i < 10` is a signed compare and i may be
+	// negative (a huge unsigned address), so the access must stay checked.
+	facts, _ := analyzeSrc(t, `
+static u8 buf[256];
+export i32 kernel(i32 i) {
+	if (i < 10) {
+		return (i32) buf[i];
+	}
+	return 0;
+}
+`, 0)
+	r := facts.Report
+	if r.MemAccesses != 1 || r.SafeAccesses != 0 {
+		t.Fatalf("accesses=%d safe=%d, want 1/0", r.MemAccesses, r.SafeAccesses)
+	}
+}
+
+func TestNonNegativeSignedRangeElided(t *testing.T) {
+	// `i >= 0` pins the nonnegative region, after which `i < 10` is usable
+	// as an unsigned bound.
+	facts, _ := analyzeSrc(t, `
+static u8 buf[256];
+export i32 kernel(i32 i) {
+	if (i >= 0) {
+		if (i < 10) {
+			return (i32) buf[i];
+		}
+	}
+	return 0;
+}
+`, 0)
+	r := facts.Report
+	if r.MemAccesses != 1 || r.SafeAccesses != 1 {
+		t.Fatalf("accesses=%d safe=%d, want 1/1", r.MemAccesses, r.SafeAccesses)
+	}
+}
+
+func TestAvailabilityRepeatAccess(t *testing.T) {
+	// First A[i] is checked and proves the address; the second reuses the
+	// proof; after i changes the expression version is stale and the third
+	// access is checked again.
+	facts, _ := analyzeSrc(t, `
+static i32 A[64];
+export i32 kernel(i32 i) {
+	i32 s = A[i];
+	s = s + A[i];
+	i = i + 1;
+	s = s + A[i];
+	return s;
+}
+`, 0)
+	r := facts.Report
+	if r.MemAccesses != 3 || r.SafeAccesses != 1 {
+		t.Fatalf("accesses=%d safe=%d, want 3/1", r.MemAccesses, r.SafeAccesses)
+	}
+}
+
+func TestAvailabilityPrunedAcrossLoop(t *testing.T) {
+	// The proof for A[i] before the loop must not survive into iterations
+	// that reassign i.
+	facts, _ := analyzeSrc(t, `
+static i32 A[64];
+export i32 kernel(i32 i, i32 n) {
+	i32 s = A[i];
+	for (i32 j = 0; j < n; j = j + 1) {
+		i = i + 1;
+		s = s + A[i];
+	}
+	return s;
+}
+`, 0)
+	r := facts.Report
+	if r.MemAccesses != 2 || r.SafeAccesses != 0 {
+		t.Fatalf("accesses=%d safe=%d, want 2/0", r.MemAccesses, r.SafeAccesses)
+	}
+}
+
+func TestGemmElisionRatio(t *testing.T) {
+	// The acceptance bar: >= 25% of gemm's accesses proven safe. The three
+	// elided sites are the availability hits on C[i*n+j] (the beta store
+	// and the inner loop's load and store reuse the beta statement's
+	// checked load).
+	facts, _ := analyzeSrc(t, `
+export f64 kernel(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* B = alloc(n*n*8);
+	f64* C = alloc(n*n*8);
+	f64 alpha = 1.5;
+	f64 beta = 1.2;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i*j+1) % n) / (f64) n;
+			B[i*n+j] = (f64) ((i*j+2) % n) / (f64) n;
+			C[i*n+j] = (f64) ((i*j+3) % n) / (f64) n;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			C[i*n+j] = C[i*n+j] * beta;
+			for (i32 k = 0; k < n; k = k + 1) {
+				C[i*n+j] = C[i*n+j] + alpha * A[i*n+k] * B[k*n+j];
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + C[i*n+j];
+		}
+	}
+	return s;
+}
+`, 1<<20)
+	r := facts.Report
+	if r.MemAccesses == 0 {
+		t.Fatal("no memory accesses seen")
+	}
+	ratio := float64(r.SafeAccesses) / float64(r.MemAccesses)
+	t.Logf("gemm: %d/%d accesses proven safe (%.0f%%)", r.SafeAccesses, r.MemAccesses, ratio*100)
+	if ratio < 0.25 {
+		t.Fatalf("elision ratio %.2f below 0.25", ratio)
+	}
+}
+
+// --- CFI / devirtualization ---
+
+func i32Type() wasm.FuncType { return wasm.FuncType{Results: []wasm.ValType{wasm.ValI32}} }
+
+func constFunc(v int64) wasm.Func {
+	return wasm.Func{TypeIdx: 0, Body: []wasm.Instr{{Op: wasm.OpI32Const, Imm: uint64(v)}}}
+}
+
+func TestDevirtMonomorphicSite(t *testing.T) {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{i32Type()}
+	m.Funcs = []wasm.Func{
+		{TypeIdx: 0, Body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Imm: 0},
+			{Op: wasm.OpCallIndirect, Imm: 0},
+		}},
+		constFunc(7),
+	}
+	m.Tables = []wasm.Limits{{Min: 1}}
+	m.Elems = []wasm.ElemSegment{{Offset: wasm.Instr{Op: wasm.OpI32Const, Imm: 0}, FuncIndices: []uint32{1}}}
+
+	facts := analysis.Analyze(m, analysis.Params{MinMemBytes: 0, MaxCallDepth: 512})
+	if facts.Report.IndirectSites != 1 || facts.Report.DevirtSites != 1 {
+		t.Fatalf("sites=%d devirt=%d, want 1/1", facts.Report.IndirectSites, facts.Report.DevirtSites)
+	}
+	d, ok := facts.DevirtAt(0, 1)
+	if !ok || d.TableIdx != 0 || d.FuncIdx != 1 {
+		t.Fatalf("DevirtAt(0,1) = %+v, %v; want table 0 func 1", d, ok)
+	}
+}
+
+func TestNoDevirtPolymorphicTable(t *testing.T) {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{i32Type()}
+	m.Funcs = []wasm.Func{
+		{TypeIdx: 0, Body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Imm: 0},
+			{Op: wasm.OpCallIndirect, Imm: 0},
+		}},
+		constFunc(7),
+		constFunc(8),
+	}
+	m.Tables = []wasm.Limits{{Min: 2}}
+	m.Elems = []wasm.ElemSegment{{Offset: wasm.Instr{Op: wasm.OpI32Const, Imm: 0}, FuncIndices: []uint32{1, 2}}}
+
+	facts := analysis.Analyze(m, analysis.Params{MinMemBytes: 0, MaxCallDepth: 512})
+	if facts.Report.DevirtSites != 0 {
+		t.Fatalf("devirt=%d, want 0 for a polymorphic table", facts.Report.DevirtSites)
+	}
+	if _, ok := facts.DevirtAt(0, 1); ok {
+		t.Fatal("unexpected devirt fact")
+	}
+}
+
+func TestDeadIndirectSite(t *testing.T) {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{
+		i32Type(),
+		{Params: []wasm.ValType{wasm.ValI32}, Results: []wasm.ValType{wasm.ValI32}},
+	}
+	m.Funcs = []wasm.Func{
+		{TypeIdx: 0, Body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpI32Const, Imm: 0},
+			{Op: wasm.OpCallIndirect, Imm: 1}, // no table slot has type 1
+		}},
+		constFunc(7),
+	}
+	m.Tables = []wasm.Limits{{Min: 1}}
+	m.Elems = []wasm.ElemSegment{{Offset: wasm.Instr{Op: wasm.OpI32Const, Imm: 0}, FuncIndices: []uint32{1}}}
+
+	facts := analysis.Analyze(m, analysis.Params{MinMemBytes: 0, MaxCallDepth: 512})
+	if facts.Report.DeadSites != 1 || facts.Report.DevirtSites != 0 {
+		t.Fatalf("dead=%d devirt=%d, want 1/0", facts.Report.DeadSites, facts.Report.DevirtSites)
+	}
+}
+
+// --- stack certification ---
+
+func TestStackBoundsChain(t *testing.T) {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{i32Type()}
+	m.Funcs = []wasm.Func{
+		{TypeIdx: 0, Body: []wasm.Instr{{Op: wasm.OpCall, Imm: 1}}},
+		{TypeIdx: 0, Body: []wasm.Instr{{Op: wasm.OpCall, Imm: 2}}},
+		constFunc(1),
+	}
+	facts := analysis.Analyze(m, analysis.Params{MaxCallDepth: 512})
+	want := []int{3, 2, 1}
+	for i, w := range want {
+		got, ok := facts.FrameBound(i)
+		if !ok || got != w {
+			t.Fatalf("FrameBound(%d) = %d, %v; want %d", i, got, ok, w)
+		}
+	}
+}
+
+func TestStackRecursionUnbounded(t *testing.T) {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{i32Type()}
+	m.Funcs = []wasm.Func{
+		{TypeIdx: 0, Body: []wasm.Instr{{Op: wasm.OpCall, Imm: 0}}}, // self-recursive
+		{TypeIdx: 0, Body: []wasm.Instr{{Op: wasm.OpCall, Imm: 0}}}, // reaches the cycle
+		constFunc(1), // leaf
+	}
+	facts := analysis.Analyze(m, analysis.Params{MaxCallDepth: 512})
+	if _, ok := facts.FrameBound(0); ok {
+		t.Fatal("recursive function certified")
+	}
+	if _, ok := facts.FrameBound(1); ok {
+		t.Fatal("function reaching recursion certified")
+	}
+	if got, ok := facts.FrameBound(2); !ok || got != 1 {
+		t.Fatalf("leaf FrameBound = %d, %v; want 1", got, ok)
+	}
+	if facts.Report.UnboundedFuncs != 2 {
+		t.Fatalf("UnboundedFuncs = %d, want 2", facts.Report.UnboundedFuncs)
+	}
+}
+
+func TestStackIndirectEdges(t *testing.T) {
+	// An indirect call contributes every type-compatible table slot.
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{i32Type()}
+	m.Funcs = []wasm.Func{
+		{TypeIdx: 0, Body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Imm: 0},
+			{Op: wasm.OpCallIndirect, Imm: 0},
+		}},
+		{TypeIdx: 0, Body: []wasm.Instr{{Op: wasm.OpCall, Imm: 2}}},
+		constFunc(1),
+	}
+	m.Tables = []wasm.Limits{{Min: 2}}
+	m.Elems = []wasm.ElemSegment{{Offset: wasm.Instr{Op: wasm.OpI32Const, Imm: 0}, FuncIndices: []uint32{1, 2}}}
+
+	facts := analysis.Analyze(m, analysis.Params{MaxCallDepth: 512})
+	// Worst case through the table is f1 -> f2: 3 frames total.
+	if got, ok := facts.FrameBound(0); !ok || got != 3 {
+		t.Fatalf("FrameBound(0) = %d, %v; want 3", got, ok)
+	}
+}
+
+func TestHostCallsPushNoFrames(t *testing.T) {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{i32Type()}
+	m.Imports = []wasm.Import{{Module: "env", Name: "h", Kind: wasm.ExternFunc, TypeIdx: 0}}
+	m.Funcs = []wasm.Func{
+		{TypeIdx: 0, Body: []wasm.Instr{{Op: wasm.OpCall, Imm: 0}}}, // calls the import
+	}
+	facts := analysis.Analyze(m, analysis.Params{MaxCallDepth: 512})
+	if got, ok := facts.FrameBound(0); !ok || got != 1 {
+		t.Fatalf("FrameBound(0) = %d, %v; want 1", got, ok)
+	}
+}

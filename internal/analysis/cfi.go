@@ -1,0 +1,94 @@
+package analysis
+
+import "sledge/internal/wasm"
+
+// tslot mirrors the engine's table entry: the target in the module function
+// index space (-1 = uninitialized) and its canonical type id.
+type tslot struct {
+	funcIdx int32
+	canon   int32
+}
+
+// buildTable reconstructs the canonical type map and the initialized
+// indirect-call table exactly as engine.Compile does, so the facts proven
+// here hold for the table the VM dispatches through.
+func buildTable(m *wasm.Module) ([]tslot, []int32) {
+	canon := make([]int32, len(m.Types))
+	for i, t := range m.Types {
+		canon[i] = int32(i)
+		for j := 0; j < i; j++ {
+			if m.Types[j].Equal(t) {
+				canon[i] = int32(j)
+				break
+			}
+		}
+	}
+
+	var table []tslot
+	if len(m.Tables) > 0 {
+		table = make([]tslot, m.Tables[0].Min)
+		for i := range table {
+			table[i] = tslot{funcIdx: -1, canon: -1}
+		}
+	}
+	for _, seg := range m.Elems {
+		off := int(uint32(seg.Offset.Imm))
+		if off < 0 || off+len(seg.FuncIndices) > len(table) {
+			continue // Compile rejects such modules; nothing to prove
+		}
+		for j, fi := range seg.FuncIndices {
+			ft, err := m.FuncTypeAt(fi)
+			if err != nil {
+				continue
+			}
+			c := int32(-1)
+			for ti := range m.Types {
+				if m.Types[ti].Equal(ft) {
+					c = canon[ti]
+					break
+				}
+			}
+			table[off+j] = tslot{funcIdx: int32(fi), canon: c}
+		}
+	}
+	return table, canon
+}
+
+// analyzeCFI verifies every call_indirect site in f against the canonical
+// type table and devirtualizes monomorphic sites: when exactly one table
+// slot carries the site's signature and that slot holds a defined function,
+// any successful dispatch must land there. The lowered form still compares
+// the runtime index against the expected slot and falls back to the generic
+// path on mismatch, so trap codes (OOB / null / type) stay exact.
+func analyzeCFI(m *wasm.Module, f *wasm.Func, table []tslot, canon []int32, report *Report) map[int]Devirt {
+	var out map[int]Devirt
+	nImports := m.NumImportedFuncs()
+	for idx := range f.Body {
+		in := &f.Body[idx]
+		if in.Op != wasm.OpCallIndirect {
+			continue
+		}
+		report.IndirectSites++
+		want := canon[in.Imm]
+		matches := 0
+		slot, target := -1, int32(-1)
+		for ti, e := range table {
+			if e.funcIdx >= 0 && e.canon == want {
+				matches++
+				slot, target = ti, e.funcIdx
+			}
+		}
+		if matches == 0 {
+			report.DeadSites++
+			continue
+		}
+		if matches == 1 && int(target) >= nImports {
+			if out == nil {
+				out = map[int]Devirt{}
+			}
+			out[idx] = Devirt{TableIdx: uint32(slot), FuncIdx: uint32(target)}
+			report.DevirtSites++
+		}
+	}
+	return out
+}

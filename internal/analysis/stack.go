@@ -1,0 +1,123 @@
+package analysis
+
+import "sledge/internal/wasm"
+
+// analyzeStack computes, for every defined function, the worst-case number
+// of wasm call frames a call rooted there can push (its own included).
+// Direct calls contribute their exact callee; a call_indirect site
+// contributes every defined function sitting in a type-compatible table
+// slot (the CFI check makes any other target impossible). Host imports run
+// on the Go stack and push no wasm frame. Functions in — or reaching — a
+// call-graph cycle get Unbounded and stay on the dynamic-probe path.
+func analyzeStack(m *wasm.Module, table []tslot, canon []int32, f *Facts) {
+	n := len(m.Funcs)
+	nImports := m.NumImportedFuncs()
+
+	f.Edges = make([][]int, n)
+	for i := range m.Funcs {
+		var edges []int
+		seen := map[int]bool{}
+		add := func(d int) {
+			if !seen[d] {
+				seen[d] = true
+				edges = append(edges, d)
+			}
+		}
+		for _, in := range m.Funcs[i].Body {
+			switch in.Op {
+			case wasm.OpCall:
+				if fi := int(in.Imm); fi >= nImports {
+					add(fi - nImports)
+				}
+			case wasm.OpCallIndirect:
+				want := canon[in.Imm]
+				for _, e := range table {
+					if e.funcIdx >= 0 && e.canon == want && int(e.funcIdx) >= nImports {
+						add(int(e.funcIdx) - nImports)
+					}
+				}
+			}
+		}
+		f.Edges[i] = edges
+	}
+
+	// Reachability closure per source. Quadratic in the worst case, but
+	// serverless modules are small (tens of functions) and this keeps the
+	// cycle condition — "reaches a function that reaches itself" — direct.
+	reach := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		r := make([]bool, n)
+		queue := append([]int(nil), f.Edges[i]...)
+		for _, d := range queue {
+			r[d] = true
+		}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, d := range f.Edges[u] {
+				if !r[d] {
+					r[d] = true
+					queue = append(queue, d)
+				}
+			}
+		}
+		reach[i] = r
+	}
+	cyclic := make([]bool, n)
+	for i := 0; i < n; i++ {
+		cyclic[i] = reach[i][i]
+	}
+	unbounded := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if cyclic[i] {
+			unbounded[i] = true
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if reach[i][j] && cyclic[j] {
+				unbounded[i] = true
+				break
+			}
+		}
+	}
+
+	// Longest-path DP over the remaining DAG, iterative to keep the
+	// analysis itself off the recursion it is ruling out.
+	f.MaxFrames = make([]int, n)
+	done := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if unbounded[i] {
+			f.MaxFrames[i] = Unbounded
+			done[i] = true
+			f.Report.UnboundedFuncs++
+		}
+	}
+	type dframe struct{ node, ci int }
+	var stack []dframe
+	for s := 0; s < n; s++ {
+		if done[s] {
+			continue
+		}
+		stack = append(stack[:0], dframe{s, 0})
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			if fr.ci < len(f.Edges[fr.node]) {
+				d := f.Edges[fr.node][fr.ci]
+				fr.ci++
+				if !done[d] {
+					stack = append(stack, dframe{d, 0})
+				}
+				continue
+			}
+			best := 0
+			for _, d := range f.Edges[fr.node] {
+				if !unbounded[d] && f.MaxFrames[d] > best {
+					best = f.MaxFrames[d]
+				}
+			}
+			f.MaxFrames[fr.node] = best + 1
+			done[fr.node] = true
+			stack = stack[:len(stack)-1]
+		}
+	}
+}

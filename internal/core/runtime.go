@@ -55,6 +55,10 @@ type ModuleStats struct {
 	Invocations uint64        `json:"invocations"`
 	Failures    uint64        `json:"failures"`
 	MeanLatency time.Duration `json:"mean_latency_ns"`
+	// Analysis is what the static-analysis pipeline proved about the
+	// module at registration time (check elision, devirtualization, stack
+	// certification); all zero when analysis was disabled.
+	Analysis engine.AnalysisStats `json:"analysis"`
 }
 
 // Stats returns the module's accounting snapshot.
@@ -62,6 +66,7 @@ func (m *Module) Stats() ModuleStats {
 	st := ModuleStats{
 		Invocations: m.invocations.Load(),
 		Failures:    m.failures.Load(),
+		Analysis:    m.cm.Analysis(),
 	}
 	if st.Invocations > 0 {
 		st.MeanLatency = time.Duration(m.totalNanos.Load() / int64(st.Invocations))

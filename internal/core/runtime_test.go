@@ -234,15 +234,22 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
 	var payload struct {
-		Modules   []string `json:"modules"`
-		Completed uint64   `json:"completed"`
-		Inflight  int      `json:"inflight"`
+		Modules   []string               `json:"modules"`
+		Completed uint64                 `json:"completed"`
+		Inflight  int                    `json:"inflight"`
+		PerModule map[string]ModuleStats `json:"per_module"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
 		t.Fatalf("decode: %v", err)
 	}
 	if payload.Completed != 1 || len(payload.Modules) != 1 || payload.Modules[0] != "ping" {
 		t.Errorf("stats payload = %+v", payload)
+	}
+	// The static-analysis summary rides along per module: any non-recursive
+	// module has at least its entry point stack-certified.
+	an := payload.PerModule["ping"].Analysis
+	if an.CertifiedFuncs < 1 {
+		t.Errorf("analysis stats missing from /__stats: %+v", an)
 	}
 }
 

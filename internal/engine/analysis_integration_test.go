@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"sledge/internal/wasm"
+	"sledge/internal/wcc"
+)
+
+// storeLoopDef walks a buffer with a constant-bound loop: every access is
+// provably in-bounds, so the analysis should elide all checks.
+func storeLoopDef() fnDef {
+	return fnDef{
+		name:    "walk",
+		results: []wasm.ValType{wasm.ValI32},
+		locals:  []wasm.ValType{wasm.ValI32, wasm.ValI32}, // i, acc
+		body: []wasm.Instr{
+			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)},
+			{Op: wasm.OpLoop, Imm: uint64(wasm.BlockTypeEmpty)},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 256},
+			{Op: wasm.OpI32GeU},
+			{Op: wasm.OpBrIf, Imm: 1},
+			// mem[4*i] = i
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 4},
+			{Op: wasm.OpI32Mul},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Store, Imm: 0},
+			// acc += mem[4*i]
+			{Op: wasm.OpLocalGet, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 4},
+			{Op: wasm.OpI32Mul},
+			{Op: wasm.OpI32Load, Imm: 0},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpLocalSet, Imm: 1},
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpLocalSet, Imm: 0},
+			{Op: wasm.OpBr, Imm: 0},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpEnd},
+			{Op: wasm.OpLocalGet, Imm: 1},
+		},
+	}
+}
+
+func TestElisionPreservesResults(t *testing.T) {
+	m := buildModule(t, 1, storeLoopDef())
+	for _, bounds := range []BoundsStrategy{BoundsSoftware, BoundsMPX} {
+		base := mustCompile(t, m, Config{Bounds: bounds, NoAnalysis: true})
+		opt := mustCompile(t, m, Config{Bounds: bounds})
+		want := invoke(t, base, "walk")
+		got := invoke(t, opt, "walk")
+		if got != want {
+			t.Errorf("%s: elided walk() = %d, want %d", bounds, got, want)
+		}
+		st := opt.Analysis()
+		if st.ChecksElided == 0 || st.ChecksElided != st.ChecksTotal {
+			t.Errorf("%s: elided %d of %d checks, want all", bounds, st.ChecksElided, st.ChecksTotal)
+		}
+		if bst := base.Analysis(); bst.ChecksElided != 0 {
+			t.Errorf("%s: NoAnalysis elided %d checks", bounds, bst.ChecksElided)
+		}
+	}
+}
+
+func TestElisionKeepsOutOfBoundsTrap(t *testing.T) {
+	// The store index is an unconstrained parameter: never provably safe,
+	// so the check must stay and the trap must fire exactly as before.
+	m := buildModule(t, 1, fnDef{
+		name:   "poke",
+		params: []wasm.ValType{wasm.ValI32},
+		body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpI32Store, Imm: 0},
+		},
+	})
+	cm := mustCompile(t, m, Config{Bounds: BoundsSoftware})
+	if st := cm.Analysis(); st.ChecksElided != 0 {
+		t.Fatalf("elided %d checks on unprovable access", st.ChecksElided)
+	}
+	if got := invoke(t, cm, "poke", 16); got != 0 {
+		t.Fatalf("in-bounds poke failed")
+	}
+	in := cm.Instantiate()
+	_, err := in.Invoke("poke", uint64(wasm.PageSize))
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Code != TrapMemOutOfBounds {
+		t.Fatalf("want mem OOB trap, got %v", err)
+	}
+}
+
+// devirtModule builds a table with exactly one ()->i32 entry so the
+// call_indirect site is monomorphic.
+func devirtModule() *wasm.Module {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{
+		{Results: []wasm.ValType{wasm.ValI32}},
+		{Params: []wasm.ValType{wasm.ValI32}, Results: []wasm.ValType{wasm.ValI32}},
+	}
+	m.Funcs = []wasm.Func{
+		{TypeIdx: 0, Body: []wasm.Instr{{Op: wasm.OpI32Const, Imm: 7}}, Name: "seven"},
+		{TypeIdx: 1, Body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 1},
+			{Op: wasm.OpI32Add},
+		}, Name: "inc"},
+		{TypeIdx: 1, Body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpCallIndirect, Imm: 0},
+		}, Name: "dispatch"},
+	}
+	m.Tables = []wasm.Limits{{Min: 4, Max: 4, HasMax: true}}
+	m.Elems = []wasm.ElemSegment{{
+		Offset: wasm.Instr{Op: wasm.OpI32Const, Imm: 0}, FuncIndices: []uint32{0, 1},
+	}}
+	m.Exports = []wasm.Export{{Name: "dispatch", Kind: wasm.ExternFunc, Index: 2}}
+	return m
+}
+
+func TestDevirtualizedDispatchMatchesIndirect(t *testing.T) {
+	m := devirtModule()
+	opt := mustCompile(t, m, Config{})
+	base := mustCompile(t, m, Config{NoAnalysis: true})
+	if st := opt.Analysis(); st.DevirtSites != 1 {
+		t.Fatalf("DevirtSites = %d, want 1", st.DevirtSites)
+	}
+	if got := invoke(t, opt, "dispatch", 0); got != 7 {
+		t.Fatalf("devirtualized dispatch(0) = %d, want 7", got)
+	}
+	// Every mismatching index must reproduce the exact trap the generic
+	// path raises.
+	for _, slot := range []uint64{1, 2, 3, 9, 1 << 31} {
+		wantErr := func(cm *CompiledModule) error {
+			in := cm.Instantiate()
+			_, err := in.Invoke("dispatch", slot)
+			return err
+		}
+		var wantTrap, gotTrap *Trap
+		if !errors.As(wantErr(base), &wantTrap) || !errors.As(wantErr(opt), &gotTrap) {
+			t.Fatalf("dispatch(%d): expected traps on both paths", slot)
+		}
+		if gotTrap.Code != wantTrap.Code {
+			t.Errorf("dispatch(%d): devirt trap %s, generic trap %s", slot, gotTrap.Code, wantTrap.Code)
+		}
+	}
+}
+
+func TestStackCertifiedEntrySkipsProbes(t *testing.T) {
+	// a -> b -> c: bounded chain, all three certified.
+	m := buildModule(t, 0,
+		fnDef{name: "a", results: []wasm.ValType{wasm.ValI32},
+			body: []wasm.Instr{{Op: wasm.OpCall, Imm: 1}}},
+		fnDef{name: "b", results: []wasm.ValType{wasm.ValI32},
+			body: []wasm.Instr{{Op: wasm.OpCall, Imm: 2}}},
+		fnDef{name: "c", results: []wasm.ValType{wasm.ValI32},
+			body: []wasm.Instr{{Op: wasm.OpI32Const, Imm: 11}}},
+	)
+	cm := mustCompile(t, m, Config{})
+	st := cm.Analysis()
+	if st.CertifiedFuncs != 3 || st.MaxCertFrames != 3 {
+		t.Fatalf("certified=%d maxFrames=%d, want 3/3", st.CertifiedFuncs, st.MaxCertFrames)
+	}
+	in := cm.Instantiate()
+	if err := in.Start("a"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if !in.certified {
+		t.Fatalf("entry a not certified at start")
+	}
+	if _, err := in.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v, _ := in.Result(); v != 11 {
+		t.Fatalf("a() = %d, want 11", v)
+	}
+}
+
+func TestRecursionStaysUncertifiedAndTraps(t *testing.T) {
+	m := buildModule(t, 0, fnDef{
+		name: "spin",
+		body: []wasm.Instr{{Op: wasm.OpCall, Imm: 0}},
+	})
+	cm := mustCompile(t, m, Config{MaxCallDepth: 64})
+	if st := cm.Analysis(); st.UnboundedFuncs != 1 || st.CertifiedFuncs != 0 {
+		t.Fatalf("unbounded=%d certified=%d, want 1/0", st.UnboundedFuncs, st.CertifiedFuncs)
+	}
+	in := cm.Instantiate()
+	if err := in.Start("spin"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if in.certified {
+		t.Fatalf("recursive entry must not be certified")
+	}
+	_, err := in.Run(0)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Code != TrapStackOverflow {
+		t.Fatalf("want stack overflow, got %v", err)
+	}
+}
+
+func TestCertificateRespectsMaxCallDepth(t *testing.T) {
+	// Chain depth 3 with MaxCallDepth 2: the program must still trap with
+	// stack overflow, so the certificate may not be applied.
+	m := buildModule(t, 0,
+		fnDef{name: "a", body: []wasm.Instr{{Op: wasm.OpCall, Imm: 1}}},
+		fnDef{name: "b", body: []wasm.Instr{{Op: wasm.OpCall, Imm: 2}}},
+		fnDef{name: "c", body: nil},
+	)
+	cm := mustCompile(t, m, Config{MaxCallDepth: 2})
+	in := cm.Instantiate()
+	if err := in.Start("a"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if in.certified {
+		t.Fatalf("certificate deeper than MaxCallDepth must not apply")
+	}
+	_, err := in.Run(0)
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Code != TrapStackOverflow {
+		t.Fatalf("want stack overflow, got %v", err)
+	}
+}
+
+func TestGemmStaticElisionFloor(t *testing.T) {
+	// The acceptance floor from the issue: >= 25% of gemm's bounds checks
+	// statically elided under BoundsSoftware.
+	const src = `
+export f64 gemm(i32 n) {
+	f64* A = alloc(n*n*8);
+	f64* B = alloc(n*n*8);
+	f64* C = alloc(n*n*8);
+	f64 alpha = 1.5;
+	f64 beta = 1.2;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			A[i*n+j] = (f64) ((i*j+1) % n) / (f64) n;
+			B[i*n+j] = (f64) ((i*j+2) % n) / (f64) n;
+			C[i*n+j] = (f64) ((i*j+3) % n) / (f64) n;
+		}
+	}
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			C[i*n+j] = C[i*n+j] * beta;
+			for (i32 k = 0; k < n; k = k + 1) {
+				C[i*n+j] = C[i*n+j] + alpha * A[i*n+k] * B[k*n+j];
+			}
+		}
+	}
+	f64 s = 0.0;
+	for (i32 i = 0; i < n; i = i + 1) {
+		for (i32 j = 0; j < n; j = j + 1) {
+			s = s + C[i*n+j];
+		}
+	}
+	return s;
+}
+`
+	res, err := wcc.Compile(src, wcc.Options{HeapBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("wcc: %v", err)
+	}
+	cm, err := CompileBinary(res.Binary, nil, Config{Bounds: BoundsSoftware})
+	if err != nil {
+		t.Fatalf("CompileBinary: %v", err)
+	}
+	st := cm.Analysis()
+	if st.ChecksTotal == 0 {
+		t.Fatalf("no bounds checks counted")
+	}
+	ratio := float64(st.ChecksElided) / float64(st.ChecksTotal)
+	t.Logf("gemm: %d/%d bounds checks elided (%.0f%%)", st.ChecksElided, st.ChecksTotal, 100*ratio)
+	if ratio < 0.25 {
+		t.Fatalf("elision ratio %.2f below the 0.25 acceptance floor", ratio)
+	}
+	// And the elided build still computes the same thing.
+	base, err := CompileBinary(res.Binary, nil, Config{Bounds: BoundsSoftware, NoAnalysis: true})
+	if err != nil {
+		t.Fatalf("CompileBinary: %v", err)
+	}
+	want := invoke(t, base, "gemm", 12)
+	if got := invoke(t, cm, "gemm", 12); got != want {
+		t.Fatalf("gemm elided = %#x, baseline = %#x", got, want)
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"sledge/internal/analysis"
 	"sledge/internal/wasm"
 )
 
@@ -15,6 +16,13 @@ type lowerer struct {
 	cfg    Config
 	cm     *CompiledModule
 	cf     *compiledFunc
+	// facts are the static-analysis results consulted for check elision
+	// and devirtualization (nil when analysis is disabled); fnIdx/idx
+	// locate the current instruction in the facts' (defined function,
+	// body index) keyspace.
+	facts  *analysis.Facts
+	fnIdx  int
+	idx    int
 	code   []cinstr
 	frames []lframe
 	h      int // current operand-stack height
@@ -50,15 +58,17 @@ type lframe struct {
 	elsePatch int         // code index of the iBrIfNot for an if; -1 otherwise
 }
 
-func lowerFunc(m *wasm.Module, f *wasm.Func, cfg Config, cm *CompiledModule, cf *compiledFunc) error {
-	lo := &lowerer{m: m, cfg: cfg, cm: cm, cf: cf}
+func lowerFunc(m *wasm.Module, f *wasm.Func, cfg Config, cm *CompiledModule, cf *compiledFunc, facts *analysis.Facts, fnIdx int) error {
+	lo := &lowerer{m: m, cfg: cfg, cm: cm, cf: cf, facts: facts, fnIdx: fnIdx}
 	lo.frames = append(lo.frames, lframe{kind: wasm.OpBlock, arity: cf.numResults, elsePatch: -1})
 	for i, in := range f.Body {
+		lo.idx = i
 		if err := lo.step(in); err != nil {
 			return fmt.Errorf("instr %d (%s): %w", i, in, err)
 		}
 	}
 	// Implicit function end.
+	lo.idx = -1
 	if err := lo.step(wasm.Instr{Op: wasm.OpEnd}); err != nil {
 		return fmt.Errorf("implicit end: %w", err)
 	}
@@ -335,6 +345,20 @@ func (lo *lowerer) step(in wasm.Instr) error {
 			return err
 		}
 		lo.emitCallOverhead()
+		// A site the analysis proved monomorphic dispatches straight to
+		// its only possible target; the expected-index compare replaces
+		// the table/null/type check chain and needs no inline-cache slot.
+		if d, ok := lo.facts.DevirtAt(lo.fnIdx, lo.idx); ok {
+			lo.emit(cinstr{
+				op: iCallDevirt,
+				a:  int32(d.FuncIdx) - int32(lo.m.NumImportedFuncs()),
+				b:  int32(d.TableIdx),
+				imm: uint64(len(ft.Results)) | uint64(len(ft.Params))<<16 |
+					uint64(uint32(lo.cm.canonTypes[in.Imm]))<<32,
+			})
+			lo.push(len(ft.Results))
+			return nil
+		}
 		// Each call_indirect site gets a monomorphic inline-cache slot;
 		// imm packs the result arity (low 16 bits) with the slot index.
 		icIdx := lo.cm.numICSites
@@ -397,12 +421,20 @@ func (lo *lowerer) step(in wasm.Instr) error {
 		}
 		checked := false
 		switch lo.cfg.Bounds {
-		case BoundsSoftware:
-			lo.emit(cinstr{op: iBoundsCheck, a: int32(width), b: depth, imm: in.Imm})
-			checked = true
-		case BoundsMPX:
-			lo.emit(cinstr{op: iMPXCheck, a: int32(width), b: depth, imm: in.Imm})
-			checked = true
+		case BoundsSoftware, BoundsMPX:
+			// Statically proven accesses skip the check instruction; the
+			// unchecked form can then also take the fusion fast paths
+			// below, like the guard tier.
+			lo.cm.analysisStats.ChecksTotal++
+			if lo.facts.SafeAccess(lo.fnIdx, lo.idx) {
+				lo.cm.analysisStats.ChecksElided++
+			} else if lo.cfg.Bounds == BoundsSoftware {
+				lo.emit(cinstr{op: iBoundsCheck, a: int32(width), b: depth, imm: in.Imm})
+				checked = true
+			} else {
+				lo.emit(cinstr{op: iMPXCheck, a: int32(width), b: depth, imm: in.Imm})
+				checked = true
+			}
 		}
 		// Fuse `i32.const a; load` into an absolute-addressed load (static
 		// data and globals spilled to memory by wcc hit this constantly).

@@ -109,6 +109,11 @@ type Config struct {
 	// NoFusion disables the optimized tier's superinstruction peephole
 	// (used by the fusion ablation benchmark).
 	NoFusion bool
+	// NoAnalysis disables the static-analysis pipeline (check elision,
+	// stack certification, indirect-call devirtualization) in the
+	// optimized tier. Used by the elision ablation benchmark and the
+	// differential fuzzer; the naive tier never runs analysis.
+	NoAnalysis bool
 	// MaxCallDepth bounds the sandbox call stack. Default: 512 frames.
 	MaxCallDepth int
 	// MaxMemoryPages caps linear memory growth regardless of module

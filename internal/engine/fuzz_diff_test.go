@@ -1,0 +1,165 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sledge/internal/abi"
+	"sledge/internal/engine"
+	"sledge/internal/wasm"
+	"sledge/internal/wcc"
+)
+
+// diffConfigs is the differential matrix: every explicit-check strategy with
+// the analysis pipeline on and off, plus the naive tier as a third
+// implementation of the same semantics. BoundsNone is excluded by design —
+// it only faults beyond the backing array, so its trap set legitimately
+// differs from the checked strategies.
+func diffConfigs() []engine.Config {
+	var cfgs []engine.Config
+	for _, b := range []engine.BoundsStrategy{
+		engine.BoundsGuard, engine.BoundsSoftware,
+		engine.BoundsSoftwareFused, engine.BoundsMPX,
+	} {
+		cfgs = append(cfgs,
+			engine.Config{Bounds: b, Tier: engine.TierOptimized},
+			engine.Config{Bounds: b, Tier: engine.TierOptimized, NoAnalysis: true},
+			engine.Config{Bounds: b, Tier: engine.TierNaive},
+		)
+	}
+	return cfgs
+}
+
+// diffOutcome runs one config to a canonical outcome string: done+result,
+// trap+code, or the bounded-execution statuses. Any panic escaping the VM is
+// a host-integrity failure, reported via t.
+func diffOutcome(t *testing.T, m *wasm.Module, cfg engine.Config, arg uint64) string {
+	t.Helper()
+	cm, err := engine.Compile(m, abi.Registry(), cfg)
+	if err != nil {
+		return "compile-error"
+	}
+	var out string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s/%s noanalysis=%v: host panic: %v", cfg.Tier, cfg.Bounds, cfg.NoAnalysis, r)
+			}
+		}()
+		inst := cm.Instantiate()
+		inst.HostData = abi.NewContext(nil)
+		if err := inst.Start("main", arg); err != nil {
+			// Signature mismatch with the fuzzed arg count: retry with none.
+			if err2 := func() error {
+				inst = cm.Instantiate()
+				inst.HostData = abi.NewContext(nil)
+				return inst.Start("main")
+			}(); err2 != nil {
+				out = "start-error"
+				return
+			}
+		}
+		st, err := inst.Run(2_000_000)
+		switch st {
+		case engine.StatusDone:
+			v, _ := inst.Result()
+			out = fmt.Sprintf("done:%#x", v)
+		case engine.StatusTrapped:
+			var trap *engine.Trap
+			if errors.As(err, &trap) {
+				if trap.Code == engine.TrapFuelExhausted {
+					// The naive tier surfaces the budget as a trap where
+					// the optimized tier yields; both mean "still running".
+					out = "bounded"
+					return
+				}
+				out = "trap:" + trap.Code.String()
+			} else {
+				out = fmt.Sprintf("trap:%v", err)
+			}
+		case engine.StatusYielded:
+			out = "bounded"
+		case engine.StatusBlocked:
+			out = "bounded"
+		}
+	}()
+	return out
+}
+
+// FuzzDifferentialElision cross-checks the static-analysis pipeline against
+// the unanalyzed interpreter: for every module that decodes and validates,
+// every bounds strategy with elision on, elision off, and the naive tier
+// must produce the identical result or the identical trap. This is the
+// soundness net for check elision, devirtualization, and stack
+// certification.
+func FuzzDifferentialElision(f *testing.F) {
+	seeds := []string{
+		// In-bounds constant walk: every check elided.
+		`
+static u8 buf[64];
+export i32 main(i32 n) {
+	i32 acc = 0;
+	for (i32 i = 0; i < 64; i = i + 1) {
+		buf[i] = i * 7;
+		acc = acc + (i32) buf[i];
+	}
+	return acc;
+}
+`,
+		// Attacker-controlled index: check must stay and trap.
+		`
+static i32 A[16];
+export i32 main(i32 i) {
+	A[i] = 42;
+	return A[i];
+}
+`,
+		// Bounded call chain: stack certification applies.
+		`
+static i32 A[8];
+i32 leaf(i32 x) { return A[x % 8] + x; }
+i32 mid(i32 x) { return leaf(x) + leaf(x + 1); }
+export i32 main(i32 x) {
+	A[0] = 3;
+	return mid(x % 4);
+}
+`,
+	}
+	for _, src := range seeds {
+		res, err := wcc.Compile(src, wcc.Options{})
+		if err != nil {
+			f.Fatalf("wcc seed: %v", err)
+		}
+		f.Add(res.Binary, uint64(0))
+		f.Add(res.Binary, uint64(15))
+		f.Add(res.Binary, uint64(1<<20))
+	}
+	f.Fuzz(func(t *testing.T, bin []byte, arg uint64) {
+		m, err := wasm.Decode(bin)
+		if err != nil {
+			return
+		}
+		if err := wasm.Validate(m); err != nil {
+			return
+		}
+		cfgs := diffConfigs()
+		outs := make([]string, len(cfgs))
+		for i, cfg := range cfgs {
+			outs[i] = diffOutcome(t, m, cfg, arg)
+			if outs[i] == "bounded" {
+				// Fuel accounting differs per tier (fusion retires fewer
+				// dispatches), so any config still running at the budget
+				// makes the input incomparable.
+				return
+			}
+		}
+		for i, cfg := range cfgs[1:] {
+			if outs[i+1] != outs[0] {
+				t.Fatalf("divergence: %s/%s noanalysis=%v = %q, reference %s/%s = %q",
+					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, outs[i+1],
+					cfgs[0].Tier, cfgs[0].Bounds, outs[0])
+			}
+		}
+	})
+}

@@ -66,6 +66,11 @@ type Instance struct {
 	started    bool
 	trap       *Trap
 	entryArity int
+	// certified is true when the current entry point carries a stack
+	// certificate: the whole call tree's frame depth and operand-stack
+	// usage were bounded statically and reserved up front in startIndex,
+	// so the VM skips the per-call growth and depth probes.
+	certified bool
 	// pendingHostArity is the result arity of the blocked host call
 	// (-1 when not blocked).
 	pendingHostArity int
@@ -207,7 +212,21 @@ func (in *Instance) startIndex(idx uint32, args []uint64) error {
 		return fmt.Errorf("engine: %d arguments for signature %s", len(args), ft)
 	}
 	in.entryArity = fn.numResults
-	in.ensureStack(fn.nLocals + fn.maxStack + 1)
+	// A stack certificate bounds the whole call tree rooted here; reserve
+	// the worst case once and let the VM skip per-call probes. The depth
+	// bound must fit under the configured limit, otherwise the sandbox
+	// could legitimately exceed MaxCallDepth and must keep the probes to
+	// trap.
+	if cert, ok := in.mod.certs[int32(idx)-int32(nImp)]; ok && cert.frames <= in.mod.cfg.MaxCallDepth {
+		in.certified = true
+		in.ensureStack(cert.values)
+		if cap(in.frames) < cert.frames {
+			in.frames = make([]frame, 0, cert.frames)
+		}
+	} else {
+		in.certified = false
+		in.ensureStack(fn.nLocals + fn.maxStack + 1)
+	}
 	copy(in.stack, args)
 	for i := len(args); i < fn.nLocals; i++ {
 		in.stack[i] = 0
@@ -227,6 +246,7 @@ func (in *Instance) runStartFunction() error {
 		return fmt.Errorf("engine: start function is an import")
 	}
 	fn := &in.mod.funcs[int(in.mod.startIdx)-nImp]
+	in.certified = false
 	in.ensureStack(fn.nLocals + fn.maxStack + 1)
 	for i := 0; i < fn.nLocals; i++ {
 		in.stack[i] = 0

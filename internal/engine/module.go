@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sledge/internal/analysis"
 	"sledge/internal/wasm"
 )
 
@@ -80,6 +81,15 @@ const (
 	iBrIfLeU
 	iBrIfGeS
 	iBrIfGeU
+
+	// iCallDevirt is a statically devirtualized call_indirect: the analysis
+	// proved exactly one table slot matches the site's signature. a = defined
+	// callee index, b = the expected table index; imm packs result arity
+	// (bits 0..15), param count (bits 16..31), and the canonical type id
+	// (bits 32..63). A runtime index other than b cannot dispatch anywhere —
+	// every other slot fails the CFI check — so the mismatch path only has
+	// to reproduce the exact trap (OOB / null / signature).
+	iCallDevirt
 )
 
 // cinstr is one lowered instruction.
@@ -160,9 +170,52 @@ type CompiledModule struct {
 	// numICSites counts call_indirect sites; each lowered site is assigned
 	// a per-instance monomorphic inline-cache slot.
 	numICSites int
+	// certs holds the stack certificates computed from the analysis call
+	// graph: defined functions whose worst-case frame depth and operand
+	// stack size are statically bounded. Entry points found here skip the
+	// per-call stack-growth and depth probes (see Instance.startIndex).
+	certs map[int32]stackCert
+	// analysisStats summarizes what the static analysis proved and what
+	// the lowerer did with it; exported via /__stats.
+	analysisStats AnalysisStats
 	// pool recycles Instances (linear memory, operand stack, frames) so
 	// steady-state invocation allocates nothing. See pool.go.
 	pool instancePool
+}
+
+// stackCert is a per-entry-point stack certificate: the worst-case number
+// of call frames (own frame included) and operand-stack slots any call
+// rooted at the function can use.
+type stackCert struct {
+	frames int
+	values int
+}
+
+// AnalysisStats summarizes the static-analysis pipeline's results for one
+// compiled module. All zero when analysis is disabled (NoAnalysis or the
+// naive tier).
+type AnalysisStats struct {
+	// MemAccesses / SafeAccesses count live linear-memory accesses and how
+	// many the analysis proved in bounds, independent of bounds strategy.
+	MemAccesses  int `json:"mem_accesses"`
+	SafeAccesses int `json:"safe_accesses"`
+	// ChecksTotal / ChecksElided count bounds-check instructions the
+	// configured strategy would emit and how many were statically elided
+	// (nonzero only for BoundsSoftware / BoundsMPX).
+	ChecksTotal  int `json:"bounds_checks_total"`
+	ChecksElided int `json:"bounds_checks_elided"`
+	// IndirectSites / DevirtSites / DeadSites count call_indirect sites,
+	// sites statically devirtualized, and sites whose signature matches no
+	// table slot (every execution traps).
+	IndirectSites int `json:"indirect_call_sites"`
+	DevirtSites   int `json:"devirtualized_call_sites"`
+	DeadSites     int `json:"dead_indirect_call_sites"`
+	// CertifiedFuncs counts defined functions with a bounded worst-case
+	// frame depth; UnboundedFuncs those in or reaching recursion.
+	// MaxCertFrames is the largest certified frame depth in the module.
+	CertifiedFuncs int `json:"certified_funcs"`
+	UnboundedFuncs int `json:"unbounded_funcs"`
+	MaxCertFrames  int `json:"max_certified_frames"`
 }
 
 // LowerStats reports work done during compilation, used by the memory
@@ -181,6 +234,9 @@ func (cm *CompiledModule) Config() Config { return cm.cfg }
 
 // Stats returns compilation statistics.
 func (cm *CompiledModule) Stats() LowerStats { return cm.lowerStats }
+
+// Analysis returns the static-analysis summary for this module.
+func (cm *CompiledModule) Analysis() AnalysisStats { return cm.analysisStats }
 
 // SourceSize returns the size in bytes of the wasm binary this module was
 // compiled from (0 when compiled from an in-memory module).
@@ -343,6 +399,24 @@ func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, er
 		}
 	}
 
+	// Static analysis: runs between validation and lowering, in the
+	// optimized tier only. The lowerer consults the facts to elide bounds
+	// checks and devirtualize indirect calls; the certificates computed
+	// below let instantiation skip per-call stack probes.
+	var facts *analysis.Facts
+	if cfg.Tier == TierOptimized && !cfg.NoAnalysis {
+		facts = analysis.Analyze(m, analysis.Params{
+			MinMemBytes:  uint64(cm.minMemBytes),
+			MaxCallDepth: cfg.MaxCallDepth,
+		})
+		cm.analysisStats.MemAccesses = facts.Report.MemAccesses
+		cm.analysisStats.SafeAccesses = facts.Report.SafeAccesses
+		cm.analysisStats.IndirectSites = facts.Report.IndirectSites
+		cm.analysisStats.DevirtSites = facts.Report.DevirtSites
+		cm.analysisStats.DeadSites = facts.Report.DeadSites
+		cm.analysisStats.UnboundedFuncs = facts.Report.UnboundedFuncs
+	}
+
 	// Lower function bodies.
 	cm.funcs = make([]compiledFunc, len(m.Funcs))
 	for i := range m.Funcs {
@@ -358,13 +432,14 @@ func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, er
 		if cfg.Tier == TierNaive {
 			cf.naiveBody = f.Body
 		} else {
-			if err := lowerFunc(m, f, cfg, cm, &cf); err != nil {
+			if err := lowerFunc(m, f, cfg, cm, &cf, facts, i); err != nil {
 				return nil, fmt.Errorf("engine: lower func %d (%s): %w", i, f.Name, err)
 			}
 			cm.lowerStats.Instructions += len(cf.code)
 		}
 		cm.funcs[i] = cf
 	}
+	cm.buildStackCerts(facts)
 	cm.lowerStats.Funcs = len(cm.funcs)
 	cm.lowerStats.ObjectBytes = cm.objectBytes()
 
@@ -388,6 +463,70 @@ func CompileBinary(bin []byte, host HostRegistry, cfg Config) (*CompiledModule, 
 	}
 	cm.sourceSize = len(bin)
 	return cm, nil
+}
+
+// buildStackCerts turns the analysis call graph into stack certificates:
+// for every defined function with a bounded worst-case frame depth, the
+// exact operand-stack slot count a call rooted there can use. The values
+// bound mirrors the VM's per-call reservation (nLocals + maxStack + 1 per
+// frame) summed along the deepest call chain, so an instance started on a
+// certified entry point can reserve once and skip the per-call probes.
+func (cm *CompiledModule) buildStackCerts(facts *analysis.Facts) {
+	if facts == nil || len(cm.funcs) == 0 {
+		return
+	}
+	n := len(cm.funcs)
+	values := make([]int, n)
+	done := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if facts.MaxFrames[i] == analysis.Unbounded {
+			done[i] = true // never certified; no values bound needed
+		}
+	}
+	// Iterative post-order longest-path DP over the bounded (acyclic)
+	// subgraph; every callee of a bounded function is itself bounded.
+	type dframe struct{ node, ci int }
+	var stack []dframe
+	for s := 0; s < n; s++ {
+		if done[s] {
+			continue
+		}
+		stack = append(stack[:0], dframe{s, 0})
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			edges := facts.Edges[fr.node]
+			if fr.ci < len(edges) {
+				d := edges[fr.ci]
+				fr.ci++
+				if !done[d] {
+					stack = append(stack, dframe{d, 0})
+				}
+				continue
+			}
+			best := 0
+			for _, d := range edges {
+				if facts.MaxFrames[d] != analysis.Unbounded && values[d] > best {
+					best = values[d]
+				}
+			}
+			f := &cm.funcs[fr.node]
+			values[fr.node] = f.nLocals + f.maxStack + 1 + best
+			done[fr.node] = true
+			stack = stack[:len(stack)-1]
+		}
+	}
+	cm.certs = make(map[int32]stackCert)
+	for i := 0; i < n; i++ {
+		fb, ok := facts.FrameBound(i)
+		if !ok {
+			continue
+		}
+		cm.certs[int32(i)] = stackCert{frames: fb, values: values[i]}
+		cm.analysisStats.CertifiedFuncs++
+		if fb > cm.analysisStats.MaxCertFrames {
+			cm.analysisStats.MaxCertFrames = fb
+		}
+	}
 }
 
 // objectBytes approximates the in-memory size of the compiled object.

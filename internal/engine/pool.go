@@ -33,6 +33,8 @@ type instancePool struct {
 // when available. Pair with Release on the completion path; an Instance that
 // is never released is simply collected by the GC, exactly like one from
 // Instantiate.
+//
+//sledge:noalloc
 func (cm *CompiledModule) Acquire() *Instance {
 	p := &cm.pool
 	p.mu.Lock()
@@ -54,6 +56,8 @@ func (cm *CompiledModule) Acquire() *Instance {
 // instances of other modules and for instances still runnable or blocked
 // (releasing live state would let a scheduled sandbox be handed to a second
 // owner).
+//
+//sledge:noalloc
 func (cm *CompiledModule) Release(in *Instance) {
 	if in == nil || in.mod != cm {
 		return
@@ -65,7 +69,9 @@ func (cm *CompiledModule) Release(in *Instance) {
 	p := &cm.pool
 	p.mu.Lock()
 	if len(p.free) < maxFreeInstances {
-		p.free = append(p.free, in)
+		// Amortized: the free list grows to its 64-entry cap once and then
+		// stays allocated for the module's lifetime.
+		p.free = append(p.free, in) //sledge:coldpath
 		p.mu.Unlock()
 		return
 	}
@@ -86,12 +92,14 @@ func (cm *CompiledModule) PooledInstances() int {
 // multi-tenant isolation boundary: zero the dirty memory prefix over the
 // full retained capacity, replay data segments and globals, clear the
 // operand stack.
+//
+//sledge:noalloc
 func (in *Instance) resetForReuse() {
 	cm := in.mod
 	if cap(in.mem) < cm.minMemBytes {
 		// Torn down (or never had memory): start from a fresh zeroed
 		// allocation; nothing stale can survive.
-		in.mem = make([]byte, cm.minMemBytes)
+		in.mem = make([]byte, cm.minMemBytes) //sledge:coldpath
 	} else {
 		full := in.mem[:cap(in.mem)]
 		d := in.memDirty
@@ -107,12 +115,12 @@ func (in *Instance) resetForReuse() {
 	in.memDirty = uint64(cm.dataEnd)
 
 	if len(in.globals) != len(cm.globalInit) {
-		in.globals = make([]uint64, len(cm.globalInit))
+		in.globals = make([]uint64, len(cm.globalInit)) //sledge:coldpath
 	}
 	copy(in.globals, cm.globalInit)
 
 	if cm.numICSites > 0 && len(in.ic) != cm.numICSites {
-		in.ic = make([]icEntry, cm.numICSites)
+		in.ic = make([]icEntry, cm.numICSites) //sledge:coldpath
 		for i := range in.ic {
 			in.ic[i].key = -1
 		}

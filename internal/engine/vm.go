@@ -33,6 +33,11 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 	explicit := in.mod.explicitChecks
 	globals := in.globals
 	maxDepth := in.mod.cfg.MaxCallDepth
+	// certified is set when this run entered through a stack-certified
+	// entry point: the worst-case frame count and operand-stack size were
+	// proven at compile time and reserved up front, so the per-call growth
+	// and depth probes below are skipped.
+	certified := in.certified
 
 	// dirty is the store high-water mark feeding the recycling reset; kept
 	// in a register-friendly local and folded back in save().
@@ -155,16 +160,18 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 		case iCall:
 			callee := &in.mod.funcs[ci.a]
 			base := sp - callee.nParams
-			if need := base + callee.nLocals + callee.maxStack + 1; need > len(stack) {
-				in.stack = stack
-				in.ensureStack(need)
-				stack = in.stack
+			if !certified {
+				if need := base + callee.nLocals + callee.maxStack + 1; need > len(stack) {
+					in.stack = stack
+					in.ensureStack(need)
+					stack = in.stack
+				}
+				if len(frames) >= maxDepth {
+					return fail(TrapStackOverflow)
+				}
 			}
 			for i := base + callee.nParams; i < base+callee.nLocals; i++ {
 				stack[i] = 0
-			}
-			if len(frames) >= maxDepth {
-				return fail(TrapStackOverflow)
 			}
 			fr.pc = int32(pc)
 			frames = append(frames, frame{fn: callee, base: int32(base)})
@@ -216,16 +223,18 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 			if e := &in.ic[ci.imm>>16]; e.callee != nil && e.key == int32(idx) {
 				callee := e.callee
 				base := sp - callee.nParams
-				if need := base + callee.nLocals + callee.maxStack + 1; need > len(stack) {
-					in.stack = stack
-					in.ensureStack(need)
-					stack = in.stack
+				if !certified {
+					if need := base + callee.nLocals + callee.maxStack + 1; need > len(stack) {
+						in.stack = stack
+						in.ensureStack(need)
+						stack = in.stack
+					}
+					if len(frames) >= maxDepth {
+						return fail(TrapStackOverflow)
+					}
 				}
 				for i := base + callee.nParams; i < base+callee.nLocals; i++ {
 					stack[i] = 0
-				}
-				if len(frames) >= maxDepth {
-					return fail(TrapStackOverflow)
 				}
 				fr.pc = int32(pc)
 				frames = append(frames, frame{fn: callee, base: int32(base)})
@@ -283,16 +292,56 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 			callee := &in.mod.funcs[int(ent.funcIdx)-nImp]
 			in.ic[ci.imm>>16] = icEntry{key: int32(idx), callee: callee}
 			base := sp - callee.nParams
-			if need := base + callee.nLocals + callee.maxStack + 1; need > len(stack) {
-				in.stack = stack
-				in.ensureStack(need)
-				stack = in.stack
+			if !certified {
+				if need := base + callee.nLocals + callee.maxStack + 1; need > len(stack) {
+					in.stack = stack
+					in.ensureStack(need)
+					stack = in.stack
+				}
+				if len(frames) >= maxDepth {
+					return fail(TrapStackOverflow)
+				}
 			}
 			for i := base + callee.nParams; i < base+callee.nLocals; i++ {
 				stack[i] = 0
 			}
-			if len(frames) >= maxDepth {
-				return fail(TrapStackOverflow)
+			fr.pc = int32(pc)
+			frames = append(frames, frame{fn: callee, base: int32(base)})
+			fr = &frames[len(frames)-1]
+			code = callee.code
+			pc = 0
+			sp = base + callee.nLocals
+
+		case iCallDevirt:
+			// Statically devirtualized call_indirect: the analysis proved
+			// exactly one table slot (ci.b) carries this site's signature.
+			// Any other runtime index fails the CFI chain, so the mismatch
+			// path only reproduces the precise trap.
+			idx := uint32(stack[sp-1])
+			sp--
+			if idx != uint32(ci.b) {
+				if uint64(idx) >= uint64(len(in.table)) {
+					return fail(TrapIndirectCallOOB)
+				}
+				if in.table[idx].funcIdx < 0 {
+					return fail(TrapIndirectCallNull)
+				}
+				return fail(TrapIndirectCallType)
+			}
+			callee := &in.mod.funcs[ci.a]
+			base := sp - callee.nParams
+			if !certified {
+				if need := base + callee.nLocals + callee.maxStack + 1; need > len(stack) {
+					in.stack = stack
+					in.ensureStack(need)
+					stack = in.stack
+				}
+				if len(frames) >= maxDepth {
+					return fail(TrapStackOverflow)
+				}
+			}
+			for i := base + callee.nParams; i < base+callee.nLocals; i++ {
+				stack[i] = 0
 			}
 			fr.pc = int32(pc)
 			frames = append(frames, frame{fn: callee, base: int32(base)})

@@ -49,6 +49,22 @@ func (r *reader) readU32() (uint32, error) {
 	return uint32(v), nil
 }
 
+// readCount reads a vector length and bounds it by the remaining input:
+// every element costs at least one byte of encoding, so a larger count is
+// malformed — and often a hostile pre-allocation (a 14-byte module can
+// otherwise claim a multi-gigabyte type section). Reject before allocating.
+func (r *reader) readCount() (uint32, error) {
+	n, err := r.readU32()
+	if err != nil {
+		return 0, err
+	}
+	if int64(n) > int64(r.remaining()) {
+		return 0, fmt.Errorf("%w: vector count %d exceeds %d remaining bytes",
+			ErrBadModule, n, r.remaining())
+	}
+	return n, nil
+}
+
 func (r *reader) readS32() (int32, error) {
 	v, n, err := ReadSLEB128(r.buf[r.pos:], 32)
 	if err != nil {
@@ -211,7 +227,7 @@ func Decode(b []byte) (*Module, error) {
 }
 
 func decodeTypeSection(r *reader, m *Module) error {
-	n, err := r.readU32()
+	n, err := r.readCount()
 	if err != nil {
 		return err
 	}
@@ -225,7 +241,7 @@ func decodeTypeSection(r *reader, m *Module) error {
 			return fmt.Errorf("%w: bad functype form 0x%02x", ErrBadModule, form)
 		}
 		var ft FuncType
-		np, err := r.readU32()
+		np, err := r.readCount()
 		if err != nil {
 			return err
 		}
@@ -258,7 +274,7 @@ func decodeTypeSection(r *reader, m *Module) error {
 }
 
 func decodeImportSection(r *reader, m *Module) error {
-	n, err := r.readU32()
+	n, err := r.readCount()
 	if err != nil {
 		return err
 	}
@@ -309,7 +325,7 @@ func decodeImportSection(r *reader, m *Module) error {
 }
 
 func decodeFunctionSection(r *reader) ([]uint32, error) {
-	n, err := r.readU32()
+	n, err := r.readCount()
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +339,7 @@ func decodeFunctionSection(r *reader) ([]uint32, error) {
 }
 
 func decodeTableSection(r *reader, m *Module) error {
-	n, err := r.readU32()
+	n, err := r.readCount()
 	if err != nil {
 		return err
 	}
@@ -345,7 +361,7 @@ func decodeTableSection(r *reader, m *Module) error {
 }
 
 func decodeMemorySection(r *reader, m *Module) error {
-	n, err := r.readU32()
+	n, err := r.readCount()
 	if err != nil {
 		return err
 	}
@@ -380,7 +396,7 @@ func decodeConstExpr(r *reader) (Instr, error) {
 }
 
 func decodeGlobalSection(r *reader, m *Module) error {
-	n, err := r.readU32()
+	n, err := r.readCount()
 	if err != nil {
 		return err
 	}
@@ -407,7 +423,7 @@ func decodeGlobalSection(r *reader, m *Module) error {
 }
 
 func decodeExportSection(r *reader, m *Module) error {
-	n, err := r.readU32()
+	n, err := r.readCount()
 	if err != nil {
 		return err
 	}
@@ -434,7 +450,7 @@ func decodeExportSection(r *reader, m *Module) error {
 }
 
 func decodeElementSection(r *reader, m *Module) error {
-	n, err := r.readU32()
+	n, err := r.readCount()
 	if err != nil {
 		return err
 	}
@@ -450,7 +466,7 @@ func decodeElementSection(r *reader, m *Module) error {
 		if err != nil {
 			return err
 		}
-		cnt, err := r.readU32()
+		cnt, err := r.readCount()
 		if err != nil {
 			return err
 		}
@@ -518,7 +534,7 @@ func decodeCodeSection(r *reader, m *Module, typeIndices []uint32) error {
 }
 
 func decodeDataSection(r *reader, m *Module) error {
-	n, err := r.readU32()
+	n, err := r.readCount()
 	if err != nil {
 		return err
 	}
@@ -597,7 +613,7 @@ func decodeInstr(r *reader) (Instr, error) {
 		}
 		in.Imm = uint64(v)
 	case ImmBrTable:
-		n, err := r.readU32()
+		n, err := r.readCount()
 		if err != nil {
 			return Instr{}, err
 		}

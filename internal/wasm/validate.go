@@ -58,6 +58,18 @@ func Validate(m *Module) error {
 				return fmt.Errorf("%w: element segment %d: func index %d out of range", ErrInvalidModule, i, fi)
 			}
 		}
+		// A constant offset into a module-defined table is statically
+		// checkable against the table's guaranteed minimum size; reject
+		// segments that could never fit rather than deferring to an
+		// instantiation failure. (Imported tables and global-get offsets
+		// stay a run-time concern.)
+		if len(m.Tables) > 0 && seg.Offset.Op == OpI32Const {
+			end := uint64(uint32(seg.Offset.Imm)) + uint64(len(seg.FuncIndices))
+			if end > uint64(m.Tables[0].Min) {
+				return fmt.Errorf("%w: element segment %d: [%d, %d) exceeds table minimum size %d",
+					ErrInvalidModule, i, uint32(seg.Offset.Imm), end, m.Tables[0].Min)
+			}
+		}
 	}
 	for i, seg := range m.Data {
 		if len(m.Memories)+countImports(m, ExternMemory) == 0 {

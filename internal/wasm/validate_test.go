@@ -295,6 +295,140 @@ func TestValidateModuleLevelErrors(t *testing.T) {
 	})
 }
 
+// TestValidateUnreachableCodeTyping pins down the error paths of the
+// stack-polymorphic dead-code rules: after `unreachable` the operand stack
+// supplies unknown-typed values on demand, but index bounds, label depths,
+// and *concrete* type mismatches must still be rejected.
+func TestValidateUnreachableCodeTyping(t *testing.T) {
+	t.Run("polymorphic operands accepted", func(t *testing.T) {
+		// i32.add pops two unknowns and pushes a concrete i32 that
+		// satisfies the function result.
+		m := simpleModule(nil, []ValType{ValI32}, nil, []Instr{
+			{Op: OpUnreachable},
+			{Op: OpI32Add},
+		})
+		if err := Validate(m); err != nil {
+			t.Errorf("polymorphic dead code rejected: %v", err)
+		}
+	})
+
+	reject := []struct {
+		name    string
+		m       *Module
+		errPart string
+	}{
+		{
+			"bad local index in dead code",
+			simpleModule(nil, nil, nil, []Instr{
+				{Op: OpUnreachable},
+				{Op: OpLocalGet, Imm: 5},
+				{Op: OpDrop},
+			}),
+			"local index",
+		},
+		{
+			"concrete type mismatch in dead code",
+			simpleModule(nil, nil, nil, []Instr{
+				{Op: OpUnreachable},
+				{Op: OpI32Const, Imm: 1},
+				{Op: OpF64Add},
+				{Op: OpDrop},
+			}),
+			"type mismatch",
+		},
+		{
+			"bad label depth in dead code",
+			simpleModule(nil, nil, nil, []Instr{
+				{Op: OpUnreachable},
+				{Op: OpBr, Imm: 9},
+			}),
+			"label 9 out of range",
+		},
+		{
+			"bad call index in dead code",
+			simpleModule(nil, nil, nil, []Instr{
+				{Op: OpUnreachable},
+				{Op: OpCall, Imm: 7},
+			}),
+			"out of range",
+		},
+	}
+	for _, c := range reject {
+		t.Run(c.name, func(t *testing.T) {
+			err := Validate(c.m)
+			if err == nil {
+				t.Fatal("Validate accepted invalid dead code")
+			}
+			if !errors.Is(err, ErrInvalidModule) {
+				t.Errorf("error not wrapped in ErrInvalidModule: %v", err)
+			}
+			if !strings.Contains(err.Error(), c.errPart) {
+				t.Errorf("error %q does not mention %q", err, c.errPart)
+			}
+		})
+	}
+}
+
+// TestValidateElemSegmentBounds covers the static bounds check of element
+// segments against a module-defined table's minimum size.
+func TestValidateElemSegmentBounds(t *testing.T) {
+	base := func(min uint32, offset uint64, funcs int) *Module {
+		m := simpleModule(nil, nil, nil, nil)
+		m.Tables = []Limits{{Min: min}}
+		idx := make([]uint32, funcs)
+		m.Elems = []ElemSegment{{Offset: Instr{Op: OpI32Const, Imm: offset}, FuncIndices: idx}}
+		return m
+	}
+
+	t.Run("exactly fits", func(t *testing.T) {
+		if err := Validate(base(2, 0, 2)); err != nil {
+			t.Errorf("in-bounds segment rejected: %v", err)
+		}
+	})
+	t.Run("offset pushes past min", func(t *testing.T) {
+		err := Validate(base(2, 1, 2))
+		if err == nil {
+			t.Fatal("accepted element segment [1, 3) into table of min size 2")
+		}
+		if !errors.Is(err, ErrInvalidModule) {
+			t.Errorf("error not wrapped in ErrInvalidModule: %v", err)
+		}
+		if !strings.Contains(err.Error(), "exceeds table minimum size") {
+			t.Errorf("error %q does not mention the bounds check", err)
+		}
+	})
+	t.Run("huge constant offset", func(t *testing.T) {
+		// uint32 arithmetic must not wrap: offset 0xFFFFFFFF + 1 entry.
+		if err := Validate(base(2, 0xFFFFFFFF, 1)); err == nil {
+			t.Error("accepted element segment with wrapping offset")
+		}
+	})
+	t.Run("global-get offset deferred to instantiation", func(t *testing.T) {
+		// A non-constant offset cannot be checked statically; the segment
+		// must still pass validation (the engine checks it at Compile).
+		m := base(1, 0, 1)
+		m.Imports = []Import{{Module: "env", Name: "base", Kind: ExternGlobal,
+			Global: GlobalType{Type: ValI32}}}
+		m.Elems[0].Offset = Instr{Op: OpGlobalGet, Imm: 0}
+		m.Elems[0].FuncIndices = make([]uint32, 5) // would not fit at any offset
+		if err := Validate(m); err != nil {
+			t.Errorf("global-get offset segment rejected statically: %v", err)
+		}
+	})
+	t.Run("imported table deferred", func(t *testing.T) {
+		// Offsets into an imported table are checked against the actual
+		// table at instantiation, not against the import's declared min.
+		m := simpleModule(nil, nil, nil, nil)
+		m.Imports = []Import{{Module: "env", Name: "tbl", Kind: ExternTable,
+			Table: Limits{Min: 1}}}
+		m.Elems = []ElemSegment{{Offset: Instr{Op: OpI32Const, Imm: 4},
+			FuncIndices: []uint32{0}}}
+		if err := Validate(m); err != nil {
+			t.Errorf("imported-table segment rejected statically: %v", err)
+		}
+	})
+}
+
 func TestValidateBrTable(t *testing.T) {
 	m := simpleModule([]ValType{ValI32}, []ValType{ValI32}, nil, []Instr{
 		{Op: OpBlock, Imm: uint64(ValI32)},

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkLocks runs the two lock-hygiene checks:
+//
+//  1. Copying: a value whose type contains a sync.Mutex or sync.RWMutex by
+//     value must never be copied — through parameters, results, plain
+//     assignment from existing storage, or range variables. A copied mutex
+//     is an independent lock and silently stops guarding anything.
+//  2. Ordering: lock acquisition order must be globally consistent. For
+//     every function we record which locks are taken while which others are
+//     held; two functions establishing opposite pairwise orders are a
+//     latent deadlock (the scheduler's per-worker deques and the admission
+//     controller's tenant/global locks are exactly this shape).
+func checkLocks(p *pass) {
+	order := make(map[[2]string]token.Pos)
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockCopies(p, fd)
+			collectLockOrder(p, fd, order)
+		}
+	}
+	reportOrderConflicts(p, order)
+}
+
+// containsLock reports whether t holds a sync.Mutex/RWMutex by value.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, make(map[types.Type]bool))
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkLockCopies flags by-value movement of lock-bearing values.
+func checkLockCopies(p *pass, fd *ast.FuncDecl) {
+	flagFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t) {
+				p.reportf(field.Pos(), "locks %s: %s of type %s copies a mutex by value",
+					fd.Name.Name, what, t)
+			}
+		}
+	}
+	flagFields(fd.Recv, "receiver")
+	flagFields(fd.Type.Params, "parameter")
+	flagFields(fd.Type.Results, "result")
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if !copiesFromStorage(rhs) {
+					continue
+				}
+				if t := p.info.TypeOf(rhs); t != nil && containsLock(t) {
+					p.reportf(rhs.Pos(), "locks %s: assignment copies %s, which contains a mutex",
+						fd.Name.Name, t)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := p.info.TypeOf(n.Value); t != nil && containsLock(t) {
+					p.reportf(n.Value.Pos(), "locks %s: range copies %s, which contains a mutex",
+						fd.Name.Name, t)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if !copiesFromStorage(arg) {
+					continue
+				}
+				if t := p.info.TypeOf(arg); t != nil && containsLock(t) {
+					p.reportf(arg.Pos(), "locks %s: call passes %s by value, copying its mutex",
+						fd.Name.Name, t)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// copiesFromStorage reports whether evaluating e copies an existing stored
+// value (as opposed to a freshly constructed one, which is a move of a value
+// no one else can hold).
+func copiesFromStorage(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesFromStorage(e.X)
+	}
+	return false
+}
+
+// lockKey renders the receiver of a Lock/Unlock call into a stable textual
+// key ("s.mu", "pool.mu"). Unrenderable receivers return "".
+func lockKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := lockKey(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return lockKey(e.X)
+	case *ast.StarExpr:
+		return lockKey(e.X)
+	case *ast.IndexExpr:
+		if base := lockKey(e.X); base != "" {
+			return base + "[]"
+		}
+	}
+	return ""
+}
+
+// collectLockOrder walks fd in source order, tracking which lock keys are
+// held, and records every (held, acquired) pair into order.
+func collectLockOrder(p *pass, fd *ast.FuncDecl, order map[[2]string]token.Pos) {
+	var held []string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		method := sel.Sel.Name
+		if method != "Lock" && method != "RLock" && method != "Unlock" && method != "RUnlock" {
+			return true
+		}
+		recv := p.info.TypeOf(sel.X)
+		if recv == nil || !containsLock(recv) {
+			if ptr, ok := recv.(*types.Pointer); !ok || !containsLock(ptr.Elem()) {
+				return true
+			}
+		}
+		key := lockKey(sel.X)
+		if key == "" {
+			return true
+		}
+		// Scope keys per function for locals; fields keep their selector
+		// path so methods of the same type agree on the name.
+		switch method {
+		case "Lock", "RLock":
+			for _, h := range held {
+				if h != key {
+					pair := [2]string{h, key}
+					if _, seen := order[pair]; !seen {
+						order[pair] = call.Pos()
+					}
+				}
+			}
+			held = append(held, key)
+		case "Unlock", "RUnlock":
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == key {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reportOrderConflicts(p *pass, order map[[2]string]token.Pos) {
+	reported := make(map[[2]string]bool)
+	for pair, pos := range order {
+		rev := [2]string{pair[1], pair[0]}
+		rpos, ok := order[rev]
+		if !ok {
+			continue
+		}
+		canon := pair
+		if canon[0] > canon[1] {
+			canon = rev
+		}
+		if reported[canon] {
+			continue
+		}
+		reported[canon] = true
+		p.reportf(pos, "locks: inconsistent lock order: %q before %q here, but %q before %q at %s",
+			pair[0], pair[1], rev[0], rev[1], p.fset.Position(rpos))
+	}
+}

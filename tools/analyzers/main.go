@@ -1,0 +1,198 @@
+// Command analyzers runs Sledge's project-specific static checks over Go
+// package patterns:
+//
+//   - noalloc: functions annotated //sledge:noalloc must not contain
+//     allocating constructs (make/new/append, escaping composite literals,
+//     string concatenation, string<->[]byte conversions, go statements)
+//     outside lines marked //sledge:coldpath. The request path's
+//     zero-allocation contract is load-bearing for tail latency, and
+//     benchmarks only catch regressions on the paths they exercise.
+//   - locks: sync.Mutex/sync.RWMutex values must not be copied (parameters,
+//     assignments, range variables), and lock acquisition order must be
+//     globally consistent — two functions taking the same two locks in
+//     opposite orders is a latent deadlock (the scheduler and admission
+//     controller hold per-tenant and global locks together).
+//
+// The tool is deliberately stdlib-only (no golang.org/x/tools): it shells
+// out to `go list -export -deps -json` for export data and type-checks each
+// target package with go/types + importer.ForCompiler. Exit status is 1 when
+// any diagnostic fires, 2 on operational failure.
+//
+// Usage: go run ./tools/analyzers ./internal/... ./cmd/...
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+type diag struct {
+	pos token.Position
+	msg string
+}
+
+// pass bundles one type-checked package for the checkers.
+type pass struct {
+	fset  *token.FileSet
+	files []*ast.File
+	info  *types.Info
+	// suppress maps filename -> set of line numbers carrying a
+	// //sledge:coldpath marker (the line itself and the line below, so both
+	// trailing and preceding comment placement work).
+	suppress map[string]map[int]bool
+	diags    *[]diag
+}
+
+func (p *pass) reportf(pos token.Pos, format string, args ...any) {
+	position := p.fset.Position(pos)
+	if p.suppress[position.Filename][position.Line] {
+		return
+	}
+	*p.diags = append(*p.diags, diag{position, fmt.Sprintf(format, args...)})
+}
+
+func main() {
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analyze(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyzers:", err)
+		os.Exit(2)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].pos, diags[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", d.pos, d.msg)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func analyze(patterns []string) ([]diag, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export: %w", err)
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f := exports[path]
+		if f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var diags []diag
+	for _, pkg := range targets {
+		if err := analyzePackage(fset, imp, pkg, &diags); err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg.ImportPath, err)
+		}
+	}
+	return diags, nil
+}
+
+func analyzePackage(fset *token.FileSet, imp types.Importer, pkg listPkg, diags *[]diag) error {
+	var files []*ast.File
+	suppress := make(map[string]map[int]bool)
+	for _, name := range pkg.GoFiles {
+		path := filepath.Join(pkg.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "sledge:coldpath") {
+					line := fset.Position(c.Pos()).Line
+					if suppress[path] == nil {
+						suppress[path] = make(map[int]bool)
+					}
+					suppress[path][line] = true
+					suppress[path][line+1] = true
+				}
+			}
+		}
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	if _, err := conf.Check(pkg.ImportPath, fset, files, info); err != nil {
+		return fmt.Errorf("typecheck: %w", err)
+	}
+	p := &pass{fset: fset, files: files, info: info, suppress: suppress, diags: diags}
+	checkNoalloc(p)
+	checkLocks(p)
+	return nil
+}
+
+// hasDirective reports whether a doc comment group carries the given
+// //sledge:* directive.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//"+directive) {
+			return true
+		}
+	}
+	return false
+}

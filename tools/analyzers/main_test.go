@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runAnalyzer builds and runs the analyzer binary against one pattern, from
+// this package's directory (go test runs with cwd = package dir).
+func runAnalyzer(t *testing.T, pattern string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "run", ".", pattern)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestBadPackageFlagged(t *testing.T) {
+	out, err := runAnalyzer(t, "./testdata/bad")
+	if err == nil {
+		t.Fatalf("expected nonzero exit on testdata/bad, output:\n%s", out)
+	}
+	for _, want := range []string{
+		"make allocates",
+		"append allocates",
+		"composite literal escapes",
+		"string concatenation allocates",
+		"parameter of type",
+		"assignment copies",
+		"inconsistent lock order",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnostic %q missing from output:\n%s", want, out)
+		}
+	}
+}
+
+func TestGoodPackageClean(t *testing.T) {
+	out, err := runAnalyzer(t, "./testdata/good")
+	if err != nil {
+		t.Fatalf("analyzer flagged clean package: %v\n%s", err, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("unexpected output on clean package:\n%s", out)
+	}
+}

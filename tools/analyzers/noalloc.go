@@ -1,0 +1,105 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkNoalloc enforces the //sledge:noalloc directive: the function body
+// must be free of constructs that allocate on the Go heap. Lines marked
+// //sledge:coldpath are exempt — they document a deliberate slow path (pool
+// miss, capacity growth) that the steady state never takes.
+//
+// The check is necessarily conservative in both directions: it cannot see
+// escape analysis (a flagged composite literal might stay on the stack), and
+// it does not model allocations inside callees. It exists to keep obvious
+// allocation regressions out of the recycling hot path, not to replace the
+// allocs/op benchmarks.
+func checkNoalloc(p *pass) {
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "sledge:noalloc") {
+				continue
+			}
+			checkNoallocBody(p, fd)
+		}
+	}
+}
+
+func checkNoallocBody(p *pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure body runs on its own schedule; the literal itself is
+			// usually non-escaping in the patterns we annotate. Skip.
+			return false
+		case *ast.GoStmt:
+			p.reportf(n.Pos(), "noalloc %s: go statement allocates a goroutine", name)
+		case *ast.CallExpr:
+			checkNoallocCall(p, name, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					p.reportf(n.Pos(), "noalloc %s: address of composite literal escapes to the heap", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if t := p.info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map, *types.Slice:
+					p.reportf(n.Pos(), "noalloc %s: %s literal allocates", name, t)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := p.info.TypeOf(n.X); t != nil && isString(t) {
+					p.reportf(n.Pos(), "noalloc %s: string concatenation allocates", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkNoallocCall(p *pass, name string, call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := p.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				p.reportf(call.Pos(), "noalloc %s: %s allocates", name, b.Name())
+			}
+			return
+		}
+	}
+	// Conversions between string and []byte/[]rune copy the contents.
+	if tv, ok := p.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := p.info.TypeOf(call.Args[0])
+		if from != nil && stringByteConv(to, from) {
+			p.reportf(call.Pos(), "noalloc %s: %s(%s) conversion allocates", name, to, from)
+		}
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func stringByteConv(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isString(from))
+}

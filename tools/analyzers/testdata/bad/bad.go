@@ -1,0 +1,64 @@
+// Package bad holds deliberate violations of every analyzer rule; the
+// analyzer's own tests assert each one is flagged.
+package bad
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Sum is annotated noalloc but allocates three ways.
+//
+//sledge:noalloc
+func Sum(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Escape is annotated noalloc but returns a heap-escaping literal.
+//
+//sledge:noalloc
+func Escape() *guarded {
+	return &guarded{n: 1}
+}
+
+// Concat is annotated noalloc but concatenates strings.
+//
+//sledge:noalloc
+func Concat(a, b string) string {
+	return a + b
+}
+
+// ByValue copies the mutex inside its parameter.
+func ByValue(g guarded) int {
+	return g.n
+}
+
+// CopyOut copies a lock-bearing value out of a pointer.
+func CopyOut(g *guarded) {
+	snapshot := *g
+	_ = snapshot
+}
+
+var lockA, lockB sync.Mutex
+
+// ForwardOrder takes A then B.
+func ForwardOrder() {
+	lockA.Lock()
+	lockB.Lock()
+	lockB.Unlock()
+	lockA.Unlock()
+}
+
+// ReverseOrder takes B then A: a deadlock against ForwardOrder.
+func ReverseOrder() {
+	lockB.Lock()
+	lockA.Lock()
+	lockA.Unlock()
+	lockB.Unlock()
+}

@@ -1,0 +1,55 @@
+// Package good exercises the same shapes as package bad, written within the
+// rules; the analyzer must stay silent on all of it.
+package good
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Sum allocates nothing.
+//
+//sledge:noalloc
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Grow documents its deliberate slow path with a coldpath marker.
+//
+//sledge:noalloc
+func Grow(buf []byte, need int) []byte {
+	if cap(buf) >= need {
+		return buf[:need]
+	}
+	return make([]byte, need) //sledge:coldpath
+}
+
+// ByPointer takes the guarded value by pointer and locks consistently.
+func ByPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+var lockA, lockB sync.Mutex
+
+// OrderOne and OrderTwo agree on A-before-B.
+func OrderOne() {
+	lockA.Lock()
+	lockB.Lock()
+	lockB.Unlock()
+	lockA.Unlock()
+}
+
+func OrderTwo() {
+	lockA.Lock()
+	lockB.Lock()
+	lockB.Unlock()
+	lockA.Unlock()
+}
