@@ -130,11 +130,11 @@ func (f *Facts) FrameBound(fn int) (int, bool) {
 func Analyze(m *wasm.Module, p Params) *Facts {
 	f := &Facts{fns: make([]funcFacts, len(m.Funcs))}
 
-	table, canon := buildTable(m)
+	table, canon, exact := buildTable(m)
 	for i := range m.Funcs {
 		f.fns[i].safe = analyzeMemSafety(m, &m.Funcs[i], p.MinMemBytes, &f.Report)
-		f.fns[i].devirt = analyzeCFI(m, &m.Funcs[i], table, canon, &f.Report)
+		f.fns[i].devirt = analyzeCFI(m, &m.Funcs[i], table, canon, exact, &f.Report)
 	}
-	analyzeStack(m, table, canon, f)
+	analyzeStack(m, table, canon, exact, f)
 	return f
 }

@@ -320,3 +320,166 @@ func TestHostCallsPushNoFrames(t *testing.T) {
 		t.Fatalf("FrameBound(0) = %d, %v; want 1", got, ok)
 	}
 }
+
+// --- soundness regressions ---
+
+// mustAnalyze validates a hand-built module (the analysis assumes validated
+// input) and runs the pipeline with the module's minimum memory as horizon.
+func mustAnalyze(t *testing.T, m *wasm.Module) *analysis.Facts {
+	t.Helper()
+	if err := wasm.Validate(m); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	var minMem uint64
+	if len(m.Memories) > 0 {
+		minMem = uint64(m.Memories[0].Min) * wasm.PageSize
+	}
+	return analysis.Analyze(m, analysis.Params{MinMemBytes: minMem, MaxCallDepth: 512})
+}
+
+func memLoopModule(locals []wasm.ValType, body []wasm.Instr) *wasm.Module {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{{}}
+	m.Funcs = []wasm.Func{{TypeIdx: 0, Locals: locals, Body: body}}
+	m.Memories = []wasm.Limits{{Min: 1}}
+	return m
+}
+
+func TestInductionCertRequiresExitEdge(t *testing.T) {
+	// loop { if (k <s 1000) { load k }; k = k + 1; br 0 }
+	//
+	// The compare guards only the access, not the loop: the compare-false
+	// path still continues, so k marches past 2^31, the signed compare
+	// turns true again at unsigned k >= 2^31, and eliding the check would
+	// let the access run far out of bounds. The induction certificate must
+	// not apply to an if refinement, only to the fall-through of a header
+	// br_if whose taken edge exits the loop.
+	empty := uint64(wasm.BlockTypeEmpty)
+	m := memLoopModule([]wasm.ValType{wasm.ValI32}, []wasm.Instr{
+		{Op: wasm.OpLoop, Imm: empty},
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpI32Const, Imm: 1000},
+		{Op: wasm.OpI32LtS},
+		{Op: wasm.OpIf, Imm: empty},
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpI32Load8U},
+		{Op: wasm.OpDrop},
+		{Op: wasm.OpEnd},
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpI32Const, Imm: 1},
+		{Op: wasm.OpI32Add},
+		{Op: wasm.OpLocalSet, Imm: 0},
+		{Op: wasm.OpBr, Imm: 0},
+		{Op: wasm.OpEnd},
+	})
+	r := mustAnalyze(t, m).Report
+	if r.MemAccesses != 1 || r.SafeAccesses != 0 {
+		t.Fatalf("accesses=%d safe=%d, want 1/0: non-exit compare must not certify", r.MemAccesses, r.SafeAccesses)
+	}
+}
+
+func TestInductionCertNestedLoopIncrement(t *testing.T) {
+	// block { loop { if (k >=s 1000) br exit; load k;
+	//                loop { k = k + 65536; j = j + 1; if (j <s 10) br 0 };
+	//                br 0 } }
+	//
+	// The increment site sits inside an inner loop, so it runs many times
+	// per outer iteration and the statically summed per-iteration increment
+	// is an underestimate: k can overshoot the header bound by far more
+	// than one increment between header evaluations. The candidate must be
+	// disqualified.
+	empty := uint64(wasm.BlockTypeEmpty)
+	m := memLoopModule([]wasm.ValType{wasm.ValI32, wasm.ValI32}, []wasm.Instr{
+		{Op: wasm.OpBlock, Imm: empty},
+		{Op: wasm.OpLoop, Imm: empty},
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpI32Const, Imm: 1000},
+		{Op: wasm.OpI32GeS},
+		{Op: wasm.OpBrIf, Imm: 1},
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpI32Load8U},
+		{Op: wasm.OpDrop},
+		{Op: wasm.OpLoop, Imm: empty},
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpI32Const, Imm: 65536},
+		{Op: wasm.OpI32Add},
+		{Op: wasm.OpLocalSet, Imm: 0},
+		{Op: wasm.OpLocalGet, Imm: 1},
+		{Op: wasm.OpI32Const, Imm: 1},
+		{Op: wasm.OpI32Add},
+		{Op: wasm.OpLocalTee, Imm: 1},
+		{Op: wasm.OpI32Const, Imm: 10},
+		{Op: wasm.OpI32LtS},
+		{Op: wasm.OpBrIf, Imm: 0},
+		{Op: wasm.OpEnd},
+		{Op: wasm.OpBr, Imm: 0},
+		{Op: wasm.OpEnd},
+		{Op: wasm.OpEnd},
+	})
+	r := mustAnalyze(t, m).Report
+	if r.MemAccesses != 1 || r.SafeAccesses != 0 {
+		t.Fatalf("accesses=%d safe=%d, want 1/0: nested-loop increment must disqualify", r.MemAccesses, r.SafeAccesses)
+	}
+}
+
+func TestInductionCertExitGatedLoopElided(t *testing.T) {
+	// block { loop { if (k >=s 1000) br exit; load k; k = k + 1; br 0 } }
+	//
+	// The canonical shape the certificate exists for: every header
+	// evaluation either exits or continues with k <s 1000, and the single
+	// straight-line increment keeps k below 2^31 forever. The access must
+	// stay elided.
+	empty := uint64(wasm.BlockTypeEmpty)
+	m := memLoopModule([]wasm.ValType{wasm.ValI32}, []wasm.Instr{
+		{Op: wasm.OpBlock, Imm: empty},
+		{Op: wasm.OpLoop, Imm: empty},
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpI32Const, Imm: 1000},
+		{Op: wasm.OpI32GeS},
+		{Op: wasm.OpBrIf, Imm: 1},
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpI32Load8U},
+		{Op: wasm.OpDrop},
+		{Op: wasm.OpLocalGet, Imm: 0},
+		{Op: wasm.OpI32Const, Imm: 1},
+		{Op: wasm.OpI32Add},
+		{Op: wasm.OpLocalSet, Imm: 0},
+		{Op: wasm.OpBr, Imm: 0},
+		{Op: wasm.OpEnd},
+		{Op: wasm.OpEnd},
+	})
+	r := mustAnalyze(t, m).Report
+	if r.MemAccesses != 1 || r.SafeAccesses != 1 {
+		t.Fatalf("accesses=%d safe=%d, want 1/1: exit-gated induction must still elide", r.MemAccesses, r.SafeAccesses)
+	}
+}
+
+func TestNonConstElemOffsetConservative(t *testing.T) {
+	// A global.get element offset means the table contents are statically
+	// unknown (Imm is a global index, not an offset): no site may be
+	// devirtualized or declared dead, and a call_indirect must be assumed
+	// able to reach any defined function — here that makes f0 potentially
+	// self-recursive, so its stack bound is unknown.
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{i32Type()}
+	m.Imports = []wasm.Import{{Module: "env", Name: "base", Kind: wasm.ExternGlobal,
+		Global: wasm.GlobalType{Type: wasm.ValI32}}}
+	m.Funcs = []wasm.Func{
+		{TypeIdx: 0, Body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Imm: 0},
+			{Op: wasm.OpCallIndirect, Imm: 0},
+		}},
+		constFunc(7),
+	}
+	m.Tables = []wasm.Limits{{Min: 2}}
+	m.Elems = []wasm.ElemSegment{{Offset: wasm.Instr{Op: wasm.OpGlobalGet, Imm: 0}, FuncIndices: []uint32{1}}}
+
+	facts := mustAnalyze(t, m)
+	r := facts.Report
+	if r.IndirectSites != 1 || r.DevirtSites != 0 || r.DeadSites != 0 {
+		t.Fatalf("sites=%d devirt=%d dead=%d, want 1/0/0", r.IndirectSites, r.DevirtSites, r.DeadSites)
+	}
+	if _, ok := facts.FrameBound(0); ok {
+		t.Fatal("FrameBound(0) certified despite unknown table contents")
+	}
+}

@@ -11,9 +11,13 @@ type tslot struct {
 
 // buildTable reconstructs the canonical type map and the initialized
 // indirect-call table exactly as engine.Compile does, so the facts proven
-// here hold for the table the VM dispatches through.
-func buildTable(m *wasm.Module) ([]tslot, []int32) {
-	canon := make([]int32, len(m.Types))
+// here hold for the table the VM dispatches through. exact reports whether
+// the table contents are statically known; it is false when any element
+// segment has a non-constant offset (global.get of an imported global —
+// rejected by Compile, but a caller running the analysis standalone must
+// not treat Imm as an offset when it is a global index).
+func buildTable(m *wasm.Module) (table []tslot, canon []int32, exact bool) {
+	canon = make([]int32, len(m.Types))
 	for i, t := range m.Types {
 		canon[i] = int32(i)
 		for j := 0; j < i; j++ {
@@ -24,7 +28,6 @@ func buildTable(m *wasm.Module) ([]tslot, []int32) {
 		}
 	}
 
-	var table []tslot
 	if len(m.Tables) > 0 {
 		table = make([]tslot, m.Tables[0].Min)
 		for i := range table {
@@ -32,6 +35,9 @@ func buildTable(m *wasm.Module) ([]tslot, []int32) {
 		}
 	}
 	for _, seg := range m.Elems {
+		if seg.Offset.Op != wasm.OpI32Const {
+			return nil, canon, false
+		}
 		off := int(uint32(seg.Offset.Imm))
 		if off < 0 || off+len(seg.FuncIndices) > len(table) {
 			continue // Compile rejects such modules; nothing to prove
@@ -51,7 +57,7 @@ func buildTable(m *wasm.Module) ([]tslot, []int32) {
 			table[off+j] = tslot{funcIdx: int32(fi), canon: c}
 		}
 	}
-	return table, canon
+	return table, canon, true
 }
 
 // analyzeCFI verifies every call_indirect site in f against the canonical
@@ -59,8 +65,10 @@ func buildTable(m *wasm.Module) ([]tslot, []int32) {
 // slot carries the site's signature and that slot holds a defined function,
 // any successful dispatch must land there. The lowered form still compares
 // the runtime index against the expected slot and falls back to the generic
-// path on mismatch, so trap codes (OOB / null / type) stay exact.
-func analyzeCFI(m *wasm.Module, f *wasm.Func, table []tslot, canon []int32, report *Report) map[int]Devirt {
+// path on mismatch, so trap codes (OOB / null / type) stay exact. With
+// exact=false the table contents are unknown: sites are counted but never
+// classified dead or devirtualized.
+func analyzeCFI(m *wasm.Module, f *wasm.Func, table []tslot, canon []int32, exact bool, report *Report) map[int]Devirt {
 	var out map[int]Devirt
 	nImports := m.NumImportedFuncs()
 	for idx := range f.Body {
@@ -69,6 +77,9 @@ func analyzeCFI(m *wasm.Module, f *wasm.Func, table []tslot, canon []int32, repo
 			continue
 		}
 		report.IndirectSites++
+		if !exact {
+			continue
+		}
 		want := canon[in.Imm]
 		matches := 0
 		slot, target := -1, int32(-1)

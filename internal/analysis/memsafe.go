@@ -379,21 +379,31 @@ func blockTypeArity(imm uint64) int {
 
 // prescanLoop scans the loop body starting after body index i, returning the
 // set of locals assigned anywhere inside and induction certificates for
-// those whose every assignment is the canonical `k = k + const` shape.
+// those whose every assignment is the canonical `k = k + const` shape. A
+// site nested inside an inner loop runs an unknown number of times per
+// iteration of this loop, so its increment cannot be summed statically:
+// any assignment under a nested OpLoop disqualifies the candidate.
 func (w *mwalker) prescanLoop(i int) (map[int]bool, map[int]inductInfo) {
 	killed := map[int]bool{}
 	induct := map[int]inductInfo{}
 	body := w.f.Body
-	depth := 0
+	var nest []bool // opened frames; true = nested loop
+	inner := 0      // nested OpLoop frames currently open
 	for j := i + 1; j < len(body); j++ {
 		switch body[j].Op {
-		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
-			depth++
+		case wasm.OpBlock, wasm.OpIf:
+			nest = append(nest, false)
+		case wasm.OpLoop:
+			nest = append(nest, true)
+			inner++
 		case wasm.OpEnd:
-			if depth == 0 {
+			if len(nest) == 0 {
 				return killed, induct
 			}
-			depth--
+			if nest[len(nest)-1] {
+				inner--
+			}
+			nest = nest[:len(nest)-1]
 		case wasm.OpLocalTee:
 			k := int(body[j].Imm)
 			killed[k] = true
@@ -406,9 +416,9 @@ func (w *mwalker) prescanLoop(i int) (map[int]bool, map[int]inductInfo) {
 				inf.ok = true
 			}
 			// Recognize the exact producer window `local.get k;
-			// i32.const d; i32.add` with d >= 0. Anything else
-			// disqualifies the local.
-			if inf.ok && j-3 > i &&
+			// i32.const d; i32.add` with d >= 0, outside any nested
+			// loop. Anything else disqualifies the local.
+			if inf.ok && inner == 0 && j-3 > i &&
 				body[j-3].Op == wasm.OpLocalGet && int(body[j-3].Imm) == k &&
 				body[j-2].Op == wasm.OpI32Const && int32(body[j-2].Imm) >= 0 &&
 				body[j-1].Op == wasm.OpI32Add {
@@ -457,7 +467,16 @@ var cmpRel = map[wasm.Opcode][2]rel{
 // the sign region is provable — either the local's interval is already
 // below 2^31, the constant side pins the nonnegative region, or the
 // enclosing loop's induction certificate applies (see docs/ANALYSIS.md).
-func (w *mwalker) refine(st *mstate, c *cmpFact, truth bool) {
+//
+// exitEdge marks the one refinement the induction certificate is sound for:
+// the fall-through state of a loop-header br_if whose taken edge leaves the
+// loop. Only then does every header evaluation either exit or continue with
+// the refined relation true, which is what the certificate's no-wrap
+// induction needs. Refinements inside an if, or on a br_if whose taken edge
+// stays in the loop, give no such guarantee — the loop can keep running
+// with the compare false, push the local past 2^31, and make the signed
+// compare true again at a huge unsigned value.
+func (w *mwalker) refine(st *mstate, c *cmpFact, truth bool, exitEdge bool) {
 	if c == nil {
 		return
 	}
@@ -532,7 +551,7 @@ func (w *mwalker) refine(st *mstate, c *cmpFact, truth bool) {
 			apply(cur.lo, bound-1)
 			return
 		}
-		if fr := w.top(); fr.op == wasm.OpLoop && fr.headerClean {
+		if fr := w.top(); exitEdge && fr.op == wasm.OpLoop && fr.headerClean {
 			if inf, has := fr.induct[k]; has && inf.ok && inf.ver == c.ver &&
 				inf.entry.known && inf.entry.hi < signBit &&
 				bound-1+inf.sum < signBit {
@@ -639,8 +658,8 @@ func (w *mwalker) step(idx int, in wasm.Instr) {
 	case wasm.OpIf:
 		cond := w.pop()
 		elseState := w.cur.clone()
-		w.refine(w.cur, cond.cmp, true)
-		w.refine(elseState, cond.cmp, false)
+		w.refine(w.cur, cond.cmp, true, false)
+		w.refine(elseState, cond.cmp, false, false)
 		w.dirtyHeader()
 		w.frames = append(w.frames, mframe{
 			op: wasm.OpIf, height: len(w.cur.stack), arity: blockTypeArity(in.Imm),
@@ -664,9 +683,12 @@ func (w *mwalker) step(idx int, in wasm.Instr) {
 	case wasm.OpBrIf:
 		cond := w.pop()
 		taken := w.cur.clone()
-		w.refine(taken, cond.cmp, true)
+		w.refine(taken, cond.cmp, true, false)
 		w.branchTo(in.Imm, taken)
-		w.refine(w.cur, cond.cmp, false)
+		// While headerClean holds, the loop is the top frame, so any label
+		// other than 0 (the back edge) leaves the loop: the taken edge is a
+		// loop exit, and the fall-through may use the induction certificate.
+		w.refine(w.cur, cond.cmp, false, in.Imm >= 1)
 		return
 	case wasm.OpBrTable:
 		w.pop()

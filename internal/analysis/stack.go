@@ -8,8 +8,10 @@ import "sledge/internal/wasm"
 // contributes every defined function sitting in a type-compatible table
 // slot (the CFI check makes any other target impossible). Host imports run
 // on the Go stack and push no wasm frame. Functions in — or reaching — a
-// call-graph cycle get Unbounded and stay on the dynamic-probe path.
-func analyzeStack(m *wasm.Module, table []tslot, canon []int32, f *Facts) {
+// call-graph cycle get Unbounded and stay on the dynamic-probe path. With
+// exact=false the table contents are unknown, so a call_indirect site must
+// be assumed able to reach any defined function.
+func analyzeStack(m *wasm.Module, table []tslot, canon []int32, exact bool, f *Facts) {
 	n := len(m.Funcs)
 	nImports := m.NumImportedFuncs()
 
@@ -30,6 +32,12 @@ func analyzeStack(m *wasm.Module, table []tslot, canon []int32, f *Facts) {
 					add(fi - nImports)
 				}
 			case wasm.OpCallIndirect:
+				if !exact {
+					for d := 0; d < n; d++ {
+						add(d)
+					}
+					continue
+				}
 				want := canon[in.Imm]
 				for _, e := range table {
 					if e.funcIdx >= 0 && e.canon == want && int(e.funcIdx) >= nImports {

@@ -343,6 +343,14 @@ func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, er
 	cm.globalTypes = make([]wasm.GlobalType, len(m.Globals))
 	for i, g := range m.Globals {
 		cm.globalTypes[i] = g.Type
+		// A global.get initializer references an imported global (the only
+		// kind validation admits in const exprs), and global imports were
+		// rejected above — but guard explicitly so Init.Imm is never
+		// misread as a value when it is a global index.
+		if g.Init.Op == wasm.OpGlobalGet {
+			return nil, fmt.Errorf("%w: global %d: global.get initializers are not supported",
+				ErrImport, i)
+		}
 		cm.globalInit[i] = g.Init.Imm
 	}
 
@@ -357,8 +365,14 @@ func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, er
 		}
 	}
 
-	// Data segments, pre-resolved for single-pass instantiation.
+	// Data segments, pre-resolved for single-pass instantiation. Offsets
+	// must be i32.const: a global.get offset's Imm is a global index, not
+	// an offset, and the imported global it references is unsupported.
 	for i, seg := range m.Data {
+		if seg.Offset.Op != wasm.OpI32Const {
+			return nil, fmt.Errorf("%w: data segment %d: non-constant offsets are not supported",
+				ErrImport, i)
+		}
 		off := uint32(seg.Offset.Imm)
 		if uint64(off)+uint64(len(seg.Bytes)) > uint64(cm.memLimits.Min)*wasm.PageSize {
 			return nil, fmt.Errorf("engine: data segment %d out of bounds", i)
@@ -379,6 +393,10 @@ func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, er
 		}
 	}
 	for i, seg := range m.Elems {
+		if seg.Offset.Op != wasm.OpI32Const {
+			return nil, fmt.Errorf("%w: element segment %d: non-constant offsets are not supported",
+				ErrImport, i)
+		}
 		off := int(uint32(seg.Offset.Imm))
 		if off+len(seg.FuncIndices) > len(cm.table) {
 			return nil, fmt.Errorf("engine: element segment %d out of bounds", i)
