@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke test bench
+.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke test bench bench-regalloc
 
 # check is the pre-merge gate: static analysis (go vet plus the project
 # analyzers: noalloc hot-path enforcement, mutex-copy and lock-ordering), a
@@ -11,7 +11,7 @@ GO ?= go
 # must shed cleanly: admitted error rate < 1%), and a 30s differential fuzz
 # of the check-elision pipeline (every bounds strategy with elision on/off
 # must produce identical results and traps).
-check: vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke
+check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,12 +25,22 @@ build:
 test-race:
 	$(GO) test -race ./internal/sandbox/... ./internal/sched/... ./internal/core/... \
 		./internal/admission/... ./internal/httpd/...
+	$(GO) test -race -run 'TestPool' ./internal/engine/
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=Churn -benchtime=100x -benchmem .
 
 overload-smoke:
 	$(GO) test -run=TestOverloadSmoke -count=1 ./internal/experiments/
+
+# regalloc-smoke runs the register-IR ablation end-to-end at quick sizes
+# (correctness + snapshot plumbing); the acceptance-grade numbers come from
+# `make bench-regalloc`, which regenerates BENCH_regalloc.json at full sizes.
+regalloc-smoke:
+	$(GO) test -run=TestRegallocAblationSmoke -count=1 ./internal/experiments/
+
+bench-regalloc:
+	$(GO) run ./cmd/sledge-bench -run regalloc -snapshot BENCH_regalloc.json
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDifferentialElision -fuzztime=30s ./internal/engine/

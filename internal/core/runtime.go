@@ -59,6 +59,10 @@ type ModuleStats struct {
 	// module at registration time (check elision, devirtualization, stack
 	// certification); all zero when analysis was disabled.
 	Analysis engine.AnalysisStats `json:"analysis"`
+	// Regalloc is the register-allocation summary for the module (register
+	// file size, three-address fusions, branch fusions); Enabled is false
+	// when the module runs on the stack-form or naive interpreter.
+	Regalloc engine.RegallocStats `json:"regalloc"`
 }
 
 // Stats returns the module's accounting snapshot.
@@ -67,6 +71,7 @@ func (m *Module) Stats() ModuleStats {
 		Invocations: m.invocations.Load(),
 		Failures:    m.failures.Load(),
 		Analysis:    m.cm.Analysis(),
+		Regalloc:    m.cm.Regalloc(),
 	}
 	if st.Invocations > 0 {
 		st.MeanLatency = time.Duration(m.totalNanos.Load() / int64(st.Invocations))
@@ -166,12 +171,21 @@ func New(cfg Config) *Runtime {
 		cfg:      cfg,
 		registry: make(map[string]*Module),
 	}
-	rt.pool = sched.NewPool(sched.Config{
+	scfg := sched.Config{
 		Workers:      cfg.Workers,
 		Quantum:      cfg.Quantum,
 		Policy:       cfg.Policy,
 		Distribution: cfg.Distribution,
-	})
+	}
+	if scfg.Policy == 0 || scfg.Policy == sched.PolicyPreemptiveRR {
+		// Calibrate the quantum for the engine configuration modules are
+		// actually compiled with: the register-form and stack-form
+		// interpreters (and the naive tier) retire instructions at
+		// materially different rates, so a shared rate would turn the 5 ms
+		// time slice into a different wall-clock quantum per configuration.
+		scfg.FuelPerMS = engine.CalibrateFuelRateFor(cfg.Engine)
+	}
+	rt.pool = sched.NewPool(scfg)
 	if cfg.Admission != nil {
 		acfg := *cfg.Admission
 		if acfg.Workers == 0 {

@@ -251,6 +251,15 @@ func TestStatsEndpoint(t *testing.T) {
 	if an.CertifiedFuncs < 1 {
 		t.Errorf("analysis stats missing from /__stats: %+v", an)
 	}
+	// So does the register-allocation summary: the default engine config
+	// compiles to register form, with a non-empty per-frame register file.
+	ra := payload.PerModule["ping"].Regalloc
+	if !ra.Enabled || ra.Registers < 1 {
+		t.Errorf("regalloc stats missing from /__stats: %+v", ra)
+	}
+	if ra.Spills != 0 {
+		t.Errorf("regalloc reported %d spills; the slab register file never spills", ra.Spills)
+	}
 }
 
 func TestLoadModulesFile(t *testing.T) {

@@ -7,23 +7,57 @@ import (
 	"sledge/internal/wasm"
 )
 
-var (
-	calibrateOnce sync.Once
-	fuelRate      int64
-)
-
-// CalibrateFuelRate measures the optimized tier's interpretation throughput
-// in instructions per millisecond. The scheduler multiplies this by its
-// quantum to convert the paper's time-slice (5 ms) into deterministic fuel.
-// The result is cached for the process lifetime.
-func CalibrateFuelRate() int64 {
-	calibrateOnce.Do(func() {
-		fuelRate = measureFuelRate()
-	})
-	return fuelRate
+// calKey identifies one execution configuration for fuel calibration. Only
+// the dimensions that change interpretation throughput participate: the tier
+// and the IR form. Bounds strategies differ by a few percent on memory-heavy
+// code but share the dispatch loop, so they are not split (the quantum is a
+// preemption bound, not an accounting unit).
+type calKey struct {
+	tier       Tier
+	noRegalloc bool
 }
 
-func measureFuelRate() int64 {
+var (
+	calMu    sync.Mutex
+	calRates = make(map[calKey]int64)
+)
+
+// CalibrateFuelRateFor measures the interpretation throughput of cfg's
+// execution configuration in instructions per millisecond. The scheduler
+// multiplies this by its quantum to convert the paper's time-slice (5 ms)
+// into deterministic fuel. The rate is a property of the execution
+// configuration: register-form IR retires fewer, heavier instructions for
+// the same work than the stack-form loop (fusion collapses multi-dispatch
+// sequences), and the naive tier is an order of magnitude slower than
+// either — so converting one shared rate through the quantum would hand
+// different configurations materially different wall-clock slices. Each
+// (tier, IR) pair is measured separately and cached for the process
+// lifetime.
+func CalibrateFuelRateFor(cfg Config) int64 {
+	key := calKey{tier: cfg.Tier, noRegalloc: cfg.NoRegalloc}
+	if key.tier == 0 {
+		key.tier = TierOptimized
+	}
+	if key.tier == TierNaive {
+		key.noRegalloc = false // the naive tier never runs the regalloc pass
+	}
+	calMu.Lock()
+	defer calMu.Unlock()
+	if rate, ok := calRates[key]; ok {
+		return rate
+	}
+	rate := measureFuelRate(Config{Tier: key.tier, NoRegalloc: key.noRegalloc})
+	calRates[key] = rate
+	return rate
+}
+
+// CalibrateFuelRate measures the default configuration (optimized tier,
+// register-form IR).
+func CalibrateFuelRate() int64 {
+	return CalibrateFuelRateFor(Config{})
+}
+
+func measureFuelRate(cfg Config) int64 {
 	m := wasm.NewModule()
 	m.Types = []wasm.FuncType{{
 		Params:  []wasm.ValType{wasm.ValI32},
@@ -54,7 +88,7 @@ func measureFuelRate() int64 {
 		},
 	}}
 	m.Exports = []wasm.Export{{Name: "spin", Kind: wasm.ExternFunc, Index: 0}}
-	cm, err := Compile(m, nil, Config{})
+	cm, err := Compile(m, nil, cfg)
 	if err != nil {
 		return 50_000 // conservative fallback: 50M instr/s
 	}

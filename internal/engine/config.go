@@ -114,6 +114,11 @@ type Config struct {
 	// optimized tier. Used by the elision ablation benchmark and the
 	// differential fuzzer; the naive tier never runs analysis.
 	NoAnalysis bool
+	// NoRegalloc disables the register-allocation pass in the optimized
+	// tier: function bodies stay in stack-machine form and execute on the
+	// push/pop hot loop. Used by the regalloc ablation benchmark and the
+	// differential fuzzer; the naive tier never runs the pass.
+	NoRegalloc bool
 	// MaxCallDepth bounds the sandbox call stack. Default: 512 frames.
 	MaxCallDepth int
 	// MaxMemoryPages caps linear memory growth regardless of module

@@ -11,11 +11,12 @@ import (
 	"sledge/internal/wcc"
 )
 
-// diffConfigs is the differential matrix: every explicit-check strategy with
-// the analysis pipeline on and off, plus the naive tier as a third
-// implementation of the same semantics. BoundsNone is excluded by design —
-// it only faults beyond the backing array, so its trap set legitimately
-// differs from the checked strategies.
+// diffConfigs is the differential matrix: every explicit-check strategy
+// crossed with the IR axis — register form (the default), stack form
+// (NoRegalloc), both with analysis on and off, plus the naive tier as an
+// independent implementation of the same semantics. BoundsNone is excluded
+// by design — it only faults beyond the backing array, so its trap set
+// legitimately differs from the checked strategies.
 func diffConfigs() []engine.Config {
 	var cfgs []engine.Config
 	for _, b := range []engine.BoundsStrategy{
@@ -24,7 +25,9 @@ func diffConfigs() []engine.Config {
 	} {
 		cfgs = append(cfgs,
 			engine.Config{Bounds: b, Tier: engine.TierOptimized},
+			engine.Config{Bounds: b, Tier: engine.TierOptimized, NoRegalloc: true},
 			engine.Config{Bounds: b, Tier: engine.TierOptimized, NoAnalysis: true},
+			engine.Config{Bounds: b, Tier: engine.TierOptimized, NoAnalysis: true, NoRegalloc: true},
 			engine.Config{Bounds: b, Tier: engine.TierNaive},
 		)
 	}
@@ -44,7 +47,8 @@ func diffOutcome(t *testing.T, m *wasm.Module, cfg engine.Config, arg uint64) st
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				t.Fatalf("%s/%s noanalysis=%v: host panic: %v", cfg.Tier, cfg.Bounds, cfg.NoAnalysis, r)
+				t.Fatalf("%s/%s noanalysis=%v noregalloc=%v: host panic: %v",
+					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, cfg.NoRegalloc, r)
 			}
 		}()
 		inst := cm.Instantiate()
@@ -156,8 +160,8 @@ export i32 main(i32 x) {
 		}
 		for i, cfg := range cfgs[1:] {
 			if outs[i+1] != outs[0] {
-				t.Fatalf("divergence: %s/%s noanalysis=%v = %q, reference %s/%s = %q",
-					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, outs[i+1],
+				t.Fatalf("divergence: %s/%s noanalysis=%v noregalloc=%v = %q, reference %s/%s = %q",
+					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, cfg.NoRegalloc, outs[i+1],
 					cfgs[0].Tier, cfgs[0].Bounds, outs[0])
 			}
 		}

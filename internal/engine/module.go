@@ -90,13 +90,55 @@ const (
 	// every other slot fails the CFI check — so the mismatch path only has
 	// to reproduce the exact trap (OOB / null / signature).
 	iCallDevirt
+
+	// Register-form three-address superinstructions, created only by the
+	// regalloc pass (regalloc.go) and executed only by runRegister
+	// (vm_regs.go). In register form every operand-stack slot is a fixed
+	// virtual register in the frame slab: register r lives at
+	// stack[base+nLocals+r], and locals are registers too (local l is
+	// stack[base+l]). The destination register is the instruction's static
+	// operand height (cinstr.h); sources are local indices packed into the
+	// instruction word.
+	iI32AddLL // reg[h] = local[a] + local[b] (i32)
+	iI32SubLL // reg[h] = local[a] - local[b] (i32)
+	iI32MulLL // reg[h] = local[a] * local[b] (i32)
+	iF64AddLL // reg[h] = local[a] + local[b] (f64)
+	iF64SubLL // reg[h] = local[a] - local[b] (f64)
+	iF64MulLL // reg[h] = local[a] * local[b] (f64)
+	iI32MulSC // reg[h-1] *= imm (i32)
+	iMovCL    // local[a] = imm
+	iMovLL    // local[a] = local[b]
+	// iBrIfL / iBrIfNotL: branch on local[imm>>16] != 0 / == 0.
+	// a = target pc, b = kept height, imm bits 0..15 = arity.
+	iBrIfL
+	iBrIfNotL
+	// iBrIf*LL: fused compare-and-branch with both operands in locals
+	// (registers), the dominant loop-header shape. a = target pc, b = kept
+	// height; imm packs arity (bits 0..15), left local (16..31), right
+	// local (32..47).
+	iBrIfEqLL
+	iBrIfNeLL
+	iBrIfLtSLL
+	iBrIfLtULL
+	iBrIfGtSLL
+	iBrIfGtULL
+	iBrIfLeSLL
+	iBrIfLeULL
+	iBrIfGeSLL
+	iBrIfGeULL
 )
 
-// cinstr is one lowered instruction.
+// cinstr is one lowered instruction. h is the static operand-stack height
+// at the instruction (operand count above the frame's locals, before the
+// instruction executes), filled in by the regalloc pass: with h known the
+// register-form loop addresses every operand as a fixed slab slot
+// stack[base+nLocals+h-k] and retires the sp bookkeeping entirely. The
+// field occupies what was struct padding, so cinstr stays 24 bytes.
 type cinstr struct {
 	op  uint16
 	a   int32
 	b   int32
+	h   int32
 	imm uint64
 }
 
@@ -178,6 +220,19 @@ type CompiledModule struct {
 	// analysisStats summarizes what the static analysis proved and what
 	// the lowerer did with it; exported via /__stats.
 	analysisStats AnalysisStats
+	// regForm is true when function bodies were rewritten to register form
+	// by the regalloc pass; such modules execute on runRegister.
+	regForm bool
+	// regallocStats summarizes the regalloc pass; exported via /__stats.
+	regallocStats RegallocStats
+	// typicalStack/typicalFrames are the pool-retention targets: the
+	// largest stack/frame reservation any certified entry point (or any
+	// single frame) of this module needs. A released instance whose slabs
+	// grew far beyond these — one deep recursive request, say — is shrunk
+	// back on pool put instead of pinning its high-water allocation for
+	// the pool's lifetime. See resetForReuse.
+	typicalStack  int
+	typicalFrames int
 	// pool recycles Instances (linear memory, operand stack, frames) so
 	// steady-state invocation allocates nothing. See pool.go.
 	pool instancePool
@@ -218,6 +273,30 @@ type AnalysisStats struct {
 	MaxCertFrames  int `json:"max_certified_frames"`
 }
 
+// RegallocStats summarizes the register-allocation pass for one compiled
+// module. All zero when the pass is disabled (NoRegalloc or the naive tier).
+type RegallocStats struct {
+	// Enabled reports whether the module runs in register form.
+	Enabled bool `json:"enabled"`
+	// Registers is the largest per-frame register file in the module:
+	// locals plus the maximum static operand height of any function.
+	Registers int `json:"registers"`
+	// ThreeAddressFused counts stack-form instruction pairs/triples
+	// collapsed into three-address register ops (LL arithmetic, SC
+	// multiply, register moves).
+	ThreeAddressFused int `json:"three_address_fused"`
+	// BranchFused counts compare/test-and-branch instructions whose
+	// operands were register-allocated (iBrIf*LL / iBrIfL forms).
+	BranchFused int `json:"branch_fused"`
+	// DropsEliminated counts drops deleted outright: in register form a
+	// drop is pure height bookkeeping and compiles to nothing.
+	DropsEliminated int `json:"drops_eliminated"`
+	// Spills is always 0: the frame slab is the register file, so every
+	// virtual register has a home slot and nothing ever spills. Reported
+	// explicitly so the stats endpoint documents the invariant.
+	Spills int `json:"spills"`
+}
+
 // LowerStats reports work done during compilation, used by the memory
 // footprint and churn experiments.
 type LowerStats struct {
@@ -237,6 +316,9 @@ func (cm *CompiledModule) Stats() LowerStats { return cm.lowerStats }
 
 // Analysis returns the static-analysis summary for this module.
 func (cm *CompiledModule) Analysis() AnalysisStats { return cm.analysisStats }
+
+// Regalloc returns the register-allocation summary for this module.
+func (cm *CompiledModule) Regalloc() RegallocStats { return cm.regallocStats }
 
 // SourceSize returns the size in bytes of the wasm binary this module was
 // compiled from (0 when compiled from an in-memory module).
@@ -457,7 +539,29 @@ func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, er
 		}
 		cm.funcs[i] = cf
 	}
+
+	// Register allocation: rewrite the lowered bodies to register form.
+	// Runs after every function is lowered because the pass resolves call
+	// arities against cm.funcs/cm.hostFuncs when recomputing static stack
+	// heights.
+	if cfg.Tier == TierOptimized && !cfg.NoRegalloc {
+		fuse := !cfg.NoFusion && cfg.PerInstrNops == 0
+		for i := range cm.funcs {
+			if err := regallocFunc(cm, &cm.funcs[i], fuse); err != nil {
+				return nil, fmt.Errorf("engine: regalloc func %d (%s): %w", i, cm.funcs[i].name, err)
+			}
+		}
+		cm.regForm = true
+		cm.regallocStats.Enabled = true
+		for i := range cm.funcs {
+			if r := cm.funcs[i].nLocals + cm.funcs[i].maxStack; r > cm.regallocStats.Registers {
+				cm.regallocStats.Registers = r
+			}
+		}
+	}
+
 	cm.buildStackCerts(facts)
+	cm.computeRetention()
 	cm.lowerStats.Funcs = len(cm.funcs)
 	cm.lowerStats.ObjectBytes = cm.objectBytes()
 
@@ -545,6 +649,30 @@ func (cm *CompiledModule) buildStackCerts(facts *analysis.Facts) {
 			cm.analysisStats.MaxCertFrames = fb
 		}
 	}
+}
+
+// computeRetention derives the pool-retention targets from the certificates
+// and per-function frame sizes: the largest up-front reservation Start can
+// make for this module. 256 values / 16 frames are the floors the instance
+// allocator uses anyway, so shrinking below them would never stick.
+func (cm *CompiledModule) computeRetention() {
+	typ := 256
+	for i := range cm.funcs {
+		if r := cm.funcs[i].nLocals + cm.funcs[i].maxStack + 1; r > typ {
+			typ = r
+		}
+	}
+	tf := 16
+	for _, c := range cm.certs {
+		if c.values > typ {
+			typ = c.values
+		}
+		if c.frames > tf {
+			tf = c.frames
+		}
+	}
+	cm.typicalStack = typ
+	cm.typicalFrames = tf
 }
 
 // objectBytes approximates the in-memory size of the compiled object.

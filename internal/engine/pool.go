@@ -129,9 +129,22 @@ func (in *Instance) resetForReuse() {
 	// The operand stack is never readable by wasm before being written
 	// (locals are zeroed at Start, operand slots are write-before-read by
 	// validation), but clear it anyway: the hygiene guarantee is "no bytes
-	// leak", not "no reachable bytes leak".
-	clear(in.stack)
-	in.frames = in.frames[:0]
+	// leak", not "no reachable bytes leak". Slabs that grew far beyond the
+	// module's certified/typical reservation (one deep recursive request,
+	// say) are shrunk instead of retained: 64 pooled instances each pinning
+	// a high-water stack is a real leak, and the fresh smaller allocation
+	// is both cheaper to clear and zeroed by construction. The 4× hysteresis
+	// keeps the steady-state put path allocation-free.
+	if len(in.stack) > 4*cm.typicalStack {
+		in.stack = make([]uint64, cm.typicalStack) //sledge:coldpath
+	} else {
+		clear(in.stack)
+	}
+	if cap(in.frames) > 4*cm.typicalFrames {
+		in.frames = make([]frame, 0, cm.typicalFrames) //sledge:coldpath
+	} else {
+		in.frames = in.frames[:0]
+	}
 	in.sp = 0
 	in.table = cm.table
 

@@ -14,6 +14,9 @@ func (in *Instance) run(fuel int64) (Status, error) {
 	if in.mod.cfg.Tier == TierNaive {
 		return in.runNaive(fuel)
 	}
+	if in.mod.regForm {
+		return in.runRegister(fuel)
+	}
 	return in.runOptimized(fuel)
 }
 

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegallocAblationSmoke exercises the full bench-regalloc path on a
+// kernel subset at quick sizes: both IR forms must run every workload to the
+// correct checksum, the snapshot JSON must round-trip, and the register form
+// must not be catastrophically slower than the stack form. The real
+// acceptance number (PolyBench geomean >= 1.15x at full sizes) lives in
+// BENCH_regalloc.json, produced by `make bench-regalloc`; quick sizes are
+// too noisy to gate on it.
+func TestRegallocAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regalloc ablation smoke skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "regalloc.json")
+	tables, err := RunRegallocAblation(Options{
+		Quick:        true,
+		KernelFilter: []string{"gemm", "jacobi-2d", "trisolv", "atax"},
+		SnapshotPath: path,
+	})
+	if err != nil {
+		t.Fatalf("regalloc ablation: %v", err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatalf("no results: %+v", tables)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	var snap regallocSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot decode: %v", err)
+	}
+	if len(snap.Polybench) != 4 || len(snap.Apps) == 0 {
+		t.Fatalf("snapshot coverage: %d kernels, %d apps", len(snap.Polybench), len(snap.Apps))
+	}
+	if !snap.GemmStats.Enabled || snap.GemmStats.ThreeAddressFused == 0 {
+		t.Errorf("gemm did not compile to register form: %+v", snap.GemmStats)
+	}
+	if snap.GemmStats.Spills != 0 {
+		t.Errorf("gemm reported %d spills; the slab register file never spills", snap.GemmStats.Spills)
+	}
+	// Loose sanity floor only: quick-size kernels finish in microseconds,
+	// so scheduling noise swamps the real ratio.
+	if snap.PolybenchGeomean < 0.75 {
+		t.Errorf("register form catastrophically slower: geomean %.3f", snap.PolybenchGeomean)
+	}
+	t.Logf("quick geomean: polybench %.3fx, apps %.3fx", snap.PolybenchGeomean, snap.AppsGeomean)
+}
