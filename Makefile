@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke test bench bench-regalloc
+.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke sched-smoke test bench bench-regalloc bench-sched
 
 # check is the pre-merge gate: static analysis (go vet plus the project
 # analyzers: noalloc hot-path enforcement, mutex-copy and lock-ordering), a
@@ -8,10 +8,11 @@ GO ?= go
 # (recycling, scheduler, admission control, HTTP drain), a short
 # churn-benchmark smoke run (allocs/op regressions show up immediately in
 # its -benchmem output), an overload smoke run (admission at 2x capacity
-# must shed cleanly: admitted error rate < 1%), and a 30s differential fuzz
-# of the check-elision pipeline (every bounds strategy with elision on/off
-# must produce identical results and traps).
-check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke fuzz-smoke
+# must shed cleanly: admitted error rate < 1%), a scheduler scale-out smoke
+# run (every workers x distribution cell completes its closed loop), and a
+# 30s differential fuzz of the check-elision pipeline (every bounds
+# strategy with elision on/off must produce identical results and traps).
+check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke sched-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +42,16 @@ regalloc-smoke:
 
 bench-regalloc:
 	$(GO) run ./cmd/sledge-bench -run regalloc -snapshot BENCH_regalloc.json
+
+# sched-smoke runs the scheduler scale-out sweep at quick sizes (all
+# distribution modes complete + snapshot plumbing); the acceptance-grade
+# numbers come from `make bench-sched`, which regenerates BENCH_sched.json
+# across Workers x {work-stealing, global-deque, global-lock, static}.
+sched-smoke:
+	$(GO) test -run=TestSchedBenchSmoke -count=1 ./internal/experiments/
+
+bench-sched:
+	$(GO) run ./cmd/sledge-bench -run sched -snapshot BENCH_sched.json
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDifferentialElision -fuzztime=30s ./internal/engine/

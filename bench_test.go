@@ -284,6 +284,33 @@ func BenchmarkAblationDeque(b *testing.B) {
 			d.Steal()
 		}
 	})
+	b.Run("runq-push-pop", func(b *testing.B) {
+		q := sched.NewRunq[int](1024)
+		v := 7
+		for i := 0; i < b.N; i++ {
+			q.Push(&v)
+			q.Pop()
+		}
+	})
+	b.Run("runq-push-steal-batch", func(b *testing.B) {
+		// Eight queued per round, one StealBatch moving half: the
+		// amortized per-element cost of batched transfer.
+		q := sched.NewRunq[int](1024)
+		v := 7
+		var dst [8]*int
+		b.ResetTimer()
+		for i := 0; i < b.N; i += 8 {
+			for j := 0; j < 8; j++ {
+				q.Push(&v)
+			}
+			q.StealBatch(dst[:], 8)
+			for {
+				if _, ok := q.Pop(); !ok {
+					break
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkAblationStartupDecoupling contrasts per-request module

@@ -94,6 +94,11 @@ type Config struct {
 	// queueing-delay estimates; nil falls back to the controller's own
 	// in-flight count.
 	Probe func() (inflight int)
+	// QueueDepth, if set, reports sandboxes queued in the scheduler but
+	// not yet started. It refines queueing-delay estimates: released
+	// requests still waiting for a core are backlog ahead of a new
+	// arrival even when the in-flight count alone looks absorbable.
+	QueueDepth func() int
 	// SeedEstimate, if set, provides an initial service-time estimate for
 	// a module the controller has not yet observed (e.g. from the module
 	// registry's mean-latency stats).
@@ -429,6 +434,14 @@ func (c *Controller) queueDelayLocked(est int64) time.Duration {
 	if c.cfg.Probe != nil {
 		if p := c.cfg.Probe(); p > inflight {
 			inflight = p
+		}
+	}
+	if c.cfg.QueueDepth != nil {
+		// Requests the controller has released but the pool has not yet
+		// started are backlog ahead of this arrival; the controller's own
+		// count plus the pool's queue is a second lower bound.
+		if d := c.inflight + c.cfg.QueueDepth(); d > inflight {
+			inflight = d
 		}
 	}
 	ahead := int64(c.queued+inflight) - int64(c.cfg.MaxInflight-1)

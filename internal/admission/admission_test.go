@@ -272,6 +272,37 @@ func TestDeadlineShed503(t *testing.T) {
 	tkt.Done(OutcomeSuccess, 100*time.Millisecond)
 }
 
+// TestQueueDepthShed: the scheduler's queued backlog (reported by the
+// lock-free QueueDepth probe) counts toward the queueing-delay estimate,
+// so a deadline that the pool's queue alone would blow is shed up front
+// even when the controller's own in-flight count looks absorbable.
+func TestQueueDepthShed(t *testing.T) {
+	clk := newFakeClock()
+	depth := 0
+	cfg := Config{
+		Workers:         1,
+		MaxInflight:     2,
+		DefaultEstimate: 100 * time.Millisecond,
+		QueueDepth:      func() int { return depth },
+	}
+	c := newWithClock(cfg, clk.Now)
+	// Empty pool queue: a tight deadline is admissible.
+	if rej := run(t, c, "a", "m", 10*time.Millisecond, nil); rej != nil {
+		t.Fatalf("admit with empty pool queue: %v", rej)
+	}
+	// Ten sandboxes queued in the pool at the ~100ms default estimate
+	// each on one worker: the same deadline cannot be met. (A fresh
+	// module name keeps the first run's 1ms completion out of the EWMA.)
+	depth = 10
+	rej := run(t, c, "a", "m2", 10*time.Millisecond, nil)
+	if rej == nil {
+		t.Fatal("expected deadline shed from pool queue depth")
+	}
+	if rej.Status != 503 || rej.Reason != "deadline-shed" {
+		t.Fatalf("rejection = %+v, want 503 deadline-shed", rej)
+	}
+}
+
 func TestQueueFull503(t *testing.T) {
 	c := New(Config{Workers: 1, MaxInflight: 1, MaxQueue: 1})
 	tkt, rej := c.Admit("a", "m", time.Minute)

@@ -110,8 +110,9 @@ type Config struct {
 	NoRecycle bool
 
 	// Admission, when non-nil, enables the admission controller between
-	// the listener and the scheduler. Workers, DefaultDeadline, Probe and
-	// SeedEstimate are filled in from the runtime when unset.
+	// the listener and the scheduler. Workers, DefaultDeadline, Probe,
+	// QueueDepth and SeedEstimate are filled in from the runtime when
+	// unset.
 	Admission *admission.Config
 
 	// HTTPReadTimeout bounds reading one request (slow-loris defense);
@@ -196,6 +197,9 @@ func New(cfg Config) *Runtime {
 		}
 		if acfg.Probe == nil {
 			acfg.Probe = rt.pool.Inflight
+		}
+		if acfg.QueueDepth == nil {
+			acfg.QueueDepth = rt.pool.QueueDepth
 		}
 		if acfg.SeedEstimate == nil {
 			// Seed a module's first service-time estimate from its

@@ -140,7 +140,7 @@ func RunAblationDistribution(o Options) ([]*Table, error) {
 			"static assignment is not work-conserving: a backlog behind one worker cannot be drained by idle peers",
 		},
 	}
-	for _, dist := range []sched.Distribution{sched.DistWorkStealing, sched.DistGlobalLock, sched.DistStatic} {
+	for _, dist := range []sched.Distribution{sched.DistWorkStealing, sched.DistGlobalDeque, sched.DistGlobalLock, sched.DistStatic} {
 		pool := sched.NewPool(sched.Config{Workers: workers, Distribution: dist})
 		var wg sync.WaitGroup
 		start := time.Now()

@@ -96,6 +96,12 @@ type Sandbox struct {
 	// pending is the in-flight async host operation while blocked.
 	pending *abi.Pending
 
+	// SchedNext links sandboxes into the scheduler's intrusive per-worker
+	// inbox (a lock-free LIFO chain). It is owned by internal/sched from
+	// Submit until the worker dequeues the sandbox; nothing else may touch
+	// it. Intrusive linking keeps the submit path allocation-free.
+	SchedNext *Sandbox
+
 	exitCode int32
 
 	// Accounting timestamps.
@@ -155,6 +161,7 @@ func New(cm *engine.CompiledModule, req []byte, opts Options) (*Sandbox, error) 
 	sb.Err = nil
 	sb.OnComplete = nil
 	sb.pending = nil
+	sb.SchedNext = nil
 	sb.exitCode = 0
 	sb.CreatedAt = time.Now()
 	sb.FirstRunAt = time.Time{}

@@ -1,17 +1,24 @@
 // Package sched implements the Sledge serverless-first scheduler (§3.4,
-// §4): a lock-free Chase–Lev work-stealing deque distributes new sandboxes
-// to worker cores (work distribution), and each worker runs a local,
-// preemptive round-robin queue with a configurable quantum (temporal
-// isolation). Blocked sandboxes park on the worker's event loop and wake on
-// I/O completion — the reproduction of the paper's libuv integration.
+// §4). Work distribution is per-worker: Submit pushes each sandbox
+// directly into the least-loaded worker's lock-free inbox, every worker
+// owns a batch-stealable run queue (Runq) scheduled with preemptive
+// round-robin under a configurable quantum (temporal isolation), idle
+// workers steal half a victim's queue in one transfer, and parked workers
+// receive targeted wakeups. Blocked sandboxes sit in the worker's deadline
+// heap and wake on I/O completion — the reproduction of the paper's libuv
+// integration. The paper's original topology — one global Chase–Lev deque
+// fed through a dispatcher goroutine — is preserved as the DistGlobalDeque
+// ablation, alongside a mutex global queue (DistGlobalLock) and static
+// assignment (DistStatic).
 package sched
 
 import "sync/atomic"
 
 // Deque is a lock-free Chase–Lev work-stealing deque (Chase & Lev, SPAA'05;
 // memory-order treatment after Lê et al., PPoPP'13). A single owner pushes
-// and pops at the bottom; any number of thieves steal from the top. The
-// Sledge listener is the owner; worker cores are the thieves.
+// and pops at the bottom; any number of thieves steal from the top. It
+// backs the DistGlobalDeque ablation: the dispatcher goroutine is the
+// owner; worker cores are the thieves.
 type Deque[T any] struct {
 	top    atomic.Int64
 	bottom atomic.Int64

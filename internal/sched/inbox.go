@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"sledge/internal/sandbox"
+)
+
+// inbox is a per-worker multi-producer submission stack: listeners push
+// with a single CAS, and a consumer takes the whole chain with one Swap.
+// It is the structure that lets Submit hand a sandbox directly to a chosen
+// worker with no dispatcher goroutine and no channel hop. Sandboxes link
+// through their intrusive SchedNext field, so pushing allocates nothing.
+//
+// The chain is LIFO; takeAll reverses it so consumers see submission
+// (FIFO) order. Any goroutine may call takeAll — the worker drains its own
+// inbox every scheduling round, and an idle peer may swipe a busy worker's
+// backlog wholesale (inbox stealing), so queued work never waits for the
+// victim to surface from a long quantum.
+type inbox struct {
+	head atomic.Pointer[sandbox.Sandbox]
+	// n tracks the approximate chain length. It is the published load
+	// signal read lock-free by Submit's least-loaded scan, the idle
+	// re-check, and Pool.QueueDepth.
+	n atomic.Int64
+}
+
+// push adds sb to the chain. Safe from any goroutine.
+func (b *inbox) push(sb *sandbox.Sandbox) {
+	for {
+		old := b.head.Load()
+		sb.SchedNext = old
+		if b.head.CompareAndSwap(old, sb) {
+			b.n.Add(1)
+			return
+		}
+	}
+}
+
+// takeAll detaches the whole chain and returns it in FIFO (submission)
+// order. Safe from any goroutine; concurrent callers get disjoint chains.
+func (b *inbox) takeAll() *sandbox.Sandbox {
+	chain := b.head.Swap(nil)
+	if chain == nil {
+		return nil
+	}
+	// Reverse to FIFO order, counting as we go.
+	var fifo *sandbox.Sandbox
+	n := int64(0)
+	for chain != nil {
+		next := chain.SchedNext
+		chain.SchedNext = fifo
+		fifo = chain
+		chain = next
+		n++
+	}
+	b.n.Add(-n)
+	return fifo
+}
+
+// len reports the approximate chain length.
+func (b *inbox) len() int {
+	n := b.n.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}

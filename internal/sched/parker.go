@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// parker is a per-worker parking slot supporting targeted wakeups. An idle
+// worker arms its parker, re-checks every work source, and only then
+// blocks; a submitter that claims the armed slot (one CAS) delivers a wake
+// token straight to that worker. This replaces the old shared wake channel,
+// whose single anonymous token could be consumed by a worker that then
+// lost the steal race and parked — leaving queued work waiting out the
+// idle-poll interval (the lost-wakeup window).
+//
+// Protocol:
+//
+//	worker: armed.Store(1) → re-check work sources → park on ch
+//	waker:  publish work   → armed.CompareAndSwap(1, 0) → ch <- token
+//
+// The arm store and the work publication are both sequentially consistent
+// atomics, so at least one side sees the other: either the worker's
+// re-check observes the new work, or the waker observes the armed slot and
+// delivers a token. A token, once won by CAS, is always delivered and
+// always consumed (the worker drains ch before re-arming), so it cannot be
+// lost or double-granted.
+type parker struct {
+	// armed is 1 while the worker is parked or about to park. Transitions
+	// 1→0 are claimed by exactly one CAS winner: either a waker (which
+	// then sends the token) or the worker itself (timer expiry, stop, or
+	// the post-arm re-check finding work).
+	armed atomic.Int32
+	ch    chan struct{}
+}
+
+func newParker() *parker {
+	return &parker{ch: make(chan struct{}, 1)}
+}
+
+// arm publishes the worker as parked. The caller must re-check all work
+// sources after arming, and then either block on wait or call disarm.
+func (k *parker) arm(nparked *atomic.Int64) {
+	k.armed.Store(1)
+	nparked.Add(1)
+}
+
+// disarm withdraws an armed parker without blocking (work was found, the
+// park timed out, or the pool is stopping). If a waker claimed the slot
+// first, its token is already in flight — consume it so the channel is
+// empty before the next arm.
+func (k *parker) disarm(nparked *atomic.Int64) {
+	if k.armed.CompareAndSwap(1, 0) {
+		nparked.Add(-1)
+		return
+	}
+	<-k.ch
+}
+
+// wake claims an armed parker and delivers its token. It reports whether
+// this call woke the worker. Safe from any goroutine.
+func (k *parker) wake(nparked *atomic.Int64) bool {
+	if k.armed.CompareAndSwap(1, 0) {
+		nparked.Add(-1)
+		k.ch <- struct{}{} // cap 1, drained before re-arm: never blocks
+		return true
+	}
+	return false
+}
+
+// wait blocks until a wake token, the timer, or stop. It returns with the
+// parker disarmed and the token channel empty.
+func (k *parker) wait(nparked *atomic.Int64, timer *time.Timer, stop <-chan struct{}) {
+	select {
+	case <-k.ch:
+		// The waker already disarmed and decremented on our behalf.
+	case <-timer.C:
+		k.disarm(nparked)
+	case <-stop:
+		k.disarm(nparked)
+	}
+}

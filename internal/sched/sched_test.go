@@ -208,7 +208,7 @@ func runBatch(t *testing.T, p *Pool, cm *engine.CompiledModule, n int, reqLen in
 }
 
 func TestPoolCompletesWork(t *testing.T) {
-	for _, dist := range []Distribution{DistWorkStealing, DistGlobalLock, DistStatic} {
+	for _, dist := range []Distribution{DistWorkStealing, DistGlobalDeque, DistGlobalLock, DistStatic} {
 		t.Run(dist.String(), func(t *testing.T) {
 			cm := compileTestModule(t, spinSrc)
 			p := NewPool(Config{Workers: 2, Distribution: dist})
@@ -371,17 +371,321 @@ func TestSubmitAfterStop(t *testing.T) {
 }
 
 func TestWorkConservation(t *testing.T) {
-	// With work stealing, all submitted work completes even when one
-	// worker would have been idle under static assignment.
+	// Least-loaded placement spreads an even batch perfectly, so to
+	// observe stealing the load must be unbalanced after placement: give
+	// each worker one hog of very different lengths plus queued followers.
+	// The workers whose hogs finish early go idle and must steal the
+	// followers still queued behind the long hogs.
 	cm := compileTestModule(t, spinSrc)
-	p := NewPool(Config{Workers: 4})
+	p := NewPool(Config{Workers: 4, Quantum: time.Millisecond})
 	defer p.Stop()
-	runBatch(t, p, cm, 32, 100)
+
+	var wg sync.WaitGroup
+	submit := func(reqLen int) {
+		wg.Add(1)
+		sb, err := sandbox.New(cm, make([]byte, reqLen), sandbox.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.OnComplete = func(*sandbox.Sandbox) { wg.Done() }
+		if err := p.Submit(sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One hog per worker: one tiny, three long.
+	submit(2)
+	for i := 0; i < 3; i++ {
+		submit(4000)
+	}
+	// Followers queue behind the hogs (every worker already has load 1).
+	for i := 0; i < 12; i++ {
+		submit(200)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("batch did not complete: stats %+v", p.Stats())
+	}
 	st := p.Stats()
-	if st.Completed != 32 {
-		t.Errorf("Completed = %d", st.Completed)
+	if st.Completed != 16 {
+		t.Errorf("Completed = %d, want 16", st.Completed)
 	}
 	if st.Steals == 0 {
 		t.Error("no steals recorded under work-stealing distribution")
+	}
+}
+
+// TestShortStolenBehindHogs is the fairness property: a short function that
+// placement queued behind a long hog must not wait for the hog — an idle
+// peer steals and completes it. Cooperative mode is the sharp version (the
+// hog never yields, so without stealing the short would wait the hog's
+// entire runtime); preemptive mode must preserve the property too.
+func TestShortStolenBehindHogs(t *testing.T) {
+	cm := compileTestModule(t, spinSrc)
+	for _, policy := range []Policy{PolicyPreemptiveRR, PolicyCooperative} {
+		t.Run(policy.String(), func(t *testing.T) {
+			p := NewPool(Config{Workers: 2, Policy: policy, Quantum: time.Millisecond})
+			defer p.Stop()
+
+			var wg sync.WaitGroup
+			submit := func(reqLen int, onDone func()) {
+				wg.Add(1)
+				sb, err := sandbox.New(cm, make([]byte, reqLen), sandbox.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sb.OnComplete = func(*sandbox.Sandbox) {
+					if onDone != nil {
+						onDone()
+					}
+					wg.Done()
+				}
+				if err := p.Submit(sb); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var hogDone, shortsDone atomic.Int64
+			// The hog occupies one worker for many quanta.
+			start := time.Now()
+			var hogAt, lastShortAt atomic.Int64
+			submit(20000, func() { hogDone.Add(1); hogAt.Store(int64(time.Since(start))) })
+			// Shorts tie-break across both workers, so some queue behind
+			// the hog; the other worker must steal those.
+			for i := 0; i < 6; i++ {
+				submit(2, func() {
+					shortsDone.Add(1)
+					lastShortAt.Store(int64(time.Since(start)))
+				})
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatalf("batch did not complete: stats %+v", p.Stats())
+			}
+			hogLat := time.Duration(hogAt.Load())
+			shortLat := time.Duration(lastShortAt.Load())
+			if shortLat >= hogLat/2 {
+				t.Errorf("last short finished at %v, not well before the hog at %v", shortLat, hogLat)
+			}
+			if st := p.Stats(); st.Steals == 0 {
+				t.Errorf("no steals: shorts behind the hog were not rescued (stats %+v)", st)
+			}
+		})
+	}
+}
+
+// TestNoLostWakeup is the regression test for the lost-wakeup window: with
+// the idle poll effectively disabled, every completion must be driven by a
+// targeted wakeup. Under the old shared wake channel, a worker could
+// consume the single token, lose the steal race, and park — leaving the
+// request to wait out the poll interval (here: the 20s test budget).
+func TestNoLostWakeup(t *testing.T) {
+	for _, dist := range []Distribution{DistWorkStealing, DistGlobalDeque, DistGlobalLock, DistStatic} {
+		t.Run(dist.String(), func(t *testing.T) {
+			cm := compileTestModule(t, spinSrc)
+			const workers = 4
+			p := NewPool(Config{
+				Workers:      workers,
+				Distribution: dist,
+				IdlePoll:     time.Hour, // wakeups or bust
+			})
+			defer p.Stop()
+			for round := 0; round < 20; round++ {
+				var wg sync.WaitGroup
+				for i := 0; i < workers; i++ {
+					wg.Add(1)
+					sb, err := sandbox.New(cm, make([]byte, 2), sandbox.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					sb.OnComplete = func(*sandbox.Sandbox) { wg.Done() }
+					if err := p.Submit(sb); err != nil {
+						t.Fatal(err)
+					}
+				}
+				done := make(chan struct{})
+				go func() { wg.Wait(); close(done) }()
+				select {
+				case <-done:
+				case <-time.After(20 * time.Second):
+					t.Fatalf("round %d stalled: a completion waited on the idle poll (stats %+v)", round, p.Stats())
+				}
+			}
+		})
+	}
+}
+
+// TestQuiesceEventDriven checks both directions of the event-driven wait:
+// it times out (returning false) while work is genuinely in flight, and it
+// returns promptly once the last sandbox finishes instead of sleeping out a
+// poll interval.
+func TestQuiesceEventDriven(t *testing.T) {
+	cm := compileTestModule(t, spinSrc)
+	p := NewPool(Config{Workers: 1, Quantum: time.Millisecond})
+	defer p.Stop()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	sb, err := sandbox.New(cm, make([]byte, 5000), sandbox.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt atomic.Int64
+	sb.OnComplete = func(*sandbox.Sandbox) { doneAt.Store(time.Now().UnixNano()); wg.Done() }
+	if err := p.Submit(sb); err != nil {
+		t.Fatal(err)
+	}
+	if p.Quiesce(time.Millisecond) {
+		t.Error("Quiesce returned true with a sandbox in flight")
+	}
+	if !p.Quiesce(30 * time.Second) {
+		t.Fatal("Quiesce timed out")
+	}
+	woke := time.Now().UnixNano()
+	wg.Wait()
+	if lag := time.Duration(woke - doneAt.Load()); lag > 5*time.Second {
+		t.Errorf("Quiesce woke %v after completion", lag)
+	}
+	if !p.Quiesce(time.Millisecond) {
+		t.Error("Quiesce on idle pool returned false")
+	}
+}
+
+// ---- runq ----
+
+func TestRunqFIFOOwner(t *testing.T) {
+	q := NewRunq[int](4)
+	vals := make([]int, 40) // forces growth
+	for i := range vals {
+		vals[i] = i
+		q.Push(&vals[i])
+	}
+	if q.Len() != len(vals) {
+		t.Errorf("Len = %d", q.Len())
+	}
+	for i := range vals {
+		x, ok := q.Pop()
+		if !ok || *x != i {
+			t.Fatalf("Pop = %v, %v; want %d", x, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty succeeded")
+	}
+}
+
+func TestRunqStealBatchTakesHalf(t *testing.T) {
+	q := NewRunq[int](16)
+	vals := make([]int, 8)
+	for i := range vals {
+		vals[i] = i
+		q.Push(&vals[i])
+	}
+	dst := make([]*int, 8)
+	n := q.StealBatch(dst, 8)
+	if n != 4 {
+		t.Fatalf("StealBatch took %d of 8, want half", n)
+	}
+	for i := 0; i < n; i++ {
+		if *dst[i] != i {
+			t.Errorf("stolen[%d] = %d, want %d (oldest first)", i, *dst[i], i)
+		}
+	}
+	// The remainder pops in order.
+	for want := n; want < len(vals); want++ {
+		x, ok := q.Pop()
+		if !ok || *x != want {
+			t.Fatalf("Pop = %v, %v; want %d", x, ok, want)
+		}
+	}
+	// A single element steals whole (half rounded up).
+	q.Push(&vals[0])
+	if n := q.StealBatch(dst, 8); n != 1 {
+		t.Errorf("StealBatch on 1-element queue took %d", n)
+	}
+}
+
+// TestRunqStealBatchStress is the exactly-once property under -race: one
+// owner pushing and popping concurrently with batched thieves, and every
+// element consumed exactly once — no loss, no duplication.
+func TestRunqStealBatchStress(t *testing.T) {
+	const (
+		numItems   = 20000
+		numThieves = 4
+	)
+	q := NewRunq[int](8)
+	vals := make([]int, numItems)
+	consumed := make([]atomic.Int32, numItems)
+	var total atomic.Int64
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < numThieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]*int, 16)
+			for {
+				n := q.StealBatch(dst, len(dst))
+				for j := 0; j < n; j++ {
+					consumed[*dst[j]].Add(1)
+					total.Add(1)
+				}
+				if n == 0 {
+					select {
+					case <-stop:
+						// One final sweep after the owner finished.
+						if q.StealBatch(dst, len(dst)) == 0 {
+							return
+						}
+					default:
+					}
+				}
+			}
+		}()
+	}
+	// Owner: push everything, popping every few pushes like a worker
+	// interleaving admission with scheduling.
+	for i := 0; i < numItems; i++ {
+		vals[i] = i
+		q.Push(&vals[i])
+		if i%3 == 0 {
+			if x, ok := q.Pop(); ok {
+				consumed[*x].Add(1)
+				total.Add(1)
+			}
+		}
+	}
+	for {
+		x, ok := q.Pop()
+		if !ok {
+			break
+		}
+		consumed[*x].Add(1)
+		total.Add(1)
+	}
+	// Wait for thieves to drain the rest.
+	deadline := time.After(10 * time.Second)
+	for total.Load() < numItems {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of %d items consumed", total.Load(), numItems)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for i := range consumed {
+		if n := consumed[i].Load(); n != 1 {
+			t.Fatalf("item %d consumed %d times", i, n)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after draining", q.Len())
 	}
 }

@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"time"
+
+	"sledge/internal/sandbox"
+)
+
+// timerHeap is a worker-local binary min-heap of blocked sandboxes keyed by
+// their pending-I/O deadline — the replacement for the O(n)-per-iteration
+// linear scan over a blocked queue. Peeking the next deadline is O(1), so
+// the scheduling loop pays for blocked sandboxes only when one is actually
+// due, and the idle parker can sleep exactly until the earliest completion.
+//
+// The heap is single-owner (only the owning worker touches it) and holds no
+// locks; the backing slice is reused across pushes and pops so the steady
+// state allocates nothing.
+type timerHeap struct {
+	entries []timerEntry
+}
+
+type timerEntry struct {
+	at int64 // deadline, unix nanoseconds
+	sb *sandbox.Sandbox
+}
+
+func (h *timerHeap) len() int { return len(h.entries) }
+
+// nextAt reports the earliest deadline, in unix nanoseconds.
+func (h *timerHeap) nextAt() (int64, bool) {
+	if len(h.entries) == 0 {
+		return 0, false
+	}
+	return h.entries[0].at, true
+}
+
+// push inserts a blocked sandbox keyed by its I/O deadline.
+func (h *timerHeap) push(sb *sandbox.Sandbox, at time.Time) {
+	h.entries = append(h.entries, timerEntry{at: at.UnixNano(), sb: sb})
+	i := len(h.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.entries[parent].at <= h.entries[i].at {
+			break
+		}
+		h.entries[parent], h.entries[i] = h.entries[i], h.entries[parent]
+		i = parent
+	}
+}
+
+// popDue removes and returns the root if its deadline is at or before now
+// (unix nanoseconds).
+func (h *timerHeap) popDue(now int64) (*sandbox.Sandbox, bool) {
+	if len(h.entries) == 0 || h.entries[0].at > now {
+		return nil, false
+	}
+	return h.pop(), true
+}
+
+// pop removes and returns the earliest entry. Callers check len first.
+func (h *timerHeap) pop() *sandbox.Sandbox {
+	sb := h.entries[0].sb
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries[last] = timerEntry{} // drop the sandbox reference
+	h.entries = h.entries[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && h.entries[l].at < h.entries[min].at {
+			min = l
+		}
+		if r < last && h.entries[r].at < h.entries[min].at {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h.entries[i], h.entries[min] = h.entries[min], h.entries[i]
+		i = min
+	}
+	return sb
+}

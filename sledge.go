@@ -85,6 +85,7 @@ const (
 	DistWorkStealing = sched.DistWorkStealing
 	DistGlobalLock   = sched.DistGlobalLock
 	DistStatic       = sched.DistStatic
+	DistGlobalDeque  = sched.DistGlobalDeque
 )
 
 // DefaultQuantum is the paper's 5 ms preemption time slice.
