@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke sched-smoke test bench bench-regalloc bench-sched
+.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke sched-smoke tierup-smoke test bench bench-regalloc bench-sched bench-tierup
 
 # check is the pre-merge gate: static analysis (go vet plus the project
 # analyzers: noalloc hot-path enforcement, mutex-copy and lock-ordering), a
@@ -12,7 +12,7 @@ GO ?= go
 # run (every workers x distribution cell completes its closed loop), and a
 # 30s differential fuzz of the check-elision pipeline (every bounds
 # strategy with elision on/off must produce identical results and traps).
-check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke sched-smoke fuzz-smoke
+check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke sched-smoke tierup-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,17 @@ sched-smoke:
 
 bench-sched:
 	$(GO) run ./cmd/sledge-bench -run sched -snapshot BENCH_sched.json
+
+# tierup-smoke runs the adaptive-tiering benchmark at quick sizes (both
+# halves complete, every response bit-identical across tier swaps, cheap
+# rungs strictly faster to register); the acceptance-grade numbers come
+# from `make bench-tierup`, which regenerates BENCH_tierup.json: the
+# 10k-module registration storm and the Zipf time-to-peak-throughput sweep.
+tierup-smoke:
+	$(GO) test -run=TestTierupSmoke -count=1 ./internal/experiments/
+
+bench-tierup:
+	$(GO) run ./cmd/sledge-bench -run tierup -snapshot BENCH_tierup.json
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDifferentialElision -fuzztime=30s ./internal/engine/

@@ -190,6 +190,13 @@ type Controller struct {
 	ring     []*tenantState // DRR active ring; head is the current tenant
 	breakers map[string]*breaker
 	est      map[string]*ewma
+	// estGen is the per-module estimator generation, bumped by
+	// ResetModule/ResetEstimate. A Ticket captures the generation at Admit;
+	// a completion whose generation is stale (the module was replaced or
+	// tier-swapped while it was in flight) must not feed the estimator —
+	// its sample describes code that is no longer installed and would
+	// repollute the freshly reset estimate.
+	estGen map[string]uint64
 
 	admitted   uint64
 	shedRate   uint64 // 429: token bucket
@@ -232,6 +239,7 @@ func newWithClock(cfg Config, now func() time.Time) *Controller {
 		tenants:  make(map[string]*tenantState),
 		breakers: make(map[string]*breaker),
 		est:      make(map[string]*ewma),
+		estGen:   make(map[string]uint64),
 	}
 }
 
@@ -239,6 +247,7 @@ func newWithClock(cfg Config, now func() time.Time) *Controller {
 type Ticket struct {
 	c      *Controller
 	module string
+	gen    uint64 // estimator generation captured at Admit
 	done   bool
 }
 
@@ -254,13 +263,16 @@ func (t *Ticket) Done(outcome Outcome, serviceTime time.Duration) {
 	}
 	t.done = true
 	c.inflight--
-	if outcome == OutcomeSuccess {
+	if outcome == OutcomeSuccess && t.gen == c.estGen[t.module] {
 		// Traps can be arbitrarily early (e.g. instant aborts) and would
 		// drag the estimate below the true service time of working calls;
 		// timeouts report the whole request-timeout budget (default 30s),
 		// and one such sample on a fast module inflates the estimate by
 		// alpha×30s — enough to deadline-shed everything until successful
-		// samples decay it back down.
+		// samples decay it back down. A stale generation means the module
+		// was replaced or tier-swapped while this request was in flight:
+		// the sample measured the old code, so it must not repollute the
+		// reset estimator.
 		c.estFor(t.module).update(c.cfg.EWMAAlpha, serviceTime)
 	}
 	c.breakerFor(t.module).record(outcome, c.now())
@@ -284,6 +296,7 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 		return nil, &Rejection{Status: 503, RetryAfter: time.Second, Reason: "draining"}
 	}
 	ts := c.tenantFor(tenant, now)
+	gen := c.estGen[module]
 	// If allow claims the half-open probe slot, every rejection below must
 	// hand it back (releaseProbe) — otherwise no Ticket ever reaches
 	// record() and the breaker stays probe-locked, rejecting forever.
@@ -331,7 +344,7 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 		c.admitted++
 		ts.admitted++
 		c.mu.Unlock()
-		return &Ticket{c: c, module: module}, nil
+		return &Ticket{c: c, module: module, gen: gen}, nil
 	}
 	// Queue under DRR and wait for a grant.
 	w := &waiter{tenant: ts, module: module, cost: int64(est)}
@@ -350,13 +363,13 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 	defer timer.Stop()
 	select {
 	case <-w.ch:
-		return &Ticket{c: c, module: module}, nil
+		return &Ticket{c: c, module: module, gen: gen}, nil
 	case <-timer.C:
 		c.mu.Lock()
 		if w.granted {
 			// The grant raced the timer; honor it.
 			c.mu.Unlock()
-			return &Ticket{c: c, module: module}, nil
+			return &Ticket{c: c, module: module, gen: gen}, nil
 		}
 		c.removeWaiterLocked(w)
 		brk.releaseProbe(probe)
@@ -517,12 +530,30 @@ func (c *Controller) removeWaiterLocked(w *waiter) {
 
 // ResetModule drops the breaker and service-time state for module — called
 // when a module is unregistered or replaced so a redeployed function starts
-// with a clean circuit.
+// with a clean circuit. Bumping the estimator generation invalidates
+// in-flight tickets: a request admitted against the old deployment that
+// completes after the reset must not feed its (old-code) latency into the
+// fresh estimator.
 func (c *Controller) ResetModule(module string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.breakers, module)
 	delete(c.est, module)
+	c.estGen[module]++
+}
+
+// ResetEstimate drops only the service-time estimate for module, keeping
+// the breaker — the tier-promotion path. A promoted module runs semantically
+// identical (recompiled) code, so its trap history still applies, but its
+// service time just changed discontinuously: shedding the next requests on
+// the stale cheap-tier estimate would deny the module the traffic that made
+// it hot in the first place. Like ResetModule, it invalidates in-flight
+// tickets' estimator feedback.
+func (c *Controller) ResetEstimate(module string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.est, module)
+	c.estGen[module]++
 }
 
 // StartDrain stops admitting new requests (503 + Retry-After). Requests

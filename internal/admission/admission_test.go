@@ -769,3 +769,79 @@ func TestShed503DoesNotConsumeRateTokens(t *testing.T) {
 		t.Fatalf("503 sheds consumed rate tokens: %v", rej)
 	}
 }
+
+// ---- estimator generation guard (module replace / tier swap) ----
+
+// A ticket admitted before ResetModule must not feed its completion latency
+// into the estimator: the sample measured the old deployment's code.
+func TestStaleTicketAfterResetModuleDoesNotFeedEstimator(t *testing.T) {
+	c := New(Config{Workers: 2})
+
+	// Establish a polluted estimate under the old code.
+	tk, rej := c.Admit("a", "m", 0)
+	if rej != nil {
+		t.Fatalf("admit: %v", rej)
+	}
+	tk.Done(OutcomeSuccess, 80*time.Millisecond)
+	if est := c.Stats().EstimateNanos["m"]; est != int64(80*time.Millisecond) {
+		t.Fatalf("estimate = %d, want 80ms", est)
+	}
+
+	// A second request is in flight when the module is replaced.
+	stale, rej := c.Admit("a", "m", 0)
+	if rej != nil {
+		t.Fatalf("admit: %v", rej)
+	}
+	c.ResetModule("m")
+	stale.Done(OutcomeSuccess, 90*time.Millisecond)
+
+	if est, ok := c.Stats().EstimateNanos["m"]; ok {
+		t.Fatalf("stale completion repolluted reset estimator: %dns", est)
+	}
+
+	// The next ticket is current-generation and feeds normally.
+	fresh, rej := c.Admit("a", "m", 0)
+	if rej != nil {
+		t.Fatalf("admit: %v", rej)
+	}
+	fresh.Done(OutcomeSuccess, 2*time.Millisecond)
+	if est := c.Stats().EstimateNanos["m"]; est != int64(2*time.Millisecond) {
+		t.Fatalf("estimate = %d, want 2ms from fresh sample", est)
+	}
+}
+
+// ResetEstimate (the tier-promotion path) clears the estimate and
+// invalidates in-flight tickets, but keeps the breaker's trap history.
+func TestResetEstimateKeepsBreakerGuardsGeneration(t *testing.T) {
+	c := New(Config{Workers: 2, Breaker: BreakerConfig{Window: 4, MinSamples: 3, FailureRatio: 0.7}})
+
+	// Two traps: breaker accumulating but still closed.
+	for i := 0; i < 2; i++ {
+		tk, rej := c.Admit("a", "m", 0)
+		if rej != nil {
+			t.Fatalf("admit: %v", rej)
+		}
+		tk.Done(OutcomeTrap, time.Millisecond)
+	}
+
+	stale, rej := c.Admit("a", "m", 0)
+	if rej != nil {
+		t.Fatalf("admit: %v", rej)
+	}
+	c.ResetEstimate("m")
+
+	// The stale success must not seed the fresh estimator...
+	stale.Done(OutcomeSuccess, 50*time.Millisecond)
+	if est, ok := c.Stats().EstimateNanos["m"]; ok {
+		t.Fatalf("stale completion fed reset estimator: %dns", est)
+	}
+	// ...but the breaker state survived the reset: one more trap trips it.
+	tk, rej := c.Admit("a", "m", 0)
+	if rej != nil {
+		t.Fatalf("admit: %v", rej)
+	}
+	tk.Done(OutcomeTrap, time.Millisecond)
+	if _, rej := c.Admit("a", "m", 0); rej == nil || rej.Reason != "breaker-open" {
+		t.Fatalf("breaker did not survive ResetEstimate: rej=%v", rej)
+	}
+}

@@ -692,7 +692,7 @@ func (w *mwalker) step(idx int, in wasm.Instr) {
 		return
 	case wasm.OpBrTable:
 		w.pop()
-		for _, l := range in.Labels {
+		for _, l := range wasm.BrTargets(w.f.BrLabels, in) {
 			w.branchTo(uint64(l), w.cur)
 		}
 		w.branchTo(in.Imm, w.cur)

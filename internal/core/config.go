@@ -7,8 +7,6 @@ import (
 	"path/filepath"
 	"strings"
 
-	"sledge/internal/abi"
-	"sledge/internal/engine"
 	"sledge/internal/wcc"
 )
 
@@ -58,13 +56,11 @@ func (rt *Runtime) LoadModulesFile(path string) error {
 		if err != nil {
 			return fmt.Errorf("core: module %s: %w", mc.Name, err)
 		}
+		// Both paths register through registerBinary so deployments join
+		// the tier ladder when adaptive tiering is enabled.
 		switch strings.ToLower(filepath.Ext(modPath)) {
 		case ".wasm":
-			cm, err := engine.CompileBinary(src, abi.WASIRegistry(), rt.cfg.Engine)
-			if err != nil {
-				return fmt.Errorf("core: register %s: %w", mc.Name, err)
-			}
-			if _, err := rt.RegisterCompiled(mc.Name, cm, mc.Entry, mc.Tenant); err != nil {
+			if _, err := rt.registerBinary(mc.Name, src, mc.Entry, mc.Tenant); err != nil {
 				return err
 			}
 		default:
@@ -72,11 +68,7 @@ func (rt *Runtime) LoadModulesFile(path string) error {
 			if err != nil {
 				return fmt.Errorf("core: register %s: %w", mc.Name, err)
 			}
-			cm, err := engine.CompileBinary(res.Binary, abi.WASIRegistry(), rt.cfg.Engine)
-			if err != nil {
-				return fmt.Errorf("core: register %s: %w", mc.Name, err)
-			}
-			if _, err := rt.RegisterCompiled(mc.Name, cm, "main", mc.Tenant); err != nil {
+			if _, err := rt.registerBinary(mc.Name, res.Binary, "main", mc.Tenant); err != nil {
 				return err
 			}
 		}

@@ -37,17 +37,45 @@ import (
 )
 
 // Module is a registered function: an AoT-compiled module plus invocation
-// metadata. Modules are immutable after registration and shared by all
-// sandboxes.
+// metadata. The compiled form is held through an atomic pointer so the
+// tier-promotion controller (tiering.go) can swap a hotter recompile in
+// while invocations are in flight: each request loads the pointer once at
+// dispatch and runs that code to completion, so the old form's instance
+// pool quiesces as its last requests finish and is then collected. All
+// other fields are immutable after registration.
 type Module struct {
 	Name   string
 	Entry  string
 	Tenant string
-	cm     *engine.CompiledModule
+
+	cm atomic.Pointer[engine.CompiledModule]
+	// source retains the module's wasm binary when adaptive tiering may
+	// recompile it at the full rung; nil for precompiled registrations
+	// (which are never promoted).
+	source []byte
 
 	invocations atomic.Uint64
 	failures    atomic.Uint64
 	totalNanos  atomic.Int64
+
+	// epochInvocations/epochNanos account latency per tier epoch: they
+	// reset at every compiled-module swap so seedLatency — the admission
+	// controller's seed estimate — describes the installed code, never a
+	// retired rung's service times.
+	epochInvocations atomic.Uint64
+	epochNanos       atomic.Int64
+
+	// prof is the hotness profile read by the promotion controller; its
+	// padded counters are bumped on the completion path (recordCompletion).
+	prof profile
+
+	// tier is the promotion state machine (tier* consts in tiering.go);
+	// lastScanInv is controller-private scan bookkeeping.
+	tier        atomic.Int32
+	lastScanInv uint64
+
+	promotions     atomic.Uint32
+	recompileNanos atomic.Int64
 }
 
 // ModuleStats is a per-function accounting snapshot.
@@ -55,6 +83,16 @@ type ModuleStats struct {
 	Invocations uint64        `json:"invocations"`
 	Failures    uint64        `json:"failures"`
 	MeanLatency time.Duration `json:"mean_latency_ns"`
+	// InstrRetired is the module's cumulative retired instruction count,
+	// the compute half of the tier-promotion hotness profile.
+	InstrRetired uint64 `json:"instr_retired"`
+	// Tier labels the rung of the tier ladder the installed compiled form
+	// sits on ("naive", "cheap", "full"); Promotions counts background
+	// tier-up swaps and LastRecompile is the wall time of the most recent
+	// one — together they let operators watch the ladder work via /__stats.
+	Tier          string        `json:"tier"`
+	Promotions    uint32        `json:"promotions"`
+	LastRecompile time.Duration `json:"last_recompile_ns"`
 	// Analysis is what the static-analysis pipeline proved about the
 	// module at registration time (check elision, devirtualization, stack
 	// certification); all zero when analysis was disabled.
@@ -67,11 +105,16 @@ type ModuleStats struct {
 
 // Stats returns the module's accounting snapshot.
 func (m *Module) Stats() ModuleStats {
+	cm := m.Compiled()
 	st := ModuleStats{
-		Invocations: m.invocations.Load(),
-		Failures:    m.failures.Load(),
-		Analysis:    m.cm.Analysis(),
-		Regalloc:    m.cm.Regalloc(),
+		Invocations:   m.invocations.Load(),
+		Failures:      m.failures.Load(),
+		InstrRetired:  m.prof.instrRetired.Load(),
+		Tier:          cm.TierLabel(),
+		Promotions:    m.promotions.Load(),
+		LastRecompile: time.Duration(m.recompileNanos.Load()),
+		Analysis:      cm.Analysis(),
+		Regalloc:      cm.Regalloc(),
 	}
 	if st.Invocations > 0 {
 		st.MeanLatency = time.Duration(m.totalNanos.Load() / int64(st.Invocations))
@@ -79,9 +122,35 @@ func (m *Module) Stats() ModuleStats {
 	return st
 }
 
-// Compiled exposes the underlying compiled module (for experiments that
-// need direct instantiation).
-func (m *Module) Compiled() *engine.CompiledModule { return m.cm }
+// Compiled exposes the currently installed compiled module (for experiments
+// that need direct instantiation). The pointer is loaded atomically; a
+// concurrent tier promotion may swap in a newer form at any time.
+func (m *Module) Compiled() *engine.CompiledModule { return m.cm.Load() }
+
+// seedLatency is the mean service time of the installed tier epoch, used to
+// seed the admission controller's estimator. It deliberately excludes
+// samples from before the last swap: seeding a freshly promoted module with
+// cheap-tier latencies would shed its traffic on stale estimates.
+func (m *Module) seedLatency() time.Duration {
+	n := m.epochInvocations.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(m.epochNanos.Load() / int64(n))
+}
+
+// recordCompletion feeds the per-request accounting and the tier-promotion
+// hotness profile; it sits on the steady-state invoke path.
+//
+//sledge:noalloc
+func (m *Module) recordCompletion(lat time.Duration, instr uint64) {
+	m.invocations.Add(1)
+	m.totalNanos.Add(int64(lat))
+	m.epochInvocations.Add(1)
+	m.epochNanos.Add(int64(lat))
+	m.prof.invocations.Add(1)
+	m.prof.instrRetired.Add(instr)
+}
 
 // DeadlineHeader is the request header carrying a per-request deadline in
 // milliseconds, used by the admission controller's shed decision.
@@ -114,6 +183,13 @@ type Config struct {
 	// QueueDepth and SeedEstimate are filled in from the runtime when
 	// unset.
 	Admission *admission.Config
+
+	// Tiering, when non-nil, enables adaptive tiering: Register* compiles
+	// only the cheap rung of the tier ladder and a background controller
+	// recompiles hot modules at the full rung, atomically swapping them in
+	// (see tiering.go). nil — and TieringConfig{Mode: TierStatic} — keep
+	// the static behaviour: full pipeline at registration, no controller.
+	Tiering *TieringConfig
 
 	// HTTPReadTimeout bounds reading one request (slow-loris defense);
 	// 0 defaults to RequestTimeout, negative disables.
@@ -148,6 +224,23 @@ type Runtime struct {
 	pool *sched.Pool
 	adm  *admission.Controller
 
+	// ladder/tiering are the normalized adaptive-tiering configuration;
+	// the tier* fields are the promotion controller's lifecycle and
+	// accounting (tiering.go).
+	ladder              engine.Ladder
+	tiering             TieringConfig
+	tierStop            chan struct{}
+	tierDone            chan struct{}
+	tierStopOnce        sync.Once
+	promotions          atomic.Uint64
+	recompileFailures   atomic.Uint64
+	recompileTotalNanos atomic.Int64
+
+	// hostReg is the shared host-function registry. It is built once and
+	// treated as read-only: rebuilding it per registration shows up in
+	// registration-storm profiles.
+	hostReg engine.HostRegistry
+
 	mu       sync.RWMutex
 	registry map[string]*Module
 
@@ -171,6 +264,11 @@ func New(cfg Config) *Runtime {
 	rt := &Runtime{
 		cfg:      cfg,
 		registry: make(map[string]*Module),
+		hostReg:  abi.WASIRegistry(),
+	}
+	if cfg.Tiering != nil {
+		rt.tiering = cfg.Tiering.withDefaults()
+		rt.ladder = engine.NewLadder(cfg.Engine, rt.tiering.NaiveStart)
 	}
 	scfg := sched.Config{
 		Workers:      cfg.Workers,
@@ -204,15 +302,19 @@ func New(cfg Config) *Runtime {
 		if acfg.SeedEstimate == nil {
 			// Seed a module's first service-time estimate from its
 			// registry stats, so warm modules shed accurately from the
-			// first overloaded request.
+			// first overloaded request. The seed is epoch-scoped: after a
+			// tier swap it reflects only the installed code's samples.
 			acfg.SeedEstimate = func(module string) time.Duration {
 				if m, ok := rt.Lookup(module); ok {
-					return m.Stats().MeanLatency
+					return m.seedLatency()
 				}
 				return 0
 			}
 		}
 		rt.adm = admission.New(acfg)
+	}
+	if rt.tieringActive() && rt.tiering.Mode == TierAdaptive {
+		rt.startTiering()
 	}
 	rt.server = &httpd.Server{
 		Handler:      rt.handle,
@@ -229,42 +331,70 @@ var ErrNoModule = errors.New("core: no such module")
 // ErrDuplicateModule reports a name collision at registration.
 var ErrDuplicateModule = errors.New("core: module already registered")
 
-// RegisterWCC compiles WCC source and registers it under name. This is the
-// expensive path, run once at deployment.
+// RegisterWCC compiles WCC source and registers it under name. Without
+// tiering this is the expensive path, run once at deployment; with adaptive
+// tiering only the cheap rung is compiled here and the full pipeline runs
+// in the background once the module proves hot.
 func (rt *Runtime) RegisterWCC(name, source string, opts wcc.Options) (*Module, error) {
 	res, err := wcc.Compile(source, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: register %s: %w", name, err)
 	}
-	cm, err := engine.CompileBinary(res.Binary, abi.WASIRegistry(), rt.cfg.Engine)
-	if err != nil {
-		return nil, fmt.Errorf("core: register %s: %w", name, err)
-	}
-	return rt.RegisterCompiled(name, cm, "main", "")
+	return rt.registerBinary(name, res.Binary, "main", "")
 }
 
 // RegisterWasm registers a wasm binary under name. Modules may import the
 // sledge ABI, the math module, and/or wasi_snapshot_preview1.
 func (rt *Runtime) RegisterWasm(name string, bin []byte, entry string) (*Module, error) {
-	cm, err := engine.CompileBinary(bin, abi.WASIRegistry(), rt.cfg.Engine)
+	return rt.registerBinary(name, bin, entry, "")
+}
+
+// registerBinary compiles bin at the registration rung (the cheap tier when
+// adaptive tiering is on) and registers it. Adaptive-mode modules retain
+// the binary so the promotion controller can recompile them at the full
+// rung.
+func (rt *Runtime) registerBinary(name string, bin []byte, entry, tenant string) (*Module, error) {
+	cfg := rt.cfg.Engine
+	tiered := rt.tieringActive()
+	if tiered {
+		cfg = rt.ladder.Cheap
+	}
+	cm, err := engine.CompileBinary(bin, rt.hostReg, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: register %s: %w", name, err)
 	}
-	return rt.RegisterCompiled(name, cm, entry, "")
+	if entry == "" {
+		entry = "main"
+	}
+	m := &Module{Name: name, Entry: entry, Tenant: tenant}
+	m.cm.Store(cm)
+	if tiered && rt.tiering.Mode == TierAdaptive {
+		m.source = bin
+		m.tier.Store(tierCheap)
+	}
+	return rt.register(m)
 }
 
-// RegisterCompiled registers an already-compiled module.
+// RegisterCompiled registers an already-compiled module. Precompiled
+// registrations bypass the tier ladder: the runtime has no binary to
+// recompile, so the module serves the given form forever.
 func (rt *Runtime) RegisterCompiled(name string, cm *engine.CompiledModule, entry, tenant string) (*Module, error) {
 	if entry == "" {
 		entry = "main"
 	}
-	m := &Module{Name: name, Entry: entry, Tenant: tenant, cm: cm}
+	m := &Module{Name: name, Entry: entry, Tenant: tenant}
+	m.cm.Store(cm)
+	return rt.register(m)
+}
+
+// register inserts a fully constructed module into the registry.
+func (rt *Runtime) register(m *Module) (*Module, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if _, dup := rt.registry[name]; dup {
-		return nil, fmt.Errorf("%w: %s", ErrDuplicateModule, name)
+	if _, dup := rt.registry[m.Name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateModule, m.Name)
 	}
-	rt.registry[name] = m
+	rt.registry[m.Name] = m
 	return m, nil
 }
 
@@ -288,12 +418,15 @@ func (rt *Runtime) Unregister(name string) bool {
 // Replace atomically swaps the module registered under name — the redeploy
 // path for a breaker-tripped or updated function — registering it fresh if
 // absent. The new deployment starts with a clean circuit and service-time
-// estimate.
+// estimate; the ResetModule generation bump also stops in-flight requests
+// on the old deployment from feeding their (old-code) latencies into the
+// fresh estimator when they complete.
 func (rt *Runtime) Replace(name string, cm *engine.CompiledModule, entry, tenant string) (*Module, error) {
 	if entry == "" {
 		entry = "main"
 	}
-	m := &Module{Name: name, Entry: entry, Tenant: tenant, cm: cm}
+	m := &Module{Name: name, Entry: entry, Tenant: tenant}
+	m.cm.Store(cm)
 	rt.mu.Lock()
 	rt.registry[name] = m
 	rt.mu.Unlock()
@@ -358,8 +491,11 @@ func (rt *Runtime) InvokeWithDeadline(name string, req []byte, deadline time.Dur
 // run executes one admitted request end-to-end: instantiate a sandbox,
 // submit it to the scheduler, wait for completion or timeout. It reports
 // the observed latency and the admission outcome alongside the response.
+// The compiled form is loaded exactly once, here: a concurrent tier
+// promotion swaps the module pointer for future requests while this one
+// finishes untouched on the code it started with.
 func (rt *Runtime) run(m *Module, req []byte) (out []byte, lat time.Duration, outcome admission.Outcome, err error) {
-	sb, err := sandbox.New(m.cm, req, sandbox.Options{
+	sb, err := sandbox.New(m.Compiled(), req, sandbox.Options{
 		Entry:     m.Entry,
 		KV:        rt.cfg.KV,
 		Tenant:    m.Tenant,
@@ -398,9 +534,8 @@ func (rt *Runtime) run(m *Module, req []byte) (out []byte, lat time.Duration, ou
 		// notification and proceed as a normal completion.
 		<-sb.Done()
 	}
-	m.invocations.Add(1)
 	lat = sb.Latency()
-	m.totalNanos.Add(int64(lat))
+	m.recordCompletion(lat, sb.InstrRetired())
 	if sb.State() == sandbox.StateTrapped {
 		m.failures.Add(1)
 		err := fmt.Errorf("core: %s: %w", m.Name, sb.Err)
@@ -481,6 +616,7 @@ func (rt *Runtime) statsResponse() httpd.Response {
 		Utilization float64                `json:"utilization"`
 		Server      serverStats            `json:"server"`
 		Admission   *admission.Snapshot    `json:"admission,omitempty"`
+		Tiering     *TieringSnapshot       `json:"tiering,omitempty"`
 	}{
 		Modules:     modules,
 		PerModule:   perModule,
@@ -504,6 +640,9 @@ func (rt *Runtime) statsResponse() httpd.Response {
 	if rt.adm != nil {
 		snap := rt.adm.Stats()
 		payload.Admission = &snap
+	}
+	if tsnap, ok := rt.TieringStats(); ok {
+		payload.Tiering = &tsnap
 	}
 	body, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
@@ -572,6 +711,7 @@ func (rt *Runtime) Pool() *sched.Pool { return rt.pool }
 // everything completed before the timeout forced the remainder.
 func (rt *Runtime) Drain(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
+	rt.stopTiering()
 	if rt.adm != nil {
 		rt.adm.StartDrain()
 	}
@@ -590,6 +730,7 @@ func (rt *Runtime) Drain(timeout time.Duration) bool {
 // Close shuts down the listener and the worker pool immediately; use Drain
 // for graceful shutdown.
 func (rt *Runtime) Close() error {
+	rt.stopTiering()
 	var err error
 	if rt.server != nil {
 		err = rt.server.Close()

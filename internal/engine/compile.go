@@ -13,6 +13,7 @@ import (
 // memory accesses are specialized for the configured bounds strategy.
 type lowerer struct {
 	m      *wasm.Module
+	f      *wasm.Func
 	cfg    Config
 	cm     *CompiledModule
 	cf     *compiledFunc
@@ -59,7 +60,12 @@ type lframe struct {
 }
 
 func lowerFunc(m *wasm.Module, f *wasm.Func, cfg Config, cm *CompiledModule, cf *compiledFunc, facts *analysis.Facts, fnIdx int) error {
-	lo := &lowerer{m: m, cfg: cfg, cm: cm, cf: cf, facts: facts, fnIdx: fnIdx}
+	lo := &lowerer{m: m, f: f, cfg: cfg, cm: cm, cf: cf, facts: facts, fnIdx: fnIdx}
+	// Lowering emits at most about one cinstr per body instruction (fusion
+	// shrinks, software bounds checks add a few); sizing the buffer up
+	// front avoids regrowth copies and retained doubling slack, since this
+	// slice becomes cf.code.
+	lo.code = make([]cinstr, 0, len(f.Body)+8)
 	lo.frames = append(lo.frames, lframe{kind: wasm.OpBlock, arity: cf.numResults, elsePatch: -1})
 	for i, in := range f.Body {
 		lo.idx = i
@@ -290,7 +296,8 @@ func (lo *lowerer) step(in wasm.Instr) error {
 			return err
 		}
 		tblIdx := len(lo.cf.brTables)
-		entries := make([]brTarget, 0, len(in.Labels)+1)
+		labels := wasm.BrTargets(lo.f.BrLabels, in)
+		entries := make([]brTarget, 0, len(labels)+1)
 		lo.cf.brTables = append(lo.cf.brTables, entries)
 		addEntry := func(label uint64) error {
 			f, err := lo.frameAt(label)
@@ -307,7 +314,7 @@ func (lo *lowerer) step(in wasm.Instr) error {
 			}
 			return nil
 		}
-		for _, l := range in.Labels {
+		for _, l := range labels {
 			if err := addEntry(uint64(l)); err != nil {
 				return err
 			}

@@ -13,8 +13,9 @@ type fnDef struct {
 	name    string
 	params  []wasm.ValType
 	results []wasm.ValType
-	locals  []wasm.ValType
-	body    []wasm.Instr
+	locals   []wasm.ValType
+	body     []wasm.Instr
+	brLabels []uint32
 }
 
 func buildModule(t *testing.T, memPages uint32, fns ...fnDef) *wasm.Module {
@@ -26,7 +27,8 @@ func buildModule(t *testing.T, memPages uint32, fns ...fnDef) *wasm.Module {
 	for i, fd := range fns {
 		m.Types = append(m.Types, wasm.FuncType{Params: fd.params, Results: fd.results})
 		m.Funcs = append(m.Funcs, wasm.Func{
-			TypeIdx: uint32(i), Locals: fd.locals, Body: fd.body, Name: fd.name,
+			TypeIdx: uint32(i), Locals: fd.locals, Body: fd.body,
+			BrLabels: fd.brLabels, Name: fd.name,
 		})
 		m.Exports = append(m.Exports, wasm.Export{Name: fd.name, Kind: wasm.ExternFunc, Index: uint32(i)})
 	}
@@ -588,14 +590,15 @@ func TestGlobals(t *testing.T) {
 func TestBrTableDispatch(t *testing.T) {
 	// A switch: 0 -> 10, 1 -> 20, default -> 99.
 	m := buildModule(t, 0, fnDef{
-		name:   "sw",
-		params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+		name:     "sw",
+		params:   []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+		brLabels: []uint32{0, 1},
 		body: []wasm.Instr{
 			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)}, // 2: default
 			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)}, // 1
 			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)}, // 0
 			{Op: wasm.OpLocalGet, Imm: 0},
-			{Op: wasm.OpBrTable, Labels: []uint32{0, 1}, Imm: 2},
+			{Op: wasm.OpBrTable, Imm: 2, Imm2: 0<<32 | 2},
 			{Op: wasm.OpEnd},
 			{Op: wasm.OpI32Const, Imm: 10},
 			{Op: wasm.OpReturn},

@@ -157,9 +157,10 @@ type compiledFunc struct {
 	nLocals    int // includes params
 	numResults int
 	maxStack   int          // max operand-stack height beyond locals
-	code       []cinstr     // TierOptimized
-	naiveBody  []wasm.Instr // TierNaive
-	brTables   [][]brTarget
+	code        []cinstr     // TierOptimized
+	naiveBody   []wasm.Instr // TierNaive
+	naiveLabels []uint32     // TierNaive br_table label pool
+	brTables    [][]brTarget
 }
 
 type hostBinding struct {
@@ -531,6 +532,7 @@ func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, er
 		}
 		if cfg.Tier == TierNaive {
 			cf.naiveBody = f.Body
+			cf.naiveLabels = f.BrLabels
 		} else {
 			if err := lowerFunc(m, f, cfg, cm, &cf, facts, i); err != nil {
 				return nil, fmt.Errorf("engine: lower func %d (%s): %w", i, f.Name, err)

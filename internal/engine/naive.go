@@ -245,8 +245,8 @@ func (ni *naiveInterp) call(fn *compiledFunc, locals []uint64, depth int) ([]uin
 			idx := int(uint32(stack[len(stack)-1]))
 			stack = stack[:len(stack)-1]
 			label := int(ins.Imm)
-			if idx < len(ins.Labels) {
-				label = int(ins.Labels[idx])
+			if labels := wasm.BrTargets(fn.naiveLabels, *ins); idx < len(labels) {
+				label = int(labels[idx])
 			}
 			ret, err := branchTo(label)
 			if err != nil {

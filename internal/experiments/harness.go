@@ -106,6 +106,7 @@ var Registry = map[string]func(Options) ([]*Table, error){
 	"overload": RunOverload,
 	"regalloc": RunRegallocAblation,
 	"sched":    RunSchedBench,
+	"tierup":   RunTierup,
 	"ablation": func(o Options) ([]*Table, error) {
 		var out []*Table
 		for _, fn := range []func(Options) ([]*Table, error){
@@ -123,5 +124,5 @@ var Registry = map[string]func(Options) ([]*Table, error){
 
 // IDs lists experiment IDs in paper order.
 func IDs() []string {
-	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "overload", "regalloc", "sched", "ablation"}
+	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "overload", "regalloc", "sched", "tierup", "ablation"}
 }

@@ -594,7 +594,13 @@ func (w *worker) loop() {
 		}
 		prevPre := sb.Preemptions
 		w.running.Store(1)
-		st := sb.RunQuantum(p.fuelQuantum)
+		fuel := p.fuelQuantum
+		if fuel > 0 && !sb.Preemptible() {
+			// The naive rung traps on fuel exhaustion instead of yielding;
+			// run it unpreempted rather than killing long requests.
+			fuel = 0
+		}
+		st := sb.RunQuantum(fuel)
 		w.running.Store(0)
 		switch st {
 		case sandbox.StateRunnable:

@@ -376,7 +376,8 @@ func decodeMemorySection(r *reader, m *Module) error {
 }
 
 func decodeConstExpr(r *reader) (Instr, error) {
-	in, err := decodeInstr(r)
+	// Constant expressions admit no br_table, so no label pool is needed.
+	in, err := decodeInstr(r, nil)
 	if err != nil {
 		return Instr{}, err
 	}
@@ -521,7 +522,7 @@ func decodeCodeSection(r *reader, m *Module, typeIndices []uint32) error {
 				fn.Locals = append(fn.Locals, vt)
 			}
 		}
-		fn.Body, err = decodeExpr(br)
+		fn.Body, err = decodeExpr(br, &fn.BrLabels)
 		if err != nil {
 			return fmt.Errorf("func %d: %w", i, err)
 		}
@@ -567,11 +568,14 @@ func decodeDataSection(r *reader, m *Module) error {
 // decodeExpr decodes instructions until (and consuming) the matching final
 // `end` of the expression. Nested blocks keep their own `end` instructions
 // in the stream; the outermost `end` is not included in the result.
-func decodeExpr(r *reader) ([]Instr, error) {
-	var out []Instr
+func decodeExpr(r *reader, pool *[]uint32) ([]Instr, error) {
+	// Each instruction occupies at least one byte, and typical encodings
+	// average 2-3 bytes, so remaining/2 almost always avoids regrowth
+	// without badly over-reserving.
+	out := make([]Instr, 0, r.remaining()/2+4)
 	depth := 0
 	for {
-		in, err := decodeInstr(r)
+		in, err := decodeInstr(r, pool)
 		if err != nil {
 			return nil, err
 		}
@@ -588,7 +592,7 @@ func decodeExpr(r *reader) ([]Instr, error) {
 	}
 }
 
-func decodeInstr(r *reader) (Instr, error) {
+func decodeInstr(r *reader, pool *[]uint32) (Instr, error) {
 	b, err := r.readByte()
 	if err != nil {
 		return Instr{}, err
@@ -613,23 +617,27 @@ func decodeInstr(r *reader) (Instr, error) {
 		}
 		in.Imm = uint64(v)
 	case ImmBrTable:
+		if pool == nil {
+			return Instr{}, fmt.Errorf("%w: br_table outside a function body", ErrBadModule)
+		}
 		n, err := r.readCount()
 		if err != nil {
 			return Instr{}, err
 		}
-		if n > 0 {
-			in.Labels = make([]uint32, n)
-		}
-		for i := range in.Labels {
-			if in.Labels[i], err = r.readU32(); err != nil {
+		off := len(*pool)
+		for i := uint32(0); i < n; i++ {
+			l, err := r.readU32()
+			if err != nil {
 				return Instr{}, err
 			}
+			*pool = append(*pool, l)
 		}
 		def, err := r.readU32()
 		if err != nil {
 			return Instr{}, err
 		}
 		in.Imm = uint64(def)
+		in.Imm2 = uint64(off)<<32 | uint64(n)
 	case ImmCallInd:
 		typeIdx, err := r.readU32()
 		if err != nil {

@@ -3,7 +3,7 @@ package wasm
 // NumericSig returns the operand types and result type of a pure numeric,
 // comparison, or conversion instruction. ok is false for any other opcode.
 func NumericSig(op Opcode) (in []ValType, out ValType, ok bool) {
-	s, found := numericSigs[op]
+	s, found := numericSig(op)
 	if !found {
 		return nil, 0, false
 	}

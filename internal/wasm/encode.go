@@ -96,7 +96,7 @@ func Encode(m *Module) ([]byte, error) {
 		for _, g := range m.Globals {
 			b = append(b, byte(g.Type.Type), boolByte(g.Type.Mutable))
 			var err error
-			b, err = appendInstr(b, g.Init)
+			b, err = appendInstr(b, g.Init, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -128,7 +128,7 @@ func Encode(m *Module) ([]byte, error) {
 		for _, seg := range m.Elems {
 			b = AppendULEB128(b, 0) // table index
 			var err error
-			b, err = appendInstr(b, seg.Offset)
+			b, err = appendInstr(b, seg.Offset, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -161,7 +161,7 @@ func Encode(m *Module) ([]byte, error) {
 		for _, seg := range m.Data {
 			b = AppendULEB128(b, 0) // memory index
 			var err error
-			b, err = appendInstr(b, seg.Offset)
+			b, err = appendInstr(b, seg.Offset, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -226,7 +226,7 @@ func encodeFuncBody(f Func) ([]byte, error) {
 	}
 	for _, in := range f.Body {
 		var err error
-		b, err = appendInstr(b, in)
+		b, err = appendInstr(b, in, f.BrLabels)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +234,7 @@ func encodeFuncBody(f Func) ([]byte, error) {
 	return append(b, byte(OpEnd)), nil
 }
 
-func appendInstr(b []byte, in Instr) ([]byte, error) {
+func appendInstr(b []byte, in Instr, pool []uint32) ([]byte, error) {
 	if !in.Op.Valid() {
 		return nil, fmt.Errorf("wasm: encode: invalid opcode 0x%02x", byte(in.Op))
 	}
@@ -246,8 +246,9 @@ func appendInstr(b []byte, in Instr) ([]byte, error) {
 	case ImmLabel, ImmFunc, ImmLocal, ImmGlobal:
 		b = AppendULEB128(b, in.Imm)
 	case ImmBrTable:
-		b = AppendULEB128(b, uint64(len(in.Labels)))
-		for _, l := range in.Labels {
+		labels := BrTargets(pool, in)
+		b = AppendULEB128(b, uint64(len(labels)))
+		for _, l := range labels {
 			b = AppendULEB128(b, uint64(l))
 		}
 		b = AppendULEB128(b, in.Imm)

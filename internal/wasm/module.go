@@ -8,7 +8,8 @@ import "fmt"
 //
 //	ImmBlockType: Imm = block type byte (a ValType or BlockTypeEmpty)
 //	ImmLabel:     Imm = label index
-//	ImmBrTable:   Labels = targets, Imm = default label
+//	ImmBrTable:   Imm = default label, Imm2 = packed offset/count into the
+//	              owning expression's label pool (see BrTargets)
 //	ImmFunc:      Imm = function index
 //	ImmCallInd:   Imm = type index
 //	ImmLocal:     Imm = local index
@@ -18,11 +19,32 @@ import "fmt"
 //	ImmI64:       Imm = value bits
 //	ImmF32:       Imm = IEEE754 bits in low 32 bits
 //	ImmF64:       Imm = IEEE754 bits
+//
+// Instr is deliberately pointer-free: decoded bodies are the bulk of a
+// module's transient (and, for the naive tier, retained) heap, and keeping
+// them in noscan spans takes them off the garbage collector's scan path.
+// br_table targets therefore live out of line in the owning function's
+// BrLabels pool rather than in a per-instruction slice.
 type Instr struct {
-	Op     Opcode
-	Imm    uint64
-	Imm2   uint64
-	Labels []uint32 // br_table targets only
+	Op   Opcode
+	Imm  uint64
+	Imm2 uint64
+}
+
+// BrTargets resolves a br_table instruction's target labels against the
+// owning expression's label pool (Func.BrLabels for function bodies).
+func BrTargets(pool []uint32, in Instr) []uint32 {
+	off, n := uint32(in.Imm2>>32), uint32(in.Imm2)
+	return pool[off : off+n : off+n]
+}
+
+// MakeBrTable builds a br_table instruction, appending its target labels to
+// *pool. Used by encoders and tests that construct bodies by hand; decoded
+// modules get the same layout from decodeExpr.
+func MakeBrTable(pool *[]uint32, labels []uint32, def uint32) Instr {
+	off := len(*pool)
+	*pool = append(*pool, labels...)
+	return Instr{Op: OpBrTable, Imm: uint64(def), Imm2: uint64(off)<<32 | uint64(len(labels))}
 }
 
 // String renders the instruction in a wat-like form.
@@ -31,7 +53,7 @@ func (in Instr) String() string {
 	case ImmNone, ImmMemIdx:
 		return in.Op.String()
 	case ImmBrTable:
-		return fmt.Sprintf("%s %v %d", in.Op, in.Labels, in.Imm)
+		return fmt.Sprintf("%s [%d targets] %d", in.Op, uint32(in.Imm2), in.Imm)
 	case ImmMem:
 		return fmt.Sprintf("%s offset=%d align=%d", in.Op, in.Imm, in.Imm2)
 	case ImmI32:
@@ -72,6 +94,9 @@ type Func struct {
 	// per local after run-length expansion.
 	Locals []ValType
 	Body   []Instr
+	// BrLabels is the label pool for the body's br_table instructions
+	// (see Instr and BrTargets). Nil when the body has no br_table.
+	BrLabels []uint32
 	// Name is an optional debug name (from the custom "name" section or
 	// assigned by a producer); it is not part of the binary format contract.
 	Name string

@@ -461,15 +461,29 @@ var opTable = map[Opcode]opInfo{
 	OpI64Extend32S: {"i64.extend32_s", ImmNone},
 }
 
+// Dense lookup tables derived from opTable: Valid and Imm sit on the
+// per-instruction decode path, where a map probe per opcode dominates the
+// profile of cheap-tier registration storms.
+var (
+	opValid [256]bool
+	opImm   [256]ImmKind
+)
+
+func init() {
+	for op, info := range opTable {
+		opValid[op] = true
+		opImm[op] = info.imm
+	}
+}
+
 // Valid reports whether op is a recognized opcode.
 func (op Opcode) Valid() bool {
-	_, ok := opTable[op]
-	return ok
+	return opValid[op]
 }
 
 // Imm returns the immediate layout for op.
 func (op Opcode) Imm() ImmKind {
-	return opTable[op].imm
+	return opImm[op]
 }
 
 // String returns the spec name of the opcode, e.g. "i32.add".

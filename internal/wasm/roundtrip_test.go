@@ -50,8 +50,9 @@ func testModule() *Module {
 				{Op: OpEnd},
 				{Op: OpI32Const, Imm: 7},
 				{Op: OpI32Const, Imm: 3},
-				{Op: OpBrTable, Labels: []uint32{0, 0}, Imm: 0},
+				{Op: OpBrTable, Imm: 0, Imm2: 0<<32 | 2},
 			},
+			BrLabels: []uint32{0, 0},
 		},
 	}
 	m.Tables = []Limits{{Min: 4, Max: 4, HasMax: true}}
@@ -159,7 +160,7 @@ func TestInstrString(t *testing.T) {
 		{Instr{Op: OpI32Const, Imm: uint64(uint32(0xFFFFFFFF))}, "i32.const -1"},
 		{Instr{Op: OpI64Const, Imm: uint64(12345)}, "i64.const 12345"},
 		{Instr{Op: OpI32Load, Imm: 8, Imm2: 2}, "i32.load offset=8 align=2"},
-		{Instr{Op: OpBrTable, Labels: []uint32{1, 2}, Imm: 0}, "br_table [1 2] 0"},
+		{Instr{Op: OpBrTable, Imm: 0, Imm2: 0<<32 | 2}, "br_table [2 targets] 0"},
 		{Instr{Op: OpCall, Imm: 3}, "call 3"},
 	}
 	for _, c := range cases {

@@ -112,11 +112,15 @@ func Validate(m *Module) error {
 		}
 	}
 
+	// One validator serves every function: its locals/stack/ctrl scratch is
+	// reset (not reallocated) per body, which matters during registration
+	// storms where validation runs thousands of times back to back.
+	v := &funcValidator{m: m}
 	for i := range m.Funcs {
 		if int(m.Funcs[i].TypeIdx) >= len(m.Types) {
 			return fmt.Errorf("%w: func %d: type index out of range", ErrInvalidModule, i)
 		}
-		if err := validateFunc(m, &m.Funcs[i]); err != nil {
+		if err := v.validateFunc(&m.Funcs[i]); err != nil {
 			name := m.Funcs[i].Name
 			if name == "" {
 				name = fmt.Sprintf("#%d", i)
@@ -196,18 +200,21 @@ type ctrlFrame struct {
 
 type funcValidator struct {
 	m       *Module
+	f       *Func
 	locals  []ValType
 	stack   []ValType
 	ctrls   []ctrlFrame
 	results []ValType
 }
 
-func validateFunc(m *Module, f *Func) error {
-	ft := m.Types[f.TypeIdx]
-	v := &funcValidator{m: m, results: ft.Results}
-	v.locals = make([]ValType, 0, len(ft.Params)+len(f.Locals))
-	v.locals = append(v.locals, ft.Params...)
+func (v *funcValidator) validateFunc(f *Func) error {
+	ft := v.m.Types[f.TypeIdx]
+	v.f = f
+	v.results = ft.Results
+	v.locals = append(v.locals[:0], ft.Params...)
 	v.locals = append(v.locals, f.Locals...)
+	v.stack = v.stack[:0]
+	v.ctrls = v.ctrls[:0]
 	// The implicit function-body block.
 	v.pushCtrl(OpBlock, ft.Results)
 	for i, in := range f.Body {
@@ -381,7 +388,10 @@ func (v *funcValidator) step(in Instr) error {
 			return err
 		}
 		defTypes := labelTypes(defFrame)
-		for _, l := range in.Labels {
+		if uint32(in.Imm2)>0 && int(uint32(in.Imm2>>32))+int(uint32(in.Imm2)) > len(v.f.BrLabels) {
+			return errors.New("br_table labels out of pool range")
+		}
+		for _, l := range BrTargets(v.f.BrLabels, in) {
 			f, err := v.frameAt(uint64(l))
 			if err != nil {
 				return err
@@ -603,11 +613,18 @@ type numSig struct {
 	out ValType
 }
 
-var numericSigs = buildNumericSigs()
+// numericSigs is a dense table: numericSig runs once per validated numeric
+// instruction, so the map built by buildNumericSigs is flattened to an
+// array indexed by opcode.
+var numericSigs, numericSigOK = func() (tab [256]numSig, ok [256]bool) {
+	for op, sig := range buildNumericSigs() {
+		tab[op], ok[op] = sig, true
+	}
+	return
+}()
 
 func numericSig(op Opcode) (numSig, bool) {
-	s, ok := numericSigs[op]
-	return s, ok
+	return numericSigs[op], numericSigOK[op]
 }
 
 func buildNumericSigs() map[Opcode]numSig {

@@ -435,10 +435,11 @@ func TestValidateBrTable(t *testing.T) {
 		{Op: OpBlock, Imm: uint64(ValI32)},
 		{Op: OpI32Const, Imm: 10},
 		{Op: OpLocalGet, Imm: 0},
-		{Op: OpBrTable, Labels: []uint32{0, 1}, Imm: 1},
+		{Op: OpBrTable, Imm: 1, Imm2: 0<<32 | 2},
 		{Op: OpEnd},
 		{Op: OpEnd},
 	})
+	m.Funcs[0].BrLabels = []uint32{0, 1}
 	if err := Validate(m); err != nil {
 		t.Errorf("valid br_table rejected: %v", err)
 	}
@@ -448,11 +449,12 @@ func TestValidateBrTable(t *testing.T) {
 		{Op: OpBlock, Imm: uint64(BlockTypeEmpty)},
 		{Op: OpI32Const, Imm: 10},
 		{Op: OpLocalGet, Imm: 0},
-		{Op: OpBrTable, Labels: []uint32{0}, Imm: 1},
+		{Op: OpBrTable, Imm: 1, Imm2: 0<<32 | 1},
 		{Op: OpEnd},
 		{Op: OpEnd},
 		{Op: OpDrop},
 	})
+	bad.Funcs[0].BrLabels = []uint32{0}
 	if err := Validate(bad); err == nil {
 		t.Error("br_table with mismatched target arity accepted")
 	}

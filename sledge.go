@@ -69,6 +69,35 @@ const (
 	TierNaive     = engine.TierNaive
 )
 
+// Adaptive tiering (internal/core/tiering.go): with Config.Tiering set,
+// Register* compiles only the cheap rung of the tier ladder so registration
+// is near-instant, the completion path profiles per-module hotness
+// (invocations + retired instructions), and a background controller
+// recompiles hot modules at the full fused+regalloc+elision rung, swapping
+// the compiled form in atomically while in-flight requests finish on the
+// code they started with.
+type (
+	// TieringConfig configures the tier ladder: thresholds, scan interval,
+	// recompile concurrency cap, and the ablation mode.
+	TieringConfig = core.TieringConfig
+	// TieringMode selects adaptive promotion or one of the ablations.
+	TieringMode = core.TieringMode
+	// TieringSnapshot is the controller's accounting view (/__stats).
+	TieringSnapshot = core.TieringSnapshot
+)
+
+// Tiering modes.
+const (
+	// TierAdaptive registers cheap and promotes hot modules in the
+	// background (the default when Config.Tiering is set).
+	TierAdaptive = core.TierAdaptive
+	// TierStatic preserves the static behaviour: full pipeline at
+	// registration, no promotion (the disable knob / ablation baseline).
+	TierStatic = core.TierStatic
+	// TierCheapOnly registers cheap and never promotes (ablation).
+	TierCheapOnly = core.TierCheapOnly
+)
+
 // Scheduler configuration.
 type (
 	// SchedPolicy selects preemptive vs cooperative scheduling.
