@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke sched-smoke tierup-smoke test bench bench-regalloc bench-sched bench-tierup
+.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke test bench bench-regalloc bench-sched bench-tierup bench-cluster
 
 # check is the pre-merge gate: static analysis (go vet plus the project
 # analyzers: noalloc hot-path enforcement, mutex-copy and lock-ordering), a
@@ -12,7 +12,7 @@ GO ?= go
 # run (every workers x distribution cell completes its closed loop), and a
 # 30s differential fuzz of the check-elision pipeline (every bounds
 # strategy with elision on/off must produce identical results and traps).
-check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke sched-smoke tierup-smoke fuzz-smoke
+check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +25,7 @@ build:
 
 test-race:
 	$(GO) test -race ./internal/sandbox/... ./internal/sched/... ./internal/core/... \
-		./internal/admission/... ./internal/httpd/...
+		./internal/admission/... ./internal/httpd/... ./internal/cluster/... ./internal/stats/...
 	$(GO) test -race -run 'TestPool' ./internal/engine/
 
 bench-smoke:
@@ -63,6 +63,19 @@ tierup-smoke:
 
 bench-tierup:
 	$(GO) run ./cmd/sledge-bench -run tierup -snapshot BENCH_tierup.json
+
+# cluster-smoke runs the edge-cloud continuum end-to-end under the race
+# detector at quick sizes: the 3-node in-process cluster comes up, the
+# offload path is exercised (router offloads > 0 under overload), and
+# federated goodput beats the isolated spray. The acceptance-grade numbers
+# (federated >= 1.3x isolated at 2x aggregate load, admitted p99 within
+# deadline) come from `make bench-cluster`, which regenerates
+# BENCH_cluster.json at full sizes.
+cluster-smoke:
+	$(GO) test -race -run=TestContinuumSmoke -count=1 ./internal/experiments/
+
+bench-cluster:
+	$(GO) run ./cmd/sledge-bench -run cluster -snapshot BENCH_cluster.json
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDifferentialElision -fuzztime=30s ./internal/engine/

@@ -1,0 +1,194 @@
+// The cluster subcommand runs a federated edge–cloud continuum in one
+// process: it brings up one Sledge runtime per node declared in a topology
+// file, registers them all with a cluster router, and serves the router's
+// HTTP front end. Requests are placed by link latency + modeled queue wait
+// + service estimate; a node's admission rejection is offloaded to the
+// next-best peer within the deadline instead of surfacing as a shed.
+//
+// Usage:
+//
+//	sledge cluster -listen :8080 -topology continuum.json -apps
+//
+// Topology format (class is "edge" or "cloud"; link_ms is the simulated
+// one-way link latency between the router and the node; max_inflight and
+// max_queue bound the node's admission window, 0 = defaults):
+//
+//	{
+//	  "nodes": [
+//	    {"name": "edge0",  "class": "edge",  "workers": 1, "link_ms": 0.5},
+//	    {"name": "edge1",  "class": "edge",  "workers": 1, "link_ms": 0.5},
+//	    {"name": "cloud0", "class": "cloud", "workers": 4, "link_ms": 5}
+//	  ]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"sledge"
+	"sledge/internal/workloads/apps"
+)
+
+type clusterTopology struct {
+	Nodes []clusterNode `json:"nodes"`
+}
+
+type clusterNode struct {
+	Name        string  `json:"name"`
+	Class       string  `json:"class"`
+	Workers     int     `json:"workers"`
+	LinkMS      float64 `json:"link_ms"`
+	MaxInflight int     `json:"max_inflight"`
+	MaxQueue    int     `json:"max_queue"`
+}
+
+func clusterMain(args []string) {
+	fs := flag.NewFlagSet("sledge cluster", flag.ExitOnError)
+	var (
+		listen     = fs.String("listen", ":8080", "router listen address")
+		topoPath   = fs.String("topology", "", "JSON cluster topology file (required)")
+		configPath = fs.String("config", "", "JSON module configuration loaded on every node")
+		useApps    = fs.Bool("apps", false, "register the built-in application suite on every node")
+		poll       = fs.Duration("poll", 0, "health poll interval (0 = default 10ms)")
+		deadline   = fs.Duration("deadline", 0, "default request deadline (0 = default 1s)")
+		kvLatency  = fs.Duration("kv-latency", 0, "simulated storage access latency (0 = synchronous store)")
+		drainTO    = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
+	)
+	fs.Parse(args)
+	if *topoPath == "" {
+		log.Fatal("sledge cluster: -topology is required")
+	}
+	data, err := os.ReadFile(*topoPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var topo clusterTopology
+	if err := json.Unmarshal(data, &topo); err != nil {
+		log.Fatalf("topology %s: %v", *topoPath, err)
+	}
+	if len(topo.Nodes) == 0 {
+		log.Fatalf("topology %s declares no nodes", *topoPath)
+	}
+	if !*useApps && *configPath == "" {
+		log.Fatal("sledge cluster: pass -apps or -config so nodes have modules to serve")
+	}
+
+	// All nodes share one object store, each behind its own (identical)
+	// simulated access latency — the shared-storage continuum the cluster
+	// experiment models.
+	var store sledge.KVStore = sledge.NewMapKV()
+	if *kvLatency > 0 {
+		store = &sledge.LatentKV{KVStore: store, Delay: *kvLatency}
+	}
+
+	router := sledge.NewCluster(sledge.ClusterConfig{
+		PollInterval:    *poll,
+		DefaultDeadline: *deadline,
+	})
+	var nodes []*sledge.Runtime
+	closeAll := func() {
+		router.Close()
+		for _, rt := range nodes {
+			rt.Close()
+		}
+	}
+	for _, n := range topo.Nodes {
+		class, err := sledge.ParseNodeClass(n.Class)
+		if err != nil {
+			log.Fatalf("node %s: %v", n.Name, err)
+		}
+		workers := n.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		rt := sledge.New(sledge.Config{
+			Workers: workers,
+			KV:      store,
+			Admission: &sledge.AdmissionConfig{
+				MaxInflight: n.MaxInflight,
+				MaxQueue:    n.MaxQueue,
+			},
+		})
+		nodes = append(nodes, rt)
+		if *useApps {
+			if err := registerSuite(rt); err != nil {
+				closeAll()
+				log.Fatalf("node %s: %v", n.Name, err)
+			}
+		}
+		if *configPath != "" {
+			if err := rt.LoadModulesFile(*configPath); err != nil {
+				closeAll()
+				log.Fatalf("node %s: %v", n.Name, err)
+			}
+		}
+		if err := router.Register(sledge.ClusterNodeConfig{
+			Name:    n.Name,
+			Class:   class,
+			Link:    time.Duration(n.LinkMS * float64(time.Millisecond)),
+			Runtime: rt,
+		}); err != nil {
+			closeAll()
+			log.Fatalf("register %s: %v", n.Name, err)
+		}
+		log.Printf("node %s up: class=%s workers=%d link=%.1fms", n.Name, class, workers, n.LinkMS)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		closeAll()
+		log.Fatal(err)
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	var draining atomic.Bool
+	go func() {
+		sig := <-sigs
+		draining.Store(true)
+		log.Printf("%s: draining cluster (up to %v)", sig, *drainTO)
+		if router.Drain(*drainTO) {
+			log.Print("drain complete")
+		} else {
+			log.Print("drain timed out; exiting with work in flight")
+		}
+		for _, rt := range nodes {
+			rt.Close()
+		}
+		os.Exit(0)
+	}()
+
+	log.Printf("sledge cluster listening on %s (%d nodes)", *listen, len(topo.Nodes))
+	err = router.Serve(ln)
+	if draining.Load() {
+		// The listener closed because a drain is in progress; the signal
+		// goroutine owns shutdown and exits the process when it is done.
+		select {}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// registerSuite compiles and registers the built-in application suite.
+func registerSuite(rt *sledge.Runtime) error {
+	for _, name := range apps.Names() {
+		app, _ := apps.Get(name)
+		cm, err := app.Compile(rt.EngineConfig())
+		if err != nil {
+			return err
+		}
+		if _, err := rt.RegisterCompiled(name, cm, "main", ""); err != nil {
+			return err
+		}
+	}
+	return nil
+}

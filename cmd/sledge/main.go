@@ -8,6 +8,8 @@
 //
 //	sledge -listen :8080 -apps                 # serve the built-in suite
 //	sledge -listen :8080 -config modules.json  # serve configured modules
+//	sledge cluster -topology nodes.json -apps  # federated multi-node mode
+//	                                             (see cluster.go)
 //
 // Configuration format:
 //
@@ -35,6 +37,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "cluster" {
+		clusterMain(os.Args[2:])
+		return
+	}
 	var (
 		listen     = flag.String("listen", ":8080", "listen address")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker cores")
@@ -76,17 +82,10 @@ func main() {
 	defer rt.Close()
 
 	if *useApps {
-		for _, name := range apps.Names() {
-			app, _ := apps.Get(name)
-			cm, err := app.Compile(rt.EngineConfig())
-			if err != nil {
-				log.Fatalf("compile %s: %v", name, err)
-			}
-			if _, err := rt.RegisterCompiled(name, cm, "main", ""); err != nil {
-				log.Fatalf("register %s: %v", name, err)
-			}
-			log.Printf("registered built-in %s", name)
+		if err := registerSuite(rt); err != nil {
+			log.Fatal(err)
 		}
+		log.Printf("registered built-in suite (%d apps)", len(apps.Names()))
 	}
 	if *configPath != "" {
 		if err := rt.LoadModulesFile(*configPath); err != nil {

@@ -137,21 +137,53 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Reason classifies a refused admission. The constants below are the
+// controller's own shed causes; federated callers (internal/cluster) define
+// additional Reason values for cluster-level sheds.
+type Reason string
+
+// Controller rejection reasons.
+const (
+	// ReasonRateLimited is a per-tenant token-bucket rejection (HTTP 429).
+	ReasonRateLimited Reason = "rate-limited"
+	// ReasonQueueFull is a global or per-tenant admit-queue bound rejection.
+	ReasonQueueFull Reason = "queue-full"
+	// ReasonDeadlineShed is a deadline-aware shed: the estimated queue wait
+	// (or the actual wait, for queued requests) exceeded the deadline.
+	ReasonDeadlineShed Reason = "deadline-shed"
+	// ReasonBreakerOpen is a circuit-breaker rejection.
+	ReasonBreakerOpen Reason = "breaker-open"
+	// ReasonDraining is a graceful-shutdown rejection.
+	ReasonDraining Reason = "draining"
+)
+
 // Rejection is a refused admission. It implements error so non-HTTP
 // callers can surface it; the HTTP layer maps it to a status line.
 type Rejection struct {
 	// Status is the HTTP status to reply with: 429 for rate-limit
 	// rejections, 503 for overload/breaker/drain rejections.
 	Status int
-	// RetryAfter is the client back-off hint.
+	// RetryAfter is the client back-off hint. Every rejection carries a
+	// positive hint: cooldown remainder for breaker sheds, the estimated
+	// queue-drain time for overload sheds, floored so offloading clients
+	// (and the cluster router) always have a usable back-off.
 	RetryAfter time.Duration
-	// Reason is a short operator-facing cause ("rate-limited",
-	// "queue-full", "deadline-shed", "breaker-open", "draining").
-	Reason string
+	// Reason is the shed cause.
+	Reason Reason
 }
 
 func (r *Rejection) Error() string {
 	return fmt.Sprintf("admission: %s (HTTP %d, retry after %v)", r.Reason, r.Status, r.RetryAfter)
+}
+
+// Offloadable reports whether a different node could plausibly serve the
+// request this rejection shed. Queue, deadline, breaker, and drain sheds all
+// describe node-local saturation or failure — a peer with capacity can still
+// serve the request. Rate-limit rejections are tenant policy: offloading one
+// to a peer would let a tenant launder traffic past its contracted rate by
+// overflowing from node to node.
+func (r *Rejection) Offloadable() bool {
+	return r.Reason != ReasonRateLimited
 }
 
 // waiter is one queued admission request.
@@ -293,7 +325,7 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 	if c.draining {
 		c.shedDrain++
 		c.mu.Unlock()
-		return nil, &Rejection{Status: 503, RetryAfter: time.Second, Reason: "draining"}
+		return nil, &Rejection{Status: 503, RetryAfter: time.Second, Reason: ReasonDraining}
 	}
 	ts := c.tenantFor(tenant, now)
 	gen := c.estGen[module]
@@ -303,10 +335,15 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 	brk := c.breakerFor(module)
 	ok, probe, retry := brk.allow(now)
 	if !ok {
+		if retry <= 0 {
+			// The cooldown boundary can round the remainder to zero; the
+			// hint must stay positive so clients actually back off.
+			retry = c.cfg.Breaker.Cooldown
+		}
 		c.shedBreak++
 		ts.shed++
 		c.mu.Unlock()
-		return nil, &Rejection{Status: 503, RetryAfter: retry, Reason: "breaker-open"}
+		return nil, &Rejection{Status: 503, RetryAfter: retry, Reason: ReasonBreakerOpen}
 	}
 	est := c.estimateLocked(module)
 	// The 503 overload checks run before the bucket debit so a shed
@@ -316,9 +353,9 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 		brk.releaseProbe(probe)
 		c.shedQueue++
 		ts.shed++
-		wait := c.queueDelayLocked(est)
+		wait := c.retryHintLocked(est)
 		c.mu.Unlock()
-		return nil, &Rejection{Status: 503, RetryAfter: wait, Reason: "queue-full"}
+		return nil, &Rejection{Status: 503, RetryAfter: wait, Reason: ReasonQueueFull}
 	}
 	// Deadline-aware shed: if the queue ahead of us already implies more
 	// waiting than the deadline allows, fail fast instead of timing out
@@ -328,7 +365,7 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 		c.shedDead++
 		ts.shed++
 		c.mu.Unlock()
-		return nil, &Rejection{Status: 503, RetryAfter: wait, Reason: "deadline-shed"}
+		return nil, &Rejection{Status: 503, RetryAfter: wait, Reason: ReasonDeadlineShed}
 	}
 	if !ts.bucket.take(now) {
 		brk.releaseProbe(probe)
@@ -336,7 +373,7 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 		ts.shed++
 		retry := ts.bucket.nextToken(now)
 		c.mu.Unlock()
-		return nil, &Rejection{Status: 429, RetryAfter: retry, Reason: "rate-limited"}
+		return nil, &Rejection{Status: 429, RetryAfter: retry, Reason: ReasonRateLimited}
 	}
 	// Fast path: free slot and nobody queued ahead.
 	if c.inflight < c.cfg.MaxInflight && c.queued == 0 {
@@ -375,10 +412,27 @@ func (c *Controller) Admit(tenant, module string, deadline time.Duration) (*Tick
 		brk.releaseProbe(probe)
 		c.shedDead++
 		ts.shed++
-		wait := c.queueDelayLocked(int64(c.estimateLocked(module)))
+		wait := c.retryHintLocked(c.estimateLocked(module))
 		c.mu.Unlock()
-		return nil, &Rejection{Status: 503, RetryAfter: wait, Reason: "deadline-shed"}
+		return nil, &Rejection{Status: 503, RetryAfter: wait, Reason: ReasonDeadlineShed}
 	}
+}
+
+// retryHintLocked derives a Retry-After hint for an overload shed: the
+// estimated queue-drain wait, floored at one request's estimated service
+// share so the hint never goes to zero. A zero hint would suppress the
+// Retry-After header entirely and give an offloading router no back-off
+// signal — a per-tenant queue bound, for example, can trip while the global
+// queue (and hence the modeled delay) is empty.
+func (c *Controller) retryHintLocked(est int64) time.Duration {
+	wait := c.queueDelayLocked(est)
+	if floor := time.Duration(est / int64(c.cfg.Workers)); wait < floor {
+		wait = floor
+	}
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait
 }
 
 // tenantFor lazily creates tenant state.
@@ -587,6 +641,58 @@ func (c *Controller) WaitIdle(timeout time.Duration) bool {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// ModuleHealth is one module's slice of the compact health view: the
+// service-time estimate the controller sheds against and the breaker state.
+type ModuleHealth struct {
+	EstimateNanos int64  `json:"est_ns"`
+	Breaker       string `json:"breaker"`
+}
+
+// Health is the compact admission view consumed by health pollers (the
+// cluster router, external load balancers). Unlike Stats it carries no
+// tenant accounting and no cumulative counters — just the live signals a
+// placement decision needs — so polling it at router frequency stays cheap.
+type Health struct {
+	Draining    bool                    `json:"draining,omitempty"`
+	Inflight    int                     `json:"inflight"`
+	Queued      int                     `json:"queued"`
+	MaxInflight int                     `json:"max_inflight"`
+	Workers     int                     `json:"workers"`
+	Modules     map[string]ModuleHealth `json:"modules"`
+}
+
+// HealthSnapshot returns the compact health view.
+func (c *Controller) HealthSnapshot() Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := Health{
+		Draining:    c.draining,
+		Inflight:    c.inflight,
+		Queued:      c.queued,
+		MaxInflight: c.cfg.MaxInflight,
+		Workers:     c.cfg.Workers,
+		Modules:     make(map[string]ModuleHealth, len(c.est)),
+	}
+	for name, e := range c.est {
+		mh := ModuleHealth{Breaker: breakerClosed.String()}
+		if e.n > 0 {
+			mh.EstimateNanos = int64(e.val)
+		}
+		if b, ok := c.breakers[name]; ok {
+			mh.Breaker = b.state.String()
+		}
+		h.Modules[name] = mh
+	}
+	// A breaker can exist for a module with no estimate yet (every request
+	// shed before completion); it still matters to a router.
+	for name, b := range c.breakers {
+		if _, ok := h.Modules[name]; !ok {
+			h.Modules[name] = ModuleHealth{Breaker: b.state.String()}
+		}
+	}
+	return h
 }
 
 // TenantSnapshot is one tenant's admission accounting.

@@ -845,3 +845,134 @@ func TestResetEstimateKeepsBreakerGuardsGeneration(t *testing.T) {
 		t.Fatalf("breaker did not survive ResetEstimate: rej=%v", rej)
 	}
 }
+
+// ---- retry-after hints, offloadability, compact health ----
+
+// TestRetryAfterAlwaysPositive pins the contract the cluster router relies
+// on: every overload shed carries a usable (positive) back-off hint, even on
+// paths where the modeled queue delay collapses to zero (per-tenant queue
+// bound with an otherwise empty controller).
+func TestRetryAfterAlwaysPositive(t *testing.T) {
+	c := New(Config{Workers: 4, MaxInflight: 2, MaxQueue: 100, MaxQueuePerTenant: 1})
+	tktA, rej := c.Admit("a", "m", time.Minute)
+	if rej != nil {
+		t.Fatalf("admit A: %v", rej)
+	}
+	tktB, rej := c.Admit("a", "m", time.Minute)
+	if rej != nil {
+		t.Fatalf("admit B: %v", rej)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tkt, rej := c.Admit("a", "m", time.Minute)
+		if rej == nil {
+			tkt.Done(OutcomeSuccess, time.Millisecond)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		if c.Stats().Queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Tenant a's queue bound (1) is hit while the global queue is nearly
+	// empty; the hint must still be positive.
+	_, rej = c.Admit("a", "m", time.Minute)
+	if rej == nil || rej.Reason != ReasonQueueFull {
+		t.Fatalf("rejection = %+v, want queue-full", rej)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Fatalf("queue-full RetryAfter = %v, want > 0", rej.RetryAfter)
+	}
+	tktA.Done(OutcomeSuccess, time.Millisecond)
+	tktB.Done(OutcomeSuccess, time.Millisecond)
+	wg.Wait()
+
+	// The floor itself: even with nothing queued and no estimate, the hint
+	// never collapses below a millisecond.
+	c2 := New(Config{Workers: 4})
+	c2.mu.Lock()
+	hint := c2.retryHintLocked(0)
+	c2.mu.Unlock()
+	if hint < time.Millisecond {
+		t.Fatalf("retryHintLocked floor = %v, want >= 1ms", hint)
+	}
+}
+
+// TestBreakerOpenRetryAfter checks the breaker-open hint tracks the cooldown
+// remainder.
+func TestBreakerOpenRetryAfter(t *testing.T) {
+	clk := newFakeClock()
+	c := newWithClock(Config{
+		Workers: 4,
+		Breaker: BreakerConfig{Window: 8, MinSamples: 4, FailureRatio: 0.5, Cooldown: 2 * time.Second},
+	}, clk.Now)
+	for i := 0; i < 4; i++ {
+		tkt, rej := c.Admit("t", "crashy", 0)
+		if rej != nil {
+			t.Fatalf("admit %d: %v", i, rej)
+		}
+		tkt.Done(OutcomeTrap, 100*time.Microsecond)
+	}
+	_, rej := c.Admit("t", "crashy", 0)
+	if rej == nil || rej.Reason != ReasonBreakerOpen {
+		t.Fatalf("rejection = %+v, want breaker-open", rej)
+	}
+	if rej.RetryAfter != 2*time.Second {
+		t.Fatalf("fresh-trip RetryAfter = %v, want full 2s cooldown", rej.RetryAfter)
+	}
+	clk.Advance(1500 * time.Millisecond)
+	_, rej = c.Admit("t", "crashy", 0)
+	if rej == nil || rej.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("mid-cooldown RetryAfter = %v, want 500ms remainder", rej)
+	}
+}
+
+func TestOffloadable(t *testing.T) {
+	for _, tc := range []struct {
+		reason Reason
+		want   bool
+	}{
+		{ReasonRateLimited, false},
+		{ReasonQueueFull, true},
+		{ReasonDeadlineShed, true},
+		{ReasonBreakerOpen, true},
+		{ReasonDraining, true},
+	} {
+		r := &Rejection{Reason: tc.reason}
+		if got := r.Offloadable(); got != tc.want {
+			t.Errorf("Offloadable(%s) = %v, want %v", tc.reason, got, tc.want)
+		}
+	}
+}
+
+func TestHealthSnapshot(t *testing.T) {
+	c := New(Config{
+		Workers: 2, MaxInflight: 4,
+		Breaker: BreakerConfig{Window: 8, MinSamples: 2, FailureRatio: 0.5},
+	})
+	// Feed an estimate for "fast" and trip the breaker on "crashy" (which
+	// never completes successfully, so it has a breaker but no estimate).
+	if rej := run(t, c, "a", "fast", 0, nil); rej != nil {
+		t.Fatalf("fast: %v", rej)
+	}
+	for i := 0; i < 2; i++ {
+		tkt, rej := c.Admit("a", "crashy", 0)
+		if rej != nil {
+			t.Fatalf("crashy admit %d: %v", i, rej)
+		}
+		tkt.Done(OutcomeTrap, time.Microsecond)
+	}
+	h := c.HealthSnapshot()
+	if h.Workers != 2 || h.MaxInflight != 4 || h.Inflight != 0 || h.Queued != 0 || h.Draining {
+		t.Fatalf("health = %+v, want idle 2-worker view", h)
+	}
+	if mh, ok := h.Modules["fast"]; !ok || mh.EstimateNanos <= 0 || mh.Breaker != "closed" {
+		t.Fatalf("fast health = %+v, want positive estimate + closed breaker", mh)
+	}
+	if mh, ok := h.Modules["crashy"]; !ok || mh.Breaker != "open" {
+		t.Fatalf("crashy health = %+v, want open breaker", mh)
+	}
+}

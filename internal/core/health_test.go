@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sledge/internal/admission"
+	"sledge/internal/engine"
+)
+
+func TestHealthSnapshotFields(t *testing.T) {
+	tc := TieringConfig{HotInvocations: 1 << 40, HotInstrRetired: 1 << 60}
+	rt := New(Config{Workers: 2, Tiering: &tc, Admission: &admission.Config{}})
+	t.Cleanup(func() { rt.Close() })
+	registerSum(t, rt, "sum")
+	registerSum(t, rt, "idle")
+	for i := 0; i < 4; i++ {
+		invokeSum(t, rt, "sum", []byte{byte(i)})
+	}
+	h := rt.Health()
+	if h.Workers != 2 {
+		t.Errorf("workers = %d, want 2", h.Workers)
+	}
+	if h.MaxInflight <= 0 {
+		t.Errorf("max_inflight = %d, want > 0 with admission on", h.MaxInflight)
+	}
+	if h.Draining {
+		t.Error("draining on a live runtime")
+	}
+	mh, ok := h.Modules["sum"]
+	if !ok {
+		t.Fatal("modules missing sum")
+	}
+	if mh.EWMAServiceNanos <= 0 {
+		t.Errorf("sum ewma_ns = %d, want > 0 after traffic", mh.EWMAServiceNanos)
+	}
+	if mh.Breaker != "closed" {
+		t.Errorf("sum breaker = %q, want closed", mh.Breaker)
+	}
+	if mh.Tier != engine.TierLabelCheap {
+		t.Errorf("sum tier = %q, want %q", mh.Tier, engine.TierLabelCheap)
+	}
+	// The idle module has no admission samples; the snapshot falls back to
+	// the tier-epoch seed so a router still has a service estimate to score.
+	if ih := h.Modules["idle"]; ih.Tier != engine.TierLabelCheap {
+		t.Errorf("idle tier = %q, want %q", ih.Tier, engine.TierLabelCheap)
+	}
+	if err := rt.Promote("sum"); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	h = rt.Health()
+	if h.Promoted != 1 {
+		t.Errorf("promoted = %d, want 1", h.Promoted)
+	}
+	if got := h.Modules["sum"].Tier; got != engine.TierLabelFull {
+		t.Errorf("post-promotion tier = %q, want %q", got, engine.TierLabelFull)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	rt := New(Config{Workers: 1, Admission: &admission.Config{}})
+	t.Cleanup(func() { rt.Close() })
+	registerSum(t, rt, "sum")
+	invokeSum(t, rt, "sum", []byte{1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go rt.Serve(ln)
+	resp, err := http.Get("http://" + ln.Addr().String() + "/__health")
+	if err != nil {
+		t.Fatalf("GET /__health: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content-type = %q", ct)
+	}
+	var h HealthSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode health: %v", err)
+	}
+	if h.Workers != 1 {
+		t.Errorf("workers = %d, want 1", h.Workers)
+	}
+	mh, ok := h.Modules["sum"]
+	if !ok {
+		t.Fatal("health payload missing sum")
+	}
+	if mh.EWMAServiceNanos <= 0 {
+		t.Errorf("ewma_ns = %d, want > 0", mh.EWMAServiceNanos)
+	}
+}
+
+func TestQueueWaitEstimate(t *testing.T) {
+	h := &HealthSnapshot{
+		Workers:     2,
+		MaxInflight: 4,
+		Inflight:    4,
+		AdmitQueued: 6,
+		Modules: map[string]ModuleHealth{
+			"sum": {EWMAServiceNanos: int64(2 * time.Millisecond)},
+		},
+	}
+	// ahead = 4+6 - (4-1) = 7; wait = 7 * 2ms / 2 workers = 7ms.
+	if got := h.QueueWaitEstimate("sum", 0, time.Second); got != 7*time.Millisecond {
+		t.Errorf("wait = %v, want 7ms", got)
+	}
+	// Router-side pending counts as backlog the snapshot has not seen.
+	if got := h.QueueWaitEstimate("sum", 2, time.Second); got != 9*time.Millisecond {
+		t.Errorf("wait with pending = %v, want 9ms", got)
+	}
+	// Unknown modules fall back to the caller's default estimate.
+	if got := h.QueueWaitEstimate("ghost", 0, 4*time.Millisecond); got != 14*time.Millisecond {
+		t.Errorf("default-estimate wait = %v, want 14ms", got)
+	}
+	// Free slots: no queueing delay at all.
+	idle := &HealthSnapshot{Workers: 2, MaxInflight: 4, Inflight: 1}
+	if got := idle.QueueWaitEstimate("sum", 0, time.Millisecond); got != 0 {
+		t.Errorf("idle wait = %v, want 0", got)
+	}
+	// Without admission control the dispatch window is the worker count.
+	raw := &HealthSnapshot{Workers: 2, QueueDepth: 3, Inflight: 2,
+		Modules: map[string]ModuleHealth{"sum": {EWMAServiceNanos: int64(time.Millisecond)}}}
+	// ahead = 3+2 - 1 = 4; wait = 4 * 1ms / 2 = 2ms.
+	if got := raw.QueueWaitEstimate("sum", 0, time.Second); got != 2*time.Millisecond {
+		t.Errorf("no-admission wait = %v, want 2ms", got)
+	}
+}
+
+// TestHealthWorkersUsesAdmissionHint: when the admission controller's
+// capacity hint exceeds the scheduler's core count (I/O-bound functions
+// whose blocked sandboxes drain concurrently on the event loop), the
+// snapshot reports the larger drain rate so external wait estimates agree
+// with the controller's own shed decisions.
+func TestHealthWorkersUsesAdmissionHint(t *testing.T) {
+	rt := New(Config{Workers: 1, Admission: &admission.Config{Workers: 8, MaxInflight: 8}})
+	t.Cleanup(func() { rt.Close() })
+	h := rt.Health()
+	if h.Workers != 8 {
+		t.Errorf("workers = %d, want admission hint 8 over core count 1", h.Workers)
+	}
+	if h.MaxInflight != 8 {
+		t.Errorf("max_inflight = %d, want 8", h.MaxInflight)
+	}
+}

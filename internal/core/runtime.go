@@ -562,6 +562,9 @@ func (rt *Runtime) handle(req *httpd.Request) httpd.Response {
 	if name == "__stats" {
 		return rt.statsResponse()
 	}
+	if name == "__health" {
+		return rt.healthResponse()
+	}
 	var deadline time.Duration
 	if v := req.Header[DeadlineHeader]; v != "" {
 		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {

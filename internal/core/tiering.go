@@ -244,7 +244,25 @@ func (rt *Runtime) promote(m *Module) {
 		return
 	}
 	d := time.Since(start)
+	// Identity-check and swap under the registry lock: Replace holds the
+	// write lock while it installs a new Module under this name, so either
+	// the swap lands strictly before the replacement (and is then shadowed
+	// by it) or the check observes the replacement and discards the compile.
+	// Installing without the check would resurrect the retired deployment's
+	// code, keep its recompiled form (and instance pool) alive under the new
+	// registration's name, and the ResetEstimate below would wipe the *new*
+	// deployment's admission state.
+	rt.mu.RLock()
+	cur, registered := rt.registry[m.Name]
+	if !registered || cur != m {
+		rt.mu.RUnlock()
+		// Discarded: the fresh form and its instance pool are unreferenced
+		// and collect; this handle retires from the ladder.
+		m.tier.Store(tierIdle)
+		return
+	}
 	m.swapCompiled(cm)
+	rt.mu.RUnlock()
 	m.recompileNanos.Store(int64(d))
 	m.promotions.Add(1)
 	m.tier.Store(tierPromoted)

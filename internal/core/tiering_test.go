@@ -374,6 +374,131 @@ func TestPromotionResetsAdmissionEstimate(t *testing.T) {
 	}
 }
 
+// constSrc ignores its input and answers 42 — distinguishable from sumSrc,
+// so a response proves which registration's code served it.
+const constSrc = `
+static u8 out[1];
+export i32 main() {
+	out[0] = 42;
+	sys_write(out, 1);
+	return 0;
+}
+`
+
+// compileConst builds constSrc at the runtime's full rung, ready for Replace.
+func compileConst(t *testing.T, rt *Runtime) *engine.CompiledModule {
+	t.Helper()
+	res, err := wcc.Compile(constSrc, wcc.Options{})
+	if err != nil {
+		t.Fatalf("wcc: %v", err)
+	}
+	cm, err := engine.CompileBinary(res.Binary, rt.hostReg, rt.ladder.Full)
+	if err != nil {
+		t.Fatalf("compile const: %v", err)
+	}
+	return cm
+}
+
+// TestPromoteRacingReplaceDiscardsStale pins the promote-vs-Replace identity
+// guard: a background recompile that finishes after the module has been
+// replaced must discard its result — not resurrect the retired deployment's
+// code under the new registration's name, and not wipe the new deployment's
+// admission estimate.
+func TestPromoteRacingReplaceDiscardsStale(t *testing.T) {
+	tc := TieringConfig{HotInvocations: 1 << 40, HotInstrRetired: 1 << 60}
+	rt := New(Config{Workers: 2, Tiering: &tc, Admission: &admission.Config{}})
+	t.Cleanup(func() { rt.Close() })
+	old := registerSum(t, rt, "sum")
+	invokeSum(t, rt, "sum", []byte{1, 2})
+
+	// The deployment is replaced while the old handle is still held (as the
+	// promotion controller would hold it across a recompile).
+	cm2 := compileConst(t, rt)
+	repl, err := rt.Replace("sum", cm2, "main", "")
+	if err != nil {
+		t.Fatalf("Replace: %v", err)
+	}
+	resp, err := rt.Invoke("sum", []byte{9, 9, 9})
+	if err != nil {
+		t.Fatalf("Invoke after Replace: %v", err)
+	}
+	if len(resp) != 1 || resp[0] != 42 {
+		t.Fatalf("replacement response = %v, want [42]", resp)
+	}
+	snap, _ := rt.AdmissionStats()
+	if _, ok := snap.EstimateNanos["sum"]; !ok {
+		t.Fatal("replacement has no admission estimate before the stale promote")
+	}
+
+	// Simulate the controller finishing the recompile of the stale handle.
+	old.tier.Store(tierPromoting)
+	rt.promote(old)
+
+	if got := repl.Compiled(); got != cm2 {
+		t.Fatal("stale promotion replaced the new deployment's compiled form")
+	}
+	if got := old.tier.Load(); got != tierIdle {
+		t.Fatalf("stale handle tier = %d, want tierIdle", got)
+	}
+	if got := rt.promotions.Load(); got != 0 {
+		t.Fatalf("promotions = %d, want 0 (discarded compile must not count)", got)
+	}
+	snap, _ = rt.AdmissionStats()
+	if _, ok := snap.EstimateNanos["sum"]; !ok {
+		t.Fatal("stale promotion wiped the replacement's admission estimate")
+	}
+	// The replacement keeps serving its own code.
+	resp, err = rt.Invoke("sum", []byte{1})
+	if err != nil {
+		t.Fatalf("Invoke after stale promote: %v", err)
+	}
+	if len(resp) != 1 || resp[0] != 42 {
+		t.Fatalf("post-promote response = %v, want [42]", resp)
+	}
+}
+
+// TestPromoteRacingReplaceStress interleaves forced promotion with Replace
+// on the same name from two goroutines; whichever order the -race scheduler
+// picks, the registry must end up serving the replacement's compiled form.
+func TestPromoteRacingReplaceStress(t *testing.T) {
+	tc := TieringConfig{HotInvocations: 1 << 40, HotInstrRetired: 1 << 60}
+	rt := newTieringRuntime(t, tc)
+	cm2 := compileConst(t, rt)
+	for i := 0; i < 30; i++ {
+		name := fmt.Sprintf("mod%d", i)
+		registerSum(t, rt, name)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			// May fail with "not a ladder candidate" when Replace wins the
+			// lookup race; only the registry outcome below matters.
+			_ = rt.Promote(name)
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := rt.Replace(name, cm2, "main", ""); err != nil {
+				t.Errorf("Replace(%s): %v", name, err)
+			}
+		}()
+		wg.Wait()
+		m, ok := rt.Lookup(name)
+		if !ok {
+			t.Fatalf("%s vanished from the registry", name)
+		}
+		if m.Compiled() != cm2 {
+			t.Fatalf("iter %d: registry serves the retired deployment's form", i)
+		}
+		resp, err := rt.Invoke(name, []byte{3, 4})
+		if err != nil {
+			t.Fatalf("Invoke(%s): %v", name, err)
+		}
+		if len(resp) != 1 || resp[0] != 42 {
+			t.Fatalf("iter %d: response = %v, want [42]", i, resp)
+		}
+	}
+}
+
 func TestStatsEndpointReportsTiering(t *testing.T) {
 	rt := newTieringRuntime(t, TieringConfig{
 		HotInvocations:  1 << 40,

@@ -104,6 +104,7 @@ var Registry = map[string]func(Options) ([]*Table, error){
 	"memfoot":  RunMemFootprint,
 	"cpubound": RunCPUBound,
 	"overload": RunOverload,
+	"cluster":  RunContinuum,
 	"regalloc": RunRegallocAblation,
 	"sched":    RunSchedBench,
 	"tierup":   RunTierup,
@@ -124,5 +125,5 @@ var Registry = map[string]func(Options) ([]*Table, error){
 
 // IDs lists experiment IDs in paper order.
 func IDs() []string {
-	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "overload", "regalloc", "sched", "tierup", "ablation"}
+	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "overload", "cluster", "regalloc", "sched", "tierup", "ablation"}
 }

@@ -25,10 +25,27 @@ import (
 	"sledge/internal/stats"
 )
 
+// Target is one weighted endpoint of a multi-target run.
+type Target struct {
+	// URL is the endpoint, e.g. "http://127.0.0.1:8080/ping".
+	URL string
+	// Weight is the endpoint's share of requests relative to the other
+	// targets. Non-positive weights count as 1.
+	Weight int
+}
+
 // Options configures one load run.
 type Options struct {
 	// URL is the target, e.g. "http://127.0.0.1:8080/ping".
 	URL string
+	// Targets, when non-empty, selects multi-target mode: request i goes to
+	// the endpoint a smooth weighted round-robin schedule assigns it, so
+	// load can be aimed at a cluster router (one target) or sprayed across
+	// individual nodes (the ablation baseline) with the same generator.
+	// URL is ignored when Targets is set.
+	Targets []Target
+	// sched is the expanded round-robin schedule, built once per Run.
+	sched []string
 	// Concurrency is the number of concurrent connections (ab -c).
 	Concurrency int
 	// Requests is the total request count (ab -n). In open-loop mode it
@@ -74,6 +91,9 @@ type Result struct {
 	Issued int
 	// StatusCounts tallies responses by HTTP status.
 	StatusCounts map[int]int
+	// TargetCounts tallies issued requests per endpoint (multi-target mode
+	// only; nil otherwise).
+	TargetCounts map[string]int
 	// ThroughputRPS is completed (200) requests per second of wall time.
 	ThroughputRPS float64
 	// GoodputRPS aliases ThroughputRPS for the overload experiments.
@@ -97,6 +117,11 @@ func Run(opts Options) (Result, error) {
 	}
 	if opts.Timeout == 0 {
 		opts.Timeout = 30 * time.Second
+	}
+	if len(opts.Targets) > 0 {
+		opts.sched = wrrSchedule(opts.Targets)
+	} else if opts.URL == "" {
+		return Result{}, fmt.Errorf("loadgen: no target URL")
 	}
 	idle := opts.Concurrency
 	if opts.Rate > 0 {
@@ -127,6 +152,7 @@ type collector struct {
 	mu       sync.Mutex
 	lats     []time.Duration
 	statuses map[int]int
+	targets  map[string]int
 
 	errs     atomic.Int64
 	rejected atomic.Int64
@@ -147,7 +173,17 @@ func (c *collector) do(client *http.Client, opts *Options, i int) {
 	if opts.BodyFn != nil {
 		body = opts.BodyFn(i)
 	}
-	req, err := http.NewRequest("POST", opts.URL, bytes.NewReader(body))
+	url := opts.URL
+	if len(opts.sched) > 0 {
+		url = opts.sched[i%len(opts.sched)]
+		c.mu.Lock()
+		if c.targets == nil {
+			c.targets = make(map[string]int, len(opts.Targets))
+		}
+		c.targets[url]++
+		c.mu.Unlock()
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
 	if err != nil {
 		c.fail(fmt.Errorf("request %d: %w", i, err))
 		return
@@ -202,6 +238,7 @@ func (c *collector) result(elapsed time.Duration, issued, dropped int) (Result, 
 		Dropped:      dropped,
 		Issued:       issued,
 		StatusCounts: c.statuses,
+		TargetCounts: c.targets,
 		BytesIn:      c.bytesIn.Load(),
 	}
 	if elapsed > 0 {
@@ -213,6 +250,37 @@ func (c *collector) result(elapsed time.Duration, issued, dropped int) (Result, 
 		return res, *ep
 	}
 	return res, nil
+}
+
+// wrrSchedule expands weighted targets into one smooth-round-robin cycle:
+// each target appears Weight times per cycle, interleaved (the classic
+// smooth WRR used by nginx) rather than in runs, so even short runs spread
+// load in proportion.
+func wrrSchedule(targets []Target) []string {
+	weight := func(t Target) int {
+		if t.Weight <= 0 {
+			return 1
+		}
+		return t.Weight
+	}
+	total := 0
+	for _, t := range targets {
+		total += weight(t)
+	}
+	cur := make([]int, len(targets))
+	sched := make([]string, 0, total)
+	for len(sched) < total {
+		best := -1
+		for j, t := range targets {
+			cur[j] += weight(t)
+			if best < 0 || cur[j] > cur[best] {
+				best = j
+			}
+		}
+		cur[best] -= total
+		sched = append(sched, targets[best].URL)
+	}
+	return sched
 }
 
 func runClosedLoop(opts Options, client *http.Client) (Result, error) {

@@ -179,3 +179,94 @@ func TestOpenLoopRequestBound(t *testing.T) {
 		t.Errorf("run did not stop at the request bound (%v)", res.Elapsed)
 	}
 }
+
+func TestMultiTargetWeights(t *testing.T) {
+	counts := make([]atomic.Int64, 3)
+	servers := make([]*httptest.Server, 3)
+	targets := make([]Target, 3)
+	weights := []int{3, 2, 1}
+	for i := range servers {
+		i := i
+		servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			counts[i].Add(1)
+			io.Copy(io.Discard, r.Body)
+			w.Write([]byte("ok"))
+		}))
+		defer servers[i].Close()
+		targets[i] = Target{URL: servers[i].URL, Weight: weights[i]}
+	}
+	// 60 requests over one 6-slot WRR cycle: exactly 30/20/10.
+	res, err := Run(Options{Targets: targets, Concurrency: 4, Requests: 60})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Summary.Count != 60 || res.Errors != 0 {
+		t.Fatalf("result = %+v", res.Summary)
+	}
+	for i, want := range []int64{30, 20, 10} {
+		if got := counts[i].Load(); got != want {
+			t.Errorf("target %d served %d, want %d", i, got, want)
+		}
+	}
+	if len(res.TargetCounts) != 3 {
+		t.Fatalf("TargetCounts = %v, want 3 entries", res.TargetCounts)
+	}
+	for i, want := range []int{30, 20, 10} {
+		if got := res.TargetCounts[servers[i].URL]; got != want {
+			t.Errorf("TargetCounts[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWRRScheduleInterleaves(t *testing.T) {
+	sched := wrrSchedule([]Target{{URL: "a", Weight: 3}, {URL: "b", Weight: 1}})
+	if len(sched) != 4 {
+		t.Fatalf("schedule length = %d, want 4", len(sched))
+	}
+	counts := map[string]int{}
+	for _, u := range sched {
+		counts[u]++
+	}
+	if counts["a"] != 3 || counts["b"] != 1 {
+		t.Fatalf("schedule = %v", sched)
+	}
+	// Smoothness: "a" must not occupy three consecutive slots with "b" at
+	// an end — the b slot lands mid-cycle.
+	if sched[0] == "b" || sched[3] == "b" {
+		t.Errorf("schedule %v is not interleaved", sched)
+	}
+}
+
+func TestMultiTargetOpenLoop(t *testing.T) {
+	var a, b atomic.Int64
+	srvA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		a.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer srvA.Close()
+	srvB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer srvB.Close()
+	res, err := Run(Options{
+		Targets:  []Target{{URL: srvA.URL, Weight: 1}, {URL: srvB.URL, Weight: 1}},
+		Rate:     400,
+		Duration: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Issued == 0 {
+		t.Fatal("open loop issued nothing")
+	}
+	if a.Load() == 0 || b.Load() == 0 {
+		t.Fatalf("load not spread: a=%d b=%d", a.Load(), b.Load())
+	}
+}
+
+func TestRunNoTarget(t *testing.T) {
+	if _, err := Run(Options{Requests: 1}); err == nil {
+		t.Fatal("Run with no URL and no targets succeeded")
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+// Window is a concurrent sliding window over the most recent duration
+// samples, with nearest-rank quantiles computed on demand. The cluster
+// router keeps one per module to track recent end-to-end latency and decide
+// when a request has blown its p99 budget and deserves a hedged dispatch;
+// it is equally usable anywhere a recent-tail estimate is needed without
+// retaining the full series.
+//
+// Observe is O(1); Quantile sorts a scratch copy of the occupied window
+// (O(n log n)) but reuses its buffers, so neither path allocates after the
+// window's first fill.
+
+import (
+	"math"
+	"slices"
+	"sync"
+	"time"
+)
+
+// DefaultWindowSize is the sample capacity used when NewWindow is given a
+// non-positive size. 512 samples keeps the p99 estimate meaningful (≥ 5
+// samples above the quantile) while bounding sort cost and staleness.
+const DefaultWindowSize = 512
+
+// Window retains the last size duration samples in a ring.
+type Window struct {
+	mu      sync.Mutex
+	buf     []int64 // ring storage, nanoseconds
+	scratch []int64 // reused sort buffer, same capacity
+	next    int     // ring write cursor
+	filled  int     // occupied slots, ≤ len(buf)
+}
+
+// NewWindow returns a window retaining the last size samples.
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		size = DefaultWindowSize
+	}
+	return &Window{
+		buf:     make([]int64, size),
+		scratch: make([]int64, 0, size),
+	}
+}
+
+// Observe records one sample, evicting the oldest once the window is full.
+func (w *Window) Observe(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = int64(d)
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+	}
+	if w.filled < len(w.buf) {
+		w.filled++
+	}
+	w.mu.Unlock()
+}
+
+// Count reports how many samples the window currently holds.
+func (w *Window) Count() int {
+	w.mu.Lock()
+	n := w.filled
+	w.mu.Unlock()
+	return n
+}
+
+// Quantile returns the q-quantile (0..1, nearest rank) of the samples
+// currently in the window, or 0 when the window is empty.
+func (w *Window) Quantile(q float64) time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.filled == 0 {
+		return 0
+	}
+	w.scratch = append(w.scratch[:0], w.buf[:w.filled]...)
+	s := w.scratch
+	slices.Sort(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return time.Duration(s[idx])
+}

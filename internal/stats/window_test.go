@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowQuantile(t *testing.T) {
+	w := NewWindow(100)
+	if got := w.Quantile(0.99); got != 0 {
+		t.Fatalf("empty window p99 = %v, want 0", got)
+	}
+	for i := 1; i <= 100; i++ {
+		w.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := w.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := w.Quantile(0.50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := w.Quantile(0.99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", got)
+	}
+	if got := w.Quantile(1.0); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", got)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(4)
+	for i := 1; i <= 4; i++ {
+		w.Observe(time.Duration(i) * time.Second)
+	}
+	// Overwrite the whole window with small samples; old seconds must be gone.
+	for i := 0; i < 4; i++ {
+		w.Observe(time.Millisecond)
+	}
+	if got := w.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	if got := w.Quantile(1.0); got != time.Millisecond {
+		t.Errorf("max after eviction = %v, want 1ms", got)
+	}
+}
+
+func TestWindowDefaultSize(t *testing.T) {
+	w := NewWindow(0)
+	for i := 0; i < DefaultWindowSize+10; i++ {
+		w.Observe(time.Microsecond)
+	}
+	if got := w.Count(); got != DefaultWindowSize {
+		t.Fatalf("count = %d, want %d", got, DefaultWindowSize)
+	}
+}
+
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w.Observe(time.Duration(seed*1000+i) * time.Nanosecond)
+				if i%50 == 0 {
+					w.Quantile(0.99)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.Count(); got != 64 {
+		t.Fatalf("count = %d, want 64", got)
+	}
+	if w.Quantile(0.5) <= 0 {
+		t.Error("p50 after concurrent fill should be positive")
+	}
+}
+
+func TestWindowNoAllocAfterFill(t *testing.T) {
+	w := NewWindow(128)
+	for i := 0; i < 128; i++ {
+		w.Observe(time.Duration(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		w.Observe(time.Microsecond)
+		w.Quantile(0.99)
+	})
+	if allocs != 0 {
+		t.Errorf("allocs per Observe+Quantile = %v, want 0", allocs)
+	}
+}

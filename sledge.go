@@ -28,6 +28,7 @@ package sledge
 import (
 	"sledge/internal/abi"
 	"sledge/internal/admission"
+	"sledge/internal/cluster"
 	"sledge/internal/core"
 	"sledge/internal/engine"
 	"sledge/internal/sched"
@@ -138,6 +139,39 @@ type (
 	// with a Retry-After hint).
 	AdmissionRejection = admission.Rejection
 )
+
+// Cluster tier (internal/cluster): a router front end that federates N
+// runtimes as edge/cloud nodes with injected link latencies, places each
+// request by link latency + modeled queue wait + service estimate, and
+// offloads admission rejections to the next-best peer within the deadline
+// instead of shedding (with hedged dispatch past the p99 budget). Serve it
+// like a runtime: NewCluster(...), Register nodes, then Serve/Drain.
+type (
+	// ClusterRouter is the federated front tier over registered nodes.
+	ClusterRouter = cluster.Router
+	// ClusterConfig configures routing: poll interval, default deadline
+	// and estimate, hedging thresholds.
+	ClusterConfig = cluster.Config
+	// ClusterNodeConfig declares one node: name, class, link latency, and
+	// the member runtime.
+	ClusterNodeConfig = cluster.NodeConfig
+	// NodeClass labels a node's position on the continuum.
+	NodeClass = cluster.Class
+	// ClusterSnapshot is the router's accounting view (/__cluster).
+	ClusterSnapshot = cluster.Snapshot
+)
+
+// Node classes.
+const (
+	ClassEdge  = cluster.ClassEdge
+	ClassCloud = cluster.ClassCloud
+)
+
+// NewCluster starts a cluster router with no nodes registered.
+func NewCluster(cfg ClusterConfig) *ClusterRouter { return cluster.New(cfg) }
+
+// ParseNodeClass parses "edge" (or "") and "cloud".
+func ParseNodeClass(s string) (NodeClass, error) { return cluster.ParseClass(s) }
 
 // Storage backends for the serverless ABI's kv interface.
 type (
