@@ -1,18 +1,21 @@
 GO ?= go
 
-.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke test bench bench-regalloc bench-sched bench-tierup bench-cluster
+.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke meter-smoke test bench bench-regalloc bench-sched bench-tierup bench-cluster bench-meter
 
 # check is the pre-merge gate: static analysis (go vet plus the project
-# analyzers: noalloc hot-path enforcement, mutex-copy and lock-ordering), a
+# analyzers: noalloc hot-path enforcement, mutex-copy and lock-ordering,
+# atomicfield mixed atomic/plain access detection), a
 # full build, the race detector over the concurrency-sensitive packages
 # (recycling, scheduler, admission control, HTTP drain), a short
 # churn-benchmark smoke run (allocs/op regressions show up immediately in
 # its -benchmem output), an overload smoke run (admission at 2x capacity
 # must shed cleanly: admitted error rate < 1%), a scheduler scale-out smoke
-# run (every workers x distribution cell completes its closed loop), and a
-# 30s differential fuzz of the check-elision pipeline (every bounds
-# strategy with elision on/off must produce identical results and traps).
-check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke fuzz-smoke
+# run (every workers x distribution cell completes its closed loop), a
+# metering smoke run (block-metered and per-instruction runs charge
+# bit-identical gas under preemptive slicing), and a 30s differential fuzz
+# of the check-elision pipeline (every bounds strategy with elision on/off,
+# in both metering modes, must produce identical results, traps, and gas).
+check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke meter-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -76,6 +79,17 @@ cluster-smoke:
 
 bench-cluster:
 	$(GO) run ./cmd/sledge-bench -run cluster -snapshot BENCH_cluster.json
+
+# meter-smoke runs the basic-block fuel-metering ablation at quick sizes
+# (both metering modes complete every kernel under preemptive slicing with
+# bit-identical gas); the acceptance-grade number (PolyBench geomean
+# speedup > 1.0 over the per-instruction oracle) comes from
+# `make bench-meter`, which regenerates BENCH_meter.json at full sizes.
+meter-smoke:
+	$(GO) test -run=TestMeterSmoke -count=1 ./internal/experiments/
+
+bench-meter:
+	$(GO) run ./cmd/sledge-bench -run meter -snapshot BENCH_meter.json
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDifferentialElision -fuzztime=30s ./internal/engine/

@@ -88,7 +88,7 @@ func main() {
 	}
 	os.Stdout.Write(ctx.Response)
 	if v, err := inst.Result(); err == nil {
-		fmt.Fprintf(os.Stderr, "result: %d (0x%x), %d instructions retired\n", v, v, inst.InstrRetired)
+		fmt.Fprintf(os.Stderr, "result: %d (0x%x), %d gas\n", v, v, inst.Gas)
 	}
 }
 

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"testing"
+
+	"sledge/internal/wasm"
+)
+
+func costModule(body []wasm.Instr) *wasm.Module {
+	m := wasm.NewModule()
+	m.Types = []wasm.FuncType{{}}
+	m.Funcs = []wasm.Func{{TypeIdx: 0, Body: body}}
+	return m
+}
+
+func TestCostStraightLine(t *testing.T) {
+	// Three weight-1 instructions and no control flow: one region anchored
+	// at index 0 carrying the whole body's cost.
+	body := []wasm.Instr{
+		{Op: wasm.OpNop},
+		{Op: wasm.OpNop},
+		{Op: wasm.OpNop},
+	}
+	fc := AnalyzeCost(costModule(body), CostParams{}).Funcs[0]
+	if fc.Points != 1 || fc.Charges[0] != 3 || fc.Total != 3 {
+		t.Fatalf("straight line: points=%d charges=%v total=%d, want one charge of 3 at 0",
+			fc.Points, fc.Charges, fc.Total)
+	}
+}
+
+func TestCostLoopHeaderAnchor(t *testing.T) {
+	// loop ... br 0 end: the back-edge target (loop index + 1) must anchor
+	// a positive charge so every iteration pays gas.
+	body := []wasm.Instr{
+		{Op: wasm.OpLoop, Imm: uint64(wasm.BlockTypeEmpty)}, // 0
+		{Op: wasm.OpNop},        // 1  <- back-edge anchor
+		{Op: wasm.OpBr, Imm: 0}, // 2
+		{Op: wasm.OpEnd},        // 3 (dead until here, revives after)
+	}
+	fc := AnalyzeCost(costModule(body), CostParams{}).Funcs[0]
+	if fc.Charges[0] != 1 {
+		t.Errorf("loop fall-in charge = %d, want 1 (the loop opcode itself)", fc.Charges[0])
+	}
+	if fc.Charges[1] != 2 {
+		t.Errorf("loop header charge = %d, want 2 (nop + br)", fc.Charges[1])
+	}
+	if fc.Charges[2] != 0 || fc.Charges[3] != 0 {
+		t.Errorf("unexpected charges inside/after the region: %v", fc.Charges)
+	}
+}
+
+func TestCostDeadCodeUncharged(t *testing.T) {
+	// Instructions after a terminal br are dead in the lowerer and must be
+	// dead here too — any charge there would desynchronize the tiers.
+	body := []wasm.Instr{
+		{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)}, // 0
+		{Op: wasm.OpBr, Imm: 0},                              // 1
+		{Op: wasm.OpNop},                                     // 2 dead
+		{Op: wasm.OpNop},                                     // 3 dead
+		{Op: wasm.OpEnd},                                     // 4 revive after
+		{Op: wasm.OpNop},                                     // 5
+	}
+	fc := AnalyzeCost(costModule(body), CostParams{}).Funcs[0]
+	if fc.Charges[2] != 0 || fc.Charges[3] != 0 || fc.Charges[4] != 0 {
+		t.Errorf("dead region charged: %v", fc.Charges)
+	}
+	if fc.Charges[0] != 2 {
+		t.Errorf("entry charge = %d, want 2 (block + br)", fc.Charges[0])
+	}
+	if fc.Charges[5] != 1 {
+		t.Errorf("post-end revival charge = %d, want 1", fc.Charges[5])
+	}
+	if fc.Total != 3 {
+		t.Errorf("total = %d, want 3 (dead nops excluded)", fc.Total)
+	}
+}
+
+func TestCostIfElseArms(t *testing.T) {
+	// Each arm of an if/else is its own region; the condition's region ends
+	// at the if.
+	body := []wasm.Instr{
+		{Op: wasm.OpI32Const, Imm: 1},                     // 0
+		{Op: wasm.OpIf, Imm: uint64(wasm.BlockTypeEmpty)}, // 1
+		{Op: wasm.OpNop},                                  // 2 then arm
+		{Op: wasm.OpElse},                                 // 3
+		{Op: wasm.OpNop},                                  // 4 else arm
+		{Op: wasm.OpNop},                                  // 5
+		{Op: wasm.OpEnd},                                  // 6
+		{Op: wasm.OpNop},                                  // 7 merge
+	}
+	fc := AnalyzeCost(costModule(body), CostParams{}).Funcs[0]
+	if fc.Charges[0] != 2 {
+		t.Errorf("condition region = %d, want 2 (const + if)", fc.Charges[0])
+	}
+	if fc.Charges[2] != 2 {
+		t.Errorf("then arm = %d, want 2 (nop + else)", fc.Charges[2])
+	}
+	if fc.Charges[4] != 3 {
+		t.Errorf("else arm = %d, want 3 (nop + nop + end)", fc.Charges[4])
+	}
+	if fc.Charges[7] != 1 {
+		t.Errorf("merge region = %d, want 1", fc.Charges[7])
+	}
+}
+
+func TestCostMaxUnchargedSplit(t *testing.T) {
+	// A straight-line run longer than the bound must be split, and no
+	// single charge may exceed the bound (all weights here are 1).
+	body := make([]wasm.Instr, 40)
+	for i := range body {
+		body[i] = wasm.Instr{Op: wasm.OpNop}
+	}
+	fc := AnalyzeCost(costModule(body), CostParams{MaxUncharged: 16}).Funcs[0]
+	if fc.MaxCharge > 16 {
+		t.Errorf("MaxCharge = %d exceeds bound 16", fc.MaxCharge)
+	}
+	if fc.Total != 40 {
+		t.Errorf("splitting changed the path total: %d, want 40", fc.Total)
+	}
+	if fc.Points < 3 {
+		t.Errorf("expected >= 3 regions after splitting 40/16, got %d", fc.Points)
+	}
+}
+
+func TestCostSplitBoundAllowsHeavyOps(t *testing.T) {
+	// A single instruction heavier than the bound still gets a region of
+	// its own weight — the bound limits accumulation, not single weights.
+	body := []wasm.Instr{
+		{Op: wasm.OpI32Const, Imm: 1},
+		{Op: wasm.OpMemoryGrow}, // weight 32 > bound 8
+		{Op: wasm.OpDrop},
+	}
+	m := costModule(body)
+	m.Memories = []wasm.Limits{{Min: 1}}
+	fc := AnalyzeCost(m, CostParams{MaxUncharged: 8}).Funcs[0]
+	if fc.Total != Weight(wasm.OpI32Const)+Weight(wasm.OpMemoryGrow)+Weight(wasm.OpDrop) {
+		t.Errorf("total = %d, want full weight sum", fc.Total)
+	}
+	if fc.MaxCharge < uint32(Weight(wasm.OpMemoryGrow)) {
+		t.Errorf("heavy op not charged: max = %d", fc.MaxCharge)
+	}
+}
+
+func TestCostEveryCycleCharged(t *testing.T) {
+	// Every loop header anchor must carry a positive charge: this is the
+	// termination argument for fuel under block metering (no uncharged
+	// cycles). Nested loops included.
+	body := []wasm.Instr{
+		{Op: wasm.OpLoop, Imm: uint64(wasm.BlockTypeEmpty)}, // 0
+		{Op: wasm.OpLoop, Imm: uint64(wasm.BlockTypeEmpty)}, // 1
+		{Op: wasm.OpI32Const, Imm: 0},                       // 2 inner header
+		{Op: wasm.OpBrIf, Imm: 0},                           // 3
+		{Op: wasm.OpI32Const, Imm: 0},                       // 4
+		{Op: wasm.OpBrIf, Imm: 1},                           // 5
+		{Op: wasm.OpEnd},                                    // 6
+		{Op: wasm.OpEnd},                                    // 7
+	}
+	fc := AnalyzeCost(costModule(body), CostParams{}).Funcs[0]
+	// Outer back-edge target is index 1 (the inner loop opcode), inner
+	// back-edge target is index 2.
+	if fc.Charges[1] == 0 {
+		t.Errorf("outer loop header uncharged: %v", fc.Charges)
+	}
+	if fc.Charges[2] == 0 {
+		t.Errorf("inner loop header uncharged: %v", fc.Charges)
+	}
+}
+
+func TestWeightFloor(t *testing.T) {
+	// Every opcode the validator can pass must weigh at least 1; a
+	// zero-weight op inside a loop would make an uncharged cycle.
+	for op := wasm.Opcode(0); op < 0xC0; op++ {
+		if Weight(op) == 0 {
+			t.Errorf("Weight(%#x) = 0", byte(op))
+		}
+	}
+}

@@ -215,10 +215,10 @@ func TestRateLimitNotOffloaded(t *testing.T) {
 // TestStickyWarmRouting: with otherwise equal nodes, the one already
 // serving a module's promoted form wins placement.
 func TestStickyWarmRouting(t *testing.T) {
-	tcWarm := core.TieringConfig{HotInvocations: 1 << 40, HotInstrRetired: 1 << 60}
+	tcWarm := core.TieringConfig{HotInvocations: 1 << 40, HotGas: 1 << 60}
 	warm := core.New(core.Config{Workers: 1, Tiering: &tcWarm})
 	t.Cleanup(func() { warm.Close() })
-	tcCold := core.TieringConfig{HotInvocations: 1 << 40, HotInstrRetired: 1 << 60}
+	tcCold := core.TieringConfig{HotInvocations: 1 << 40, HotGas: 1 << 60}
 	cold := core.New(core.Config{Workers: 1, Tiering: &tcCold})
 	t.Cleanup(func() { cold.Close() })
 	const src = `

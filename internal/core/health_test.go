@@ -13,7 +13,7 @@ import (
 )
 
 func TestHealthSnapshotFields(t *testing.T) {
-	tc := TieringConfig{HotInvocations: 1 << 40, HotInstrRetired: 1 << 60}
+	tc := TieringConfig{HotInvocations: 1 << 40, HotGas: 1 << 60}
 	rt := New(Config{Workers: 2, Tiering: &tc, Admission: &admission.Config{}})
 	t.Cleanup(func() { rt.Close() })
 	registerSum(t, rt, "sum")

@@ -83,9 +83,11 @@ type ModuleStats struct {
 	Invocations uint64        `json:"invocations"`
 	Failures    uint64        `json:"failures"`
 	MeanLatency time.Duration `json:"mean_latency_ns"`
-	// InstrRetired is the module's cumulative retired instruction count,
-	// the compute half of the tier-promotion hotness profile.
-	InstrRetired uint64 `json:"instr_retired"`
+	// Gas is the module's cumulative deterministic execution cost
+	// (static charge-point gas, identical across engine tiers), the
+	// compute half of the tier-promotion hotness profile and the basis
+	// for per-tenant accounting.
+	Gas uint64 `json:"gas"`
 	// Tier labels the rung of the tier ladder the installed compiled form
 	// sits on ("naive", "cheap", "full"); Promotions counts background
 	// tier-up swaps and LastRecompile is the wall time of the most recent
@@ -109,7 +111,7 @@ func (m *Module) Stats() ModuleStats {
 	st := ModuleStats{
 		Invocations:   m.invocations.Load(),
 		Failures:      m.failures.Load(),
-		InstrRetired:  m.prof.instrRetired.Load(),
+		Gas:           m.prof.gas.Load(),
 		Tier:          cm.TierLabel(),
 		Promotions:    m.promotions.Load(),
 		LastRecompile: time.Duration(m.recompileNanos.Load()),
@@ -143,13 +145,13 @@ func (m *Module) seedLatency() time.Duration {
 // hotness profile; it sits on the steady-state invoke path.
 //
 //sledge:noalloc
-func (m *Module) recordCompletion(lat time.Duration, instr uint64) {
+func (m *Module) recordCompletion(lat time.Duration, gas uint64) {
 	m.invocations.Add(1)
 	m.totalNanos.Add(int64(lat))
 	m.epochInvocations.Add(1)
 	m.epochNanos.Add(int64(lat))
 	m.prof.invocations.Add(1)
-	m.prof.instrRetired.Add(instr)
+	m.prof.gas.Add(gas)
 }
 
 // DeadlineHeader is the request header carrying a per-request deadline in
@@ -535,7 +537,7 @@ func (rt *Runtime) run(m *Module, req []byte) (out []byte, lat time.Duration, ou
 		<-sb.Done()
 	}
 	lat = sb.Latency()
-	m.recordCompletion(lat, sb.InstrRetired())
+	m.recordCompletion(lat, sb.Gas())
 	if sb.State() == sandbox.StateTrapped {
 		m.failures.Add(1)
 		err := fmt.Errorf("core: %s: %w", m.Name, sb.Err)

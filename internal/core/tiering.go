@@ -72,10 +72,12 @@ type TieringConfig struct {
 	// HotInvocations promotes a module once its completed-invocation count
 	// reaches this threshold. Default 64.
 	HotInvocations uint64
-	// HotInstrRetired promotes a module once its cumulative retired
-	// instruction count reaches this threshold, so a module invoked rarely
-	// but burning real CPU still tiers up. Default 16Mi instructions.
-	HotInstrRetired uint64
+	// HotGas promotes a module once its cumulative gas (deterministic
+	// charge-point execution cost) reaches this threshold, so a module
+	// invoked rarely but burning real CPU still tiers up. Gas is identical
+	// across the ladder's rungs, so the hotness signal does not shift when
+	// a module is promoted. Default 16Mi gas.
+	HotGas uint64
 	// Interval is the promotion controller's scan period. Default 25ms.
 	Interval time.Duration
 	// MaxConcurrent caps recompilations in flight so tier-up compilation
@@ -94,8 +96,8 @@ func (c TieringConfig) withDefaults() TieringConfig {
 	if c.HotInvocations == 0 {
 		c.HotInvocations = 64
 	}
-	if c.HotInstrRetired == 0 {
-		c.HotInstrRetired = 16 << 20
+	if c.HotGas == 0 {
+		c.HotGas = 16 << 20
 	}
 	if c.Interval <= 0 {
 		c.Interval = 25 * time.Millisecond
@@ -107,16 +109,15 @@ func (c TieringConfig) withDefaults() TieringConfig {
 }
 
 // profile is the per-module hotness profile: invocation count and
-// cumulative retired instructions, bumped on the completion path of every
-// request. The counters are padded onto their own cache line so the
-// write-hot atomics do not false-share with the module's read-mostly fields
-// (the compiled-module pointer, name, entry) that every concurrent invoke
-// loads.
+// cumulative gas, bumped on the completion path of every request. The
+// counters are padded onto their own cache line so the write-hot atomics do
+// not false-share with the module's read-mostly fields (the compiled-module
+// pointer, name, entry) that every concurrent invoke loads.
 type profile struct {
-	_            [64]byte
-	invocations  atomic.Uint64
-	instrRetired atomic.Uint64
-	_            [48]byte
+	_           [64]byte
+	invocations atomic.Uint64
+	gas         atomic.Uint64
+	_           [48]byte
 }
 
 // Module promotion states (Module.tier). The machine is one-way — once a
@@ -196,7 +197,7 @@ func (rt *Runtime) promoteLoop() {
 func (rt *Runtime) scanModule(m *Module, sem chan struct{}, wg *sync.WaitGroup) {
 	inv := m.prof.invocations.Load()
 	hot := inv >= rt.tiering.HotInvocations ||
-		m.prof.instrRetired.Load() >= rt.tiering.HotInstrRetired
+		m.prof.gas.Load() >= rt.tiering.HotGas
 	switch m.tier.Load() {
 	case tierCheap:
 		if hot {

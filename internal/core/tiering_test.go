@@ -81,7 +81,7 @@ func TestAdaptiveRegistersCheapTier(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			// Huge thresholds: no promotion can fire during the test.
 			tc.cfg.HotInvocations = 1 << 40
-			tc.cfg.HotInstrRetired = 1 << 60
+			tc.cfg.HotGas = 1 << 60
 			rt := newTieringRuntime(t, tc.cfg)
 			m := registerSum(t, rt, "sum")
 			if got := m.Stats().Tier; got != tc.tier {
@@ -156,8 +156,8 @@ wait:
 
 func TestForcedPromote(t *testing.T) {
 	rt := newTieringRuntime(t, TieringConfig{
-		HotInvocations:  1 << 40,
-		HotInstrRetired: 1 << 60,
+		HotInvocations: 1 << 40,
+		HotGas:         1 << 60,
 	})
 	m := registerSum(t, rt, "sum")
 	invokeSum(t, rt, "sum", []byte{7})
@@ -273,8 +273,8 @@ func TestColdModuleNeverPromoted(t *testing.T) {
 // the proof that swapCompiled's atomic-pointer protocol publishes safely.
 func TestSwapStressBitIdentical(t *testing.T) {
 	rt := newTieringRuntime(t, TieringConfig{
-		HotInvocations:  1 << 40,
-		HotInstrRetired: 1 << 60,
+		HotInvocations: 1 << 40,
+		HotGas:         1 << 60,
 	})
 	m := registerSum(t, rt, "sum")
 	cheap := m.Compiled()
@@ -345,7 +345,7 @@ func TestSwapStressBitIdentical(t *testing.T) {
 // the generation-guard tests in internal/admission: after a tier swap the
 // controller must not admit against the cheap rung's EWMA.
 func TestPromotionResetsAdmissionEstimate(t *testing.T) {
-	tc := TieringConfig{HotInvocations: 1 << 40, HotInstrRetired: 1 << 60}
+	tc := TieringConfig{HotInvocations: 1 << 40, HotGas: 1 << 60}
 	rt := New(Config{Workers: 2, Tiering: &tc, Admission: &admission.Config{}})
 	t.Cleanup(func() { rt.Close() })
 	registerSum(t, rt, "sum")
@@ -405,7 +405,7 @@ func compileConst(t *testing.T, rt *Runtime) *engine.CompiledModule {
 // code under the new registration's name, and not wipe the new deployment's
 // admission estimate.
 func TestPromoteRacingReplaceDiscardsStale(t *testing.T) {
-	tc := TieringConfig{HotInvocations: 1 << 40, HotInstrRetired: 1 << 60}
+	tc := TieringConfig{HotInvocations: 1 << 40, HotGas: 1 << 60}
 	rt := New(Config{Workers: 2, Tiering: &tc, Admission: &admission.Config{}})
 	t.Cleanup(func() { rt.Close() })
 	old := registerSum(t, rt, "sum")
@@ -461,7 +461,7 @@ func TestPromoteRacingReplaceDiscardsStale(t *testing.T) {
 // on the same name from two goroutines; whichever order the -race scheduler
 // picks, the registry must end up serving the replacement's compiled form.
 func TestPromoteRacingReplaceStress(t *testing.T) {
-	tc := TieringConfig{HotInvocations: 1 << 40, HotInstrRetired: 1 << 60}
+	tc := TieringConfig{HotInvocations: 1 << 40, HotGas: 1 << 60}
 	rt := newTieringRuntime(t, tc)
 	cm2 := compileConst(t, rt)
 	for i := 0; i < 30; i++ {
@@ -501,8 +501,8 @@ func TestPromoteRacingReplaceStress(t *testing.T) {
 
 func TestStatsEndpointReportsTiering(t *testing.T) {
 	rt := newTieringRuntime(t, TieringConfig{
-		HotInvocations:  1 << 40,
-		HotInstrRetired: 1 << 60,
+		HotInvocations: 1 << 40,
+		HotGas:         1 << 60,
 	})
 	registerSum(t, rt, "sum")
 	invokeSum(t, rt, "sum", []byte{5, 6})
@@ -545,7 +545,63 @@ func TestStatsEndpointReportsTiering(t *testing.T) {
 	if ms.LastRecompile <= 0 {
 		t.Errorf("per-module last_recompile_ns = %d, want > 0", ms.LastRecompile)
 	}
-	if ms.InstrRetired == 0 {
-		t.Errorf("per-module instr_retired = 0, want > 0")
+	if ms.Gas == 0 {
+		t.Errorf("per-module gas = 0, want > 0")
+	}
+}
+
+// TestPromotionGasContinuity pins the cross-tier gas contract at the tiering
+// layer: the same request charges bit-identical gas on the cheap rung and on
+// the full rung (gas is a function of the source path, not the installed
+// compiled form), and the atomic module swap neither loses nor double-counts
+// hotness gas — the profile's total is always the sum of per-request charges.
+func TestPromotionGasContinuity(t *testing.T) {
+	for _, mode := range []struct {
+		name       string
+		naiveStart bool
+	}{
+		{"cheap-optimized", false},
+		{"cheap-naive", true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			rt := newTieringRuntime(t, TieringConfig{
+				HotInvocations: 1 << 40,
+				HotGas:         1 << 60,
+				NaiveStart:     mode.naiveStart,
+			})
+			m := registerSum(t, rt, "sum")
+			payload := []byte{11, 22, 33, 44, 55}
+
+			invokeSum(t, rt, "sum", payload)
+			gasCheap := m.Stats().Gas
+			if gasCheap == 0 {
+				t.Fatal("cheap-rung invocation charged no gas")
+			}
+			// A second identical request on the same rung charges the same
+			// amount (sanity on the per-request delta).
+			invokeSum(t, rt, "sum", payload)
+			if got := m.Stats().Gas; got != 2*gasCheap {
+				t.Fatalf("second cheap invocation: profile gas %d, want %d", got, 2*gasCheap)
+			}
+
+			before := m.Stats().Gas
+			if err := rt.Promote("sum"); err != nil {
+				t.Fatalf("Promote: %v", err)
+			}
+			if got := m.Stats().Tier; got != engine.TierLabelFull {
+				t.Fatalf("tier after promote = %q", got)
+			}
+			// The swap itself must not touch the hotness profile.
+			if got := m.Stats().Gas; got != before {
+				t.Fatalf("promotion changed profile gas: %d -> %d", before, got)
+			}
+
+			invokeSum(t, rt, "sum", payload)
+			gasFull := m.Stats().Gas - before
+			if gasFull != gasCheap {
+				t.Fatalf("gas discontinuity across promotion: cheap rung charged %d, full rung charged %d",
+					gasCheap, gasFull)
+			}
+		})
 	}
 }

@@ -8,13 +8,16 @@ import (
 )
 
 // calKey identifies one execution configuration for fuel calibration. Only
-// the dimensions that change interpretation throughput participate: the tier
-// and the IR form. Bounds strategies differ by a few percent on memory-heavy
-// code but share the dispatch loop, so they are not split (the quantum is a
-// preemption bound, not an accounting unit).
+// the dimensions that change gas throughput participate: the tier, the IR
+// form, and the metering mode (block-metered loops execute more gas per
+// wall-millisecond than the per-dispatch-checked ablation). Bounds
+// strategies differ by a few percent on memory-heavy code but share the
+// dispatch loop, so they are not split (the quantum is a preemption bound,
+// not an accounting unit).
 type calKey struct {
-	tier       Tier
-	noRegalloc bool
+	tier         Tier
+	noRegalloc   bool
+	noBlockMeter bool
 }
 
 var (
@@ -22,19 +25,19 @@ var (
 	calRates = make(map[calKey]int64)
 )
 
-// CalibrateFuelRateFor measures the interpretation throughput of cfg's
-// execution configuration in instructions per millisecond. The scheduler
-// multiplies this by its quantum to convert the paper's time-slice (5 ms)
-// into deterministic fuel. The rate is a property of the execution
-// configuration: register-form IR retires fewer, heavier instructions for
-// the same work than the stack-form loop (fusion collapses multi-dispatch
-// sequences), and the naive tier is an order of magnitude slower than
-// either — so converting one shared rate through the quantum would hand
-// different configurations materially different wall-clock slices. Each
-// (tier, IR) pair is measured separately and cached for the process
-// lifetime.
+// CalibrateFuelRateFor measures the gas throughput of cfg's execution
+// configuration in gas per millisecond. The scheduler multiplies this by
+// its quantum to convert the paper's time-slice (5 ms) into deterministic
+// fuel (fuel and gas share units: one fuel pays one gas of static charge).
+// The rate is a property of the execution configuration: register-form IR
+// executes the same source gas in less wall time than the stack-form loop,
+// and the naive tier is an order of magnitude slower than either — so
+// converting one shared rate through the quantum would hand different
+// configurations materially different wall-clock slices. Each
+// (tier, IR, metering mode) triple is measured separately and cached for
+// the process lifetime.
 func CalibrateFuelRateFor(cfg Config) int64 {
-	key := calKey{tier: cfg.Tier, noRegalloc: cfg.NoRegalloc}
+	key := calKey{tier: cfg.Tier, noRegalloc: cfg.NoRegalloc, noBlockMeter: cfg.NoBlockMeter}
 	if key.tier == 0 {
 		key.tier = TierOptimized
 	}
@@ -46,7 +49,7 @@ func CalibrateFuelRateFor(cfg Config) int64 {
 	if rate, ok := calRates[key]; ok {
 		return rate
 	}
-	rate := measureFuelRate(Config{Tier: key.tier, NoRegalloc: key.noRegalloc})
+	rate := measureFuelRate(Config{Tier: key.tier, NoRegalloc: key.noRegalloc, NoBlockMeter: key.noBlockMeter})
 	calRates[key] = rate
 	return rate
 }
@@ -90,7 +93,7 @@ func measureFuelRate(cfg Config) int64 {
 	m.Exports = []wasm.Export{{Name: "spin", Kind: wasm.ExternFunc, Index: 0}}
 	cm, err := Compile(m, nil, cfg)
 	if err != nil {
-		return 50_000 // conservative fallback: 50M instr/s
+		return 50_000 // conservative fallback: 50M gas/s
 	}
 	const iters = 200_000
 	in := cm.Instantiate()
@@ -102,7 +105,7 @@ func measureFuelRate(cfg Config) int64 {
 	if elapsed <= 0 {
 		return 50_000
 	}
-	perMS := int64(float64(in.InstrRetired) / (float64(elapsed) / float64(time.Millisecond)))
+	perMS := int64(float64(in.Gas) / (float64(elapsed) / float64(time.Millisecond)))
 	if perMS < 1000 {
 		perMS = 1000
 	}

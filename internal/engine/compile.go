@@ -12,11 +12,11 @@ import (
 // jumps carrying their stack-adjustment metadata, dead code is dropped, and
 // memory accesses are specialized for the configured bounds strategy.
 type lowerer struct {
-	m      *wasm.Module
-	f      *wasm.Func
-	cfg    Config
-	cm     *CompiledModule
-	cf     *compiledFunc
+	m   *wasm.Module
+	f   *wasm.Func
+	cfg Config
+	cm  *CompiledModule
+	cf  *compiledFunc
 	// facts are the static-analysis results consulted for check elision
 	// and devirtualization (nil when analysis is disabled); fnIdx/idx
 	// locate the current instruction in the facts' (defined function,
@@ -59,7 +59,7 @@ type lframe struct {
 	elsePatch int         // code index of the iBrIfNot for an if; -1 otherwise
 }
 
-func lowerFunc(m *wasm.Module, f *wasm.Func, cfg Config, cm *CompiledModule, cf *compiledFunc, facts *analysis.Facts, fnIdx int) error {
+func lowerFunc(m *wasm.Module, f *wasm.Func, cfg Config, cm *CompiledModule, cf *compiledFunc, facts *analysis.Facts, charges []uint32, fnIdx int) error {
 	lo := &lowerer{m: m, f: f, cfg: cfg, cm: cm, cf: cf, facts: facts, fnIdx: fnIdx}
 	// Lowering emits at most about one cinstr per body instruction (fusion
 	// shrinks, software bounds checks add a few); sizing the buffer up
@@ -69,6 +69,15 @@ func lowerFunc(m *wasm.Module, f *wasm.Func, cfg Config, cm *CompiledModule, cf 
 	lo.frames = append(lo.frames, lframe{kind: wasm.OpBlock, arity: cf.numResults, elsePatch: -1})
 	for i, in := range f.Body {
 		lo.idx = i
+		// Gas charge points land immediately before the lowered form of
+		// their anchor instruction — exactly where loop startPC and
+		// else/end patches resolve to, so every entry into the region
+		// (fall-through or branch) pays the charge. The cost pass mirrors
+		// the lowerer's dead-state machine, so charges in dead regions are
+		// zero; the guard keeps the invariant explicit.
+		if !lo.dead && charges[i] != 0 {
+			lo.emit(cinstr{op: iGasCharge, imm: uint64(charges[i])})
+		}
 		if err := lo.step(in); err != nil {
 			return fmt.Errorf("instr %d (%s): %w", i, in, err)
 		}

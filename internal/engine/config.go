@@ -119,6 +119,19 @@ type Config struct {
 	// push/pop hot loop. Used by the regalloc ablation benchmark and the
 	// differential fuzzer; the naive tier never runs the pass.
 	NoRegalloc bool
+	// NoBlockMeter disables basic-block fuel metering and restores the
+	// per-instruction `steps--` check at every dispatch. Gas is still
+	// accumulated at charge points (so reported gas stays bit-identical to
+	// the block-metered engines); only the fuel-consumption granularity
+	// changes. Used as the metering ablation and as the conformance oracle
+	// in the differential fuzzer.
+	NoBlockMeter bool
+	// MaxUncharged bounds the static cost of a single charge region (see
+	// internal/analysis.AnalyzeCost): straight-line runs costing more are
+	// split so preemption latency at charge-point granularity stays
+	// bounded. 0 uses DefaultMaxUncharged. Must match across the rungs of
+	// a tiering ladder for cross-tier gas continuity (NewLadder copies it).
+	MaxUncharged uint64
 	// MaxCallDepth bounds the sandbox call stack. Default: 512 frames.
 	MaxCallDepth int
 	// MaxMemoryPages caps linear memory growth regardless of module
@@ -130,6 +143,9 @@ type Config struct {
 const (
 	DefaultMaxCallDepth   = 512
 	DefaultMaxMemoryPages = 1024
+	// DefaultMaxUncharged mirrors analysis.DefaultMaxUncharged; it lives
+	// here too so Config consumers need not import internal/analysis.
+	DefaultMaxUncharged = 256
 )
 
 func (c Config) withDefaults() Config {
@@ -144,6 +160,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxMemoryPages == 0 {
 		c.MaxMemoryPages = DefaultMaxMemoryPages
+	}
+	if c.MaxUncharged == 0 {
+		c.MaxUncharged = DefaultMaxUncharged
 	}
 	return c
 }

@@ -10,9 +10,9 @@ import (
 
 // buildModule assembles a single-memory module from function definitions.
 type fnDef struct {
-	name    string
-	params  []wasm.ValType
-	results []wasm.ValType
+	name     string
+	params   []wasm.ValType
+	results  []wasm.ValType
 	locals   []wasm.ValType
 	body     []wasm.Instr
 	brLabels []uint32
@@ -364,8 +364,8 @@ func TestFuelPreemptionAndResume(t *testing.T) {
 	if err != nil || v != 50005000 {
 		t.Errorf("Result = %d, %v; want 50005000", v, err)
 	}
-	if in.InstrRetired == 0 {
-		t.Error("InstrRetired not accounted")
+	if in.Gas == 0 {
+		t.Error("Gas not accounted")
 	}
 }
 
@@ -590,8 +590,8 @@ func TestGlobals(t *testing.T) {
 func TestBrTableDispatch(t *testing.T) {
 	// A switch: 0 -> 10, 1 -> 20, default -> 99.
 	m := buildModule(t, 0, fnDef{
-		name:     "sw",
-		params:   []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
+		name:   "sw",
+		params: []wasm.ValType{wasm.ValI32}, results: []wasm.ValType{wasm.ValI32},
 		brLabels: []uint32{0, 1},
 		body: []wasm.Instr{
 			{Op: wasm.OpBlock, Imm: uint64(wasm.BlockTypeEmpty)}, // 2: default
@@ -846,7 +846,8 @@ func TestFusionShrinksCodeAndPreservesResults(t *testing.T) {
 			t.Errorf("walk(%d): fused %d != plain %d", n, a, b)
 		}
 	}
-	// Fused execution retires fewer instructions for the same work.
+	// Gas is defined over source instructions, so fusion must not change
+	// it: identical inputs charge identical gas on both engines.
 	i1 := fused.Instantiate()
 	if _, err := i1.Invoke("walk", 64); err != nil {
 		t.Fatal(err)
@@ -855,8 +856,8 @@ func TestFusionShrinksCodeAndPreservesResults(t *testing.T) {
 	if _, err := i2.Invoke("walk", 64); err != nil {
 		t.Fatal(err)
 	}
-	if i1.InstrRetired >= i2.InstrRetired {
-		t.Errorf("fused retired %d >= plain %d", i1.InstrRetired, i2.InstrRetired)
+	if i1.Gas == 0 || i1.Gas != i2.Gas {
+		t.Errorf("gas not fusion-invariant: fused %d, plain %d", i1.Gas, i2.Gas)
 	}
 }
 

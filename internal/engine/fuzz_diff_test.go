@@ -14,41 +14,47 @@ import (
 // diffConfigs is the differential matrix: every explicit-check strategy
 // crossed with the IR axis — register form (the default), stack form
 // (NoRegalloc), both with analysis on and off, plus the naive tier as an
-// independent implementation of the same semantics. BoundsNone is excluded
-// by design — it only faults beyond the backing array, so its trap set
-// legitimately differs from the checked strategies.
+// independent implementation of the same semantics — and each of those
+// crossed with both metering modes (block-metered and the per-instruction
+// NoBlockMeter oracle). BoundsNone is excluded by design — it only faults
+// beyond the backing array, so its trap set legitimately differs from the
+// checked strategies.
 func diffConfigs() []engine.Config {
 	var cfgs []engine.Config
 	for _, b := range []engine.BoundsStrategy{
 		engine.BoundsGuard, engine.BoundsSoftware,
 		engine.BoundsSoftwareFused, engine.BoundsMPX,
 	} {
-		cfgs = append(cfgs,
-			engine.Config{Bounds: b, Tier: engine.TierOptimized},
-			engine.Config{Bounds: b, Tier: engine.TierOptimized, NoRegalloc: true},
-			engine.Config{Bounds: b, Tier: engine.TierOptimized, NoAnalysis: true},
-			engine.Config{Bounds: b, Tier: engine.TierOptimized, NoAnalysis: true, NoRegalloc: true},
-			engine.Config{Bounds: b, Tier: engine.TierNaive},
-		)
+		for _, nbm := range []bool{false, true} {
+			cfgs = append(cfgs,
+				engine.Config{Bounds: b, Tier: engine.TierOptimized, NoBlockMeter: nbm},
+				engine.Config{Bounds: b, Tier: engine.TierOptimized, NoRegalloc: true, NoBlockMeter: nbm},
+				engine.Config{Bounds: b, Tier: engine.TierOptimized, NoAnalysis: true, NoBlockMeter: nbm},
+				engine.Config{Bounds: b, Tier: engine.TierOptimized, NoAnalysis: true, NoRegalloc: true, NoBlockMeter: nbm},
+				engine.Config{Bounds: b, Tier: engine.TierNaive, NoBlockMeter: nbm},
+			)
+		}
 	}
 	return cfgs
 }
 
-// diffOutcome runs one config to a canonical outcome string: done+result,
-// trap+code, or the bounded-execution statuses. Any panic escaping the VM is
-// a host-integrity failure, reported via t.
-func diffOutcome(t *testing.T, m *wasm.Module, cfg engine.Config, arg uint64) string {
+// diffOutcome runs one config to a canonical outcome string — done+result,
+// trap+code, or the bounded-execution statuses — plus the gas the run
+// charged. Any panic escaping the VM is a host-integrity failure, reported
+// via t.
+func diffOutcome(t *testing.T, m *wasm.Module, cfg engine.Config, arg uint64) (string, uint64) {
 	t.Helper()
 	cm, err := engine.Compile(m, abi.Registry(), cfg)
 	if err != nil {
-		return "compile-error"
+		return "compile-error", 0
 	}
 	var out string
+	var gas uint64
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				t.Fatalf("%s/%s noanalysis=%v noregalloc=%v: host panic: %v",
-					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, cfg.NoRegalloc, r)
+				t.Fatalf("%s/%s noanalysis=%v noregalloc=%v nbm=%v: host panic: %v",
+					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, cfg.NoRegalloc, cfg.NoBlockMeter, r)
 			}
 		}()
 		inst := cm.Instantiate()
@@ -65,6 +71,7 @@ func diffOutcome(t *testing.T, m *wasm.Module, cfg engine.Config, arg uint64) st
 			}
 		}
 		st, err := inst.Run(2_000_000)
+		gas = inst.Gas
 		switch st {
 		case engine.StatusDone:
 			v, _ := inst.Result()
@@ -88,7 +95,7 @@ func diffOutcome(t *testing.T, m *wasm.Module, cfg engine.Config, arg uint64) st
 			out = "bounded"
 		}
 	}()
-	return out
+	return out, gas
 }
 
 // FuzzDifferentialElision cross-checks the static-analysis pipeline against
@@ -149,20 +156,31 @@ export i32 main(i32 x) {
 		}
 		cfgs := diffConfigs()
 		outs := make([]string, len(cfgs))
+		gases := make([]uint64, len(cfgs))
 		for i, cfg := range cfgs {
-			outs[i] = diffOutcome(t, m, cfg, arg)
+			outs[i], gases[i] = diffOutcome(t, m, cfg, arg)
 			if outs[i] == "bounded" {
-				// Fuel accounting differs per tier (fusion retires fewer
-				// dispatches), so any config still running at the budget
-				// makes the input incomparable.
+				// Fuel-consumption granularity differs across metering
+				// modes (per dispatch vs per charge point), so any config
+				// still running at the budget makes the input incomparable
+				// — the exhaustion outcome itself ("bounded") is the
+				// charge-point-granularity comparison.
 				return
 			}
 		}
 		for i, cfg := range cfgs[1:] {
 			if outs[i+1] != outs[0] {
-				t.Fatalf("divergence: %s/%s noanalysis=%v noregalloc=%v = %q, reference %s/%s = %q",
-					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, cfg.NoRegalloc, outs[i+1],
+				t.Fatalf("divergence: %s/%s noanalysis=%v noregalloc=%v nbm=%v = %q, reference %s/%s = %q",
+					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, cfg.NoRegalloc, cfg.NoBlockMeter, outs[i+1],
 					cfgs[0].Tier, cfgs[0].Bounds, outs[0])
+			}
+			// Gas is charged at static charge points on the source path, so
+			// every config that ran the path to the same outcome — traps
+			// included — must report bit-identical gas.
+			if outs[i+1] != "compile-error" && outs[i+1] != "start-error" && gases[i+1] != gases[0] {
+				t.Fatalf("gas divergence: %s/%s noanalysis=%v noregalloc=%v nbm=%v charged %d, reference %s/%s charged %d (outcome %q)",
+					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, cfg.NoRegalloc, cfg.NoBlockMeter, gases[i+1],
+					cfgs[0].Tier, cfgs[0].Bounds, gases[0], outs[0])
 			}
 		}
 	})

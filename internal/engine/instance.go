@@ -94,8 +94,13 @@ type Instance struct {
 	// ABI attaches request/response state here).
 	HostData any
 
-	// InstrRetired counts executed instructions across all Run calls.
-	InstrRetired uint64
+	// Gas is the deterministic execution-cost counter, accumulated across
+	// all Run calls at the static charge points the cost analysis placed
+	// (see internal/analysis.AnalyzeCost). For a given module, the value is
+	// a pure function of the source execution path: bit-identical across
+	// tiers, bounds strategies, regalloc/fusion ablations, and metering
+	// modes. It feeds tiering hotness, per-tenant budgets, and /__stats.
+	Gas uint64
 }
 
 // ErrNoExport reports a missing exported function.

@@ -126,6 +126,13 @@ const (
 	iBrIfLeULL
 	iBrIfGeSLL
 	iBrIfGeULL
+	// iGasCharge is the amortized fuel charge at a charge point (see
+	// internal/analysis.AnalyzeCost). imm holds the region's static cost.
+	// The lowerer places one immediately before the lowered form of each
+	// anchor instruction, which is exactly where branch patches land, so
+	// every entry into the region pays it. It has no stack effect and is
+	// never fused, deleted, or reordered by later passes.
+	iGasCharge
 )
 
 // cinstr is one lowered instruction. h is the static operand-stack height
@@ -151,16 +158,20 @@ type brTarget struct {
 
 // compiledFunc is a lowered function body plus execution metadata.
 type compiledFunc struct {
-	name       string
-	typeIdx    uint32
-	nParams    int
-	nLocals    int // includes params
-	numResults int
-	maxStack   int          // max operand-stack height beyond locals
+	name        string
+	typeIdx     uint32
+	nParams     int
+	nLocals     int // includes params
+	numResults  int
+	maxStack    int          // max operand-stack height beyond locals
 	code        []cinstr     // TierOptimized
 	naiveBody   []wasm.Instr // TierNaive
 	naiveLabels []uint32     // TierNaive br_table label pool
-	brTables    [][]brTarget
+	// naiveCharges is the TierNaive charge table: dense, indexed by
+	// structured-body pc, applied at fetch. Same costs the optimized tiers
+	// embed as iGasCharge, so gas is bit-identical across tiers.
+	naiveCharges []uint32
+	brTables     [][]brTarget
 }
 
 type hostBinding struct {
@@ -248,8 +259,10 @@ type stackCert struct {
 }
 
 // AnalysisStats summarizes the static-analysis pipeline's results for one
-// compiled module. All zero when analysis is disabled (NoAnalysis or the
-// naive tier).
+// compiled module. The elision/devirt fields are all zero when analysis is
+// disabled (NoAnalysis or the naive tier); the cost-analysis fields
+// (ChargePoints, MaxBlockCost) are filled for every tier and configuration,
+// because gas metering is part of execution semantics, not an optimization.
 type AnalysisStats struct {
 	// MemAccesses / SafeAccesses count live linear-memory accesses and how
 	// many the analysis proved in bounds, independent of bounds strategy.
@@ -272,6 +285,12 @@ type AnalysisStats struct {
 	CertifiedFuncs int `json:"certified_funcs"`
 	UnboundedFuncs int `json:"unbounded_funcs"`
 	MaxCertFrames  int `json:"max_certified_frames"`
+	// ChargePoints counts the gas charge points the cost analysis placed
+	// across the module; MaxBlockCost is the largest single region charge
+	// (bounded by Config.MaxUncharged plus one instruction weight), i.e.
+	// the module's worst-case gas between consecutive charges.
+	ChargePoints int `json:"charge_points"`
+	MaxBlockCost int `json:"max_block_cost"`
 }
 
 // RegallocStats summarizes the register-allocation pass for one compiled
@@ -518,6 +537,14 @@ func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, er
 		cm.analysisStats.UnboundedFuncs = facts.Report.UnboundedFuncs
 	}
 
+	// Cost analysis runs for every tier and configuration: the charge
+	// tables it computes define gas, which must be bit-identical across
+	// engine configs (it feeds tiering hotness, tenant budgets, and
+	// billing-grade stats).
+	costs := analysis.AnalyzeCost(m, analysis.CostParams{MaxUncharged: cfg.MaxUncharged})
+	cm.analysisStats.ChargePoints = costs.Points()
+	cm.analysisStats.MaxBlockCost = int(costs.MaxCharge())
+
 	// Lower function bodies.
 	cm.funcs = make([]compiledFunc, len(m.Funcs))
 	for i := range m.Funcs {
@@ -533,8 +560,9 @@ func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, er
 		if cfg.Tier == TierNaive {
 			cf.naiveBody = f.Body
 			cf.naiveLabels = f.BrLabels
+			cf.naiveCharges = costs.Funcs[i].Charges
 		} else {
-			if err := lowerFunc(m, f, cfg, cm, &cf, facts, i); err != nil {
+			if err := lowerFunc(m, f, cfg, cm, &cf, facts, costs.Funcs[i].Charges, i); err != nil {
 				return nil, fmt.Errorf("engine: lower func %d (%s): %w", i, f.Name, err)
 			}
 			cm.lowerStats.Instructions += len(cf.code)

@@ -18,10 +18,12 @@ import (
 var errNaiveFuel = errors.New("engine: naive tier instruction budget exhausted")
 
 type naiveInterp struct {
-	in      *Instance
-	budget  int64
-	spin    int    // extra per-op work (Config.PerInstrNops)
-	scratch uint64 // sink for the simulated extra work
+	in       *Instance
+	budget   int64
+	gas      uint64 // charge-point gas accumulated this run
+	perInstr bool   // Config.NoBlockMeter: budget per dispatch, not per charge
+	spin     int    // extra per-op work (Config.PerInstrNops)
+	scratch  uint64 // sink for the simulated extra work
 }
 
 func (in *Instance) runNaive(fuel int64) (st Status, err error) {
@@ -32,7 +34,8 @@ func (in *Instance) runNaive(fuel int64) (st Status, err error) {
 	if fuel <= 0 {
 		budget = int64(1) << 62
 	}
-	ni := &naiveInterp{in: in, budget: budget, spin: in.mod.cfg.PerInstrNops}
+	ni := &naiveInterp{in: in, budget: budget,
+		perInstr: in.mod.cfg.NoBlockMeter, spin: in.mod.cfg.PerInstrNops}
 
 	// The naive tier does not track a per-store high-water mark; mark the
 	// whole memory dirty so a recycling reset stays conservative.
@@ -40,6 +43,15 @@ func (in *Instance) runNaive(fuel int64) (st Status, err error) {
 		if n := uint64(len(in.mem)); n > in.memDirty {
 			in.memDirty = n
 		}
+	}()
+
+	// Fold the accumulated gas into the instance on every exit path,
+	// including a guard-strategy fault unwinding through the recover defer
+	// below (defers run LIFO: recover first, then this). This matches the
+	// optimized tiers' save()-in-recover flow, so trapped runs report the
+	// same gas in every tier.
+	defer func() {
+		in.Gas += ni.gas
 	}()
 
 	defer func() {
@@ -55,7 +67,6 @@ func (in *Instance) runNaive(fuel int64) (st Status, err error) {
 	}()
 
 	results, callErr := ni.call(fn, locals, 0)
-	in.InstrRetired += uint64(budget - ni.budget)
 	if callErr != nil {
 		var trap *Trap
 		if errors.As(callErr, &trap) {
@@ -147,15 +158,32 @@ func (ni *naiveInterp) call(fn *compiledFunc, locals []uint64, depth int) ([]uin
 		return false, nil
 	}
 
+	charges := fn.naiveCharges
 	for {
 		if pc >= len(body) {
 			// Natural function end.
 			return stack[len(stack)-fn.numResults:], nil
 		}
-		if ni.budget <= 0 {
-			return nil, errNaiveFuel
+		// Charge-point metering at fetch: the cost pass anchors charges at
+		// exactly the indices a structured-control pc can land on (loop
+		// start+1 back-edges, else/end scan targets, post-call resumes), so
+		// this applies each region's charge once per entry — the same gas
+		// the optimized tiers embed as iGasCharge.
+		if c := charges[pc]; c != 0 {
+			ni.gas += uint64(c)
+			if !ni.perInstr {
+				ni.budget -= int64(c)
+				if ni.budget <= 0 {
+					return nil, errNaiveFuel
+				}
+			}
 		}
-		ni.budget--
+		if ni.perInstr {
+			if ni.budget <= 0 {
+				return nil, errNaiveFuel
+			}
+			ni.budget--
+		}
 		// Simulated low-quality single-pass codegen: extra bookkeeping
 		// per executed operation (register spills/reloads).
 		for j := 0; j < ni.spin; j++ {

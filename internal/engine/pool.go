@@ -156,5 +156,5 @@ func (in *Instance) resetForReuse() {
 	in.mpxBounds = [2]uint64{0, uint64(len(in.mem))}
 	in.mpxScratch = 0
 	in.HostData = nil
-	in.InstrRetired = 0
+	in.Gas = 0
 }

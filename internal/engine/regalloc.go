@@ -44,7 +44,7 @@ import (
 // rejected.
 func stackEffect(cm *CompiledModule, ci *cinstr) (npop, npush int32, terminal bool, err error) {
 	switch ci.op {
-	case iNop, iBoundsCheck, iMPXCheck, iIncLocal:
+	case iNop, iBoundsCheck, iMPXCheck, iIncLocal, iGasCharge:
 		return 0, 0, false, nil
 	case iUnreachable:
 		return 0, 0, true, nil

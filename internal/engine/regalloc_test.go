@@ -501,10 +501,12 @@ func preemptModule(t *testing.T, cfg Config) *CompiledModule {
 // TestRegisterPreemptEveryBoundaryProperty is the preemption property for
 // register form: running a kernel uninterrupted, single-stepped (fuel=1),
 // and under a random small quantum must produce the identical result and
-// retire the identical instruction count. This pins that a yield can land on
-// EVERY instruction boundary — including mid-loop, between a fused
-// compare-and-branch and its successor, and across call frames — without
-// perturbing the register file.
+// charge the identical gas. Under block metering fuel=1 yields at every
+// charge point (each Run slice crosses at most one charge, honoring the
+// MaxUncharged bound); this pins that a yield can land on every such
+// boundary — including loop headers, between a fused compare-and-branch
+// and its successor, and across call frames — without perturbing the
+// register file or double-charging a region.
 func TestRegisterPreemptEveryBoundaryProperty(t *testing.T) {
 	for _, cfg := range []Config{{}, {Bounds: BoundsSoftware}} {
 		cm := preemptModule(t, cfg)
@@ -519,7 +521,7 @@ func TestRegisterPreemptEveryBoundaryProperty(t *testing.T) {
 				t.Logf("f(%d): uninterrupted run trapped: %v", n, err)
 				return false
 			}
-			wantRetired := ref.InstrRetired
+			wantGas := ref.Gas
 
 			for _, fuel := range []int64{1, int64(quantum%7) + 2} {
 				in := cm.Instantiate()
@@ -543,9 +545,9 @@ func TestRegisterPreemptEveryBoundaryProperty(t *testing.T) {
 					t.Logf("f(%d) fuel=%d = %#x (%v), want %#x", n, fuel, got, err, want)
 					return false
 				}
-				if in.InstrRetired != wantRetired {
-					t.Logf("f(%d) fuel=%d retired %d instrs, uninterrupted retired %d",
-						n, fuel, in.InstrRetired, wantRetired)
+				if in.Gas != wantGas {
+					t.Logf("f(%d) fuel=%d charged %d gas, uninterrupted charged %d",
+						n, fuel, in.Gas, wantGas)
 					return false
 				}
 			}

@@ -50,7 +50,15 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 	if fuel <= 0 {
 		steps = int64(1) << 62
 	}
-	var retired uint64
+	// perInstr selects the ablation/oracle metering mode: a fuel check on
+	// every dispatch. In the default block-metered mode fuel is consumed
+	// only at iGasCharge, so the loop top carries no check at all — every
+	// CFG cycle passes a loop-header charge and MaxUncharged bounds
+	// straight-line runs, which together bound the work between checks.
+	perInstr := in.mod.cfg.NoBlockMeter
+	// gasRun accumulates charge-point gas for this run slice; folded into
+	// in.Gas by save() so it is identical in both metering modes.
+	var gasRun uint64
 
 	save := func() {
 		in.frames = frames
@@ -59,8 +67,8 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 		if dirty > in.memDirty {
 			in.memDirty = dirty
 		}
-		in.InstrRetired += retired
-		retired = 0
+		in.Gas += gasRun
+		gasRun = 0
 	}
 
 	// The guard strategy relies on the backing array's implicit bound:
@@ -89,19 +97,34 @@ func (in *Instance) runOptimized(fuel int64) (st Status, err error) {
 	}
 
 	for {
-		if steps <= 0 {
-			fr.pc = int32(pc)
-			save()
-			in.status = StatusYielded
-			return StatusYielded, nil
+		if perInstr {
+			if steps <= 0 {
+				fr.pc = int32(pc)
+				save()
+				in.status = StatusYielded
+				return StatusYielded, nil
+			}
+			steps--
 		}
-		steps--
-		retired++
 		ci := &code[pc]
 		pc++
 
 		switch ci.op {
 		case iNop:
+		case iGasCharge:
+			// pc already points past the charge, so a yield here resumes
+			// after it: each charge is applied exactly once per entry no
+			// matter how many times the run slice is preempted.
+			gasRun += ci.imm
+			if !perInstr {
+				steps -= int64(ci.imm)
+				if steps <= 0 {
+					fr.pc = int32(pc)
+					save()
+					in.status = StatusYielded
+					return StatusYielded, nil
+				}
+			}
 		case iUnreachable:
 			return fail(TrapUnreachable)
 

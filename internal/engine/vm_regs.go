@@ -45,7 +45,11 @@ func (in *Instance) runRegister(fuel int64) (st Status, err error) {
 	if fuel <= 0 {
 		steps = int64(1) << 62
 	}
-	var retired uint64
+	// See runOptimized: block-metered mode consumes fuel only at
+	// iGasCharge; perInstr restores the per-dispatch check as the
+	// ablation/oracle mode. Gas accrues at charge points either way.
+	perInstr := in.mod.cfg.NoBlockMeter
+	var gasRun uint64
 
 	save := func(sp int) {
 		in.frames = frames
@@ -54,8 +58,8 @@ func (in *Instance) runRegister(fuel int64) (st Status, err error) {
 		if dirty > in.memDirty {
 			in.memDirty = dirty
 		}
-		in.InstrRetired += retired
-		retired = 0
+		in.Gas += gasRun
+		gasRun = 0
 	}
 
 	defer func() {
@@ -81,19 +85,35 @@ func (in *Instance) runRegister(fuel int64) (st Status, err error) {
 	}
 
 	for {
-		if steps <= 0 {
-			fr.pc = int32(pc)
-			save(bh + int(code[pc].h))
-			in.status = StatusYielded
-			return StatusYielded, nil
+		if perInstr {
+			if steps <= 0 {
+				fr.pc = int32(pc)
+				save(bh + int(code[pc].h))
+				in.status = StatusYielded
+				return StatusYielded, nil
+			}
+			steps--
 		}
-		steps--
-		retired++
 		ci := &code[pc]
 		pc++
 
 		switch ci.op {
 		case iNop:
+		case iGasCharge:
+			// A charge is never the last instruction in a body (the
+			// implicit iReturn follows), so code[pc] below is always valid
+			// at a yield. pc is already past the charge: resuming never
+			// re-applies it.
+			gasRun += ci.imm
+			if !perInstr {
+				steps -= int64(ci.imm)
+				if steps <= 0 {
+					fr.pc = int32(pc)
+					save(bh + int(code[pc].h))
+					in.status = StatusYielded
+					return StatusYielded, nil
+				}
+			}
 		case iUnreachable:
 			return fail(TrapUnreachable, bh+int(ci.h))
 

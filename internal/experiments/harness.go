@@ -106,6 +106,7 @@ var Registry = map[string]func(Options) ([]*Table, error){
 	"overload": RunOverload,
 	"cluster":  RunContinuum,
 	"regalloc": RunRegallocAblation,
+	"meter":    RunMeterAblation,
 	"sched":    RunSchedBench,
 	"tierup":   RunTierup,
 	"ablation": func(o Options) ([]*Table, error) {
@@ -125,5 +126,5 @@ var Registry = map[string]func(Options) ([]*Table, error){
 
 // IDs lists experiment IDs in paper order.
 func IDs() []string {
-	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "overload", "cluster", "regalloc", "sched", "tierup", "ablation"}
+	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "overload", "cluster", "regalloc", "meter", "sched", "tierup", "ablation"}
 }

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMeterSmoke exercises the full bench-meter path on a kernel subset at
+// quick sizes: both metering modes must run every workload to the correct
+// checksum under preemptive slicing, gas must be bit-identical between
+// modes (RunMeterAblation hard-fails otherwise), and the snapshot JSON must
+// round-trip. The acceptance number (geomean speedup > 1.0 at full sizes)
+// lives in BENCH_meter.json, produced by `make bench-meter`; quick-size
+// kernels finish in microseconds, so scheduling noise swamps the ratio.
+func TestMeterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("meter smoke skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "meter.json")
+	tables, err := RunMeterAblation(Options{
+		Quick:        true,
+		KernelFilter: []string{"gemm", "jacobi-2d", "trisolv", "atax"},
+		SnapshotPath: path,
+	})
+	if err != nil {
+		t.Fatalf("meter ablation: %v", err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 4 {
+		t.Fatalf("unexpected results: %+v", tables)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	var snap meterSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot decode: %v", err)
+	}
+	if len(snap.Polybench) != 4 {
+		t.Fatalf("snapshot coverage: %d kernels", len(snap.Polybench))
+	}
+	for _, e := range snap.Polybench {
+		if e.Gas == 0 {
+			t.Errorf("%s: no gas charged", e.Name)
+		}
+		if e.ChargePoints == 0 || e.MaxBlockCost == 0 {
+			t.Errorf("%s: cost analysis stats missing: %+v", e.Name, e)
+		}
+	}
+	// Loose sanity floor only; the real floor (> 1.0) applies at full sizes.
+	if snap.Geomean < 0.5 {
+		t.Errorf("block metering catastrophically slower: geomean %.3f", snap.Geomean)
+	}
+	t.Logf("quick geomean: %.3fx", snap.Geomean)
+}

@@ -123,10 +123,10 @@ func tierupStormModes() []struct {
 	Cfg  core.TieringConfig
 } {
 	quiet := core.TieringConfig{
-		Mode:            core.TierAdaptive,
-		HotInvocations:  1 << 60,
-		HotInstrRetired: 1 << 62,
-		Interval:        time.Minute,
+		Mode:           core.TierAdaptive,
+		HotInvocations: 1 << 60,
+		HotGas:         1 << 62,
+		Interval:       time.Minute,
 	}
 	naive := quiet
 	naive.NaiveStart = true
@@ -332,12 +332,12 @@ func runTierupZipfSweep(o Options, modules, workers int, duration, window time.D
 	out.ZipfS = zipfS
 
 	adaptive := core.TieringConfig{
-		Mode:            core.TierAdaptive,
-		NaiveStart:      true,
-		HotInvocations:  8,
-		HotInstrRetired: 1 << 20,
-		Interval:        5 * time.Millisecond,
-		MaxConcurrent:   4,
+		Mode:           core.TierAdaptive,
+		NaiveStart:     true,
+		HotInvocations: 8,
+		HotGas:         1 << 20,
+		Interval:       5 * time.Millisecond,
+		MaxConcurrent:  4,
 	}
 	modes := []struct {
 		Name string

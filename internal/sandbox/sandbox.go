@@ -205,8 +205,11 @@ func (sb *Sandbox) ExitCode() (int32, error) {
 	return sb.exitCode, nil
 }
 
-// InstrRetired reports executed instruction count, for accounting.
-func (sb *Sandbox) InstrRetired() uint64 { return sb.inst.InstrRetired }
+// Gas reports the deterministic execution cost consumed so far: static
+// charge-point gas, bit-identical for the same request across engine
+// tiers and configurations. Used for tiering hotness, tenant accounting,
+// and billing-grade stats.
+func (sb *Sandbox) Gas() uint64 { return sb.inst.Gas }
 
 // Preemptible reports whether the sandbox can be quantum-bounded and
 // resumed. Naive-tier instances cannot (their interpreter traps on fuel

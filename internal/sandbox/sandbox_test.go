@@ -59,7 +59,7 @@ func TestLifecycleComplete(t *testing.T) {
 	if sb.Latency() <= 0 {
 		t.Error("latency not recorded")
 	}
-	if sb.InstrRetired() == 0 {
+	if sb.Gas() == 0 {
 		t.Error("instructions not accounted")
 	}
 	// Running again is a no-op.

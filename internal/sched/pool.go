@@ -81,7 +81,8 @@ type Config struct {
 	Workers int
 	// Quantum is the preemption time slice (paper default: 5 ms).
 	Quantum time.Duration
-	// FuelPerMS converts the quantum to instructions; 0 calibrates.
+	// FuelPerMS is the calibrated gas rate used to convert the quantum to
+	// deterministic fuel (fuel and gas share units); 0 calibrates.
 	FuelPerMS int64
 	// Policy selects preemptive vs cooperative scheduling.
 	Policy Policy
@@ -124,13 +125,13 @@ func (c Config) withDefaults() Config {
 
 // Stats are cumulative pool counters.
 type Stats struct {
-	Submitted   uint64
-	Completed   uint64
-	Trapped     uint64
-	Preemptions uint64
-	Steals      uint64
+	Submitted    uint64
+	Completed    uint64
+	Trapped      uint64
+	Preemptions  uint64
+	Steals       uint64
 	StealBatches uint64
-	Blocked     uint64
+	Blocked      uint64
 }
 
 // stealBatchMax bounds one StealBatch transfer (and sizes the per-worker

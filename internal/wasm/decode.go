@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Binary-format constants.
@@ -625,6 +626,15 @@ func decodeInstr(r *reader, pool *[]uint32) (Instr, error) {
 			return Instr{}, err
 		}
 		off := len(*pool)
+		// Imm2 packs the pool offset into its upper 32 bits; a function
+		// whose accumulated br_table labels pass 2^32 would silently
+		// truncate the offset and alias another table's labels. Unreachable
+		// with readCount bounding each table by the remaining input (the
+		// pool is per-function and a function body is length-capped), but
+		// the invariant belongs at the packing site, not three layers up.
+		if uint64(off) > math.MaxUint32 {
+			return Instr{}, fmt.Errorf("%w: br_table label pool exceeds 2^32 entries", ErrBadModule)
+		}
 		for i := uint32(0); i < n; i++ {
 			l, err := r.readU32()
 			if err != nil {

@@ -1,0 +1,161 @@
+package wasm
+
+import (
+	"errors"
+	"testing"
+)
+
+// Hostile-input regression tests for the decoder's pre-allocation guards.
+// Every vector length in the binary format is attacker-controlled; readCount
+// bounds each one by the remaining input before any allocation happens, and
+// the sites added since the original decoder (the per-function BrLabels pool
+// feeding the packed Imm2 offset, the locals cap) carry their own guards.
+//
+// The cluster tier's health snapshots deliberately need no counterpart here:
+// peers exchange JSON over in-process polled probes (cluster/router.go) and
+// the topology file is operator-local configuration, so no untrusted bytes
+// reach a hand-rolled decoder — the wasm binary is the only hostile surface.
+
+// section wraps a payload as section id + size + body.
+func section(id byte, body []byte) []byte {
+	out := []byte{id}
+	out = AppendULEB128(out, uint64(len(body)))
+	return append(out, body...)
+}
+
+// hostileModule assembles header + the given sections.
+func hostileModule(sections ...[]byte) []byte {
+	out := append([]byte{}, magic...)
+	out = append(out, version...)
+	for _, s := range sections {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// codeSection builds a code section holding one function body (locals vector
+// + expression) for a module that declared one function of type 0.
+func codeSection(body []byte) []byte {
+	var entry []byte
+	entry = AppendULEB128(entry, uint64(len(body)))
+	entry = append(entry, body...)
+	var sec []byte
+	sec = AppendULEB128(sec, 1) // one function
+	return section(SectionCode, append(sec, entry...))
+}
+
+// oneFuncPrefix declares one empty functype and one function using it.
+func oneFuncPrefix() [][]byte {
+	typeSec := section(SectionType, []byte{0x01, 0x60, 0x00, 0x00})
+	funcSec := section(SectionFunction, []byte{0x01, 0x00})
+	return [][]byte{typeSec, funcSec}
+}
+
+func decodeOneFunc(body []byte) (*Module, error) {
+	pre := oneFuncPrefix()
+	return Decode(hostileModule(pre[0], pre[1], codeSection(body)))
+}
+
+func TestDecodeRejectsHugeBrTableCount(t *testing.T) {
+	// A br_table declaring ~2^31 labels with only a handful of bytes left
+	// must be rejected by the count/remaining bound before the label pool
+	// allocates anything close to the claimed size. A decoder that trusted
+	// the count would attempt a multi-gigabyte append here.
+	var body []byte
+	body = append(body, 0x41, 0x00)       // i32.const 0
+	body = append(body, byte(OpBrTable))  // br_table
+	body = AppendULEB128(body, 1<<31)     // label count: hostile
+	body = append(body, 0x00, 0x00, 0x0B) // a token few label bytes + end
+	_, err := decodeOneFunc(body)
+	if !errors.Is(err, ErrBadModule) {
+		t.Fatalf("huge br_table count: err = %v, want ErrBadModule", err)
+	}
+}
+
+func TestDecodeRejectsHugeLocalsCount(t *testing.T) {
+	// The locals vector compresses runs as (count, type) pairs, so a tiny
+	// body can declare billions of locals without the byte-per-element cost
+	// that readCount leans on. The dedicated 2^20 cap must reject it.
+	var body []byte
+	body = AppendULEB128(body, 1)     // one locals run
+	body = AppendULEB128(body, 1<<21) // run length: over the cap
+	body = append(body, byte(ValI32))
+	body = append(body, 0x0B) // end
+	_, err := decodeOneFunc(body)
+	if !errors.Is(err, ErrBadModule) {
+		t.Fatalf("huge locals run: err = %v, want ErrBadModule", err)
+	}
+	// Several runs summing past the cap must be rejected too — the cap is
+	// on the accumulated total, not per run.
+	body = body[:0]
+	body = AppendULEB128(body, 3) // three locals runs
+	for i := 0; i < 3; i++ {
+		body = AppendULEB128(body, (1<<20)/2)
+		body = append(body, byte(ValI32))
+	}
+	body = append(body, 0x0B)
+	_, err = decodeOneFunc(body)
+	if !errors.Is(err, ErrBadModule) {
+		t.Fatalf("accumulated locals over cap: err = %v, want ErrBadModule", err)
+	}
+}
+
+func TestDecodeRejectsHugeSectionCounts(t *testing.T) {
+	// The same count/remaining bound must hold in every section header, not
+	// just inside code bodies: a 20-byte module claiming a billion-entry
+	// type (or import, or export) vector is malformed, not an allocation.
+	cases := []struct {
+		name string
+		id   byte
+	}{
+		{"type", SectionType},
+		{"import", SectionImport},
+		{"export", SectionExport},
+	}
+	for _, tc := range cases {
+		var body []byte
+		body = AppendULEB128(body, 1<<30)
+		bin := hostileModule(section(tc.id, body))
+		if _, err := Decode(bin); !errors.Is(err, ErrBadModule) {
+			t.Errorf("%s section with huge count: err = %v, want ErrBadModule", tc.name, err)
+		}
+	}
+}
+
+func TestDecodeBrTableRoundTripAtPoolBoundary(t *testing.T) {
+	// A well-formed module with several br_tables in one function must
+	// round-trip with distinct pool offsets packed into Imm2 — this pins
+	// the (offset << 32 | count) layout the overflow guard protects.
+	m := NewModule()
+	m.Types = []FuncType{{}}
+	m.Funcs = []Func{{
+		TypeIdx: 0,
+		Body: []Instr{
+			{Op: OpBlock, Imm: uint64(BlockTypeEmpty)},
+			{Op: OpI32Const, Imm: 0},
+			{Op: OpBrTable, Imm: 0, Imm2: 0<<32 | 2},
+			{Op: OpEnd},
+			{Op: OpBlock, Imm: uint64(BlockTypeEmpty)},
+			{Op: OpI32Const, Imm: 1},
+			{Op: OpBrTable, Imm: 0, Imm2: 2<<32 | 3},
+			{Op: OpEnd},
+		},
+		BrLabels: []uint32{0, 0, 0, 0, 0},
+	}}
+	bin, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bin)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	f := got.Funcs[0]
+	if f.Body[2].Imm2 != 0<<32|2 || f.Body[6].Imm2 != 2<<32|3 {
+		t.Fatalf("br_table Imm2 packing: got %#x and %#x, want %#x and %#x",
+			f.Body[2].Imm2, f.Body[6].Imm2, uint64(0<<32|2), uint64(2<<32|3))
+	}
+	if len(f.BrLabels) != 5 {
+		t.Fatalf("BrLabels pool = %v, want 5 entries", f.BrLabels)
+	}
+}

@@ -73,7 +73,7 @@ const (
 // Adaptive tiering (internal/core/tiering.go): with Config.Tiering set,
 // Register* compiles only the cheap rung of the tier ladder so registration
 // is near-instant, the completion path profiles per-module hotness
-// (invocations + retired instructions), and a background controller
+// (invocations + gas), and a background controller
 // recompiles hot modules at the full fused+regalloc+elision rung, swapping
 // the compiled form in atomically while in-flight requests finish on the
 // code they started with.

@@ -12,6 +12,11 @@
 //     globally consistent — two functions taking the same two locks in
 //     opposite orders is a latent deadlock (the scheduler and admission
 //     controller hold per-tenant and global locks together).
+//   - atomicfield: a struct field published through sync/atomic — either an
+//     atomic.Uint64/Int64/Pointer-style typed field or a plain field whose
+//     address is passed to a sync/atomic free function — must never also be
+//     accessed through plain loads and stores. Mixed access is a data race
+//     that -race only catches when both sides happen to run concurrently.
 //
 // The tool is deliberately stdlib-only (no golang.org/x/tools): it shells
 // out to `go list -export -deps -json` for export data and type-checks each
@@ -180,6 +185,7 @@ func analyzePackage(fset *token.FileSet, imp types.Importer, pkg listPkg, diags 
 	p := &pass{fset: fset, files: files, info: info, suppress: suppress, diags: diags}
 	checkNoalloc(p)
 	checkLocks(p)
+	checkAtomicField(p)
 	return nil
 }
 

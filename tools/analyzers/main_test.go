@@ -28,6 +28,8 @@ func TestBadPackageFlagged(t *testing.T) {
 		"parameter of type",
 		"assignment copies",
 		"inconsistent lock order",
+		"access it only through its methods",
+		"plain access races with it",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("diagnostic %q missing from output:\n%s", want, out)

@@ -2,7 +2,10 @@
 // analyzer's own tests assert each one is flagged.
 package bad
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type guarded struct {
 	mu sync.Mutex
@@ -61,4 +64,26 @@ func ReverseOrder() {
 	lockA.Lock()
 	lockA.Unlock()
 	lockB.Unlock()
+}
+
+type counters struct {
+	hits  atomicUint
+	plain uint64
+}
+
+type atomicUint = atomic.Uint64
+
+// MixedTyped copies an atomic-typed field out: bypasses the protocol.
+func MixedTyped(c *counters) atomic.Uint64 {
+	return c.hits
+}
+
+// MixedPlain reads a field that AtomicSide below touches via sync/atomic.
+func MixedPlain(c *counters) uint64 {
+	return c.plain
+}
+
+// AtomicSide is the atomic half of the race MixedPlain introduces.
+func AtomicSide(c *counters) {
+	atomic.AddUint64(&c.plain, 1)
 }

@@ -2,7 +2,10 @@
 // rules; the analyzer must stay silent on all of it.
 package good
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type guarded struct {
 	mu sync.Mutex
@@ -53,3 +56,19 @@ func OrderTwo() {
 	lockB.Unlock()
 	lockA.Unlock()
 }
+
+type counters struct {
+	hits  atomic.Uint64
+	plain uint64
+}
+
+// Touch uses the atomic field only through methods and by address, and the
+// plain field only with sync/atomic free functions.
+func Touch(c *counters) uint64 {
+	c.hits.Add(1)
+	bump(&c.hits)
+	atomic.AddUint64(&c.plain, 2)
+	return c.hits.Load() + atomic.LoadUint64(&c.plain)
+}
+
+func bump(u *atomic.Uint64) { u.Add(1) }
