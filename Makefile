@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke meter-smoke test bench bench-regalloc bench-sched bench-tierup bench-cluster bench-meter
+.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke meter-smoke warm-smoke test bench bench-regalloc bench-sched bench-tierup bench-cluster bench-meter bench-warm
 
 # check is the pre-merge gate: static analysis (go vet plus the project
 # analyzers: noalloc hot-path enforcement, mutex-copy and lock-ordering,
@@ -12,10 +12,12 @@ GO ?= go
 # must shed cleanly: admitted error rate < 1%), a scheduler scale-out smoke
 # run (every workers x distribution cell completes its closed loop), a
 # metering smoke run (block-metered and per-instruction runs charge
-# bit-identical gas under preemptive slicing), and a 30s differential fuzz
+# bit-identical gas under preemptive slicing), a warm-start smoke run
+# (snapshot first invoke beats start replay, the bounded module cache
+# holds goodput while evicting), and a 30s differential fuzz
 # of the check-elision pipeline (every bounds strategy with elision on/off,
 # in both metering modes, must produce identical results, traps, and gas).
-check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke meter-smoke fuzz-smoke
+check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke meter-smoke warm-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -90,6 +92,18 @@ meter-smoke:
 
 bench-meter:
 	$(GO) run ./cmd/sledge-bench -run meter -snapshot BENCH_meter.json
+
+# warm-smoke runs the warm-start benchmark at quick sizes (snapshot first
+# invoke >= 5x over start-function replay, budgeted fleet churns its cache
+# without collapsing goodput, every reply validated); the acceptance-grade
+# numbers (>= 5x first invoke, budgeted goodput >= 0.9x unbounded over the
+# 10k-module fleet with steady RSS) come from `make bench-warm`, which
+# regenerates BENCH_warm.json at full sizes.
+warm-smoke:
+	$(GO) test -run=TestWarmSmoke -count=1 ./internal/experiments/
+
+bench-warm:
+	$(GO) run ./cmd/sledge-bench -run warm -snapshot BENCH_warm.json
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDifferentialElision -fuzztime=30s ./internal/engine/

@@ -55,16 +55,18 @@ func main() {
 		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst")
 		breakerCool = flag.Duration("breaker-cooldown", 0, "circuit-breaker open cooldown (0 = default 2s)")
 		maxConns    = flag.Int("max-conns", 1024, "concurrent connection cap (0 = unlimited)")
+		cacheBudget = flag.Int64("cache-budget", 0, "module-cache resident-byte budget (0 = unbounded)")
 		readTO      = flag.Duration("read-timeout", 0, "per-request header/body read deadline (0 = request timeout)")
 		drainTO     = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on shutdown")
 	)
 	flag.Parse()
 
 	cfg := sledge.Config{
-		Workers:  *workers,
-		Quantum:  time.Duration(*quantumMS) * time.Millisecond,
-		KV:       sledge.NewMapKV(),
-		MaxConns: *maxConns,
+		Workers:          *workers,
+		Quantum:          time.Duration(*quantumMS) * time.Millisecond,
+		KV:               sledge.NewMapKV(),
+		MaxConns:         *maxConns,
+		CacheBudgetBytes: *cacheBudget,
 	}
 	if *readTO != 0 {
 		cfg.HTTPReadTimeout = *readTO

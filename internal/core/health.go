@@ -81,7 +81,10 @@ func (rt *Runtime) Health() HealthSnapshot {
 	rt.mu.RLock()
 	h.Modules = make(map[string]ModuleHealth, len(rt.registry))
 	for name, m := range rt.registry {
-		mh := ModuleHealth{Tier: m.Compiled().TierLabel()}
+		mh := ModuleHealth{Tier: TierLabelCold}
+		if cm := m.Compiled(); cm != nil {
+			mh.Tier = cm.TierLabel()
+		}
 		if amh, ok := ah.Modules[name]; ok {
 			mh.EWMAServiceNanos = amh.EstimateNanos
 			mh.Breaker = amh.Breaker

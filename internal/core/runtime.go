@@ -76,6 +76,11 @@ type Module struct {
 
 	promotions     atomic.Uint32
 	recompileNanos atomic.Int64
+
+	// recompileMu serializes lazy recompilation of a cold-evicted module
+	// (Runtime.revive): concurrent first invokes after a cache body-drop
+	// must compile once, not once per request.
+	recompileMu sync.Mutex
 }
 
 // ModuleStats is a per-function accounting snapshot.
@@ -103,20 +108,33 @@ type ModuleStats struct {
 	// file size, three-address fusions, branch fusions); Enabled is false
 	// when the module runs on the stack-form or naive interpreter.
 	Regalloc engine.RegallocStats `json:"regalloc"`
+	// ResidentBytes is the module's reclaimable footprint (compiled code +
+	// snapshot + idle pool slabs) — what the bounded cache charges against
+	// its budget. 0 for a registered-but-cold module.
+	ResidentBytes int64 `json:"resident_bytes"`
 }
+
+// TierLabelCold names a module whose compiled body the bounded cache
+// evicted: still registered, lazily recompiled on the next invoke.
+const TierLabelCold = "cold"
 
 // Stats returns the module's accounting snapshot.
 func (m *Module) Stats() ModuleStats {
-	cm := m.Compiled()
 	st := ModuleStats{
 		Invocations:   m.invocations.Load(),
 		Failures:      m.failures.Load(),
 		Gas:           m.prof.gas.Load(),
-		Tier:          cm.TierLabel(),
+		Tier:          TierLabelCold,
 		Promotions:    m.promotions.Load(),
 		LastRecompile: time.Duration(m.recompileNanos.Load()),
-		Analysis:      cm.Analysis(),
-		Regalloc:      cm.Regalloc(),
+	}
+	// A registered-but-cold module has no compiled form to describe; its
+	// analysis/regalloc stats return with the lazily recompiled body.
+	if cm := m.Compiled(); cm != nil {
+		st.Tier = cm.TierLabel()
+		st.Analysis = cm.Analysis()
+		st.Regalloc = cm.Regalloc()
+		st.ResidentBytes = cm.ResidentBytes()
 	}
 	if st.Invocations > 0 {
 		st.MeanLatency = time.Duration(m.totalNanos.Load() / int64(st.Invocations))
@@ -193,6 +211,16 @@ type Config struct {
 	// the static behaviour: full pipeline at registration, no controller.
 	Tiering *TieringConfig
 
+	// CacheBudgetBytes, when positive, bounds the registry's resident
+	// module bytes — compiled code, post-init snapshots, and idle instance
+	// pools — under an ARC policy with staged demotion (purge idle pool →
+	// drop snapshot → drop compiled body, lazily recompiled on the next
+	// invoke). 0 keeps the registry unbounded (see cache.go).
+	CacheBudgetBytes int64
+	// CacheScanInterval is the cache controller's scan period.
+	// Default 25ms.
+	CacheScanInterval time.Duration
+
 	// HTTPReadTimeout bounds reading one request (slow-loris defense);
 	// 0 defaults to RequestTimeout, negative disables.
 	HTTPReadTimeout time.Duration
@@ -242,6 +270,11 @@ type Runtime struct {
 	// treated as read-only: rebuilding it per registration shows up in
 	// registration-storm profiles.
 	hostReg engine.HostRegistry
+
+	// cache is the bounded module cache (nil when Config.CacheBudgetBytes
+	// is 0): ARC eviction with staged demotion over the registry's
+	// resident bytes, and the revive path's accounting for cold misses.
+	cache *cacheController
 
 	mu       sync.RWMutex
 	registry map[string]*Module
@@ -318,6 +351,9 @@ func New(cfg Config) *Runtime {
 	if rt.tieringActive() && rt.tiering.Mode == TierAdaptive {
 		rt.startTiering()
 	}
+	if cfg.CacheBudgetBytes > 0 {
+		rt.cache = newCacheController(rt, cfg.CacheBudgetBytes, cfg.CacheScanInterval)
+	}
 	rt.server = &httpd.Server{
 		Handler:      rt.handle,
 		ReadTimeout:  cfg.HTTPReadTimeout,
@@ -373,6 +409,11 @@ func (rt *Runtime) registerBinary(name string, bin []byte, entry, tenant string)
 	if tiered && rt.tiering.Mode == TierAdaptive {
 		m.source = bin
 		m.tier.Store(tierCheap)
+	} else if rt.cache != nil {
+		// The bounded cache can only evict a module's compiled body when
+		// the binary survives to recompile from; retain it even outside
+		// adaptive tiering.
+		m.source = bin
 	}
 	return rt.register(m)
 }
@@ -392,29 +433,46 @@ func (rt *Runtime) RegisterCompiled(name string, cm *engine.CompiledModule, entr
 // register inserts a fully constructed module into the registry.
 func (rt *Runtime) register(m *Module) (*Module, error) {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	if _, dup := rt.registry[m.Name]; dup {
+		rt.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateModule, m.Name)
 	}
 	rt.registry[m.Name] = m
+	rt.mu.Unlock()
+	if rt.cache != nil {
+		rt.cache.onRegister(m)
+	}
 	return m, nil
 }
 
 // Unregister removes the module registered under name and clears its
 // admission state (breaker, service-time estimate). In-flight invocations
-// hold their own module reference and finish normally. It reports whether
-// a module was removed.
+// hold their own module reference and finish normally — but the module's
+// idle instance pool is closed and purged immediately, so pooled slabs
+// (linear memories, operand stacks) cannot outlive the registration:
+// without this, 64 idle instances per unregistered module would survive
+// until the last in-flight reference happened to be collected. It reports
+// whether a module was removed.
 func (rt *Runtime) Unregister(name string) bool {
 	rt.mu.Lock()
-	_, ok := rt.registry[name]
+	m, ok := rt.registry[name]
 	if ok {
 		delete(rt.registry, name)
 	}
 	rt.mu.Unlock()
-	if ok && rt.adm != nil {
+	if !ok {
+		return false
+	}
+	if cm := m.Compiled(); cm != nil {
+		cm.ClosePool()
+	}
+	if rt.cache != nil {
+		rt.cache.forget(name)
+	}
+	if rt.adm != nil {
 		rt.adm.ResetModule(name)
 	}
-	return ok
+	return true
 }
 
 // Replace atomically swaps the module registered under name — the redeploy
@@ -430,12 +488,64 @@ func (rt *Runtime) Replace(name string, cm *engine.CompiledModule, entry, tenant
 	m := &Module{Name: name, Entry: entry, Tenant: tenant}
 	m.cm.Store(cm)
 	rt.mu.Lock()
+	old := rt.registry[name]
 	rt.registry[name] = m
 	rt.mu.Unlock()
+	if old != nil {
+		// The replaced deployment is retired for good: close its pool so
+		// idle slabs die now instead of with the last in-flight request.
+		if ocm := old.Compiled(); ocm != nil {
+			ocm.ClosePool()
+		}
+	}
+	if rt.cache != nil {
+		rt.cache.onRegister(m)
+	}
 	if rt.adm != nil {
 		rt.adm.ResetModule(name)
 	}
 	return m, nil
+}
+
+// revive recompiles a registered-but-cold module — one whose compiled body
+// the bounded cache evicted — at the tier ladder's registration rung and
+// swaps it in. It reuses the tiering swap machinery: the epoch latency
+// accounting resets so the admission seed describes the revived rung, the
+// admission estimator's generation is bumped (stale in-flight tickets from
+// before the eviction cannot re-seed it), and under adaptive tiering the
+// module rejoins the ladder at tierCheap, so a revived module that proves
+// hot again is re-promoted by the existing controller.
+func (rt *Runtime) revive(m *Module) (*engine.CompiledModule, error) {
+	m.recompileMu.Lock()
+	defer m.recompileMu.Unlock()
+	if cm := m.Compiled(); cm != nil {
+		return cm, nil // another request already revived it
+	}
+	if m.source == nil {
+		return nil, fmt.Errorf("core: %s: module is cold and has no retained source", m.Name)
+	}
+	cfg := rt.cfg.Engine
+	adaptive := rt.tieringActive() && rt.tiering.Mode == TierAdaptive
+	if rt.tieringActive() {
+		cfg = rt.ladder.Cheap
+	}
+	cm, err := engine.CompileBinary(m.source, rt.hostReg, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: revive %s: %w", m.Name, err)
+	}
+	m.swapCompiled(cm)
+	if adaptive {
+		m.tier.Store(tierCheap)
+	} else {
+		m.tier.Store(tierIdle)
+	}
+	if rt.adm != nil {
+		rt.adm.ResetEstimate(m.Name)
+	}
+	if rt.cache != nil {
+		rt.cache.onRevive(m)
+	}
+	return cm, nil
 }
 
 // Lookup returns the module registered under name.
@@ -497,7 +607,15 @@ func (rt *Runtime) InvokeWithDeadline(name string, req []byte, deadline time.Dur
 // promotion swaps the module pointer for future requests while this one
 // finishes untouched on the code it started with.
 func (rt *Runtime) run(m *Module, req []byte) (out []byte, lat time.Duration, outcome admission.Outcome, err error) {
-	sb, err := sandbox.New(m.Compiled(), req, sandbox.Options{
+	cm := m.Compiled()
+	if cm == nil {
+		// Registered-but-cold: the bounded cache dropped the compiled body.
+		// Recompile at the ladder's registration rung before serving.
+		if cm, err = rt.revive(m); err != nil {
+			return nil, 0, admission.OutcomeTrap, err
+		}
+	}
+	sb, err := sandbox.New(cm, req, sandbox.Options{
 		Entry:     m.Entry,
 		KV:        rt.cfg.KV,
 		Tenant:    m.Tenant,
@@ -622,6 +740,7 @@ func (rt *Runtime) statsResponse() httpd.Response {
 		Server      serverStats            `json:"server"`
 		Admission   *admission.Snapshot    `json:"admission,omitempty"`
 		Tiering     *TieringSnapshot       `json:"tiering,omitempty"`
+		Cache       *CacheSnapshot         `json:"cache,omitempty"`
 	}{
 		Modules:     modules,
 		PerModule:   perModule,
@@ -648,6 +767,9 @@ func (rt *Runtime) statsResponse() httpd.Response {
 	}
 	if tsnap, ok := rt.TieringStats(); ok {
 		payload.Tiering = &tsnap
+	}
+	if csnap, ok := rt.CacheStats(); ok {
+		payload.Cache = &csnap
 	}
 	body, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
@@ -717,6 +839,9 @@ func (rt *Runtime) Pool() *sched.Pool { return rt.pool }
 func (rt *Runtime) Drain(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	rt.stopTiering()
+	if rt.cache != nil {
+		rt.cache.close()
+	}
 	if rt.adm != nil {
 		rt.adm.StartDrain()
 	}
@@ -736,6 +861,9 @@ func (rt *Runtime) Drain(timeout time.Duration) bool {
 // for graceful shutdown.
 func (rt *Runtime) Close() error {
 	rt.stopTiering()
+	if rt.cache != nil {
+		rt.cache.close()
+	}
 	var err error
 	if rt.server != nil {
 		err = rt.server.Close()

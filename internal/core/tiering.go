@@ -140,6 +140,14 @@ const (
 	// tierFailed: recompile failed; the cheap form keeps serving and the
 	// module is never retried.
 	tierFailed
+	// tierCold: the bounded cache dropped the compiled body (cache.go).
+	// The state is parked here with a CAS from any stable state, which
+	// locks the promotion controller out (its CAS transitions fail);
+	// Runtime.revive moves the module back to tierCheap (adaptive mode) or
+	// tierIdle when the next invoke recompiles it. A revived module can be
+	// promoted again, so the promote-at-most-once bound becomes
+	// promote-at-most-once per residency epoch.
+	tierCold
 )
 
 // tieringActive reports whether modules register at the cheap rung.
@@ -262,8 +270,15 @@ func (rt *Runtime) promote(m *Module) {
 		m.tier.Store(tierIdle)
 		return
 	}
+	old := m.Compiled()
 	m.swapCompiled(cm)
 	rt.mu.RUnlock()
+	if old != nil {
+		// The cheap rung is retired for good; close its pool so the idle
+		// slabs die with the swap, not with the garbage collector's
+		// opinion of the last in-flight reference.
+		old.ClosePool()
+	}
 	m.recompileNanos.Store(int64(d))
 	m.promotions.Add(1)
 	m.tier.Store(tierPromoted)
@@ -337,6 +352,7 @@ type TieringSnapshot struct {
 	Pending           int           `json:"pending"`
 	Promoting         int           `json:"promoting"`
 	Promoted          int           `json:"promoted"`
+	Cold              int           `json:"cold"`
 }
 
 // TieringStats returns the tiering snapshot; ok is false when tiering is
@@ -371,6 +387,8 @@ func (rt *Runtime) TieringStats() (TieringSnapshot, bool) {
 			snap.Promoting++
 		case tierPromoted:
 			snap.Promoted++
+		case tierCold:
+			snap.Cold++
 		}
 	}
 	return snap, true

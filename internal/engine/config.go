@@ -132,6 +132,12 @@ type Config struct {
 	// bounded. 0 uses DefaultMaxUncharged. Must match across the rungs of
 	// a tiering ladder for cross-tier gas continuity (NewLadder copies it).
 	MaxUncharged uint64
+	// NoSnapshot disables post-init snapshotting: modules with a start
+	// function replay it on every instantiation and pooled reuse instead of
+	// materializing from the captured post-init image. Used by the snapshot
+	// ablation benchmark and the differential fuzzer (snapshot-materialized
+	// execution must stay bit-identical to the replayed path).
+	NoSnapshot bool
 	// MaxCallDepth bounds the sandbox call stack. Default: 512 frames.
 	MaxCallDepth int
 	// MaxMemoryPages caps linear memory growth regardless of module

@@ -146,6 +146,41 @@ export i32 main(i32 x) {
 		f.Add(res.Binary, uint64(15))
 		f.Add(res.Binary, uint64(1<<20))
 	}
+	// Start-section seed (WCC never emits one): init work that the
+	// snapshot axis must reproduce — a memory fill plus a global bump.
+	sm := wasm.NewModule()
+	sm.Types = []wasm.FuncType{{}, {Params: []wasm.ValType{wasm.ValI32}, Results: []wasm.ValType{wasm.ValI32}}}
+	sm.Memories = []wasm.Limits{{Min: 1, Max: 2, HasMax: true}}
+	sm.Globals = []wasm.Global{{
+		Type: wasm.GlobalType{Type: wasm.ValI32, Mutable: true},
+		Init: wasm.Instr{Op: wasm.OpI32Const, Imm: 11},
+	}}
+	sm.Funcs = []wasm.Func{
+		{TypeIdx: 0, Body: []wasm.Instr{
+			{Op: wasm.OpI32Const, Imm: 8},
+			{Op: wasm.OpI32Const, Imm: 77},
+			{Op: wasm.OpI32Store, Imm2: 2},
+			{Op: wasm.OpGlobalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 100},
+			{Op: wasm.OpI32Add},
+			{Op: wasm.OpGlobalSet, Imm: 0},
+		}, Name: "boot"},
+		{TypeIdx: 1, Body: []wasm.Instr{
+			{Op: wasm.OpLocalGet, Imm: 0},
+			{Op: wasm.OpI32Const, Imm: 8},
+			{Op: wasm.OpI32And},
+			{Op: wasm.OpI32Load, Imm2: 2},
+			{Op: wasm.OpGlobalGet, Imm: 0},
+			{Op: wasm.OpI32Add},
+		}, Name: "main"},
+	}
+	sm.Exports = []wasm.Export{{Name: "main", Kind: wasm.ExternFunc, Index: 1}}
+	sm.Start = 0
+	sbin, err := wasm.Encode(sm)
+	if err != nil {
+		f.Fatalf("start seed: %v", err)
+	}
+	f.Add(sbin, uint64(8))
 	f.Fuzz(func(t *testing.T, bin []byte, arg uint64) {
 		m, err := wasm.Decode(bin)
 		if err != nil {
@@ -155,6 +190,16 @@ export i32 main(i32 x) {
 			return
 		}
 		cfgs := diffConfigs()
+		if m.Start >= 0 {
+			// Snapshot vs replay is a real execution-path axis only for
+			// modules with a start section: cross the whole matrix with
+			// NoSnapshot so snapshot-materialized runs are checked
+			// bit-identical (result, trap, gas) against the replayed path.
+			for _, cfg := range cfgs[:len(cfgs):len(cfgs)] {
+				cfg.NoSnapshot = true
+				cfgs = append(cfgs, cfg)
+			}
+		}
 		outs := make([]string, len(cfgs))
 		gases := make([]uint64, len(cfgs))
 		for i, cfg := range cfgs {
@@ -170,16 +215,16 @@ export i32 main(i32 x) {
 		}
 		for i, cfg := range cfgs[1:] {
 			if outs[i+1] != outs[0] {
-				t.Fatalf("divergence: %s/%s noanalysis=%v noregalloc=%v nbm=%v = %q, reference %s/%s = %q",
-					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, cfg.NoRegalloc, cfg.NoBlockMeter, outs[i+1],
+				t.Fatalf("divergence: %s/%s noanalysis=%v noregalloc=%v nbm=%v nosnap=%v = %q, reference %s/%s = %q",
+					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, cfg.NoRegalloc, cfg.NoBlockMeter, cfg.NoSnapshot, outs[i+1],
 					cfgs[0].Tier, cfgs[0].Bounds, outs[0])
 			}
 			// Gas is charged at static charge points on the source path, so
 			// every config that ran the path to the same outcome — traps
 			// included — must report bit-identical gas.
 			if outs[i+1] != "compile-error" && outs[i+1] != "start-error" && gases[i+1] != gases[0] {
-				t.Fatalf("gas divergence: %s/%s noanalysis=%v noregalloc=%v nbm=%v charged %d, reference %s/%s charged %d (outcome %q)",
-					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, cfg.NoRegalloc, cfg.NoBlockMeter, gases[i+1],
+				t.Fatalf("gas divergence: %s/%s noanalysis=%v noregalloc=%v nbm=%v nosnap=%v charged %d, reference %s/%s charged %d (outcome %q)",
+					cfg.Tier, cfg.Bounds, cfg.NoAnalysis, cfg.NoRegalloc, cfg.NoBlockMeter, cfg.NoSnapshot, gases[i+1],
 					cfgs[0].Tier, cfgs[0].Bounds, gases[0], outs[0])
 			}
 		}

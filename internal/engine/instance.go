@@ -80,10 +80,18 @@ type Instance struct {
 	mpxBounds  [2]uint64
 	mpxScratch uint64
 
-	// memDirty is one past the highest linear-memory byte that may have
-	// been written since the last reset (stores, host writes, replayed
-	// data segments). The recycling reset zeroes only [0, memDirty).
+	// memDirty is one past the highest linear-memory byte that may differ
+	// from the instance's baseline — the post-replay data-segment image, or
+	// the post-init snapshot for snapshot-materialized instances. Stores,
+	// host writes, and data-segment replay all bump it; the recycling reset
+	// restores only [0, memDirty).
 	memDirty uint64
+
+	// snap is the post-init baseline this instance was materialized from
+	// (nil for the classic zero+replay path). The reset diffs against this
+	// exact image even if the module drops its snapshot concurrently; such
+	// instances are torn down instead of pooled (see Release).
+	snap *Snapshot
 
 	// ic holds per-call_indirect-site monomorphic inline caches. The table
 	// is immutable after instantiation, so entries stay valid across
@@ -114,13 +122,36 @@ var ErrAlreadyStarted = errors.New("engine: instance already started")
 
 // Instantiate creates a new sandbox for the module. This is the fast path
 // the paper decouples from compilation: its cost is one zeroed memory
-// allocation plus data-segment and global copies.
+// allocation plus data-segment and global copies — or, when the module
+// carries a post-init snapshot, a single copy of the snapshot image, which
+// also buys out the start function's execution (Start credits its recorded
+// gas instead of replaying it).
 func (cm *CompiledModule) Instantiate() *Instance {
 	in := &Instance{
 		mod:              cm,
 		table:            cm.table,
 		status:           StatusYielded,
 		pendingHostArity: -1,
+	}
+	if snap := cm.snap.Load(); snap != nil {
+		in.snap = snap
+		in.mem = make([]byte, snap.memLen)
+		copy(in.mem, snap.image)
+		// memDirty tracks divergence from the baseline, and this instance's
+		// baseline IS the snapshot: nothing differs yet.
+		in.memDirty = 0
+		if len(snap.globals) > 0 {
+			in.globals = make([]uint64, len(snap.globals))
+			copy(in.globals, snap.globals)
+		}
+		if cm.numICSites > 0 {
+			in.ic = make([]icEntry, cm.numICSites)
+			for i := range in.ic {
+				in.ic[i].key = -1
+			}
+		}
+		in.mpxBounds = [2]uint64{0, uint64(len(in.mem))}
+		return in
 	}
 	if cm.minMemBytes > 0 {
 		in.mem = make([]byte, cm.minMemBytes)
@@ -195,7 +226,12 @@ func (in *Instance) Start(name string, args ...uint64) error {
 		return ErrAlreadyStarted
 	}
 	if in.mod.startIdx >= 0 {
-		if err := in.runStartFunction(); err != nil {
+		if in.snap != nil {
+			// Materialized from the post-init snapshot: the start function's
+			// effects are already in memory/globals. Credit its recorded gas
+			// so metering stays bit-identical to the replayed path.
+			in.Gas += in.snap.gas
+		} else if err := in.runStartFunction(); err != nil {
 			return err
 		}
 	}
@@ -246,9 +282,24 @@ func (in *Instance) startIndex(idx uint32, args []uint64) error {
 func (in *Instance) runStartFunction() error {
 	// The start function runs eagerly and unpreempted, as part of
 	// instantiation (module environment setup).
+	st, err := in.startFunction(0)
+	if err != nil {
+		return err
+	}
+	if st != StatusDone {
+		return fmt.Errorf("engine: start function did not complete (%s)", st)
+	}
+	return nil
+}
+
+// startFunction executes the module's start function with the given fuel
+// budget (<= 0 runs unpreempted). The compile-time snapshot probe uses a
+// finite budget so Compile never executes unbounded guest code; the
+// per-request path uses 0 and treats any non-Done status as an error.
+func (in *Instance) startFunction(fuel int64) (Status, error) {
 	nImp := in.mod.numImports
 	if int(in.mod.startIdx) < nImp {
-		return fmt.Errorf("engine: start function is an import")
+		return StatusTrapped, fmt.Errorf("engine: start function is an import")
 	}
 	fn := &in.mod.funcs[int(in.mod.startIdx)-nImp]
 	in.certified = false
@@ -258,15 +309,14 @@ func (in *Instance) runStartFunction() error {
 	}
 	in.sp = fn.nLocals
 	in.frames = append(in.frames[:0], frame{fn: fn, pc: 0, base: 0})
-	st, err := in.run(0)
+	st, err := in.run(fuel)
 	if err != nil {
-		return err
+		return st, err
 	}
-	if st != StatusDone {
-		return fmt.Errorf("engine: start function did not complete (%s)", st)
+	if st == StatusDone {
+		in.status = StatusYielded
 	}
-	in.status = StatusYielded
-	return nil
+	return st, nil
 }
 
 // Run executes until completion, fuel exhaustion, a blocking host call, or a

@@ -248,6 +248,11 @@ type CompiledModule struct {
 	// pool recycles Instances (linear memory, operand stack, frames) so
 	// steady-state invocation allocates nothing. See pool.go.
 	pool instancePool
+	// snap is the post-init snapshot captured after the start function ran
+	// once at compile time, or nil when the module has none. The cache may
+	// drop it (DropSnapshot) as a demotion rung, so loads go through the
+	// atomic pointer. See snapshot.go.
+	snap snapField
 }
 
 // stackCert is a per-entry-point stack certificate: the worst-case number
@@ -343,6 +348,15 @@ func (cm *CompiledModule) Regalloc() RegallocStats { return cm.regallocStats }
 // SourceSize returns the size in bytes of the wasm binary this module was
 // compiled from (0 when compiled from an in-memory module).
 func (cm *CompiledModule) SourceSize() int { return cm.sourceSize }
+
+// ResidentBytes is the module's reclaimable memory footprint — compiled
+// code, post-init snapshot, and idle pooled instances — the quantity the
+// bounded module cache charges against its budget. Retained source bytes
+// are excluded: they are what makes eviction reversible and are accounted
+// separately.
+func (cm *CompiledModule) ResidentBytes() int64 {
+	return int64(cm.lowerStats.ObjectBytes) + cm.SnapshotBytes() + cm.PooledBytes()
+}
 
 // MinMemoryBytes returns the initial linear memory size.
 func (cm *CompiledModule) MinMemoryBytes() int {
@@ -600,6 +614,7 @@ func Compile(m *wasm.Module, host HostRegistry, cfg Config) (*CompiledModule, er
 			cm.exports[exp.Name] = exp.Index
 		}
 	}
+	cm.captureSnapshot()
 	return cm, nil
 }
 

@@ -21,18 +21,41 @@ import "sync"
 // to a sync.Pool, which the GC may reclaim under memory pressure.
 const maxFreeInstances = 64
 
+// Per-element sizes for the pool's footprint gauge (sizeof frame and
+// icEntry on 64-bit: pointer + two/one 32-bit fields, padded).
+const (
+	frameBytes   = 16
+	icEntryBytes = 16
+)
+
 // instancePool recycles Instances for one CompiledModule: a small bounded
 // LIFO for the steady state plus a sync.Pool overflow tier.
 type instancePool struct {
 	mu   sync.Mutex
 	free []*Instance
 	sp   sync.Pool
+	// closed stops the pool from accepting or handing out instances:
+	// Unregister (and full cache eviction) must not let idle slabs outlive
+	// the module. Acquire falls back to Instantiate and Release tears the
+	// instance down, so slabs die with the last in-flight request.
+	closed bool
+	// freeBytes is the retained footprint of the instances on the free
+	// list, maintained on every put/take so the cache controller can read
+	// it without walking the list.
+	freeBytes int64
 }
 
 // Acquire returns a reset, ready-to-Start Instance, reusing a recycled one
 // when available. Pair with Release on the completion path; an Instance that
 // is never released is simply collected by the GC, exactly like one from
 // Instantiate.
+//
+// For snapshotted modules this is the warm-start fast path: the recycled
+// instance was reset against the post-init image (resetFromSnapshot) and
+// Start will credit the recorded start-function gas instead of replaying
+// it. The noalloc directive keeps that materialize path allocation-free by
+// construction; the only allocating exit is the pool-miss fallback to
+// Instantiate, the documented cold path.
 //
 //sledge:noalloc
 func (cm *CompiledModule) Acquire() *Instance {
@@ -42,12 +65,16 @@ func (cm *CompiledModule) Acquire() *Instance {
 		in := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
+		p.freeBytes -= in.footprintBytes()
 		p.mu.Unlock()
 		return in
 	}
+	closed := p.closed
 	p.mu.Unlock()
-	if v := p.sp.Get(); v != nil {
-		return v.(*Instance)
+	if !closed {
+		if v := p.sp.Get(); v != nil {
+			return v.(*Instance)
+		}
 	}
 	return cm.Instantiate()
 }
@@ -65,18 +92,29 @@ func (cm *CompiledModule) Release(in *Instance) {
 	if in.started && (in.status == StatusYielded || in.status == StatusBlocked) {
 		return
 	}
+	if in.snap != cm.snap.Load() {
+		// The instance's baseline no longer matches the module's (the cache
+		// dropped the snapshot, or a stale pre-drop instance drained). Let
+		// the GC reclaim it so the snapshot bytes actually retire; pooling
+		// it would pin the old image and hand out a mixed baseline.
+		return
+	}
 	in.resetForReuse()
 	p := &cm.pool
 	p.mu.Lock()
-	if len(p.free) < maxFreeInstances {
+	if !p.closed && len(p.free) < maxFreeInstances {
 		// Amortized: the free list grows to its 64-entry cap once and then
 		// stays allocated for the module's lifetime.
 		p.free = append(p.free, in) //sledge:coldpath
+		p.freeBytes += in.footprintBytes()
 		p.mu.Unlock()
 		return
 	}
+	closed := p.closed
 	p.mu.Unlock()
-	p.sp.Put(in)
+	if !closed {
+		p.sp.Put(in)
+	}
 }
 
 // PooledInstances reports how many instances sit in the bounded free list
@@ -85,6 +123,60 @@ func (cm *CompiledModule) PooledInstances() int {
 	cm.pool.mu.Lock()
 	defer cm.pool.mu.Unlock()
 	return len(cm.pool.free)
+}
+
+// PooledBytes reports the retained footprint of the idle free list — the
+// cache controller's per-module gauge for the first demotion rung.
+func (cm *CompiledModule) PooledBytes() int64 {
+	cm.pool.mu.Lock()
+	defer cm.pool.mu.Unlock()
+	return cm.pool.freeBytes
+}
+
+// PurgeIdle drops every idle instance from the pool (free list and
+// sync.Pool overflow) and returns the bytes released from the bounded free
+// list. In-flight instances are unaffected; the pool keeps working. This is
+// the cache's first, cheapest demotion rung.
+func (cm *CompiledModule) PurgeIdle() int64 {
+	p := &cm.pool
+	p.mu.Lock()
+	released := p.freeBytes
+	for i := range p.free {
+		p.free[i] = nil
+	}
+	p.free = p.free[:0]
+	p.freeBytes = 0
+	p.mu.Unlock()
+	// Swap out the overflow tier wholesale; outstanding Put/Get against the
+	// old pool are harmless (the old instances just become garbage).
+	p.sp = sync.Pool{}
+	return released
+}
+
+// ClosePool purges the idle pool and marks it closed: Acquire stops
+// handing out recycled instances and Release tears down instead of
+// pooling. Called by Unregister/Replace (and full cache eviction) so slabs
+// cannot outlive the module they belong to.
+func (cm *CompiledModule) ClosePool() {
+	p := &cm.pool
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	cm.PurgeIdle()
+}
+
+// footprintBytes is the instance's retained slab footprint: linear memory
+// capacity plus operand stack, frames, inline caches, and globals. Used
+// for the pool's idle-bytes gauge; called with the pool lock held or on an
+// owned instance.
+//
+//sledge:noalloc
+func (in *Instance) footprintBytes() int64 {
+	return int64(cap(in.mem)) +
+		8*int64(cap(in.stack)) +
+		int64(cap(in.frames))*int64(frameBytes) +
+		int64(len(in.ic))*int64(icEntryBytes) +
+		8*int64(len(in.globals))
 }
 
 // resetForReuse restores the instance to its post-Instantiate state without
@@ -96,28 +188,32 @@ func (cm *CompiledModule) PooledInstances() int {
 //sledge:noalloc
 func (in *Instance) resetForReuse() {
 	cm := in.mod
-	if cap(in.mem) < cm.minMemBytes {
-		// Torn down (or never had memory): start from a fresh zeroed
-		// allocation; nothing stale can survive.
-		in.mem = make([]byte, cm.minMemBytes) //sledge:coldpath
+	if in.snap != nil {
+		in.resetFromSnapshot()
 	} else {
-		full := in.mem[:cap(in.mem)]
-		d := in.memDirty
-		if d > uint64(len(full)) {
-			d = uint64(len(full))
+		if cap(in.mem) < cm.minMemBytes {
+			// Torn down (or never had memory): start from a fresh zeroed
+			// allocation; nothing stale can survive.
+			in.mem = make([]byte, cm.minMemBytes) //sledge:coldpath
+		} else {
+			full := in.mem[:cap(in.mem)]
+			d := in.memDirty
+			if d > uint64(len(full)) {
+				d = uint64(len(full))
+			}
+			clear(full[:d])
+			in.mem = full[:cm.minMemBytes]
 		}
-		clear(full[:d])
-		in.mem = full[:cm.minMemBytes]
-	}
-	for _, seg := range cm.dataSegs {
-		copy(in.mem[seg.offset:], seg.bytes)
-	}
-	in.memDirty = uint64(cm.dataEnd)
+		for _, seg := range cm.dataSegs {
+			copy(in.mem[seg.offset:], seg.bytes)
+		}
+		in.memDirty = uint64(cm.dataEnd)
 
-	if len(in.globals) != len(cm.globalInit) {
-		in.globals = make([]uint64, len(cm.globalInit)) //sledge:coldpath
+		if len(in.globals) != len(cm.globalInit) {
+			in.globals = make([]uint64, len(cm.globalInit)) //sledge:coldpath
+		}
+		copy(in.globals, cm.globalInit)
 	}
-	copy(in.globals, cm.globalInit)
 
 	if cm.numICSites > 0 && len(in.ic) != cm.numICSites {
 		in.ic = make([]icEntry, cm.numICSites) //sledge:coldpath
@@ -157,4 +253,44 @@ func (in *Instance) resetForReuse() {
 	in.mpxScratch = 0
 	in.HostData = nil
 	in.Gas = 0
+}
+
+// resetFromSnapshot is the snapshot-diff form of the memory/global reset:
+// instead of zeroing the dirty prefix and replaying data segments (then
+// paying the start function again at Start), it copies the post-init
+// snapshot image back over only the bytes that may have diverged from it —
+// the same memDirty watermark, reinterpreted as "differs from baseline".
+// Bytes above the watermark still hold the baseline (image below its
+// trimmed length, zeros above — grow-exposed bytes were zero and every
+// write bumps the watermark), so the steady-state reset cost is
+// proportional to what the request actually touched, strictly cheaper than
+// zero + replay + start.
+//
+//sledge:noalloc
+func (in *Instance) resetFromSnapshot() {
+	snap := in.snap
+	if cap(in.mem) < snap.memLen {
+		// Torn down (or never had memory): re-materialize from scratch.
+		in.mem = make([]byte, snap.memLen) //sledge:coldpath
+		copy(in.mem, snap.image)
+	} else {
+		full := in.mem[:cap(in.mem)]
+		d := in.memDirty
+		if d > uint64(len(full)) {
+			d = uint64(len(full))
+		}
+		n := uint64(len(snap.image))
+		if n > d {
+			n = d
+		}
+		copy(full[:n], snap.image)
+		clear(full[n:d])
+		in.mem = full[:snap.memLen]
+	}
+	in.memDirty = 0
+
+	if len(in.globals) != len(snap.globals) {
+		in.globals = make([]uint64, len(snap.globals)) //sledge:coldpath
+	}
+	copy(in.globals, snap.globals)
 }

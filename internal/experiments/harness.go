@@ -109,6 +109,7 @@ var Registry = map[string]func(Options) ([]*Table, error){
 	"meter":    RunMeterAblation,
 	"sched":    RunSchedBench,
 	"tierup":   RunTierup,
+	"warm":     RunWarm,
 	"ablation": func(o Options) ([]*Table, error) {
 		var out []*Table
 		for _, fn := range []func(Options) ([]*Table, error){
@@ -126,5 +127,5 @@ var Registry = map[string]func(Options) ([]*Table, error){
 
 // IDs lists experiment IDs in paper order.
 func IDs() []string {
-	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "overload", "cluster", "regalloc", "meter", "sched", "tierup", "ablation"}
+	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "overload", "cluster", "regalloc", "meter", "sched", "tierup", "warm", "ablation"}
 }

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWarmSmoke runs the warm-start benchmark end-to-end at quick sizes:
+// both halves must complete, every reply must validate, the snapshot path
+// must beat start-function replay by the acceptance margin (the gap is
+// orders of magnitude, so even the quick run clears 5x), and the budgeted
+// fleet must actually churn its cache — pool purges and body drops with
+// lazy recompiles — while holding goodput near the unbounded run. The
+// acceptance-grade fleet numbers come from `make bench-warm` at full
+// sizes.
+func TestWarmSmoke(t *testing.T) {
+	var snap warmSnapshot
+	tables, err := runWarm(Options{Quick: true}, &snap)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("warm produced %d tables, want 2", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s has no rows", tbl.ID)
+		}
+		var buf bytes.Buffer
+		tbl.Render(&buf)
+		t.Logf("\n%s", buf.String())
+	}
+
+	fi := snap.FirstInvoke
+	if len(fi.Modes) != 3 {
+		t.Fatalf("first-invoke ran %d modes, want 3", len(fi.Modes))
+	}
+	if fi.SnapshotBytes == 0 {
+		t.Errorf("init module captured no snapshot")
+	}
+	if fi.SpeedupP50 < 5 {
+		t.Errorf("snapshot first-invoke speedup %.1fx, want >= 5x", fi.SpeedupP50)
+	}
+
+	fl := snap.Fleet
+	if len(fl.Modes) != 2 {
+		t.Fatalf("fleet ran %d modes, want 2", len(fl.Modes))
+	}
+	for _, m := range fl.Modes {
+		if m.Errors > 0 {
+			t.Errorf("fleet %s: %d request errors", m.Mode, m.Errors)
+		}
+		if m.GoodputRPS == 0 {
+			t.Errorf("fleet %s completed no requests", m.Mode)
+		}
+	}
+	budgeted := fl.Modes[1]
+	if budgeted.Cache == nil {
+		t.Fatalf("budgeted mode reported no cache stats")
+	}
+	if budgeted.Cache.PurgedIdle == 0 && budgeted.Cache.DroppedSnapshots == 0 && budgeted.Cache.DroppedBodies == 0 {
+		t.Errorf("budgeted cache evicted nothing under a /4 budget: %+v", *budgeted.Cache)
+	}
+	if budgeted.Cache.ResidentBytes > budgeted.BudgetBytes*2 {
+		t.Errorf("budgeted resident %d far above budget %d", budgeted.Cache.ResidentBytes, budgeted.BudgetBytes)
+	}
+	// Quick sizes are too small for the 0.9 acceptance bound to be stable,
+	// but the bounded cache must not collapse goodput.
+	if fl.GoodputRatio < 0.5 {
+		t.Errorf("budgeted goodput ratio %.2f, want >= 0.5 even at quick sizes", fl.GoodputRatio)
+	}
+}

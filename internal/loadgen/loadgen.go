@@ -44,6 +44,15 @@ type Options struct {
 	// individual nodes (the ablation baseline) with the same generator.
 	// URL is ignored when Targets is set.
 	Targets []Target
+	// TargetFn, when set, picks the endpoint for request i and overrides
+	// both URL and Targets. It exists for fleet-scale skew scenarios —
+	// Zipf-over-N-modules, where expanding a weighted schedule across
+	// thousands of endpoints is impractical — so callers typically index a
+	// precomputed rank schedule. It may be called from multiple worker
+	// goroutines in closed-loop mode and must be safe for concurrent use;
+	// per-endpoint tallies (TargetCounts) are skipped in this mode to keep
+	// the per-request cost flat at fleet scale.
+	TargetFn func(i int) string
 	// sched is the expanded round-robin schedule, built once per Run.
 	sched []string
 	// Concurrency is the number of concurrent connections (ab -c).
@@ -118,7 +127,9 @@ func Run(opts Options) (Result, error) {
 	if opts.Timeout == 0 {
 		opts.Timeout = 30 * time.Second
 	}
-	if len(opts.Targets) > 0 {
+	if opts.TargetFn != nil {
+		// Per-request selection; no schedule to expand.
+	} else if len(opts.Targets) > 0 {
 		opts.sched = wrrSchedule(opts.Targets)
 	} else if opts.URL == "" {
 		return Result{}, fmt.Errorf("loadgen: no target URL")
@@ -174,7 +185,9 @@ func (c *collector) do(client *http.Client, opts *Options, i int) {
 		body = opts.BodyFn(i)
 	}
 	url := opts.URL
-	if len(opts.sched) > 0 {
+	if opts.TargetFn != nil {
+		url = opts.TargetFn(i)
+	} else if len(opts.sched) > 0 {
 		url = opts.sched[i%len(opts.sched)]
 		c.mu.Lock()
 		if c.targets == nil {
