@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke meter-smoke warm-smoke test bench bench-regalloc bench-sched bench-tierup bench-cluster bench-meter bench-warm
+.PHONY: check vet analyzers build test-race bench-smoke overload-smoke fuzz-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke meter-smoke warm-smoke chain-smoke test bench bench-regalloc bench-sched bench-tierup bench-cluster bench-meter bench-warm bench-chain
 
 # check is the pre-merge gate: static analysis (go vet plus the project
 # analyzers: noalloc hot-path enforcement, mutex-copy and lock-ordering,
@@ -14,10 +14,14 @@ GO ?= go
 # metering smoke run (block-metered and per-instruction runs charge
 # bit-identical gas under preemptive slicing), a warm-start smoke run
 # (snapshot first invoke beats start replay, the bounded module cache
-# holds goodput while evicting), and a 30s differential fuzz
-# of the check-elision pipeline (every bounds strategy with elision on/off,
-# in both metering modes, must produce identical results, traps, and gas).
-check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke meter-smoke warm-smoke fuzz-smoke
+# holds goodput while evicting), a function-composition smoke run (the
+# co-located pipeline beats the HTTP self-call chain with bit-identical
+# replies and gas), and fuzz smokes: a 30s differential fuzz of the
+# check-elision pipeline (every bounds strategy with elision on/off, in
+# both metering modes, must produce identical results, traps, and gas) and
+# a hostile-input fuzz of the sledge.output handoff host call (arbitrary
+# ptr/len must trap or stay in bounds).
+check: vet analyzers build test-race bench-smoke overload-smoke regalloc-smoke sched-smoke tierup-smoke cluster-smoke meter-smoke warm-smoke chain-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -105,8 +109,21 @@ warm-smoke:
 bench-warm:
 	$(GO) run ./cmd/sledge-bench -run warm -snapshot BENCH_warm.json
 
+# chain-smoke runs the function-composition benchmark at quick sizes (the
+# registered pipeline and the HTTP self-call chain return bit-identical
+# replies and per-stage gas, the zero-copy handoff path is exercised, and
+# the co-located pipeline clearly wins); the acceptance-grade number
+# (pipeline p50 >= 3x faster than HTTP self-call) comes from
+# `make bench-chain`, which regenerates BENCH_chain.json at full sizes.
+chain-smoke:
+	$(GO) test -run=TestChainSmoke -count=1 ./internal/experiments/
+
+bench-chain:
+	$(GO) run ./cmd/sledge-bench -run chain -snapshot BENCH_chain.json
+
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDifferentialElision -fuzztime=30s ./internal/engine/
+	$(GO) test -run=NONE -fuzz=FuzzOutputHostCall -fuzztime=15s ./internal/abi/
 
 test:
 	$(GO) test ./...

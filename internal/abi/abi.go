@@ -8,6 +8,9 @@
 //	sledge.read(buf, len) -> n     consume the request body (stdin)
 //	sledge.write(buf, len) -> n    append to the response body (stdout)
 //	sledge.req_len() -> n          total request body size
+//	sledge.output(ptr, len) -> n   declare the result region in linear
+//	                               memory (pipeline zero-copy handoff)
+//	sledge.input_len() -> n        alias of req_len for pipeline stages
 //	sledge.kv_get / sledge.kv_set  cloud storage access; with an AsyncKV
 //	                               backend these block the sandbox and are
 //	                               completed by the worker's event loop
@@ -68,6 +71,21 @@ type Context struct {
 	// returned engine.ErrHostBlock. The scheduler consumes it.
 	Pending *Pending
 
+	// OutputPtr/OutputLen record the function's declared result region in
+	// its own linear memory (sledge.output). When OutputSet is true the
+	// region supersedes Response as the function result: a pipeline
+	// executor hands the region to the next stage with zero serialization
+	// (the single copy between instance memories happens when the next
+	// stage sledge.reads it), and the HTTP path serves it directly.
+	OutputPtr uint32
+	OutputLen uint32
+	OutputSet bool
+
+	// MaxHandoffBytes bounds one declared output region; 0 means
+	// DefaultMaxHandoffBytes. Oversized declarations fail the host call
+	// with ErrHandoffTooLarge, trapping the sandbox.
+	MaxHandoffBytes uint32
+
 	readPos   int
 	randState uint32
 }
@@ -85,6 +103,10 @@ func (c *Context) Reset(request []byte) {
 	c.KV = nil
 	c.Now = nil
 	c.Pending = nil
+	c.OutputPtr = 0
+	c.OutputLen = 0
+	c.OutputSet = false
+	c.MaxHandoffBytes = 0
 	c.readPos = 0
 	c.randState = 0x9E3779B9
 }
@@ -165,6 +187,14 @@ func Registry() engine.HostRegistry {
 				Func: hostWrite,
 			},
 			"req_len": {
+				Type: sig(nil, []wasm.ValType{i32}),
+				Func: hostReqLen,
+			},
+			"output": {
+				Type: sig([]wasm.ValType{i32, i32}, []wasm.ValType{i32}),
+				Func: hostOutput,
+			},
+			"input_len": {
 				Type: sig(nil, []wasm.ValType{i32}),
 				Func: hostReqLen,
 			},

@@ -1,0 +1,75 @@
+// Pipeline handoff half of the ABI: sledge.output declares a function's
+// result as a contiguous region of its own linear memory, so a pipeline
+// executor can hand that region to the next stage without serialization.
+//
+// Contract (see docs/PIPELINES.md):
+//
+//   - sledge.output(ptr, len) -> len declares [ptr, ptr+len) as the result.
+//     The region is bounds-checked against linear memory at declaration and
+//     re-checked at resolution; len is capped by Context.MaxHandoffBytes
+//     (DefaultMaxHandoffBytes when zero) and an oversized declaration fails
+//     the host call with ErrHandoffTooLarge, trapping the sandbox (HTTP 413).
+//   - The last successful call wins; len == 0 is a valid empty result.
+//   - When declared, the region supersedes the sledge.write Response buffer
+//     as the function result — for single-function HTTP invokes too, so a
+//     module produces bit-identical replies whether it runs alone or as a
+//     stage.
+//   - Stage 0 still reads the HTTP body via sledge.read; the final stage's
+//     result (declared region or Response buffer) becomes the HTTP reply.
+//     Intermediate stages see the previous stage's result as their Request:
+//     sledge.input_len reports its size, and the one bounds-checked copy
+//     between instance memories happens inside the next stage's sledge.read.
+package abi
+
+import (
+	"errors"
+
+	"sledge/internal/engine"
+)
+
+// DefaultMaxHandoffBytes bounds a declared output region when the embedder
+// sets no explicit limit (Context.MaxHandoffBytes == 0).
+const DefaultMaxHandoffBytes = 8 << 20
+
+// ErrHandoffTooLarge reports a sledge.output declaration exceeding the
+// configured MaxHandoffBytes. It reaches the invoker wrapped in an
+// engine.Trap (TrapHostError), so errors.Is sees through; the HTTP surface
+// maps it to 413.
+var ErrHandoffTooLarge = errors.New("abi: output region exceeds MaxHandoffBytes")
+
+func hostOutput(inst *engine.Instance, args []uint64) (uint64, error) {
+	c, err := ctxOf(inst)
+	if err != nil {
+		return 0, err
+	}
+	ptr, n := uint32(args[0]), uint32(args[1])
+	max := c.MaxHandoffBytes
+	if max == 0 {
+		max = DefaultMaxHandoffBytes
+	}
+	if n > max {
+		return 0, ErrHandoffTooLarge
+	}
+	// Bounds-check the declaration now so a hostile ptr/len traps at the
+	// call site, not at handoff. MemRangeRO: declaring is not writing.
+	if _, err := inst.MemRangeRO(ptr, n); err != nil {
+		return 0, err
+	}
+	c.OutputPtr, c.OutputLen, c.OutputSet = ptr, n, true
+	return uint64(n), nil
+}
+
+// ResolveOutput returns the function result after a successful run: the
+// declared output region (aliasing inst's linear memory — the caller must
+// keep inst alive while the slice is in use) or, when no region was
+// declared, the accumulated Response buffer. Linear memory only grows, so
+// the re-check cannot fail for a region that passed at declaration; it
+// guards resolution against a Context paired with the wrong instance.
+//
+//sledge:noalloc
+func (c *Context) ResolveOutput(inst *engine.Instance) ([]byte, error) {
+	if !c.OutputSet {
+		return c.Response, nil
+	}
+	return inst.MemRangeRO(c.OutputPtr, c.OutputLen)
+}

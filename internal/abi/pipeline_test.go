@@ -1,0 +1,179 @@
+package abi
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sledge/internal/wasm"
+)
+
+// Hostile-input coverage for the pipeline handoff host calls: sledge.output
+// must reject any (ptr, len) pair that escapes linear memory or the
+// configured handoff cap — a compromised or buggy guest must trap, never
+// alias host memory it doesn't own.
+
+func TestOutputDeclares(t *testing.T) {
+	ctx := NewContext([]byte("req"))
+	inst := hostInstance(t, ctx)
+	copy(inst.Memory()[100:], "result")
+
+	n, err := callHost(t, "sledge", "output", inst, 100, 6)
+	if err != nil || n != 6 {
+		t.Fatalf("output = %d, %v", n, err)
+	}
+	if !ctx.OutputSet || ctx.OutputPtr != 100 || ctx.OutputLen != 6 {
+		t.Fatalf("context = set=%v ptr=%d len=%d", ctx.OutputSet, ctx.OutputPtr, ctx.OutputLen)
+	}
+	out, err := ctx.ResolveOutput(inst)
+	if err != nil || string(out) != "result" {
+		t.Fatalf("ResolveOutput = %q, %v", out, err)
+	}
+	// The region aliases instance memory — no copy at declaration time.
+	inst.Memory()[100] = 'R'
+	if out, _ = ctx.ResolveOutput(inst); string(out) != "Result" {
+		t.Errorf("region is a copy, want an alias: %q", out)
+	}
+
+	// Redeclaration wins: last call is the result.
+	if _, err := callHost(t, "sledge", "output", inst, 101, 2); err != nil {
+		t.Fatal(err)
+	}
+	if out, _ = ctx.ResolveOutput(inst); string(out) != "es" {
+		t.Errorf("after redeclare: %q", out)
+	}
+}
+
+func TestOutputUndeclaredFallsBackToResponse(t *testing.T) {
+	ctx := NewContext(nil)
+	ctx.Response = []byte("written")
+	inst := hostInstance(t, ctx)
+	out, err := ctx.ResolveOutput(inst)
+	if err != nil || string(out) != "written" {
+		t.Errorf("ResolveOutput without declaration = %q, %v", out, err)
+	}
+}
+
+func TestOutputOutOfBounds(t *testing.T) {
+	cases := []struct {
+		name     string
+		ptr, len uint64
+	}{
+		{"past end", uint64(wasm.PageSize), 16},
+		{"straddles end", uint64(wasm.PageSize) - 8, 16},
+		{"len overflows", 0, math.MaxUint32},
+		{"ptr+len wraps u32", math.MaxUint32, math.MaxUint32},
+		{"zero len past end", uint64(wasm.PageSize) + 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := NewContext(nil)
+			// Cap above a page so the bounds check, not the cap, fires
+			// (except for "len overflows", which both reject).
+			ctx.MaxHandoffBytes = math.MaxUint32
+			inst := hostInstance(t, ctx)
+			if _, err := callHost(t, "sledge", "output", inst, tc.ptr, tc.len); err == nil {
+				t.Errorf("output(%d, %d) accepted", tc.ptr, tc.len)
+			}
+			if ctx.OutputSet {
+				t.Error("rejected declaration left OutputSet")
+			}
+		})
+	}
+}
+
+func TestOutputZeroLength(t *testing.T) {
+	ctx := NewContext(nil)
+	inst := hostInstance(t, ctx)
+	// Zero-length at the very end of memory is in bounds: offset == size.
+	if _, err := callHost(t, "sledge", "output", inst, uint64(wasm.PageSize), 0); err != nil {
+		t.Fatalf("zero-length at memory end: %v", err)
+	}
+	out, err := ctx.ResolveOutput(inst)
+	if err != nil || len(out) != 0 {
+		t.Errorf("zero-length region = %d bytes, %v", len(out), err)
+	}
+}
+
+func TestOutputHandoffCap(t *testing.T) {
+	ctx := NewContext(nil)
+	ctx.MaxHandoffBytes = 1024
+	inst := hostInstance(t, ctx)
+	if _, err := callHost(t, "sledge", "output", inst, 0, 1024); err != nil {
+		t.Fatalf("at the cap: %v", err)
+	}
+	_, err := callHost(t, "sledge", "output", inst, 0, 1025)
+	if !errors.Is(err, ErrHandoffTooLarge) {
+		t.Fatalf("over the cap: %v, want ErrHandoffTooLarge", err)
+	}
+
+	// Unset cap falls back to the 8 MiB default — checked before bounds, so
+	// an absurd declaration reports the cap, not the memory size.
+	ctx = NewContext(nil)
+	inst = hostInstance(t, ctx)
+	if _, err := callHost(t, "sledge", "output", inst, 0, DefaultMaxHandoffBytes+1); !errors.Is(err, ErrHandoffTooLarge) {
+		t.Errorf("default cap: %v, want ErrHandoffTooLarge", err)
+	}
+}
+
+func TestInputLen(t *testing.T) {
+	ctx := NewContext([]byte("hello world"))
+	inst := hostInstance(t, ctx)
+	n, err := callHost(t, "sledge", "input_len", inst)
+	if err != nil || n != 11 {
+		t.Errorf("input_len = %d, %v", n, err)
+	}
+	// Alias of req_len: the two must always agree.
+	m, err := callHost(t, "sledge", "req_len", inst)
+	if err != nil || m != n {
+		t.Errorf("req_len = %d, input_len = %d", m, n)
+	}
+}
+
+func TestOutputMissingContext(t *testing.T) {
+	inst := hostInstance(t, nil)
+	inst.HostData = nil
+	if _, err := callHost(t, "sledge", "output", inst, 0, 1); !errors.Is(err, ErrNoContext) {
+		t.Errorf("want ErrNoContext, got %v", err)
+	}
+}
+
+// FuzzOutputHostCall drives arbitrary (ptr, len) pairs at sledge.output.
+// Property: the call either errors or declares a region that lies entirely
+// within linear memory and under the handoff cap — and it never panics.
+func FuzzOutputHostCall(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(0), uint32(wasm.PageSize))
+	f.Add(uint32(wasm.PageSize), uint32(0))
+	f.Add(uint32(wasm.PageSize-1), uint32(2))
+	f.Add(uint32(math.MaxUint32), uint32(math.MaxUint32))
+	f.Add(uint32(64), uint32(512))
+	f.Fuzz(func(t *testing.T, ptr, n uint32) {
+		ctx := NewContext(nil)
+		ctx.MaxHandoffBytes = 4096
+		inst := hostInstance(t, ctx)
+		memSize := uint64(len(inst.Memory()))
+		ret, err := callHost(t, "sledge", "output", inst, uint64(ptr), uint64(n))
+		if err != nil {
+			if ctx.OutputSet {
+				t.Fatal("error left a declared region")
+			}
+			return
+		}
+		if ret != uint64(n) {
+			t.Fatalf("output returned %d, want %d", ret, n)
+		}
+		if !ctx.OutputSet {
+			t.Fatal("success without a declared region")
+		}
+		if uint64(ptr)+uint64(n) > memSize {
+			t.Fatalf("accepted region [%d, %d) escapes %d-byte memory", ptr, uint64(ptr)+uint64(n), memSize)
+		}
+		if n > ctx.MaxHandoffBytes {
+			t.Fatalf("accepted %d bytes over the %d cap", n, ctx.MaxHandoffBytes)
+		}
+		if out, rerr := ctx.ResolveOutput(inst); rerr != nil || len(out) != int(n) {
+			t.Fatalf("ResolveOutput = %d bytes, %v", len(out), rerr)
+		}
+	})
+}

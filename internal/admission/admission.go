@@ -596,6 +596,20 @@ func (c *Controller) ResetModule(module string) {
 	c.estGen[module]++
 }
 
+// Estimate returns the controller's live EWMA service-time estimate for
+// module, or 0 when it has no samples. Unlike the admit path it never
+// materializes estimator state for unknown names, so a pipeline executor
+// can poll per-stage estimates for its remaining-budget shed decision
+// without growing the estimator map.
+func (c *Controller) Estimate(module string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.est[module]; ok && e.n > 0 {
+		return time.Duration(e.val)
+	}
+	return 0
+}
+
 // ResetEstimate drops only the service-time estimate for module, keeping
 // the breaker — the tier-promotion path. A promoted module runs semantically
 // identical (recompiled) code, so its trap history still applies, but its

@@ -103,6 +103,9 @@ func (rt *Runtime) Health() HealthSnapshot {
 		h.Modules[name] = mh
 	}
 	rt.mu.RUnlock()
+	// Pipelines appear under their reserved "p/<name>" keys so routers
+	// place whole chains like modules (pipeline.go).
+	rt.pipelineHealth(&h, ah)
 	return h
 }
 

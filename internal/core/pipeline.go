@@ -1,0 +1,543 @@
+package core
+
+// Function composition: a pipeline is a registered, ordered module chain —
+// the degenerate DAG — invoked by name (POST /p/<name>, Invoke("p/<name>")).
+// Co-located stages hand off through shared linear-memory buffers instead of
+// HTTP self-calls: a stage declares its result region via sledge.output, the
+// executor aliases that region as the next stage's Request (keeping the
+// producing instance alive until the consumer finishes), and the single
+// bounds-checked copy between instance memories happens inside the next
+// stage's sledge.read. No serialization, no loopback hop, no per-stage
+// admission. See docs/PIPELINES.md for the contract.
+//
+// Scheduling: the executor acquires the next stage's pooled instance while
+// the current stage runs (overlapping instantiation with execution) and
+// submits each continuation with affinity for the worker that ran the
+// previous stage (sched.SubmitAffine), so the handoff buffer is consumed on
+// the core whose cache just wrote it. Stealing still applies to the
+// continuation, so affinity never defeats work conservation.
+//
+// Admission: one ticket under the reserved name "p/<name>" covers the whole
+// chain, and one deadline is threaded across it. The controller's estimate
+// for the pipeline is seeded with the sum of the stages' epoch latencies and
+// thereafter learns whole-chain service times. Mid-chain, each stage is shed
+// against the *remaining* budget — deadline minus time already spent in
+// prior stages — never the full request deadline.
+//
+// Gas stays deterministic: each stage is charged its static cost exactly as
+// a standalone invoke would be, and the chain's gas is the sum — bit-equal
+// to invoking the stages individually with the same payloads.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sledge/internal/admission"
+	"sledge/internal/engine"
+	"sledge/internal/sandbox"
+)
+
+// PipelinePrefix is the reserved invocation-name prefix for pipelines: the
+// HTTP surface exposes a pipeline at /p/<name>, and the same "p/<name>"
+// string names it in Invoke, admission accounting, health snapshots, and
+// cluster routing (a cluster routes the whole chain to one node, never
+// per-stage). Module names must not start with it.
+const PipelinePrefix = "p/"
+
+// ErrNoPipeline reports an unknown pipeline name.
+var ErrNoPipeline = errors.New("core: no such pipeline")
+
+// ErrDuplicatePipeline reports a name collision at pipeline registration.
+var ErrDuplicatePipeline = errors.New("core: pipeline already registered")
+
+// ErrEmptyPipeline reports a RegisterPipeline call with no stages.
+var ErrEmptyPipeline = errors.New("core: pipeline needs at least one stage")
+
+// Pipeline is a registered module chain. Stage modules are resolved by name
+// at each invocation, so Replace/Unregister of a stage behaves exactly as it
+// does for direct invokes.
+type Pipeline struct {
+	Name string
+	// Tenant attributes the whole chain's admission ticket; empty means
+	// the default tenant.
+	Tenant string
+
+	stages []string
+
+	invocations atomic.Uint64
+	failures    atomic.Uint64
+	sheds       atomic.Uint64
+	totalNanos  atomic.Int64
+	gas         atomic.Uint64
+
+	// Handoff accounting for the N-1 intermediate boundaries: fast counts
+	// sledge.output-declared regions handed to the next stage zero-copy,
+	// buffered counts stages that fell back to the sledge.write Response
+	// buffer (still in-memory, still no HTTP hop).
+	fastHandoffs     atomic.Uint64
+	bufferedHandoffs atomic.Uint64
+	handoffBytes     atomic.Uint64
+}
+
+// StageNames returns the chain's module names in execution order.
+func (p *Pipeline) StageNames() []string {
+	out := make([]string, len(p.stages))
+	copy(out, p.stages)
+	return out
+}
+
+// PipelineStats is a pipeline's accounting snapshot (served in /__stats).
+type PipelineStats struct {
+	Stages      []string `json:"stages"`
+	Invocations uint64   `json:"invocations"`
+	Failures    uint64   `json:"failures"`
+	// Sheds counts chains cut mid-flight because a later stage's estimate
+	// exceeded the remaining deadline budget.
+	Sheds       uint64        `json:"sheds"`
+	MeanLatency time.Duration `json:"mean_latency_ns"`
+	// Gas is the cumulative chain gas: the sum of each stage's static
+	// charge-point cost, bit-identical to invoking the stages separately.
+	Gas              uint64 `json:"gas"`
+	FastHandoffs     uint64 `json:"fast_handoffs"`
+	BufferedHandoffs uint64 `json:"buffered_handoffs"`
+	HandoffBytes     uint64 `json:"handoff_bytes"`
+}
+
+// Stats returns the pipeline's accounting snapshot.
+func (p *Pipeline) Stats() PipelineStats {
+	st := PipelineStats{
+		Stages:           p.StageNames(),
+		Invocations:      p.invocations.Load(),
+		Failures:         p.failures.Load(),
+		Sheds:            p.sheds.Load(),
+		Gas:              p.gas.Load(),
+		FastHandoffs:     p.fastHandoffs.Load(),
+		BufferedHandoffs: p.bufferedHandoffs.Load(),
+		HandoffBytes:     p.handoffBytes.Load(),
+	}
+	if st.Invocations > 0 {
+		st.MeanLatency = time.Duration(p.totalNanos.Load() / int64(st.Invocations))
+	}
+	return st
+}
+
+// RegisterPipeline registers an ordered module chain under name, invocable
+// at POST /p/<name> and Invoke("p/<name>"). Every stage must already be
+// registered; stages may repeat. The first return of a chain-long journey:
+// stage 0 reads the request body, stage N-1's result is the reply.
+func (rt *Runtime) RegisterPipeline(name string, stages ...string) (*Pipeline, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: pipeline needs a name")
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrEmptyPipeline, name)
+	}
+	for _, s := range stages {
+		if _, ok := rt.Lookup(s); !ok {
+			return nil, fmt.Errorf("core: pipeline %s: stage %w: %s", name, ErrNoModule, s)
+		}
+	}
+	p := &Pipeline{Name: name, stages: append([]string(nil), stages...)}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.pipelines == nil {
+		rt.pipelines = make(map[string]*Pipeline)
+	}
+	if _, dup := rt.pipelines[name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicatePipeline, name)
+	}
+	rt.pipelines[name] = p
+	return p, nil
+}
+
+// LookupPipeline returns the pipeline registered under name.
+func (rt *Runtime) LookupPipeline(name string) (*Pipeline, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	p, ok := rt.pipelines[name]
+	return p, ok
+}
+
+// Pipelines lists registered pipeline names.
+func (rt *Runtime) Pipelines() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]string, 0, len(rt.pipelines))
+	for name := range rt.pipelines {
+		out = append(out, name)
+	}
+	return out
+}
+
+// InvokePipeline executes the named chain end-to-end, bypassing HTTP.
+func (rt *Runtime) InvokePipeline(name string, req []byte) ([]byte, error) {
+	return rt.InvokePipelineWithDeadline(name, req, 0)
+}
+
+// InvokePipelineWithDeadline is InvokePipeline with an explicit deadline:
+// one admission ticket and one deadline cover the whole chain. The deadline
+// gates initial admission (whole-chain estimate vs queueing delay) and then
+// sheds later stages against the remaining budget as earlier stages consume
+// it.
+func (rt *Runtime) InvokePipelineWithDeadline(name string, req []byte, deadline time.Duration) ([]byte, error) {
+	p, ok := rt.LookupPipeline(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoPipeline, name)
+	}
+	if rt.adm == nil {
+		out, _, _, err := rt.runPipeline(p, req, deadline)
+		return out, err
+	}
+	tenant := p.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	ticket, rej := rt.adm.Admit(tenant, PipelinePrefix+p.Name, deadline)
+	if rej != nil {
+		return nil, fmt.Errorf("core: %s%s: %w", PipelinePrefix, name, rej)
+	}
+	if deadline <= 0 {
+		// The controller admitted against its default deadline; thread the
+		// same budget through the mid-chain shed checks.
+		deadline = rt.admDefaultDeadline
+	}
+	out, lat, outcome, err := rt.runPipeline(p, req, deadline)
+	ticket.Done(outcome, lat)
+	return out, err
+}
+
+// stageModule resolves one stage to its module and installed compiled form,
+// reviving cold modules exactly like a direct invoke.
+func (rt *Runtime) stageModule(name string) (*Module, *engine.CompiledModule, error) {
+	m, ok := rt.Lookup(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoModule, name)
+	}
+	cm := m.Compiled()
+	if cm == nil {
+		var err error
+		if cm, err = rt.revive(m); err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, cm, nil
+}
+
+// stageEstimate is the expected service time of one stage for the remaining-
+// budget shed decision: the admission controller's live per-module EWMA when
+// it has samples, else the module's tier-epoch mean.
+func (rt *Runtime) stageEstimate(m *Module) time.Duration {
+	if rt.adm != nil {
+		if est := rt.adm.Estimate(m.Name); est > 0 {
+			return est
+		}
+	}
+	return m.seedLatency()
+}
+
+// handoff resolves a completed stage's result for the next stage: the
+// declared output region (aliasing the stage's linear memory) or the
+// Response buffer. On the steady-state path this allocates nothing — the
+// slice aliases memory owned by the sandbox, which the executor keeps alive
+// until the consumer finishes.
+//
+//sledge:noalloc
+func handoff(sb *sandbox.Sandbox) ([]byte, bool, error) {
+	out, err := sb.Output()
+	return out, sb.OutputDeclared(), err
+}
+
+// recordHandoff accounts one intermediate stage boundary.
+//
+//sledge:noalloc
+func (p *Pipeline) recordHandoff(declared bool, n int) {
+	if declared {
+		p.fastHandoffs.Add(1)
+	} else {
+		p.bufferedHandoffs.Add(1)
+	}
+	p.handoffBytes.Add(uint64(n))
+}
+
+// runPipeline executes one admitted chain: for each stage, shed against the
+// remaining deadline budget, run the stage (with affinity for the previous
+// stage's worker), resolve its result region, and hand it to the next stage
+// as the request. The previous stage's sandbox is kept alive — not released
+// to the pool — until the consumer finishes, so the aliased handoff buffer
+// stays valid; at most two stages' instances are held at once, plus one
+// prefetched instance for the stage after.
+func (rt *Runtime) runPipeline(p *Pipeline, req []byte, deadline time.Duration) (out []byte, lat time.Duration, outcome admission.Outcome, err error) {
+	start := time.Now()
+	timer, _ := rt.timers.Get().(*time.Timer)
+	if timer == nil {
+		timer = time.NewTimer(rt.cfg.RequestTimeout)
+	} else {
+		timer.Reset(rt.cfg.RequestTimeout)
+	}
+
+	input := req
+	var prev *sandbox.Sandbox // completed producer of input, held for its memory
+	var totalGas uint64
+	affinity := int32(-1)
+
+	// Prefetched instance for the next stage (acquired while the current
+	// stage runs, consumed by the next iteration). Error paths funnel
+	// through chainCleanup — a plain method call, not a defer or closure,
+	// so the steady-state success path stays allocation-free.
+	var nextM *Module
+	var nextCM *engine.CompiledModule
+	var nextInst *engine.Instance
+
+	n := len(p.stages)
+	for i := 0; i < n; i++ {
+		var m *Module
+		var cm *engine.CompiledModule
+		var inst *engine.Instance
+		if nextInst != nil {
+			m, cm, inst = nextM, nextCM, nextInst
+			nextInst = nil
+		} else if m, cm, err = rt.stageModule(p.stages[i]); err != nil {
+			rt.chainCleanup(p, timer, prev, nextCM, nextInst)
+			return nil, time.Since(start), admission.OutcomeTrap, err
+		}
+
+		// Satellite fix: shed later stages against the *remaining* budget.
+		// The original deadline was fully consumed by admission's queueing
+		// check; by stage i the chain has already spent time.Since(start)
+		// of it, so comparing the stage estimate to the full deadline would
+		// happily start a stage that cannot finish in time.
+		if i > 0 && deadline > 0 {
+			remaining := deadline - time.Since(start)
+			if est := rt.stageEstimate(m); remaining <= 0 || est > remaining {
+				if inst != nil {
+					cm.Release(inst)
+				}
+				rt.chainCleanup(nil, timer, prev, nil, nil)
+				p.sheds.Add(1)
+				return nil, time.Since(start), admission.OutcomeTimeout,
+					fmt.Errorf("core: %s%s: stage %s: %w", PipelinePrefix, p.Name, m.Name,
+						&admission.Rejection{
+							Status:     503,
+							RetryAfter: retryHint(est),
+							Reason:     admission.ReasonDeadlineShed,
+						})
+			}
+		}
+
+		sb, serr := sandbox.New(cm, input, sandbox.Options{
+			Entry:           m.Entry,
+			KV:              rt.cfg.KV,
+			Tenant:          m.Tenant,
+			NoRecycle:       rt.cfg.NoRecycle,
+			Instance:        inst,
+			MaxHandoffBytes: rt.cfg.MaxHandoffBytes,
+		})
+		if serr != nil {
+			rt.chainCleanup(p, timer, prev, nextCM, nextInst)
+			return nil, time.Since(start), admission.OutcomeTrap, serr
+		}
+		// Continuations chase the previous stage's worker: the handoff
+		// buffer it just produced is hot in that core's cache. Stage 0 has
+		// no producer and balances normally.
+		if affinity >= 0 {
+			serr = rt.pool.SubmitAffine(sb, int(affinity))
+		} else {
+			serr = rt.pool.Submit(sb)
+		}
+		if serr != nil {
+			rt.chainCleanup(p, timer, prev, nextCM, nextInst)
+			return nil, time.Since(start), admission.OutcomeTrap, serr
+		}
+
+		// Overlap the next stage's instance acquisition with this stage's
+		// execution: by the time the stage completes, the consumer's linear
+		// memory is already reset and waiting. Skipped in NoRecycle mode
+		// (nothing pooled to prefetch).
+		if i+1 < n && !rt.cfg.NoRecycle {
+			if nm, ncm, perr := rt.stageModule(p.stages[i+1]); perr == nil {
+				nextM, nextCM = nm, ncm
+				nextInst = ncm.Acquire()
+			}
+		}
+
+		select {
+		case <-sb.Done():
+		case <-timer.C:
+			if sb.Abandon() {
+				rt.timers.Put(timer) // token consumed; channel known empty
+				rt.abandoned.Add(1)
+				m.failures.Add(1)
+				rt.chainCleanup(p, nil, prev, nextCM, nextInst)
+				return nil, rt.cfg.RequestTimeout, admission.OutcomeTimeout,
+					fmt.Errorf("core: %s%s: stage %s: request timed out after %v",
+						PipelinePrefix, p.Name, m.Name, rt.cfg.RequestTimeout)
+			}
+			// Lost the race: the stage finished first. The token is
+			// consumed, so the timer can re-arm for the remaining stages.
+			<-sb.Done()
+			timer.Reset(rt.cfg.RequestTimeout)
+		}
+
+		stageLat := sb.Latency()
+		totalGas += sb.Gas()
+		m.recordCompletion(stageLat, sb.Gas())
+		if sb.State() == sandbox.StateTrapped {
+			m.failures.Add(1)
+			terr := fmt.Errorf("core: %s%s: stage %s: %w", PipelinePrefix, p.Name, m.Name, sb.Err)
+			sb.Release()
+			rt.chainCleanup(p, timer, prev, nextCM, nextInst)
+			return nil, time.Since(start), admission.OutcomeTrap, terr
+		}
+
+		output, declared, oerr := handoff(sb)
+		if oerr != nil {
+			m.failures.Add(1)
+			sb.Release()
+			rt.chainCleanup(p, timer, prev, nextCM, nextInst)
+			return nil, time.Since(start), admission.OutcomeTrap, fmt.Errorf("core: %s%s: stage %s: %w",
+				PipelinePrefix, p.Name, m.Name, oerr)
+		}
+		affinity = sb.LastWorker.Load()
+		if i < n-1 {
+			p.recordHandoff(declared, len(output))
+		}
+
+		// The consumer of prev's memory (this stage) is done: recycle it.
+		// sb itself must now survive until the *next* stage finishes
+		// reading output.
+		if prev != nil {
+			prev.Release()
+		}
+		prev = sb
+		input = output
+	}
+
+	if len(input) > 0 {
+		// Copy the final stage's result out before its memory returns to
+		// the pool.
+		out = append([]byte(nil), input...)
+	}
+	prev.Release()
+	if timer.Stop() {
+		rt.timers.Put(timer)
+	}
+	lat = time.Since(start)
+	p.invocations.Add(1)
+	p.totalNanos.Add(int64(lat))
+	p.gas.Add(totalGas)
+	return out, lat, admission.OutcomeSuccess, nil
+}
+
+// chainCleanup reclaims chain resources on an error path: the prefetched
+// next-stage instance, the held producer sandbox, and the pooled timer
+// (nil timer means its token was already consumed and the timer returned).
+// The pipeline's failure counter is bumped when p is non-nil — deadline
+// sheds pass nil and account under Sheds instead.
+func (rt *Runtime) chainCleanup(p *Pipeline, timer *time.Timer, prev *sandbox.Sandbox, nextCM *engine.CompiledModule, nextInst *engine.Instance) {
+	if nextInst != nil {
+		nextCM.Release(nextInst)
+	}
+	if prev != nil {
+		prev.Release()
+	}
+	if timer != nil && timer.Stop() {
+		rt.timers.Put(timer)
+	}
+	if p != nil {
+		p.failures.Add(1)
+	}
+}
+
+// retryHint floors a mid-chain shed's Retry-After at something meaningful
+// when the stage estimate is tiny or unknown.
+func retryHint(est time.Duration) time.Duration {
+	if est < time.Millisecond {
+		return time.Millisecond
+	}
+	return est
+}
+
+// pipelineSeed sums the chain's per-stage epoch latencies: the admission
+// controller's first whole-chain estimate before any chain has completed.
+func (rt *Runtime) pipelineSeed(name string) time.Duration {
+	p, ok := rt.LookupPipeline(name)
+	if !ok {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range p.stages {
+		if m, ok := rt.Lookup(s); ok {
+			sum += m.seedLatency()
+		}
+	}
+	return sum
+}
+
+// pipelineHealth folds registered pipelines into the health snapshot under
+// their reserved "p/<name>" keys, so a cluster router places whole chains
+// exactly like modules: EWMA from the admission controller when it has
+// chain samples, else the summed stage seed; the tier label is the chain's
+// weakest stage (a chain is only as warm as its coldest link).
+func (rt *Runtime) pipelineHealth(h *HealthSnapshot, ah admission.Health) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	for name, p := range rt.pipelines {
+		key := PipelinePrefix + name
+		mh := ModuleHealth{Tier: chainTierLocked(rt, p)}
+		if amh, ok := ah.Modules[key]; ok {
+			mh.EWMAServiceNanos = amh.EstimateNanos
+			mh.Breaker = amh.Breaker
+		}
+		if mh.EWMAServiceNanos == 0 {
+			var sum time.Duration
+			for _, s := range p.stages {
+				if m, ok := rt.registry[s]; ok {
+					sum += m.seedLatency()
+				}
+			}
+			mh.EWMAServiceNanos = int64(sum)
+		}
+		h.Modules[key] = mh
+	}
+}
+
+// chainTierLocked is the pipeline's weakest stage tier. Callers hold rt.mu.
+func chainTierLocked(rt *Runtime, p *Pipeline) string {
+	rank := func(label string) int {
+		switch label {
+		case TierLabelCold:
+			return 0
+		case "naive":
+			return 1
+		case "cheap":
+			return 2
+		default:
+			return 3
+		}
+	}
+	worst, worstRank := "", 4
+	for _, s := range p.stages {
+		label := TierLabelCold
+		if m, ok := rt.registry[s]; ok {
+			if cm := m.Compiled(); cm != nil {
+				label = cm.TierLabel()
+			}
+		}
+		if r := rank(label); r < worstRank {
+			worst, worstRank = label, r
+		}
+	}
+	return worst
+}
+
+// splitPipelineName reports whether an invocation name addresses a pipeline
+// and strips the reserved prefix.
+func splitPipelineName(name string) (string, bool) {
+	if strings.HasPrefix(name, PipelinePrefix) {
+		return name[len(PipelinePrefix):], true
+	}
+	return "", false
+}

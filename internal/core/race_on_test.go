@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Strict allocation-count assertions are skipped under it: sync.Pool
+// deliberately drops items in race mode to widen interleaving coverage, so
+// pooled paths re-allocate nondeterministically.
+const raceEnabled = true

@@ -197,6 +197,11 @@ type Config struct {
 	// NoRecycle disables sandbox/instance pooling on the request path
 	// (the churn baseline for benchmarks).
 	NoRecycle bool
+	// MaxHandoffBytes bounds a function's sledge.output result region
+	// (the pipeline zero-copy handoff declaration); an oversized
+	// declaration traps the stage and surfaces as HTTP 413. 0 means
+	// abi.DefaultMaxHandoffBytes (8 MiB).
+	MaxHandoffBytes uint32
 
 	// Admission, when non-nil, enables the admission controller between
 	// the listener and the scheduler. Workers, DefaultDeadline, Probe,
@@ -278,6 +283,15 @@ type Runtime struct {
 
 	mu       sync.RWMutex
 	registry map[string]*Module
+	// pipelines holds registered module chains (pipeline.go), addressed
+	// through the reserved "p/<name>" invocation namespace. Guarded by mu
+	// alongside the registry so one lock snapshots both consistently.
+	pipelines map[string]*Pipeline
+
+	// admDefaultDeadline mirrors the admission controller's default
+	// deadline so the pipeline executor can thread the same budget through
+	// mid-chain shed checks when the caller passed none.
+	admDefaultDeadline time.Duration
 
 	// abandoned counts requests that timed out and left their sandbox to
 	// be reaped by a worker (exposed via /__stats).
@@ -339,13 +353,20 @@ func New(cfg Config) *Runtime {
 			// registry stats, so warm modules shed accurately from the
 			// first overloaded request. The seed is epoch-scoped: after a
 			// tier swap it reflects only the installed code's samples.
+			// Pipeline names ("p/<name>") seed with the sum of their
+			// stages' epoch latencies — the whole-chain cost the single
+			// chain ticket must budget for.
 			acfg.SeedEstimate = func(module string) time.Duration {
+				if name, isPipe := splitPipelineName(module); isPipe {
+					return rt.pipelineSeed(name)
+				}
 				if m, ok := rt.Lookup(module); ok {
 					return m.seedLatency()
 				}
 				return 0
 			}
 		}
+		rt.admDefaultDeadline = acfg.DefaultDeadline
 		rt.adm = admission.New(acfg)
 	}
 	if rt.tieringActive() && rt.tiering.Mode == TierAdaptive {
@@ -432,6 +453,9 @@ func (rt *Runtime) RegisterCompiled(name string, cm *engine.CompiledModule, entr
 
 // register inserts a fully constructed module into the registry.
 func (rt *Runtime) register(m *Module) (*Module, error) {
+	if strings.HasPrefix(m.Name, PipelinePrefix) {
+		return nil, fmt.Errorf("core: module %s: the %q name prefix is reserved for pipelines", m.Name, PipelinePrefix)
+	}
 	rt.mu.Lock()
 	if _, dup := rt.registry[m.Name]; dup {
 		rt.mu.Unlock()
@@ -579,6 +603,13 @@ func (rt *Runtime) Invoke(name string, req []byte) ([]byte, error) {
 // instead of queueing. deadline <= 0 uses the controller default; without
 // an admission controller it is ignored.
 func (rt *Runtime) InvokeWithDeadline(name string, req []byte, deadline time.Duration) ([]byte, error) {
+	if pname, isPipe := splitPipelineName(name); isPipe {
+		// The reserved pipeline namespace: one name, one ticket, one
+		// deadline for the whole chain (pipeline.go). Cluster routers and
+		// the HTTP surface reach pipelines through this same demux, so a
+		// chain routes whole — never per-stage.
+		return rt.InvokePipelineWithDeadline(pname, req, deadline)
+	}
 	m, ok := rt.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoModule, name)
@@ -616,10 +647,11 @@ func (rt *Runtime) run(m *Module, req []byte) (out []byte, lat time.Duration, ou
 		}
 	}
 	sb, err := sandbox.New(cm, req, sandbox.Options{
-		Entry:     m.Entry,
-		KV:        rt.cfg.KV,
-		Tenant:    m.Tenant,
-		NoRecycle: rt.cfg.NoRecycle,
+		Entry:           m.Entry,
+		KV:              rt.cfg.KV,
+		Tenant:          m.Tenant,
+		NoRecycle:       rt.cfg.NoRecycle,
+		MaxHandoffBytes: rt.cfg.MaxHandoffBytes,
 	})
 	if err != nil {
 		return nil, 0, admission.OutcomeTrap, err
@@ -662,7 +694,16 @@ func (rt *Runtime) run(m *Module, req []byte) (out []byte, lat time.Duration, ou
 		sb.Release()
 		return nil, lat, admission.OutcomeTrap, err
 	}
-	resp := sb.Response()
+	// Output, not Response: a function that declared a sledge.output
+	// region gets the same reply here as it hands a pipeline consumer —
+	// bit-identical results whether it runs alone or as a stage.
+	resp, oerr := sb.Output()
+	if oerr != nil {
+		m.failures.Add(1)
+		err := fmt.Errorf("core: %s: %w", m.Name, oerr)
+		sb.Release()
+		return nil, lat, admission.OutcomeTrap, err
+	}
 	if len(resp) > 0 {
 		// Copy out before the buffer returns to the pool.
 		out = append([]byte(nil), resp...)
@@ -694,8 +735,12 @@ func (rt *Runtime) handle(req *httpd.Request) httpd.Response {
 	body, err := rt.InvokeWithDeadline(name, req.Body, deadline)
 	var rej *admission.Rejection
 	switch {
-	case errors.Is(err, ErrNoModule):
+	case errors.Is(err, ErrNoModule), errors.Is(err, ErrNoPipeline):
 		return httpd.Response{Status: 404, Body: []byte(err.Error() + "\n")}
+	case errors.Is(err, abi.ErrHandoffTooLarge):
+		// The function declared an output region over MaxHandoffBytes:
+		// the produced payload is too large to hand off or reply with.
+		return httpd.Response{Status: 413, Body: []byte(err.Error() + "\n")}
 	case errors.As(err, &rej):
 		return httpd.Response{
 			Status:      rej.Status,
@@ -723,27 +768,36 @@ func (rt *Runtime) statsResponse() httpd.Response {
 		modules = append(modules, name)
 		perModule[name] = m.Stats()
 	}
+	var pipelines map[string]PipelineStats
+	if len(rt.pipelines) > 0 {
+		pipelines = make(map[string]PipelineStats, len(rt.pipelines))
+		for name, p := range rt.pipelines {
+			pipelines[name] = p.Stats()
+		}
+	}
 	rt.mu.RUnlock()
 	payload := struct {
-		Modules     []string               `json:"modules"`
-		PerModule   map[string]ModuleStats `json:"per_module"`
-		Submitted   uint64                 `json:"submitted"`
-		Completed   uint64                 `json:"completed"`
-		Trapped     uint64                 `json:"trapped"`
-		Preemptions uint64                 `json:"preemptions"`
-		Steals      uint64                 `json:"steals"`
-		Blocked     uint64                 `json:"blocked"`
-		Abandoned   uint64                 `json:"abandoned"`
-		Inflight    int                    `json:"inflight"`
-		QueueDepth  int                    `json:"queue_depth"`
-		Utilization float64                `json:"utilization"`
-		Server      serverStats            `json:"server"`
-		Admission   *admission.Snapshot    `json:"admission,omitempty"`
-		Tiering     *TieringSnapshot       `json:"tiering,omitempty"`
-		Cache       *CacheSnapshot         `json:"cache,omitempty"`
+		Modules     []string                 `json:"modules"`
+		PerModule   map[string]ModuleStats   `json:"per_module"`
+		Pipelines   map[string]PipelineStats `json:"pipelines,omitempty"`
+		Submitted   uint64                   `json:"submitted"`
+		Completed   uint64                   `json:"completed"`
+		Trapped     uint64                   `json:"trapped"`
+		Preemptions uint64                   `json:"preemptions"`
+		Steals      uint64                   `json:"steals"`
+		Blocked     uint64                   `json:"blocked"`
+		Abandoned   uint64                   `json:"abandoned"`
+		Inflight    int                      `json:"inflight"`
+		QueueDepth  int                      `json:"queue_depth"`
+		Utilization float64                  `json:"utilization"`
+		Server      serverStats              `json:"server"`
+		Admission   *admission.Snapshot      `json:"admission,omitempty"`
+		Tiering     *TieringSnapshot         `json:"tiering,omitempty"`
+		Cache       *CacheSnapshot           `json:"cache,omitempty"`
 	}{
 		Modules:     modules,
 		PerModule:   perModule,
+		Pipelines:   pipelines,
 		Submitted:   st.Submitted,
 		Completed:   st.Completed,
 		Trapped:     st.Trapped,

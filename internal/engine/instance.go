@@ -218,6 +218,19 @@ func (in *Instance) MemRange(off, n uint32) ([]byte, error) {
 	return in.mem[off:end:end], nil
 }
 
+// MemRangeRO is MemRange for read-only consumers: same bounds check, same
+// aliasing slice, but no dirty-prefix accounting. Pipeline handoff resolves
+// a completed stage's declared output region with it — the guest's own
+// stores already dirtied the region, and widening memDirty here would
+// inflate the recycling reset for regions the host merely read.
+func (in *Instance) MemRangeRO(off, n uint32) ([]byte, error) {
+	end := uint64(off) + uint64(n)
+	if end > uint64(len(in.mem)) {
+		return nil, newTrap(TrapMemOutOfBounds)
+	}
+	return in.mem[off:end:end], nil
+}
+
 // Start prepares the instance to execute the exported function under the
 // given name. Arguments are raw value bits matching the signature. The
 // module's start function, if any, runs to completion first.

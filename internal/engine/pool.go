@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Instance recycling (the zero-allocation request path).
 //
@@ -33,7 +36,11 @@ const (
 type instancePool struct {
 	mu   sync.Mutex
 	free []*Instance
-	sp   sync.Pool
+	// sp is the overflow tier, behind an atomic pointer so PurgeIdle can
+	// swap the whole pool out without racing concurrent Put/Get — or a
+	// concurrent purge: the cache controller's demotion rung and
+	// Unregister/ClosePool may both purge the same module at once.
+	sp atomic.Pointer[sync.Pool]
 	// closed stops the pool from accepting or handing out instances:
 	// Unregister (and full cache eviction) must not let idle slabs outlive
 	// the module. Acquire falls back to Instantiate and Release tears the
@@ -43,6 +50,21 @@ type instancePool struct {
 	// list, maintained on every put/take so the cache controller can read
 	// it without walking the list.
 	freeBytes int64
+}
+
+// overflow returns the current overflow sync.Pool, lazily creating it. The
+// pool-miss callers tolerate a purge swapping the pool under them: a Put
+// into a just-retired pool only makes that instance garbage.
+func (p *instancePool) overflow() *sync.Pool {
+	for {
+		if sp := p.sp.Load(); sp != nil {
+			return sp
+		}
+		sp := new(sync.Pool)
+		if p.sp.CompareAndSwap(nil, sp) {
+			return sp
+		}
+	}
 }
 
 // Acquire returns a reset, ready-to-Start Instance, reusing a recycled one
@@ -72,7 +94,7 @@ func (cm *CompiledModule) Acquire() *Instance {
 	closed := p.closed
 	p.mu.Unlock()
 	if !closed {
-		if v := p.sp.Get(); v != nil {
+		if v := p.overflow().Get(); v != nil {
 			return v.(*Instance)
 		}
 	}
@@ -113,7 +135,7 @@ func (cm *CompiledModule) Release(in *Instance) {
 	closed := p.closed
 	p.mu.Unlock()
 	if !closed {
-		p.sp.Put(in)
+		p.overflow().Put(in)
 	}
 }
 
@@ -147,9 +169,10 @@ func (cm *CompiledModule) PurgeIdle() int64 {
 	p.free = p.free[:0]
 	p.freeBytes = 0
 	p.mu.Unlock()
-	// Swap out the overflow tier wholesale; outstanding Put/Get against the
-	// old pool are harmless (the old instances just become garbage).
-	p.sp = sync.Pool{}
+	// Retire the overflow tier wholesale; outstanding Put/Get against the
+	// old pool are harmless (the old instances just become garbage) and the
+	// atomic store keeps concurrent purges off each other's toes.
+	p.sp.Store(nil)
 	return released
 }
 

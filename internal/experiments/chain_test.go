@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestChainSmoke runs the function-composition benchmark end-to-end at
+// quick sizes. The identity gates are absolute even here: the pipeline and
+// HTTP self-call modes must return bit-identical replies and charge
+// bit-identical per-stage gas, and every measured reply must validate
+// against the native chain. The speedup floor is relaxed from the 3x
+// acceptance bound (CI machines are noisy and the quick frame is tiny) but
+// the co-located path must still clearly win; the acceptance-grade number
+// comes from `make bench-chain` at full sizes.
+func TestChainSmoke(t *testing.T) {
+	var snap chainSnapshot
+	tables, err := runChain(Options{Quick: true}, &snap)
+	if err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 2 {
+		t.Fatalf("chain produced %d tables, want 1 with 2 rows", len(tables))
+	}
+	var buf bytes.Buffer
+	tables[0].Render(&buf)
+	t.Logf("\n%s", buf.String())
+
+	if !snap.OutputIdentical {
+		t.Error("pipeline and self-call replies diverge")
+	}
+	if !snap.GasIdentical {
+		t.Errorf("per-stage gas diverges between modes: %v", snap.GasPerStage)
+	}
+	if len(snap.Modes) != 2 {
+		t.Fatalf("ran %d modes, want 2", len(snap.Modes))
+	}
+	for _, m := range snap.Modes {
+		if m.Errors > 0 {
+			t.Errorf("%s: %d chain errors", m.Mode, m.Errors)
+		}
+		if m.Requests == 0 || m.P50NS == 0 {
+			t.Errorf("%s: no chains measured (%+v)", m.Mode, m)
+		}
+	}
+	// rgb2gray declares via sledge.output (fast), resize streams via
+	// sledge.write (buffered): the load run must see both kinds.
+	if snap.FastHandoffs == 0 || snap.BufferedHandoffs == 0 {
+		t.Errorf("handoffs = %d fast / %d buffered, want both nonzero", snap.FastHandoffs, snap.BufferedHandoffs)
+	}
+	if snap.HandoffBytes == 0 {
+		t.Error("no handoff bytes accounted")
+	}
+	if snap.SpeedupP50 < 1.3 {
+		t.Errorf("pipeline speedup %.2fx, want >= 1.3x even at quick sizes", snap.SpeedupP50)
+	}
+}

@@ -110,6 +110,7 @@ var Registry = map[string]func(Options) ([]*Table, error){
 	"sched":    RunSchedBench,
 	"tierup":   RunTierup,
 	"warm":     RunWarm,
+	"chain":    RunChain,
 	"ablation": func(o Options) ([]*Table, error) {
 		var out []*Table
 		for _, fn := range []func(Options) ([]*Table, error){
@@ -127,5 +128,5 @@ var Registry = map[string]func(Options) ([]*Table, error){
 
 // IDs lists experiment IDs in paper order.
 func IDs() []string {
-	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "overload", "cluster", "regalloc", "meter", "sched", "tierup", "warm", "ablation"}
+	return []string{"fig5", "table1", "fig6", "fig7", "fig8", "table2", "table3", "memfoot", "cpubound", "overload", "cluster", "regalloc", "meter", "sched", "tierup", "warm", "chain", "ablation"}
 }

@@ -378,6 +378,7 @@ var statusText = map[int]string{
 	200: "OK",
 	400: "Bad Request",
 	404: "Not Found",
+	413: "Payload Too Large",
 	429: "Too Many Requests",
 	500: "Internal Server Error",
 	503: "Service Unavailable",

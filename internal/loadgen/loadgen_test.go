@@ -270,3 +270,61 @@ func TestRunNoTarget(t *testing.T) {
 		t.Fatal("Run with no URL and no targets succeeded")
 	}
 }
+
+func TestPipelineURL(t *testing.T) {
+	for _, tc := range []struct{ base, name, want string }{
+		{"http://h:1", "chain", "http://h:1/p/chain"},
+		{"http://h:1/", "chain", "http://h:1/p/chain"},
+	} {
+		if got := PipelineURL(tc.base, tc.name); got != tc.want {
+			t.Errorf("PipelineURL(%q, %q) = %q, want %q", tc.base, tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestPipelineTargetMode: Pipeline rewrites the base URL (and every weighted
+// target) to the chain's /p/<name> route, and the summary reports the
+// end-to-end chain latency the server took to reply.
+func TestPipelineTargetMode(t *testing.T) {
+	var chainHits atomic.Int64
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/p/imgchain" {
+			http.NotFound(w, r)
+			return
+		}
+		chainHits.Add(1)
+		w.Write([]byte("ok"))
+	})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	srv2 := httptest.NewServer(handler)
+	defer srv2.Close()
+
+	res, err := Run(Options{
+		URL:      srv.URL,
+		Pipeline: "imgchain",
+		Requests: 20,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 || res.Summary.Count != 20 {
+		t.Fatalf("result %+v errors=%d", res.Summary, res.Errors)
+	}
+	if chainHits.Load() != 20 {
+		t.Errorf("chain route saw %d requests, want 20", chainHits.Load())
+	}
+	if res.Summary.P50 <= 0 {
+		t.Error("no end-to-end chain latency recorded")
+	}
+
+	// Weighted targets get the same rewrite.
+	res, err = Run(Options{
+		Targets:  []Target{{URL: srv.URL}, {URL: srv2.URL}},
+		Pipeline: "imgchain",
+		Requests: 10,
+	})
+	if err != nil || res.Errors != 0 || res.Summary.Count != 10 {
+		t.Fatalf("multi-target pipeline run: %v %+v errors=%d", err, res.Summary, res.Errors)
+	}
+}

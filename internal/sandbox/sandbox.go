@@ -102,6 +102,14 @@ type Sandbox struct {
 	// it. Intrusive linking keeps the submit path allocation-free.
 	SchedNext *Sandbox
 
+	// LastWorker records the scheduler worker that last ran the sandbox
+	// (-1 before the first quantum). The worker stamps it at quantum
+	// start; a pipeline executor reads it after completion to submit the
+	// chain's next stage with affinity for the same worker's cache-hot
+	// queue. Atomic so observers (tests, stats) may also sample it while
+	// the sandbox runs.
+	LastWorker atomic.Int32
+
 	exitCode int32
 
 	// Accounting timestamps.
@@ -132,6 +140,15 @@ type Options struct {
 	// NoRecycle disables instance/sandbox pooling for this request: fresh
 	// allocations and eager teardown (the pre-pool churn baseline).
 	NoRecycle bool
+	// Instance, if non-nil, is a pre-acquired pooled instance of the same
+	// module: the pipeline executor acquires the next stage's instance
+	// while the current stage runs and hands it in here. Ownership
+	// transfers to the sandbox (released back to the pool on failure).
+	// Ignored with NoRecycle.
+	Instance *engine.Instance
+	// MaxHandoffBytes bounds a sledge.output declaration; 0 means
+	// abi.DefaultMaxHandoffBytes.
+	MaxHandoffBytes uint32
 }
 
 // New instantiates a sandbox for one request. This is the fast path: in the
@@ -152,9 +169,14 @@ func New(cm *engine.CompiledModule, req []byte, opts Options) (*Sandbox, error) 
 	} else {
 		sb = sbPool.Get().(*Sandbox)
 		sb.noRecycle = false
-		sb.inst = cm.Acquire()
+		if opts.Instance != nil {
+			sb.inst = opts.Instance
+		} else {
+			sb.inst = cm.Acquire()
+		}
 		sb.ctx.Reset(req)
 	}
+	sb.ctx.MaxHandoffBytes = opts.MaxHandoffBytes
 	sb.ID = idCounter.Add(1)
 	sb.Module = entry
 	sb.Tenant = opts.Tenant
@@ -163,6 +185,7 @@ func New(cm *engine.CompiledModule, req []byte, opts Options) (*Sandbox, error) 
 	sb.pending = nil
 	sb.SchedNext = nil
 	sb.exitCode = 0
+	sb.LastWorker.Store(-1)
 	sb.CreatedAt = time.Now()
 	sb.FirstRunAt = time.Time{}
 	sb.DoneAt = time.Time{}
@@ -196,6 +219,26 @@ func (sb *Sandbox) State() State { return State(sb.state.Load()) }
 
 // Response returns the accumulated response body.
 func (sb *Sandbox) Response() []byte { return sb.ctx.Response }
+
+// Output returns the completed sandbox's result: the sledge.output-declared
+// region of its linear memory when one was set (aliasing the instance — the
+// caller must hold off Release until done with the slice), otherwise the
+// accumulated Response buffer. This is the value a pipeline hands to the
+// next stage and the HTTP path serves.
+//
+//sledge:noalloc
+func (sb *Sandbox) Output() ([]byte, error) {
+	if sb.inst == nil {
+		// noRecycle teardown already materialized the region into the
+		// Response buffer (see complete).
+		return sb.ctx.Response, nil
+	}
+	return sb.ctx.ResolveOutput(sb.inst)
+}
+
+// OutputDeclared reports whether the function declared a result region via
+// sledge.output (the zero-copy handoff kind, for accounting).
+func (sb *Sandbox) OutputDeclared() bool { return sb.ctx.OutputSet }
 
 // ExitCode returns the entry function's return value after completion.
 func (sb *Sandbox) ExitCode() (int32, error) {
@@ -275,6 +318,16 @@ func (sb *Sandbox) complete() {
 		sb.OnComplete(sb)
 	}
 	if sb.noRecycle {
+		// Teardown nils the linear memory, so a declared output region
+		// must be materialized into the Response buffer first to stay
+		// readable. Copying here is fine: noRecycle is the churn
+		// baseline, not the zero-alloc path.
+		if sb.ctx.OutputSet {
+			if out, err := sb.ctx.ResolveOutput(sb.inst); err == nil {
+				sb.ctx.Response = append(sb.ctx.Response[:0], out...)
+			}
+			sb.ctx.OutputSet = false
+		}
 		// Eager teardown: the paper tears down sandbox memories on the
 		// worker as soon as execution finishes. Pooled sandboxes instead
 		// return their memory via Release.

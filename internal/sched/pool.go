@@ -327,6 +327,49 @@ func (p *Pool) Submit(sb *sandbox.Sandbox) error {
 	return nil
 }
 
+// SubmitAffine hands a sandbox to the pool with affinity for one worker's
+// queue: a pipeline's continuation goes to the worker that ran the previous
+// stage (sandbox.LastWorker), so the handoff buffer it just wrote is still
+// hot in that core's cache. Affinity is a placement hint, not a pin — the
+// continuation lands in the worker's ordinary inbox, where idle peers can
+// still steal it (see worker.steal), so work-conservation holds even when
+// the preferred worker is stuck in a long quantum.
+//
+// In the global-queue distributions there is no per-worker placement to
+// bias, and an out-of-range hint means the previous stage never ran here;
+// both fall back to Submit's normal balancing.
+func (p *Pool) SubmitAffine(sb *sandbox.Sandbox, worker int) error {
+	if worker < 0 || worker >= len(p.workers) {
+		return p.Submit(sb)
+	}
+	switch p.cfg.Distribution {
+	case DistWorkStealing, DistStatic:
+	default:
+		return p.Submit(sb)
+	}
+	if p.stopped.Load() {
+		return ErrStopped
+	}
+	p.submitted.Add(1)
+	p.inflight.Add(1)
+	w := p.workers[worker]
+	w.inbox.push(sb)
+	if p.stopped.Load() {
+		// Raced with Stop: the workers may already be gone, so fail
+		// whatever the inbox holds exactly as Stop's drain would.
+		p.failInbox(w)
+		return ErrStopped
+	}
+	if p.cfg.Distribution == DistStatic {
+		// No stealing in static mode: only the assigned worker can run
+		// this sandbox, so only it is worth waking.
+		w.park.wake(&p.nparked)
+	} else {
+		p.wakeWorker(w)
+	}
+	return nil
+}
+
 // pickWorker returns the least-loaded worker, tie-broken by a rotating
 // start index so equal-load submissions spread round-robin.
 func (p *Pool) pickWorker() *worker {
@@ -594,6 +637,7 @@ func (w *worker) loop() {
 			continue
 		}
 		prevPre := sb.Preemptions
+		sb.LastWorker.Store(int32(w.id))
 		w.running.Store(1)
 		fuel := p.fuelQuantum
 		if fuel > 0 && !sb.Preemptible() {

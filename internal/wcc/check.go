@@ -51,13 +51,15 @@ var builtinTable = map[string]builtin{
 	"cos":   {kind: bHost, params: []Type{f64T}, ret: f64T, module: "math", name: "cos"},
 	"atan2": {kind: bHost, params: []Type{f64T, f64T}, ret: f64T, module: "math", name: "atan2"},
 
-	"sys_read":     {kind: bHost, params: []Type{i32T, i32T}, ret: i32T, module: "sledge", name: "read"},
-	"sys_write":    {kind: bHost, params: []Type{i32T, i32T}, ret: i32T, module: "sledge", name: "write"},
-	"sys_req_len":  {kind: bHost, ret: i32T, module: "sledge", name: "req_len"},
-	"sys_kv_get":   {kind: bHost, params: []Type{i32T, i32T, i32T, i32T}, ret: i32T, module: "sledge", name: "kv_get"},
-	"sys_kv_set":   {kind: bHost, params: []Type{i32T, i32T, i32T, i32T}, ret: i32T, module: "sledge", name: "kv_set"},
-	"sys_clock_ms": {kind: bHost, ret: i64T, module: "sledge", name: "clock_ms"},
-	"sys_rand":     {kind: bHost, ret: i32T, module: "sledge", name: "rand"},
+	"sys_read":      {kind: bHost, params: []Type{i32T, i32T}, ret: i32T, module: "sledge", name: "read"},
+	"sys_write":     {kind: bHost, params: []Type{i32T, i32T}, ret: i32T, module: "sledge", name: "write"},
+	"sys_req_len":   {kind: bHost, ret: i32T, module: "sledge", name: "req_len"},
+	"sys_output":    {kind: bHost, params: []Type{i32T, i32T}, ret: i32T, module: "sledge", name: "output"},
+	"sys_input_len": {kind: bHost, ret: i32T, module: "sledge", name: "input_len"},
+	"sys_kv_get":    {kind: bHost, params: []Type{i32T, i32T, i32T, i32T}, ret: i32T, module: "sledge", name: "kv_get"},
+	"sys_kv_set":    {kind: bHost, params: []Type{i32T, i32T, i32T, i32T}, ret: i32T, module: "sledge", name: "kv_set"},
+	"sys_clock_ms":  {kind: bHost, ret: i64T, module: "sledge", name: "clock_ms"},
+	"sys_rand":      {kind: bHost, ret: i32T, module: "sledge", name: "rand"},
 
 	"alloc":     {kind: bAlloc, params: []Type{i32T}, ret: i32T},
 	"heap_base": {kind: bHeapBase, ret: i32T},

@@ -82,12 +82,18 @@ func RunWasm(cm *engine.CompiledModule, req []byte) ([]byte, error) {
 	if _, err := inst.Invoke("main"); err != nil {
 		return nil, err
 	}
+	out, err := ctx.ResolveOutput(inst)
+	if err != nil {
+		return nil, err
+	}
+	// The declared region aliases instance memory; copy before Release.
+	resp := append([]byte(nil), out...)
 	cm.Release(inst)
-	return ctx.Response, nil
+	return resp, nil
 }
 
 // Apps is the application registry.
-var Apps = []App{pingApp, echoApp, ekfApp, ocrApp, cifarApp, resizeApp, lpdApp, spinApp}
+var Apps = []App{pingApp, echoApp, ekfApp, ocrApp, cifarApp, resizeApp, rgb2grayApp, lpdApp, spinApp}
 
 // ---- ping ----
 

@@ -46,10 +46,10 @@ func wantPrefix(b []byte, n int) []byte {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(Apps) != 8 {
-		t.Fatalf("expected 8 apps (ping, echo, 5 study apps, spin), have %d", len(Apps))
+	if len(Apps) != 9 {
+		t.Fatalf("expected 9 apps (ping, echo, 5 study apps, rgb2gray, spin), have %d", len(Apps))
 	}
-	for _, name := range []string{"ping", "echo", "gps-ekf", "gocr", "cifar10", "resize", "lpd", "spin"} {
+	for _, name := range []string{"ping", "echo", "gps-ekf", "gocr", "cifar10", "resize", "rgb2gray", "lpd", "spin"} {
 		if _, ok := Get(name); !ok {
 			t.Errorf("app %s missing", name)
 		}
@@ -195,4 +195,34 @@ func abs(x int) int {
 		return -x
 	}
 	return x
+}
+
+// TestChainComposition verifies the composition experiment's chain:
+// feeding resize's output to rgb2gray and that to lpd — per stage, wasm
+// matches native — and that ChainNative equals the stage-by-stage result.
+func TestChainComposition(t *testing.T) {
+	req := ChainRequest(64, 64)
+	in := req
+	for _, name := range ChainStages {
+		a, ok := Get(name)
+		if !ok {
+			t.Fatalf("chain stage %s not registered", name)
+		}
+		cm, err := a.Compile(engine.Config{})
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", name, err)
+		}
+		got, err := RunWasm(cm, in)
+		if err != nil {
+			t.Fatalf("%s: RunWasm: %v", name, err)
+		}
+		want := a.Native(in)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: wasm (%d bytes) != native (%d bytes)", name, len(got), len(want))
+		}
+		in = got
+	}
+	if want := ChainNative(req); !bytes.Equal(in, want) {
+		t.Fatalf("chain result (%d bytes) != ChainNative (%d bytes)", len(in), len(want))
+	}
 }

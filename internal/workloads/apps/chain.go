@@ -1,0 +1,102 @@
+package apps
+
+// Chain workload: the image pipeline used by the composition experiment.
+//
+// RGB2GRAY converts an interleaved RGB frame to grayscale with the BT.601
+// integer weights (77r + 150g + 29b) / 256. It bridges RESIZE (which emits
+// RGB) and LPD (which consumes grayscale), so the three form the
+// reproduction's chain-of-3: resize -> rgb2gray -> lpd.
+//
+// Unlike the other apps, RGB2GRAY declares its result with sys_output
+// instead of streaming it through sys_write. In a pipeline the declared
+// region is handed to the next stage zero-copy (a fast handoff); as a
+// single function the runtime materializes the same bytes into the reply,
+// so the response is bit-identical either way.
+//
+// Request: w i32, h i32, then w*h*3 interleaved RGB.
+// Response: the same header, then w*h gray bytes.
+
+// ChainStages lists the composition experiment's pipeline in stage order.
+var ChainStages = []string{"resize", "rgb2gray", "lpd"}
+
+// ChainRequest builds the deterministic RGB frame driven through the chain.
+// It is the resize request for the given dimensions; w and h must be even
+// so the halved frame keeps exact dimensions.
+func ChainRequest(w, h int) []byte {
+	return ResizeRequest(w, h)
+}
+
+var rgb2grayApp = App{
+	Name:      "rgb2gray",
+	HeapBytes: 4 << 20,
+	Source: `
+static u8 hdr[8];
+
+export i32 main() {
+	sys_read(hdr, 8);
+	i32* dims = (i32*) hdr;
+	i32 w = dims[0];
+	i32 h = dims[1];
+	u8* img = alloc(w * h * 3);
+	sys_read(img, w * h * 3);
+	u8* out = alloc(8 + w * h);
+	for (i32 i = 0; i < 8; i = i + 1) {
+		out[i] = hdr[i];
+	}
+	for (i32 p = 0; p < w * h; p = p + 1) {
+		i32 r = img[p * 3];
+		i32 g = img[p * 3 + 1];
+		i32 b = img[p * 3 + 2];
+		out[8 + p] = (77 * r + 150 * g + 29 * b) / 256;
+	}
+	sys_output(out, 8 + w * h);
+	return 0;
+}
+`,
+	GenRequest: func() []byte { return rgb2grayRequest(resizeW/2, resizeH/2) },
+	Native:     rgb2grayNative,
+}
+
+// rgb2grayRequest builds a deterministic RGB frame, matching what resize
+// emits for a 2w x 2h input.
+func rgb2grayRequest(w, h int) []byte {
+	req := make([]byte, 8+w*h*3)
+	putU32(req, 0, uint32(w))
+	putU32(req, 4, uint32(h))
+	px := req[8:]
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			px[(y*w+x)*3] = byte((x * 5) % 256)
+			px[(y*w+x)*3+1] = byte((y * 7) % 256)
+			px[(y*w+x)*3+2] = byte((x + y) % 256)
+		}
+	}
+	return req
+}
+
+func rgb2grayNative(req []byte) []byte {
+	if len(req) < 8 {
+		return nil
+	}
+	w := int(getU32(req, 0))
+	h := int(getU32(req, 4))
+	if len(req) < 8+w*h*3 {
+		return nil
+	}
+	img := req[8:]
+	resp := make([]byte, 8+w*h)
+	copy(resp, req[:8])
+	out := resp[8:]
+	for p := 0; p < w*h; p++ {
+		r := int(img[p*3])
+		g := int(img[p*3+1])
+		b := int(img[p*3+2])
+		out[p] = byte((77*r + 150*g + 29*b) / 256)
+	}
+	return resp
+}
+
+// ChainNative runs the native mirror of the full chain on one request.
+func ChainNative(req []byte) []byte {
+	return lpdNative(rgb2grayNative(resizeNative(req)))
+}

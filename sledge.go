@@ -45,6 +45,28 @@ type (
 	Module = core.Module
 )
 
+// Function composition (internal/core/pipeline.go): RegisterPipeline names
+// an ordered module chain, invocable at POST /p/<name> or
+// Invoke("p/<name>"). One admission ticket and one deadline cover the whole
+// chain; co-located stages hand intermediate results through shared
+// linear-memory buffers (a stage declares its result region with the
+// sledge.output host call and the next stage consumes it zero-copy) instead
+// of HTTP self-calls, and each continuation is scheduled with affinity for
+// the worker whose cache just produced its input. See docs/PIPELINES.md.
+type (
+	// Pipeline is a registered module chain.
+	Pipeline = core.Pipeline
+	// PipelineStats is a pipeline's accounting snapshot.
+	PipelineStats = core.PipelineStats
+)
+
+// PipelinePrefix is the reserved invocation-name prefix for pipelines
+// ("p/"); module names must not start with it.
+const PipelinePrefix = core.PipelinePrefix
+
+// ErrNoPipeline reports an unknown pipeline name.
+var ErrNoPipeline = core.ErrNoPipeline
+
 // Engine configuration: sandboxing tiers and memory-safety strategies.
 type (
 	// EngineConfig selects the execution tier and bounds-check strategy.

@@ -99,3 +99,64 @@ func TestPublicAPISchedulerKnobs(t *testing.T) {
 		t.Errorf("stats %+v", st)
 	}
 }
+
+// TestPublicAPIPipeline composes two functions through the facade: the
+// first declares its result with sys_output (handed to the next stage
+// zero-copy), the second transforms it via the buffered path.
+func TestPublicAPIPipeline(t *testing.T) {
+	rt := sledge.New(sledge.Config{Workers: 2})
+	defer rt.Close()
+
+	const upper = `
+export i32 main() {
+	i32 n = sys_input_len();
+	u8* buf = alloc(n);
+	sys_read(buf, n);
+	for (i32 i = 0; i < n; i = i + 1) {
+		if (buf[i] >= 97 && buf[i] <= 122) {
+			buf[i] = buf[i] - 32;
+		}
+	}
+	sys_output(buf, n);
+	return 0;
+}
+`
+	const exclaim = `
+static u8 bang[1];
+
+export i32 main() {
+	i32 n = sys_req_len();
+	u8* buf = alloc(n);
+	sys_read(buf, n);
+	sys_write(buf, n);
+	bang[0] = 33; // '!'
+	sys_write(bang, 1);
+	return 0;
+}
+`
+	if _, err := rt.RegisterWCC("upper", upper, sledge.WCCOptions{HeapBytes: 1 << 16}); err != nil {
+		t.Fatalf("RegisterWCC upper: %v", err)
+	}
+	if _, err := rt.RegisterWCC("exclaim", exclaim, sledge.WCCOptions{HeapBytes: 1 << 16}); err != nil {
+		t.Fatalf("RegisterWCC exclaim: %v", err)
+	}
+	p, err := rt.RegisterPipeline("shout", "upper", "exclaim")
+	if err != nil {
+		t.Fatalf("RegisterPipeline: %v", err)
+	}
+	resp, err := rt.InvokePipeline("shout", []byte("edge functions"))
+	if err != nil {
+		t.Fatalf("InvokePipeline: %v", err)
+	}
+	if string(resp) != "EDGE FUNCTIONS!" {
+		t.Errorf("resp = %q", resp)
+	}
+	// The same chain answers under the reserved p/ namespace too.
+	resp, err = rt.Invoke(sledge.PipelinePrefix+"shout", []byte("hi"))
+	if err != nil || string(resp) != "HI!" {
+		t.Errorf("Invoke(p/shout) = %q, %v", resp, err)
+	}
+	if st := p.Stats(); st.Invocations != 2 || st.FastHandoffs != 2 {
+		t.Errorf("stats = %+v, want 2 invocations, 2 fast handoffs", st)
+	}
+}
